@@ -1,0 +1,49 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  Besides the
+timing recorded by pytest-benchmark, each benchmark:
+
+* prints the reproduced rows/series (visible with ``pytest -s``);
+* writes the rendered text and the machine-readable JSON result to
+  ``results/`` so the reproduction can be inspected after the run.
+
+Benchmarks run the *quick* experiment configuration by default (reduced
+networks, 20 inference epochs) so the whole suite finishes in a few minutes;
+set ``REPRO_FULL_EXPERIMENTS=1`` to run the paper-scale configurations.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.utils.serialization import save_json
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory where reproduced tables/figures are written."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_result(results_dir):
+    """Write one experiment's rendered text and JSON payload to results/."""
+
+    def _record(name: str, rendered: str, payload=None) -> None:
+        text_path = results_dir / f"{name}.txt"
+        text_path.write_text(rendered + "\n", encoding="utf-8")
+        if payload is not None:
+            save_json(payload, results_dir / f"{name}.json")
+        print(f"\n{rendered}\n[written to {text_path}]")
+
+    return _record
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run a (potentially expensive) experiment exactly once under timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

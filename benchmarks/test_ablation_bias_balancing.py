@@ -1,0 +1,40 @@
+"""Ablation benchmark: TRBG bias tolerance and the bias-balancing register."""
+
+from conftest import run_once
+
+from repro.aging.snm import BEST_SNM_DEGRADATION_PERCENT
+from repro.experiments.ablations import run_balance_register_sweep, run_bias_sweep
+from repro.utils.tables import AsciiTable
+
+
+def test_ablation_trbg_bias_without_balancing(benchmark, record_result):
+    """Without bias balancing, aging mitigation degrades as the TRBG drifts."""
+    results = run_once(benchmark, run_bias_sweep,
+                       "alexnet", "int8_asymmetric", (0.5, 0.6, 0.7, 0.8, 0.9), False)
+    means = [results[bias]["mean_snm_degradation_percent"] for bias in sorted(results)]
+    # Monotone degradation with increasing bias; 0.5 is near-optimal.
+    assert all(a <= b + 1e-9 for a, b in zip(means, means[1:]))
+    assert means[0] < BEST_SNM_DEGRADATION_PERCENT + 2.0
+    assert means[-1] > means[0] + 2.0
+
+    table = AsciiTable(["TRBG bias", "mean SNM deg. [%]", "max SNM deg. [%]"],
+                       title="Ablation — TRBG bias without bias balancing")
+    for bias in sorted(results):
+        table.add_row([bias, results[bias]["mean_snm_degradation_percent"],
+                       results[bias]["max_snm_degradation_percent"]])
+    record_result("ablation_trbg_bias", table.render(), results)
+
+
+def test_ablation_balance_register_size(benchmark, record_result):
+    """Any reasonably sized bias-balancing register recovers a biased TRBG."""
+    results = run_once(benchmark, run_balance_register_sweep,
+                       "alexnet", "int8_symmetric", (1, 2, 4, 8), 0.7)
+    for bits, entry in results.items():
+        assert entry["mean_snm_degradation_percent"] < BEST_SNM_DEGRADATION_PERCENT + 2.5, bits
+
+    table = AsciiTable(["register bits M", "mean SNM deg. [%]", "max SNM deg. [%]"],
+                       title="Ablation — bias-balancing register size (TRBG bias = 0.7)")
+    for bits in sorted(results):
+        table.add_row([bits, results[bits]["mean_snm_degradation_percent"],
+                       results[bits]["max_snm_degradation_percent"]])
+    record_result("ablation_balance_register", table.render(), results)

@@ -1,0 +1,42 @@
+"""Ablation benchmarks: per-inference energy overhead and lifetime extension."""
+
+from conftest import run_once
+
+from repro.analysis.energy import energy_overhead_table
+from repro.core.framework import DnnLife
+from repro.experiments.ablations import run_energy_overhead_ablation, run_lifetime_improvement
+from repro.nn.models import build_model
+from repro.nn.weights import attach_synthetic_weights
+from repro.utils.tables import AsciiTable
+
+
+def test_ablation_energy_overhead(benchmark, record_result):
+    """DNN-Life's per-inference energy overhead stays in the low single-digit
+    percent range of the weight-memory traffic, far below the barrel shifter."""
+    report = run_once(benchmark, run_energy_overhead_ablation, "alexnet", "int8_symmetric", 10)
+
+    assert report["dnn_life"]["overhead_percent_of_memory_energy"] < 5.0
+    assert (report["dnn_life"]["overhead_percent_of_memory_energy"]
+            < report["barrel_shifter"]["overhead_percent_of_memory_energy"] * 2)
+    assert (report["dnn_life"]["transducer_energy_joules"]
+            < report["barrel_shifter"]["transducer_energy_joules"])
+    assert report["none"]["total_overhead_joules"] < report["dnn_life"]["total_overhead_joules"]
+
+    network = attach_synthetic_weights(build_model("alexnet"), seed=0)
+    framework = DnnLife(network, data_format="int8_symmetric", num_inferences=10, seed=0)
+    record_result("ablation_energy_overhead", energy_overhead_table(framework).render(), report)
+
+
+def test_ablation_lifetime_improvement(benchmark, record_result):
+    """Balancing the duty-cycle translates into a large lifetime extension at a
+    fixed SNM-degradation budget (the t^(1/6) NBTI time dependence)."""
+    result = run_once(benchmark, run_lifetime_improvement, "alexnet", "float32")
+
+    assert result["dnn_life_lifetime_years"] > result["baseline_lifetime_years"]
+    assert result["lifetime_improvement_factor"] > 5.0
+
+    table = AsciiTable(["metric", "value"],
+                       title="Ablation — weight-memory lifetime at a 15% SNM budget")
+    for key, value in result.items():
+        table.add_row([key, value])
+    record_result("ablation_lifetime", table.render(), result)

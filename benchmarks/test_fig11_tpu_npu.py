@@ -1,0 +1,37 @@
+"""Benchmark: reproduce Fig. 11 (SNM-degradation histograms of the TPU-like
+NPU's weight FIFO running AlexNet, VGG-16 and the custom MNIST network)."""
+
+from conftest import run_once
+
+from repro.aging.snm import BEST_SNM_DEGRADATION_PERCENT, WORST_SNM_DEGRADATION_PERCENT
+from repro.experiments.fig11 import fig11_headline_claims, render_fig11, run_fig11_tpu_networks
+
+
+def test_fig11_tpu_like_npu(benchmark, record_result):
+    results = run_once(benchmark, run_fig11_tpu_networks)
+    claims = fig11_headline_claims(results)
+
+    best = BEST_SNM_DEGRADATION_PERCENT
+    worst = WORST_SNM_DEGRADATION_PERCENT
+
+    for network_name, per_network in claims.items():
+        # (7)-(9): DNN-Life with bias balancing achieves near-minimal
+        # degradation for every network and is the best policy overall.
+        assert per_network["dnn_life_mean"] < best + 2.5
+        assert per_network["dnn_life_is_best"]
+
+    # (1)-(2): for the large networks (many FIFO tiles per inference) the
+    # classic inversion scheme looks acceptable...
+    assert claims["alexnet"]["inversion_mean"] < best + 4.0
+    assert claims["vgg16"]["inversion_mean"] < best + 4.0
+    # (3): ...but it collapses on the small custom network, whose weights
+    # occupy the FIFO without ever rotating: almost every cell ends up at the
+    # worst degradation level.
+    assert claims["custom_mnist"]["inversion_mean"] > worst - 2.0
+    assert claims["custom_mnist"]["no_mitigation_mean"] > worst - 2.0
+
+    # (4)-(6): the barrel shifter is sub-optimal on the custom network too.
+    assert (claims["custom_mnist"]["barrel_shifter_mean"]
+            > claims["custom_mnist"]["dnn_life_mean"])
+
+    record_result("fig11", render_fig11(), {"claims": claims, "results": results})

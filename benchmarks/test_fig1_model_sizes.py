@@ -1,0 +1,30 @@
+"""Benchmark: reproduce Fig. 1 (model size/accuracy and access energy)."""
+
+from conftest import run_once
+
+from repro.experiments.fig1 import render_fig1, run_fig1_access_energy, run_fig1_model_comparison
+
+
+def test_fig1a_model_size_accuracy(benchmark, record_result):
+    rows = run_once(benchmark, run_fig1_model_comparison)
+    by_name = {row["network"]: row for row in rows}
+
+    # Shape of the paper's Fig. 1a: VGG-16 is the largest model by far,
+    # GoogLeNet the smallest; accuracy increases from AlexNet to ResNet-152.
+    assert by_name["vgg16"]["size_mb_float32"] > 500
+    assert by_name["alexnet"]["size_mb_float32"] > 200
+    assert by_name["googlenet"]["size_mb_float32"] < 40
+    assert (by_name["resnet152"]["top5_accuracy_percent"]
+            > by_name["vgg16"]["top5_accuracy_percent"]
+            > by_name["alexnet"]["top5_accuracy_percent"])
+
+    record_result("fig1", render_fig1(),
+                  {"fig1a": rows, "fig1b": run_fig1_access_energy()})
+
+
+def test_fig1b_access_energy(benchmark, record_result):
+    energy = run_once(benchmark, run_fig1_access_energy)
+    # DRAM accesses cost roughly two orders of magnitude more energy than a
+    # small on-chip SRAM access (the motivation for large on-chip buffers).
+    assert energy["dram_to_sram_ratio"] > 50
+    record_result("fig1b_access_energy", str(energy), energy)

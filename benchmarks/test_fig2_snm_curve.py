@@ -1,0 +1,23 @@
+"""Benchmark: reproduce Fig. 2b (SNM degradation vs duty-cycle)."""
+
+from conftest import run_once
+
+from repro.experiments.fig2 import render_fig2, run_fig2_snm_curve
+
+
+def test_fig2b_snm_degradation_curve(benchmark, record_result):
+    rows = run_once(benchmark, run_fig2_snm_curve, 41)
+    degradation = [row["snm_degradation_percent"] for row in rows]
+
+    # The curve is U-shaped with the paper's anchor values: 10.82% at a 50%
+    # duty-cycle and 26.12% at the extremes.
+    assert abs(min(degradation) - 10.82) < 1e-6
+    assert abs(degradation[0] - 26.12) < 1e-6
+    assert abs(degradation[-1] - 26.12) < 1e-6
+    assert degradation.index(min(degradation)) == len(rows) // 2
+    # Monotonically decreasing to the middle, then increasing.
+    middle = len(rows) // 2
+    assert all(a >= b for a, b in zip(degradation[:middle], degradation[1:middle + 1]))
+    assert all(a <= b for a, b in zip(degradation[middle:-1], degradation[middle + 1:]))
+
+    record_result("fig2b", render_fig2(21), rows)

@@ -1,0 +1,40 @@
+"""Benchmark: reproduce Fig. 6 (weight-bit distributions of AlexNet / VGG-16
+under float32, int8-symmetric and int8-asymmetric representations)."""
+
+from conftest import run_once
+
+from repro.experiments.fig6 import render_fig6, run_fig6_bit_distributions
+
+
+def test_fig6_bit_distributions(benchmark, record_result):
+    results = run_once(benchmark, run_fig6_bit_distributions)
+
+    for network_name, per_format in results.items():
+        float32 = per_format["float32"]
+        symmetric = per_format["int8_symmetric"]
+        asymmetric = per_format["int8_asymmetric"]
+
+        # Observation 1 (paper Sec. III-A): low (mantissa) bit-locations of the
+        # float32 representation sit near probability 0.5, while the upper
+        # exponent bit-locations are strongly biased.
+        assert abs(float32.probabilities[0] - 0.5) < 0.1
+        assert abs(float32.probabilities[5] - 0.5) < 0.1
+        assert float32.probabilities[30] < 0.05          # exponent MSB ~ never 1
+        assert float32.max_deviation_from_half > 0.4
+
+        # Observation 2: only the symmetric 8-bit representation comes close to
+        # a balanced distribution at every bit-location.
+        assert symmetric.max_deviation_from_half < float32.max_deviation_from_half
+        assert symmetric.max_deviation_from_half < asymmetric.max_deviation_from_half + 0.05
+
+        # Observation 3: the *average* probability of a '1' is not guaranteed
+        # to be 0.5 either; the asymmetric representation deviates the most.
+        assert abs(symmetric.average_probability - 0.5) < 0.12
+        assert (abs(asymmetric.average_probability - 0.5)
+                >= abs(symmetric.average_probability - 0.5) - 0.02)
+
+    payload = {
+        network: {fmt: result.probabilities.tolist() for fmt, result in per_format.items()}
+        for network, per_format in results.items()
+    }
+    record_result("fig6", render_fig6(), payload)

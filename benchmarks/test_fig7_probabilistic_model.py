@@ -1,0 +1,33 @@
+"""Benchmark: reproduce Fig. 7 (probabilistic duty-cycle model, Eq. 1)."""
+
+from conftest import run_once
+
+from repro.experiments.fig7 import (
+    render_fig7,
+    run_fig7_case_study,
+    run_fig7_probabilistic_model,
+)
+
+
+def test_fig7_tail_probability_curves(benchmark, record_result):
+    results = run_once(benchmark, run_fig7_probabilistic_model, 0.5)
+
+    k20 = {round(row["b_over_k"], 3): row["probability"] for row in results[20]}
+    k160 = {round(row["b_over_k"], 3): row["probability"] for row in results[160]}
+
+    # Paper annotation (a): P > 0.1 at b/K = 0.3 for K = 20.
+    assert k20[0.3] > 0.1
+    # Paper annotation (b): the probability collapses once K grows to 160.
+    assert k160[0.3] < 1e-3
+    # Both curves are monotone in b/K and end at exactly 1 at b/K = 0.5.
+    assert k20[0.5] == 1.0 and k160[0.5] == 1.0
+    for curve in (results[20], results[160]):
+        probabilities = [row["probability"] for row in curve]
+        assert all(a <= b + 1e-12 for a, b in zip(probabilities, probabilities[1:]))
+    # For every common b/K value below 0.5, K = 160 is at most K = 20.
+    for key, value in k160.items():
+        if key in k20 and key < 0.5:
+            assert value <= k20[key] + 1e-12
+
+    record_result("fig7", render_fig7(), {"curves": results,
+                                          "case_study": run_fig7_case_study()})

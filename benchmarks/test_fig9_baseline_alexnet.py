@@ -1,0 +1,54 @@
+"""Benchmark: reproduce Fig. 9 (SNM-degradation histograms of the baseline
+accelerator's 512 KB weight memory running AlexNet, for three data formats and
+six mitigation configurations)."""
+
+from conftest import run_once
+
+from repro.aging.snm import BEST_SNM_DEGRADATION_PERCENT, WORST_SNM_DEGRADATION_PERCENT
+from repro.experiments.fig9 import fig9_headline_claims, render_fig9, run_fig9_baseline_alexnet
+
+
+def _mean(per_policy, label):
+    return per_policy[label]["summary"]["mean_snm_degradation_percent"]
+
+
+def test_fig9_baseline_accelerator_alexnet(benchmark, record_result):
+    results = run_once(benchmark, run_fig9_baseline_alexnet)
+    claims = fig9_headline_claims(results)
+
+    labels = list(next(iter(results.values())))
+    dnn_life_balanced = [l for l in labels if "bias=0.7" in l and "without" not in l][0]
+    dnn_life_unbalanced = [l for l in labels if "bias=0.7" in l and "without" in l][0]
+    dnn_life_ideal = [l for l in labels if "bias=0.5" in l][0]
+
+    for format_name, per_policy in results.items():
+        best = BEST_SNM_DEGRADATION_PERCENT
+        worst = WORST_SNM_DEGRADATION_PERCENT
+
+        # (8)-(10): DNN-Life with bias balancing drives every cell close to
+        # the minimal degradation for every data representation format.
+        assert _mean(per_policy, dnn_life_balanced) < best + 2.0
+        assert per_policy[dnn_life_balanced]["summary"]["max_snm_degradation_percent"] < worst - 5
+        assert _mean(per_policy, dnn_life_ideal) < best + 2.0
+
+        # (11) vs (8): a biased TRBG without bias balancing mitigates less.
+        assert _mean(per_policy, dnn_life_unbalanced) > _mean(per_policy, dnn_life_balanced)
+
+        # DNN-Life is never worse than any of the classic schemes.
+        assert _mean(per_policy, dnn_life_balanced) <= _mean(per_policy, "none") + 1e-9
+        assert _mean(per_policy, dnn_life_balanced) <= _mean(per_policy, "inversion") + 1e-9
+        assert _mean(per_policy, dnn_life_balanced) <= _mean(per_policy, "barrel shifter") + 1e-9
+
+    # (2): for the float32 representation the classic inversion scheme leaves
+    # a tail of cells at the highest degradation level (the biased exponent
+    # bit columns), unlike DNN-Life.
+    fp32 = results["float32"]
+    assert fp32["inversion"]["summary"]["percent_cells_near_worst"] > 1.0
+    assert fp32[dnn_life_balanced]["summary"]["percent_cells_near_worst"] < 0.5
+
+    # Without any mitigation the float32 memory ages significantly more than
+    # the symmetric int8 memory (whose bit distribution is nearly balanced).
+    assert (_mean(results["float32"], "none")
+            > _mean(results["int8_symmetric"], "none"))
+
+    record_result("fig9", render_fig9(), {"claims": claims, "results": results})

@@ -1,0 +1,76 @@
+"""Throughput micro-benchmarks of the simulation engines and transducers.
+
+Unlike the figure/table benchmarks (which run once and validate the
+reproduction), these measure steady-state throughput of the performance-
+critical kernels, so pytest-benchmark's statistics are meaningful here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.encoder import WriteDataEncoder
+from repro.core.policies import DnnLifePolicy, NoMitigationPolicy, PeriodicInversionPolicy
+from repro.core.simulation import AgingSimulator
+from repro.quantization.bitops import unpack_bits
+from repro.quantization.formats import get_format
+
+
+@pytest.fixture(scope="module")
+def block_words():
+    rng = np.random.default_rng(0)
+    return rng.integers(0, 256, size=65536, dtype=np.uint64)
+
+
+def test_throughput_wde_encode(benchmark, block_words):
+    encoder = WriteDataEncoder(8)
+    enables = np.random.default_rng(1).integers(0, 2, size=block_words.size, dtype=np.uint8)
+    result = benchmark(encoder.encode, block_words, enables)
+    assert result.size == block_words.size
+
+
+def test_throughput_unpack_bits(benchmark, block_words):
+    result = benchmark(unpack_bits, block_words, 8)
+    assert result.shape == (block_words.size, 8)
+
+
+def test_throughput_policy_encode_dnn_life(benchmark, block_words):
+    policy = DnnLifePolicy(8, seed=0)
+    encoded, metadata = benchmark(policy.encode_block, block_words, 0)
+    assert np.array_equal(policy.decode_block(encoded, metadata), block_words)
+
+
+def test_throughput_policy_encode_inversion(benchmark, block_words):
+    policy = PeriodicInversionPolicy(8)
+    encoded, metadata = benchmark(policy.encode_block, block_words, 0)
+    assert encoded.size == block_words.size
+
+
+def test_throughput_quantization_int8(benchmark):
+    values = np.random.default_rng(2).normal(size=1_000_000).astype(np.float32) * 0.05
+    data_format = get_format("int8_symmetric")
+    words = benchmark(data_format.to_words, values)
+    assert words.size == values.size
+
+
+def test_throughput_fast_aging_simulator(benchmark, tiny_scheduler_factory):
+    scheduler = tiny_scheduler_factory()
+    simulator = AgingSimulator(scheduler, NoMitigationPolicy(), num_inferences=100, seed=0)
+    result = benchmark(simulator.run)
+    assert result.duty_cycles.shape[0] == scheduler.geometry.rows
+
+
+@pytest.fixture(scope="module")
+def tiny_scheduler_factory():
+    from repro.accelerator.baseline import BaselineAccelerator
+    from repro.accelerator.config import AcceleratorConfig
+    from repro.nn.models import custom_mnist_cnn
+    from repro.nn.weights import attach_synthetic_weights
+
+    def build():
+        network = attach_synthetic_weights(custom_mnist_cnn(), seed=0)
+        config = AcceleratorConfig(name="bench", weight_memory_bytes=32 * 1024,
+                                   activation_memory_bytes=1024 * 1024,
+                                   num_pes=8, multipliers_per_pe=8)
+        return BaselineAccelerator(config=config).build_scheduler(network, "int8_symmetric")
+
+    return build

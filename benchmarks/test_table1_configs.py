@@ -1,0 +1,25 @@
+"""Benchmark: reproduce Table I (hardware configurations used in evaluation)."""
+
+from conftest import run_once
+
+from repro.experiments.table1 import render_table1, run_table1_configurations
+
+
+def test_table1_hardware_configurations(benchmark, record_result):
+    rows = run_once(benchmark, run_table1_configurations)
+    by_name = {row["name"]: row for row in rows}
+
+    baseline = by_name["baseline"]
+    assert baseline["weight_memory_KB"] == 512
+    assert baseline["activation_memory_MB"] == 4
+    assert baseline["num_pes"] == 8 and baseline["multipliers_per_pe"] == 8
+    assert baseline["networks"] == ["alexnet"]
+
+    tpu = by_name["tpu_like_npu"]
+    assert tpu["weight_memory_KB"] == 256
+    assert tpu["activation_memory_MB"] == 24
+    assert tpu["parallel_filters_f"] == 256
+    assert tpu["macs_per_cycle"] == 256 * 256
+    assert set(tpu["networks"]) == {"alexnet", "vgg16", "custom_mnist"}
+
+    record_result("table1", render_table1(), rows)

@@ -1,0 +1,36 @@
+"""Benchmark: reproduce Table II (delay/power/area of the three 64-bit WDEs)."""
+
+from conftest import run_once
+
+from repro.experiments.table2 import render_table2, run_table2_wde_costs, table2_relative_costs
+
+
+def test_table2_wde_hardware_costs(benchmark, record_result):
+    rows = run_once(benchmark, run_table2_wde_costs)
+    by_design = {row["design"]: row for row in rows}
+    barrel = by_design["Barrel Shifter based WDE"]
+    inversion = by_design["Inversion based WDE"]
+    proposed = by_design["Proposed WDE with Aging Mitigation Controller"]
+
+    # Shape of Table II: the barrel-shifter WDE is one to two orders of
+    # magnitude more expensive than the XOR-based designs in both area and
+    # power, and it has the longest critical path; the proposed WDE adds only
+    # a small controller on top of the inversion WDE.
+    assert barrel["area_cell_units"] / inversion["area_cell_units"] > 20
+    assert barrel["power_nw"] / inversion["power_nw"] > 10
+    assert barrel["delay_ps"] > inversion["delay_ps"]
+    assert barrel["delay_ps"] > proposed["delay_ps"]
+    assert 1.0 < proposed["area_cell_units"] / inversion["area_cell_units"] < 2.0
+    assert 1.0 < proposed["power_nw"] / inversion["power_nw"] < 2.0
+
+    # Absolute areas land within ~3x of the paper's synthesis results.
+    for row in rows:
+        assert row["paper_area_cell_units"] / 3 < row["area_cell_units"] \
+            < row["paper_area_cell_units"] * 3
+
+    # Relative costs track the paper's ratios.
+    relative = table2_relative_costs()
+    barrel_rel = relative["Barrel Shifter based WDE"]
+    assert barrel_rel["area_vs_inversion"] > 0.5 * barrel_rel["paper_area_vs_inversion"]
+
+    record_result("table2", render_table2(), rows)

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file exists
+so that ``pip install -e .`` also works on environments whose tooling lacks
+the ``wheel`` package required for PEP-517 editable installs (legacy
+``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

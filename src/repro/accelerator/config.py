@@ -1,0 +1,129 @@
+"""Accelerator hardware configurations (paper Table I)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.memory.geometry import MemoryGeometry
+from repro.utils.units import KB, MB
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """Static configuration of a DNN accelerator.
+
+    Attributes
+    ----------
+    name:
+        Configuration name used in reports.
+    weight_memory_bytes:
+        Capacity of the on-chip weight buffer / FIFO.
+    activation_memory_bytes:
+        Capacity of the on-chip activation buffer.
+    num_pes:
+        Number of processing elements (``f`` in the paper: filters processed
+        in parallel, each PE accumulates one filter's partial sum).
+    multipliers_per_pe:
+        Number of multipliers per PE (``N``: activations shared per cycle).
+    weight_fifo_depth_tiles:
+        For FIFO-organised weight memories (TPU-like NPU), the number of tiles
+        the FIFO holds; ``1`` means the whole memory is (re)written as a unit.
+    """
+
+    name: str
+    weight_memory_bytes: int
+    activation_memory_bytes: int
+    num_pes: int
+    multipliers_per_pe: int
+    weight_fifo_depth_tiles: int = 1
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.weight_memory_bytes, "weight_memory_bytes")
+        check_positive_int(self.activation_memory_bytes, "activation_memory_bytes")
+        check_positive_int(self.num_pes, "num_pes")
+        check_positive_int(self.multipliers_per_pe, "multipliers_per_pe")
+        check_positive_int(self.weight_fifo_depth_tiles, "weight_fifo_depth_tiles")
+
+    @property
+    def parallel_filters(self) -> int:
+        """``f``: number of filters whose weights are consumed in parallel."""
+        return self.num_pes
+
+    @property
+    def macs_per_cycle(self) -> int:
+        """Peak multiply-accumulates per cycle."""
+        return self.num_pes * self.multipliers_per_pe
+
+    def weight_memory_geometry(self, word_bits: int) -> MemoryGeometry:
+        """Geometry of the weight memory for a given weight word width."""
+        return MemoryGeometry(capacity_bytes=self.weight_memory_bytes, word_bits=word_bits)
+
+    def weights_per_tile(self, word_bits: int) -> int:
+        """Number of weight words in one FIFO tile."""
+        geometry = self.weight_memory_geometry(word_bits)
+        if geometry.rows % self.weight_fifo_depth_tiles != 0:
+            raise ValueError(
+                f"{geometry.rows} rows cannot be split into "
+                f"{self.weight_fifo_depth_tiles} equal tiles"
+            )
+        return geometry.rows // self.weight_fifo_depth_tiles
+
+    def describe(self) -> Dict[str, object]:
+        """Machine-readable description (used by the Table I benchmark)."""
+        return {
+            "name": self.name,
+            "weight_memory_KB": self.weight_memory_bytes / KB,
+            "activation_memory_MB": self.activation_memory_bytes / MB,
+            "num_pes": self.num_pes,
+            "multipliers_per_pe": self.multipliers_per_pe,
+            "parallel_filters_f": self.parallel_filters,
+            "weight_fifo_depth_tiles": self.weight_fifo_depth_tiles,
+            "macs_per_cycle": self.macs_per_cycle,
+        }
+
+
+def baseline_config() -> AcceleratorConfig:
+    """The baseline accelerator of Table I.
+
+    512 KB weight memory, 4 MB activation memory, 8 PEs with 8 multipliers
+    each (``f = 8``, ``N = 8``).
+    """
+    return AcceleratorConfig(
+        name="baseline",
+        weight_memory_bytes=512 * KB,
+        activation_memory_bytes=4 * MB,
+        num_pes=8,
+        multipliers_per_pe=8,
+        weight_fifo_depth_tiles=1,
+    )
+
+
+def tpu_like_config() -> AcceleratorConfig:
+    """The TPU-like NPU of Table I.
+
+    256 KB weight FIFO (four tiles deep, one tile = weights for the
+    256 x 256 MAC array), 24 MB activation memory, ``f = 256``.
+    """
+    return AcceleratorConfig(
+        name="tpu_like_npu",
+        weight_memory_bytes=256 * KB,
+        activation_memory_bytes=24 * MB,
+        num_pes=256,
+        multipliers_per_pe=256,
+        weight_fifo_depth_tiles=4,
+    )
+
+
+#: Table I of the paper, keyed by configuration name.
+TABLE_I_CONFIGS: Dict[str, AcceleratorConfig] = {
+    "baseline": baseline_config(),
+    "tpu_like_npu": tpu_like_config(),
+}
+
+#: Networks evaluated on each configuration in the paper (Table I bottom row).
+TABLE_I_NETWORKS: Dict[str, Tuple[str, ...]] = {
+    "baseline": ("alexnet",),
+    "tpu_like_npu": ("alexnet", "vgg16", "custom_mnist"),
+}

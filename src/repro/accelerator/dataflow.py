@@ -1,0 +1,217 @@
+"""The Fig. 5 dataflow: partitioning layer weights into on-chip blocks.
+
+The paper's dataflow (Sec. II-B) splits the filters of a CONV layer into
+*filter sets* of ``f`` filters (the number the processing array can handle in
+parallel).  From each set, a *block* of ``r x c x ch`` weights is taken from
+the same location of every filter and moved into the on-chip weight memory;
+the block positions are then traversed in a fixed order (channel-major, then
+spatial) until the whole set has been streamed, after which the next set is
+processed.  Fully-connected layers are handled as filters of shape
+``1 x 1 x in_features``.
+
+The tile shape ``(r, c, ch)`` is chosen such that one block fills the
+available on-chip capacity as completely as possible (assumption (c) of the
+paper's probabilistic model), preferring to keep the full spatial extent of
+the kernel and splitting along channels — the same policy SmartShuttle-style
+tiling optimisers converge to for weight-dominated layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.layers import Conv2d, Layer, Linear
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class TileShape:
+    """Per-filter tile shape ``(ch, r, c)`` of one on-chip block."""
+
+    channels: int
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.channels, "channels")
+        check_positive_int(self.rows, "rows")
+        check_positive_int(self.cols, "cols")
+
+    @property
+    def weights_per_filter(self) -> int:
+        """Weights contributed by a single filter to one block."""
+        return self.channels * self.rows * self.cols
+
+
+@dataclass(frozen=True)
+class FilterSet:
+    """A group of up to ``f`` filters processed together (Fig. 5 colours)."""
+
+    set_index: int
+    filter_indices: Tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        """Number of filters in this set (the last set may hold fewer)."""
+        return len(self.filter_indices)
+
+
+def iter_filter_sets(num_filters: int, parallel_filters: int) -> Iterator[FilterSet]:
+    """Split ``num_filters`` filters into sets of at most ``parallel_filters``."""
+    check_positive_int(num_filters, "num_filters")
+    check_positive_int(parallel_filters, "parallel_filters")
+    for set_index, start in enumerate(range(0, num_filters, parallel_filters)):
+        stop = min(start + parallel_filters, num_filters)
+        yield FilterSet(set_index=set_index, filter_indices=tuple(range(start, stop)))
+
+
+def select_tile_shape(filter_shape: Tuple[int, int, int], capacity_per_filter: int) -> TileShape:
+    """Choose the ``(ch, r, c)`` tile for a filter of shape ``(CH, R, C)``.
+
+    Keeps the full spatial extent if it fits and splits channels; otherwise
+    falls back to splitting rows, then columns.  The returned tile always fits
+    within ``capacity_per_filter`` weights.
+    """
+    channels, rows, cols = filter_shape
+    check_positive_int(capacity_per_filter, "capacity_per_filter")
+    spatial = rows * cols
+    if capacity_per_filter >= spatial:
+        tile_channels = min(channels, capacity_per_filter // spatial)
+        return TileShape(channels=tile_channels, rows=rows, cols=cols)
+    if capacity_per_filter >= cols:
+        tile_rows = min(rows, capacity_per_filter // cols)
+        return TileShape(channels=1, rows=tile_rows, cols=cols)
+    return TileShape(channels=1, rows=1, cols=min(cols, capacity_per_filter))
+
+
+def _layer_filter_view(layer: Layer) -> np.ndarray:
+    """View a layer's weights as ``(num_filters, CH, R, C)``."""
+    if layer.weights is None:
+        raise ValueError(f"layer '{layer.name}' has no weights attached")
+    weights = np.asarray(layer.weights)
+    if isinstance(layer, Conv2d):
+        return weights
+    if isinstance(layer, Linear):
+        return weights.reshape(weights.shape[0], weights.shape[1], 1, 1)
+    # Generic fallback: first axis indexes output units ("filters").
+    flat = weights.reshape(weights.shape[0], -1)
+    return flat.reshape(flat.shape[0], flat.shape[1], 1, 1)
+
+
+def layer_filter_shape(layer: Layer) -> Tuple[int, int, int]:
+    """``(CH, R, C)`` shape of one filter of the layer."""
+    if isinstance(layer, Conv2d):
+        _, in_channels, kernel_h, kernel_w = layer.weight_shape
+        return (in_channels, kernel_h, kernel_w)
+    if isinstance(layer, Linear):
+        return (layer.in_features, 1, 1)
+    shape = layer.weight_shape
+    if shape is None:
+        raise ValueError(f"layer '{layer.name}' has no weights")
+    return (int(np.prod(shape[1:])), 1, 1)
+
+
+@dataclass
+class BlockSlice:
+    """Description of one block: which weights of which filters it contains."""
+
+    layer_name: str
+    set_index: int
+    filter_indices: Tuple[int, ...]
+    channel_range: Tuple[int, int]
+    row_range: Tuple[int, int]
+    col_range: Tuple[int, int]
+
+    @property
+    def weights_per_filter(self) -> int:
+        """Number of weights taken from each filter."""
+        return ((self.channel_range[1] - self.channel_range[0])
+                * (self.row_range[1] - self.row_range[0])
+                * (self.col_range[1] - self.col_range[0]))
+
+    @property
+    def total_weights(self) -> int:
+        """Total number of weights in the block."""
+        return self.weights_per_filter * len(self.filter_indices)
+
+
+def iter_block_slices(layer: Layer, parallel_filters: int,
+                      block_capacity_words: int) -> Iterator[BlockSlice]:
+    """Enumerate the Fig. 5 blocks of a layer without touching weight data."""
+    check_positive_int(block_capacity_words, "block_capacity_words")
+    num_filters = layer.weight_shape[0]
+    filter_shape = layer_filter_shape(layer)
+    channels, rows, cols = filter_shape
+    for filter_set in iter_filter_sets(num_filters, parallel_filters):
+        capacity_per_filter = block_capacity_words // filter_set.size
+        if capacity_per_filter == 0:
+            raise ValueError(
+                f"block capacity {block_capacity_words} cannot hold even one weight "
+                f"per filter for a set of {filter_set.size} filters"
+            )
+        tile = select_tile_shape(filter_shape, capacity_per_filter)
+        # Traversal order (the "steps" of Fig. 5): channels first, then rows,
+        # then columns within the filter volume.
+        for channel_start in range(0, channels, tile.channels):
+            channel_stop = min(channel_start + tile.channels, channels)
+            for row_start in range(0, rows, tile.rows):
+                row_stop = min(row_start + tile.rows, rows)
+                for col_start in range(0, cols, tile.cols):
+                    col_stop = min(col_start + tile.cols, cols)
+                    yield BlockSlice(
+                        layer_name=layer.name,
+                        set_index=filter_set.set_index,
+                        filter_indices=filter_set.filter_indices,
+                        channel_range=(channel_start, channel_stop),
+                        row_range=(row_start, row_stop),
+                        col_range=(col_start, col_stop),
+                    )
+
+
+def extract_block_weights(layer: Layer, block: BlockSlice) -> np.ndarray:
+    """Materialise the float weights of a block, filter-major, flattened."""
+    filters = _layer_filter_view(layer)
+    selected = filters[
+        list(block.filter_indices),
+        block.channel_range[0]:block.channel_range[1],
+        block.row_range[0]:block.row_range[1],
+        block.col_range[0]:block.col_range[1],
+    ]
+    return np.ascontiguousarray(selected, dtype=np.float32).reshape(-1)
+
+
+def iter_layer_blocks(layer: Layer, parallel_filters: int,
+                      block_capacity_words: int) -> Iterator[np.ndarray]:
+    """Yield the float weight content of every Fig. 5 block of a layer."""
+    for block in iter_block_slices(layer, parallel_filters, block_capacity_words):
+        yield extract_block_weights(layer, block)
+
+
+def count_layer_blocks(layer: Layer, parallel_filters: int,
+                       block_capacity_words: int) -> int:
+    """Number of blocks the layer contributes per inference."""
+    return sum(1 for _ in iter_block_slices(layer, parallel_filters, block_capacity_words))
+
+
+def validate_block_coverage(layer: Layer, blocks: Sequence[BlockSlice]) -> None:
+    """Check that the blocks cover every weight of the layer exactly once."""
+    num_filters = layer.weight_shape[0]
+    filter_shape = layer_filter_shape(layer)
+    coverage = np.zeros((num_filters,) + filter_shape, dtype=np.int64)
+    for block in blocks:
+        coverage[
+            list(block.filter_indices),
+            block.channel_range[0]:block.channel_range[1],
+            block.row_range[0]:block.row_range[1],
+            block.col_range[0]:block.col_range[1],
+        ] += 1
+    if not np.all(coverage == 1):
+        missing = int(np.sum(coverage == 0))
+        duplicated = int(np.sum(coverage > 1))
+        raise AssertionError(
+            f"dataflow coverage error for layer '{layer.name}': "
+            f"{missing} weights never streamed, {duplicated} streamed more than once"
+        )

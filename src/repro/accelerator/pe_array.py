@@ -1,0 +1,141 @@
+"""Functional and timing model of the processing array (paper Fig. 4b).
+
+The baseline accelerator's processing array is made of ``f`` processing
+elements.  Every cycle each PE receives the same ``N`` input activations, its
+own ``N`` weights (one filter per PE), multiplies them pairwise and reduces
+the products through an adder tree; the accumulation unit adds the per-cycle
+partial sum into the running output activation.
+
+This module is used by the end-to-end integration tests (the accelerator
+produces the same outputs as the numpy reference forward pass) and by the
+cycle-count/energy accounting of the ablation studies.  It is *not* used by
+the aging simulation, which only needs the weight write stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+
+@dataclass
+class ProcessingElement:
+    """One PE: ``N`` multipliers feeding an adder tree."""
+
+    num_multipliers: int
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.num_multipliers, "num_multipliers")
+
+    def multiply_accumulate(self, activations: np.ndarray, weights: np.ndarray) -> float:
+        """One cycle: pairwise multiply and reduce through the adder tree."""
+        activations = np.asarray(activations, dtype=np.float64).reshape(-1)
+        weights = np.asarray(weights, dtype=np.float64).reshape(-1)
+        if activations.size != weights.size:
+            raise ValueError("activations and weights must have equal length")
+        if activations.size > self.num_multipliers:
+            raise ValueError(
+                f"PE has {self.num_multipliers} multipliers but received "
+                f"{activations.size} operand pairs"
+            )
+        return float(np.dot(activations, weights))
+
+    @property
+    def adder_tree_depth(self) -> int:
+        """Depth of the reduction tree (log2 of the multiplier count)."""
+        return int(np.ceil(np.log2(max(self.num_multipliers, 2))))
+
+
+@dataclass
+class AccumulationUnit:
+    """Holds one running partial sum per PE (paper Fig. 4b right)."""
+
+    num_lanes: int
+    partial_sums: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.num_lanes, "num_lanes")
+        self.partial_sums = np.zeros(self.num_lanes, dtype=np.float64)
+
+    def accumulate(self, values: np.ndarray) -> None:
+        """Add one per-PE partial sum vector into the running totals."""
+        values = np.asarray(values, dtype=np.float64).reshape(-1)
+        if values.size != self.num_lanes:
+            raise ValueError(f"expected {self.num_lanes} partial sums, got {values.size}")
+        self.partial_sums += values
+
+    def flush(self) -> np.ndarray:
+        """Return the accumulated outputs and reset the registers."""
+        outputs = self.partial_sums.copy()
+        self.partial_sums[:] = 0.0
+        return outputs
+
+
+class PeArray:
+    """An array of ``f`` PEs sharing activations (paper Fig. 4b left)."""
+
+    def __init__(self, num_pes: int, multipliers_per_pe: int):
+        check_positive_int(num_pes, "num_pes")
+        check_positive_int(multipliers_per_pe, "multipliers_per_pe")
+        self.num_pes = num_pes
+        self.multipliers_per_pe = multipliers_per_pe
+        self.pes: List[ProcessingElement] = [
+            ProcessingElement(multipliers_per_pe) for _ in range(num_pes)
+        ]
+        self.accumulator = AccumulationUnit(num_pes)
+        self.cycles = 0
+
+    def cycle(self, activations: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        """Execute one array cycle.
+
+        Parameters
+        ----------
+        activations:
+            ``N`` activation values broadcast to every PE.
+        weights:
+            ``(f, N)`` weights — one row per PE / filter.
+
+        Returns
+        -------
+        numpy.ndarray
+            The per-PE partial sums produced this cycle (also accumulated).
+        """
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape[0] != self.num_pes:
+            raise ValueError(f"expected {self.num_pes} weight rows, got {weights.shape[0]}")
+        partials = np.array([
+            pe.multiply_accumulate(activations, weights[index])
+            for index, pe in enumerate(self.pes)
+        ])
+        self.accumulator.accumulate(partials)
+        self.cycles += 1
+        return partials
+
+    def compute_dot_products(self, activations: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        """Compute ``f`` full dot products by streaming ``N`` operands per cycle.
+
+        ``activations`` has length ``L`` and ``weights`` shape ``(f, L)``;
+        the operands are consumed in chunks of ``N`` per cycle exactly as the
+        real datapath would, and the accumulated outputs are returned.
+        """
+        activations = np.asarray(activations, dtype=np.float64).reshape(-1)
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (self.num_pes, activations.size):
+            raise ValueError(
+                f"weights must have shape ({self.num_pes}, {activations.size}), "
+                f"got {weights.shape}"
+            )
+        chunk = self.multipliers_per_pe
+        for start in range(0, activations.size, chunk):
+            stop = min(start + chunk, activations.size)
+            self.cycle(activations[start:stop], weights[:, start:stop])
+        return self.accumulator.flush()
+
+    def cycles_for_dot_product(self, length: int) -> int:
+        """Cycles needed to reduce a dot product of the given length."""
+        check_positive_int(length, "length")
+        return (length + self.multipliers_per_pe - 1) // self.multipliers_per_pe

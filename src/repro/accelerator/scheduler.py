@@ -1,0 +1,268 @@
+"""Weight-block write-stream generation.
+
+The :class:`WeightStreamScheduler` turns (network, data format, memory
+geometry, dataflow parameters) into the sequence of *weight blocks* the
+accelerator writes into its on-chip weight memory during one inference:
+
+1. every weight layer is quantized once (per-tensor parameters, computed on
+   the full layer as a deployment toolchain would);
+2. the layer's weights are traversed in the Fig. 5 dataflow order
+   (filter sets of ``f`` filters, ``r x c x ch`` tiles per filter);
+3. the resulting word stream is packed into blocks that exactly fill the
+   on-chip memory (or one FIFO tile for FIFO-organised memories), matching
+   the paper's assumption that each block fits the memory perfectly;
+4. blocks are assigned to a memory *region*: full-memory placement rewrites
+   the whole array every block, circular-FIFO placement writes tile
+   ``i mod depth`` (the TPU-like NPU's four-tile weight FIFO).
+
+The same stream repeats every inference, which is exactly the property that
+makes naive aging mitigation ineffective for DNN workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.accelerator.dataflow import iter_block_slices
+from repro.memory.geometry import MemoryGeometry
+from repro.nn.network import Network
+from repro.quantization.formats import DataFormat, get_format
+from repro.utils.validation import check_positive_int
+
+
+def _storage_dtype(word_bits: int) -> np.dtype:
+    """Smallest unsigned dtype able to hold a word of ``word_bits`` bits."""
+    if word_bits <= 8:
+        return np.dtype(np.uint8)
+    if word_bits <= 16:
+        return np.dtype(np.uint16)
+    if word_bits <= 32:
+        return np.dtype(np.uint32)
+    return np.dtype(np.uint64)
+
+
+@dataclass
+class WeightBlock:
+    """One block of encoded weights written to the on-chip memory."""
+
+    index: int
+    words: np.ndarray
+    region: int = 0
+    layer_names: Tuple[str, ...] = ()
+
+    @property
+    def num_words(self) -> int:
+        """Number of weight words in the block."""
+        return int(self.words.size)
+
+
+class WeightStreamScheduler:
+    """Generates the per-inference weight write stream of an accelerator."""
+
+    def __init__(self, network: Network, data_format: Union[str, DataFormat],
+                 geometry: MemoryGeometry, parallel_filters: int,
+                 fifo_depth_tiles: int = 1, pad_final_block: bool = True):
+        self.network = network
+        self.data_format = get_format(data_format) if isinstance(data_format, str) else data_format
+        self.geometry = geometry
+        self.parallel_filters = check_positive_int(parallel_filters, "parallel_filters")
+        self.fifo_depth_tiles = check_positive_int(fifo_depth_tiles, "fifo_depth_tiles")
+        self.pad_final_block = bool(pad_final_block)
+        if self.data_format.word_bits != geometry.word_bits:
+            raise ValueError(
+                f"data format '{self.data_format.name}' is {self.data_format.word_bits}-bit "
+                f"but the memory geometry expects {geometry.word_bits}-bit words"
+            )
+        if geometry.rows % self.fifo_depth_tiles != 0:
+            raise ValueError(
+                f"{geometry.rows} memory rows cannot be divided into "
+                f"{self.fifo_depth_tiles} equal FIFO tiles"
+            )
+        network.validate_weights()
+
+    # ------------------------------------------------------------------ #
+    # Sizing
+    # ------------------------------------------------------------------ #
+    @property
+    def words_per_block(self) -> int:
+        """Number of weight words per block (memory rows, or one FIFO tile)."""
+        return self.geometry.rows // self.fifo_depth_tiles
+
+    @property
+    def total_weight_words(self) -> int:
+        """Total weight words streamed per inference."""
+        return self.network.weight_count
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of blocks per inference (K of the paper's Eq. 1)."""
+        return (self.total_weight_words + self.words_per_block - 1) // self.words_per_block
+
+    @property
+    def blocks_per_region(self) -> np.ndarray:
+        """How many blocks land in each memory region over one inference."""
+        counts = np.zeros(self.fifo_depth_tiles, dtype=np.int64)
+        for block_index in range(self.num_blocks):
+            counts[block_index % self.fifo_depth_tiles] += 1
+        return counts
+
+    # ------------------------------------------------------------------ #
+    # Stream generation
+    # ------------------------------------------------------------------ #
+    def _iter_layer_words(self) -> Iterator[Tuple[str, np.ndarray]]:
+        """Yield ``(layer name, word chunk)`` in Fig. 5 dataflow order."""
+        dtype = _storage_dtype(self.geometry.word_bits)
+        for layer in self.network.weight_layers():
+            # Per-tensor quantization parameters are computed on the whole
+            # layer, exactly as a post-training-quantization toolchain would;
+            # dataflow chunks are then cut out of the quantized word tensor.
+            layer_words = self.data_format.to_words(
+                np.asarray(layer.weights, dtype=np.float32)).astype(dtype)
+            for block in iter_block_slices(layer, self.parallel_filters, self.words_per_block):
+                chunk = _extract_block_words(layer, layer_words, block)
+                yield layer.name, chunk
+
+    def iter_blocks(self) -> Iterator[WeightBlock]:
+        """Yield the packed, memory-sized blocks of one inference."""
+        pending: List[np.ndarray] = []
+        pending_words = 0
+        pending_layers: List[str] = []
+        block_index = 0
+        capacity = self.words_per_block
+
+        def emit(words: np.ndarray, layers: Tuple[str, ...]) -> WeightBlock:
+            nonlocal block_index
+            block = WeightBlock(
+                index=block_index,
+                words=words,
+                region=block_index % self.fifo_depth_tiles,
+                layer_names=layers,
+            )
+            block_index += 1
+            return block
+
+        for layer_name, chunk in self._iter_layer_words():
+            if not pending_layers or pending_layers[-1] != layer_name:
+                pending_layers.append(layer_name)
+            position = 0
+            while position < chunk.size:
+                take = min(chunk.size - position, capacity - pending_words)
+                pending.append(chunk[position:position + take])
+                pending_words += take
+                position += take
+                if pending_words == capacity:
+                    yield emit(np.concatenate(pending), tuple(pending_layers))
+                    pending = []
+                    pending_words = 0
+                    pending_layers = [layer_name]
+        if pending_words:
+            words = np.concatenate(pending)
+            if self.pad_final_block:
+                dtype = words.dtype
+                padding = np.zeros(capacity - pending_words, dtype=dtype)
+                words = np.concatenate([words, padding])
+            yield emit(words, tuple(pending_layers))
+
+    def block_bit_matrix(self, block: WeightBlock) -> np.ndarray:
+        """Unpack a block into its ``(words, word_bits)`` bit matrix."""
+        from repro.quantization.bitops import unpack_bits
+
+        return unpack_bits(block.words, self.geometry.word_bits)
+
+    def describe(self) -> dict:
+        """Machine-readable description of the schedule."""
+        return {
+            "network": self.network.name,
+            "data_format": self.data_format.name,
+            "word_bits": self.geometry.word_bits,
+            "memory_capacity_bytes": self.geometry.capacity_bytes,
+            "memory_rows": self.geometry.rows,
+            "words_per_block": self.words_per_block,
+            "fifo_depth_tiles": self.fifo_depth_tiles,
+            "parallel_filters": self.parallel_filters,
+            "total_weight_words": self.total_weight_words,
+            "num_blocks_per_inference": self.num_blocks,
+        }
+
+
+def _extract_block_words(layer, layer_words: np.ndarray, block) -> np.ndarray:
+    """Extract the words of one dataflow block from the quantized layer words."""
+    # The flat word array is viewed as (num_filters, CH, R, C) — for
+    # fully-connected layers CH is the input dimension and R = C = 1 —
+    # mirroring ``extract_block_weights`` for the float tensor.
+    from repro.accelerator.dataflow import layer_filter_shape
+
+    filter_shape = layer_filter_shape(layer)
+    view = layer_words.reshape((layer.weight_shape[0],) + filter_shape)
+    selected = view[
+        list(block.filter_indices),
+        block.channel_range[0]:block.channel_range[1],
+        block.row_range[0]:block.row_range[1],
+        block.col_range[0]:block.col_range[1],
+    ]
+    return np.ascontiguousarray(selected).reshape(-1)
+
+
+class CachedWeightStream:
+    """A scheduler wrapper that materialises the block list once.
+
+    Evaluating several mitigation policies on the same workload re-streams the
+    same blocks; caching them avoids re-quantizing the network for every
+    policy.  The wrapper exposes the subset of the scheduler interface the
+    aging simulators use.
+    """
+
+    def __init__(self, scheduler: WeightStreamScheduler):
+        self._scheduler = scheduler
+        self._blocks = list(scheduler.iter_blocks())
+
+    @property
+    def geometry(self) -> MemoryGeometry:
+        """Geometry of the underlying weight memory."""
+        return self._scheduler.geometry
+
+    @property
+    def words_per_block(self) -> int:
+        """Words per block of the underlying schedule."""
+        return self._scheduler.words_per_block
+
+    @property
+    def fifo_depth_tiles(self) -> int:
+        """FIFO depth of the underlying schedule."""
+        return self._scheduler.fifo_depth_tiles
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of blocks per inference."""
+        return len(self._blocks)
+
+    def iter_blocks(self):
+        """Yield the cached blocks in order."""
+        return iter(self._blocks)
+
+    def describe(self) -> dict:
+        """Description of the underlying schedule."""
+        return self._scheduler.describe()
+
+
+def stream_to_trace(scheduler: WeightStreamScheduler, num_inferences: int = 1,
+                    residency: float = 1.0):
+    """Record ``num_inferences`` repetitions of the stream as a WriteTrace.
+
+    Only intended for small networks / memories (explicit simulation and
+    tests); the fast aging simulator consumes :meth:`iter_blocks` directly.
+    """
+    from repro.memory.trace import WriteRecord, WriteTrace
+
+    check_positive_int(num_inferences, "num_inferences")
+    trace = WriteTrace(word_bits=scheduler.geometry.word_bits)
+    for _ in range(num_inferences):
+        for block in scheduler.iter_blocks():
+            trace.append(WriteRecord(block_index=block.index,
+                                     words=block.words.astype(np.uint64),
+                                     residency=residency,
+                                     start_row=block.region * scheduler.words_per_block))
+    return trace

@@ -1,0 +1,215 @@
+"""SmartShuttle-style tiling optimisation (extension).
+
+The paper assumes that an optimal tiling / computation-scheduling policy for
+each layer is provided by an external tool such as SmartShuttle (Li et al.,
+DATE 2018).  This module implements a small version of that optimiser so the
+library is self-contained: given a layer, the accelerator configuration and
+the on-chip buffer sizes, it enumerates candidate ``(r, c, ch)`` weight tiles
+and output-tile shapes, estimates the DRAM traffic each candidate implies, and
+returns the schedule minimising off-chip transfers (ties broken by PE
+utilisation).
+
+The weight-memory aging analysis itself only depends on the *order* in which
+weight blocks are streamed, which the optimiser does not change; the optimiser
+is used by the ablation benchmarks to confirm that DNN-Life is insensitive to
+the tiling choice, and by users who want realistic traffic/energy numbers for
+their own configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.accelerator.dataflow import TileShape
+from repro.nn.layers import Conv2d, Layer, Linear
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class TilingCandidate:
+    """One evaluated tiling configuration for a layer."""
+
+    tile: TileShape
+    output_tile_rows: int
+    output_tile_cols: int
+    weight_traffic_bytes: float
+    activation_traffic_bytes: float
+    partial_sum_traffic_bytes: float
+    pe_utilization: float
+
+    @property
+    def total_dram_traffic_bytes(self) -> float:
+        """Total off-chip traffic implied by this tiling."""
+        return (self.weight_traffic_bytes + self.activation_traffic_bytes
+                + self.partial_sum_traffic_bytes)
+
+
+@dataclass(frozen=True)
+class TilingSolution:
+    """The selected tiling for a layer plus the candidates that lost."""
+
+    layer_name: str
+    best: TilingCandidate
+    candidates: Tuple[TilingCandidate, ...]
+
+    @property
+    def traffic_reduction_vs_worst(self) -> float:
+        """DRAM-traffic ratio between the worst candidate and the chosen one."""
+        worst = max(candidate.total_dram_traffic_bytes for candidate in self.candidates)
+        return worst / max(self.best.total_dram_traffic_bytes, 1e-12)
+
+
+class TilingOptimizer:
+    """Exhaustive-search tiling optimiser over a small candidate space."""
+
+    def __init__(self, config: AcceleratorConfig, bytes_per_weight: float = 1.0,
+                 bytes_per_activation: float = 1.0):
+        self.config = config
+        self.bytes_per_weight = float(bytes_per_weight)
+        self.bytes_per_activation = float(bytes_per_activation)
+
+    # ------------------------------------------------------------------ #
+    # Candidate enumeration
+    # ------------------------------------------------------------------ #
+    def _channel_splits(self, channels: int) -> List[int]:
+        splits = sorted({1, 2, 4, 8, 16, 32, 64, channels})
+        return [split for split in splits if split <= channels]
+
+    def _output_tile_sizes(self, extent: int) -> List[int]:
+        sizes = sorted({1, 2, 4, 7, 8, 14, 16, 28, extent})
+        return [size for size in sizes if size <= extent]
+
+    def candidates_for_conv(self, layer: Conv2d,
+                            input_shape: Tuple[int, int, int]) -> Iterable[TilingCandidate]:
+        """Enumerate tilings of a convolution layer."""
+        out_channels, out_height, out_width = layer.output_shape(input_shape)
+        kernel_h, kernel_w = layer.kernel_size
+        in_channels = layer.in_channels
+        weight_capacity = self.config.weight_memory_bytes / self.bytes_per_weight
+        activation_capacity = self.config.activation_memory_bytes / self.bytes_per_activation
+
+        for tile_channels in self._channel_splits(in_channels):
+            tile = TileShape(channels=tile_channels, rows=kernel_h, cols=kernel_w)
+            weights_resident = tile.weights_per_filter * min(self.config.parallel_filters,
+                                                             out_channels)
+            if weights_resident > weight_capacity:
+                continue
+            for tile_out_h in self._output_tile_sizes(out_height):
+                for tile_out_w in self._output_tile_sizes(out_width):
+                    input_tile = ((tile_out_h - 1) * layer.stride + kernel_h) \
+                        * ((tile_out_w - 1) * layer.stride + kernel_w) * tile_channels
+                    if input_tile > activation_capacity:
+                        continue
+                    candidate = self._score_conv_candidate(
+                        layer, input_shape, tile, tile_out_h, tile_out_w)
+                    yield candidate
+
+    def _score_conv_candidate(self, layer: Conv2d, input_shape: Tuple[int, int, int],
+                              tile: TileShape, tile_out_h: int, tile_out_w: int
+                              ) -> TilingCandidate:
+        out_channels, out_height, out_width = layer.output_shape(input_shape)
+        in_channels = layer.in_channels
+        kernel_h, kernel_w = layer.kernel_size
+
+        channel_passes = int(np.ceil(in_channels / tile.channels))
+        spatial_tiles = (int(np.ceil(out_height / tile_out_h))
+                         * int(np.ceil(out_width / tile_out_w)))
+
+        # Weights: each filter's weights are fetched once per spatial tile
+        # unless the whole filter set stays resident (output-stationary reuse
+        # of weights across spatial tiles is not available on this datapath).
+        weight_bytes = (layer.weight_count * self.bytes_per_weight
+                        * max(spatial_tiles // max(channel_passes, 1), 1)
+                        if spatial_tiles > 1 else layer.weight_count * self.bytes_per_weight)
+
+        # Activations: each input tile is fetched once per filter-set pass.
+        filter_sets = int(np.ceil(layer.out_channels / self.config.parallel_filters))
+        input_tile_elems = ((tile_out_h - 1) * layer.stride + kernel_h) \
+            * ((tile_out_w - 1) * layer.stride + kernel_w) * tile.channels
+        activation_bytes = (input_tile_elems * spatial_tiles * channel_passes * filter_sets
+                            * self.bytes_per_activation)
+
+        # Partial sums spill to DRAM only when the channel dimension is split.
+        partial_sum_bytes = 0.0
+        if channel_passes > 1:
+            partial_sum_bytes = (out_channels * out_height * out_width
+                                 * (channel_passes - 1) * 2 * self.bytes_per_activation)
+
+        lanes_used = min(self.config.parallel_filters, layer.out_channels)
+        multipliers_used = min(self.config.multipliers_per_pe, tile.weights_per_filter)
+        utilization = (lanes_used * multipliers_used) / self.config.macs_per_cycle
+        return TilingCandidate(
+            tile=tile, output_tile_rows=tile_out_h, output_tile_cols=tile_out_w,
+            weight_traffic_bytes=float(weight_bytes),
+            activation_traffic_bytes=float(activation_bytes),
+            partial_sum_traffic_bytes=float(partial_sum_bytes),
+            pe_utilization=float(utilization),
+        )
+
+    def candidates_for_linear(self, layer: Linear) -> Iterable[TilingCandidate]:
+        """Enumerate tilings of a fully-connected layer."""
+        weight_capacity = self.config.weight_memory_bytes / self.bytes_per_weight
+        for tile_channels in self._channel_splits(layer.in_features):
+            tile = TileShape(channels=tile_channels, rows=1, cols=1)
+            resident = tile_channels * min(self.config.parallel_filters, layer.out_features)
+            if resident > weight_capacity:
+                continue
+            channel_passes = int(np.ceil(layer.in_features / tile_channels))
+            weight_bytes = layer.weight_count * self.bytes_per_weight
+            activation_bytes = (layer.in_features
+                                * int(np.ceil(layer.out_features / self.config.parallel_filters))
+                                * self.bytes_per_activation)
+            partial_bytes = (layer.out_features * (channel_passes - 1) * 2
+                             * self.bytes_per_activation if channel_passes > 1 else 0.0)
+            lanes_used = min(self.config.parallel_filters, layer.out_features)
+            multipliers_used = min(self.config.multipliers_per_pe, tile_channels)
+            yield TilingCandidate(
+                tile=tile, output_tile_rows=1, output_tile_cols=1,
+                weight_traffic_bytes=float(weight_bytes),
+                activation_traffic_bytes=float(activation_bytes),
+                partial_sum_traffic_bytes=float(partial_bytes),
+                pe_utilization=float(lanes_used * multipliers_used / self.config.macs_per_cycle),
+            )
+
+    # ------------------------------------------------------------------ #
+    # Selection
+    # ------------------------------------------------------------------ #
+    def optimize_layer(self, layer: Layer,
+                       input_shape: Optional[Tuple[int, int, int]] = None) -> TilingSolution:
+        """Pick the minimum-traffic tiling for one layer."""
+        if isinstance(layer, Conv2d):
+            if input_shape is None:
+                raise ValueError("input_shape is required for convolution layers")
+            candidates = tuple(self.candidates_for_conv(layer, input_shape))
+        elif isinstance(layer, Linear):
+            candidates = tuple(self.candidates_for_linear(layer))
+        else:
+            raise TypeError(f"cannot tile layer of type {type(layer).__name__}")
+        if not candidates:
+            raise ValueError(
+                f"no feasible tiling for layer '{layer.name}' on accelerator "
+                f"'{self.config.name}'")
+        best = min(candidates,
+                   key=lambda c: (c.total_dram_traffic_bytes, -c.pe_utilization))
+        return TilingSolution(layer_name=layer.name, best=best, candidates=candidates)
+
+    def optimize_network(self, network) -> List[TilingSolution]:
+        """Optimise every weight-carrying layer of a network in order."""
+        solutions = []
+        shape = network.input_shape
+        for layer in network.layers:
+            if isinstance(layer, Conv2d):
+                solutions.append(self.optimize_layer(layer, shape))
+            elif isinstance(layer, Linear):
+                solutions.append(self.optimize_layer(layer))
+            shape = layer.output_shape(shape)
+        return solutions
+
+    def total_dram_traffic(self, network) -> float:
+        """Total off-chip traffic (bytes) of one inference under the best tilings."""
+        return float(sum(solution.best.total_dram_traffic_bytes
+                         for solution in self.optimize_network(network)))

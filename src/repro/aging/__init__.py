@@ -1,0 +1,46 @@
+"""NBTI aging substrate.
+
+Contains the device-level and statistical models that turn per-cell
+duty-cycles into aging metrics:
+
+* :mod:`repro.aging.nbti` — long-term NBTI threshold-voltage shift model
+  (reaction–diffusion style) for a single PMOS transistor;
+* :mod:`repro.aging.snm` — duty-cycle → Static Noise Margin (SNM) degradation
+  after 7 years, calibrated to the anchor points stated in the paper
+  (10.82% at 50% duty-cycle, 26.12% at 0%/100%);
+* :mod:`repro.aging.probabilistic` — the paper's probabilistic model, Eq. (1)
+  and Eq. (2), used for the Fig. 7 analysis;
+* :mod:`repro.aging.lifetime` — lifetime / guard-band estimation built on top
+  of the SNM model (extension).
+"""
+
+from repro.aging.lifetime import LifetimeEstimator
+from repro.aging.nbti import NbtiDeviceModel, ReactionDiffusionSnmModel
+from repro.aging.probabilistic import (
+    duty_cycle_tail_probability,
+    expected_cells_at_tail,
+    fig7_sweep,
+    probability_at_least_n_cells,
+)
+from repro.aging.snm import (
+    BEST_SNM_DEGRADATION_PERCENT,
+    WORST_SNM_DEGRADATION_PERCENT,
+    CalibratedSnmModel,
+    SnmDegradationModel,
+    default_snm_model,
+)
+
+__all__ = [
+    "LifetimeEstimator",
+    "NbtiDeviceModel",
+    "ReactionDiffusionSnmModel",
+    "duty_cycle_tail_probability",
+    "expected_cells_at_tail",
+    "fig7_sweep",
+    "probability_at_least_n_cells",
+    "BEST_SNM_DEGRADATION_PERCENT",
+    "WORST_SNM_DEGRADATION_PERCENT",
+    "CalibratedSnmModel",
+    "SnmDegradationModel",
+    "default_snm_model",
+]

@@ -1,0 +1,32 @@
+"""Analysis and reporting helpers.
+
+Turns raw simulation outputs into the statistics and renderings the paper
+reports: per-bit-location probabilities (Fig. 6), duty-cycle statistics,
+SNM-degradation histograms (Figs. 9 and 11) and energy-overhead accounting.
+"""
+
+from repro.analysis.bit_distribution import (
+    BitDistributionResult,
+    analyze_network_bit_distribution,
+    bit_distribution_table,
+)
+from repro.analysis.duty_cycle import (
+    duty_cycle_histogram,
+    duty_cycle_summary,
+    policy_improvement_summary,
+)
+from repro.analysis.energy import energy_overhead_report, energy_overhead_table
+from repro.analysis.report import WorkloadReport, generate_report
+
+__all__ = [
+    "WorkloadReport",
+    "generate_report",
+    "BitDistributionResult",
+    "analyze_network_bit_distribution",
+    "bit_distribution_table",
+    "duty_cycle_histogram",
+    "duty_cycle_summary",
+    "policy_improvement_summary",
+    "energy_overhead_report",
+    "energy_overhead_table",
+]

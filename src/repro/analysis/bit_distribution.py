@@ -1,0 +1,120 @@
+"""Bit-distribution analysis (paper Sec. III-A, Fig. 6).
+
+Computes the probability of observing a '1' at every bit-location of a weight
+word, per network and per data representation format, and derives the
+observations the paper draws from Fig. 6 (which formats give balanced
+distributions, what the average probability is, and how far the distribution
+is from the aging-optimal 0.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.nn.network import Network
+from repro.quantization.bitops import bit_probabilities
+from repro.quantization.formats import PAPER_FORMATS, get_format
+from repro.utils.tables import AsciiTable
+
+
+@dataclass
+class BitDistributionResult:
+    """Per-bit-location probability of '1' for one (network, format) pair."""
+
+    network: str
+    data_format: str
+    word_bits: int
+    probabilities: np.ndarray  # index = bit-location, LSB first (paper's axis)
+
+    @property
+    def average_probability(self) -> float:
+        """Mean probability of a '1' across bit-locations (observation 3)."""
+        return float(np.mean(self.probabilities))
+
+    @property
+    def max_deviation_from_half(self) -> float:
+        """Worst-case per-bit deviation from the aging-optimal 0.5."""
+        return float(np.max(np.abs(self.probabilities - 0.5)))
+
+    @property
+    def is_balanced(self) -> bool:
+        """Whether every bit-location is within 0.1 of probability 0.5."""
+        return bool(np.all(np.abs(self.probabilities - 0.5) <= 0.1))
+
+    def per_bit(self) -> Dict[int, float]:
+        """Dictionary view keyed by bit-location (LSB = 0)."""
+        return {index: float(value) for index, value in enumerate(self.probabilities)}
+
+
+def analyze_network_bit_distribution(network: Network,
+                                     data_formats: Optional[Iterable[str]] = None,
+                                     max_weights_per_layer: Optional[int] = None,
+                                     ) -> Dict[str, BitDistributionResult]:
+    """Fig. 6 analysis: bit probabilities of ``network`` under each format.
+
+    Parameters
+    ----------
+    max_weights_per_layer:
+        If given, only the first ``max_weights_per_layer`` weights of each
+        layer are analysed (deterministic subsampling used by the quick
+        benchmark configurations; ``None`` analyses every weight).
+    """
+    data_formats = list(data_formats) if data_formats is not None else list(PAPER_FORMATS)
+    results: Dict[str, BitDistributionResult] = {}
+    for format_name in data_formats:
+        data_format = get_format(format_name)
+        per_layer_bits = []
+        weights_seen = 0
+        for layer in network.weight_layers():
+            values = np.asarray(layer.weights, dtype=np.float32).reshape(-1)
+            if max_weights_per_layer is not None:
+                values = values[:max_weights_per_layer]
+            words = data_format.to_words(values)
+            per_layer_bits.append((words, values.size))
+            weights_seen += values.size
+        # Aggregate probabilities weighted by layer size.
+        aggregate = np.zeros(data_format.word_bits, dtype=np.float64)
+        for words, count in per_layer_bits:
+            aggregate += bit_probabilities(words, data_format.word_bits) * count
+        probabilities = aggregate / max(weights_seen, 1)
+        results[format_name] = BitDistributionResult(
+            network=network.name,
+            data_format=format_name,
+            word_bits=data_format.word_bits,
+            probabilities=probabilities,
+        )
+    return results
+
+
+def bit_distribution_table(results: Dict[str, BitDistributionResult]) -> AsciiTable:
+    """Render the Fig. 6 data as a table (bit-location rows, format columns)."""
+    formats = list(results)
+    max_bits = max(result.word_bits for result in results.values())
+    table = AsciiTable(
+        ["bit-location"] + formats,
+        title=f"P(bit = 1) per bit-location — network '{next(iter(results.values())).network}'",
+        precision=3,
+    )
+    for bit in range(max_bits - 1, -1, -1):
+        row = [bit]
+        for format_name in formats:
+            result = results[format_name]
+            row.append(float(result.probabilities[bit]) if bit < result.word_bits else "-")
+        table.add_row(row)
+    table.add_row(["average"] + [results[name].average_probability for name in formats])
+    return table
+
+
+def format_balance_summary(results: Dict[str, BitDistributionResult]) -> Dict[str, Dict[str, float]]:
+    """The paper's three observations, quantified per format."""
+    return {
+        name: {
+            "average_probability": result.average_probability,
+            "max_deviation_from_half": result.max_deviation_from_half,
+            "balanced": float(result.is_balanced),
+        }
+        for name, result in results.items()
+    }

@@ -1,0 +1,73 @@
+"""Duty-cycle statistics helpers."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.simulation import AgingResult
+
+
+def duty_cycle_histogram(duty_cycles: np.ndarray, num_bins: int = 20
+                         ) -> Tuple[np.ndarray, np.ndarray]:
+    """Histogram of per-cell duty-cycles as percentages of the population."""
+    duty = np.asarray(duty_cycles, dtype=np.float64).reshape(-1)
+    edges = np.linspace(0.0, 1.0, num_bins + 1)
+    counts, _ = np.histogram(duty, bins=edges)
+    if duty.size == 0:
+        return np.zeros(num_bins), edges
+    return counts / duty.size * 100.0, edges
+
+
+def duty_cycle_summary(duty_cycles: np.ndarray) -> Dict[str, float]:
+    """Deviation-from-optimum statistics of a duty-cycle population."""
+    duty = np.asarray(duty_cycles, dtype=np.float64).reshape(-1)
+    deviation = np.abs(duty - 0.5)
+    return {
+        "mean_duty": float(duty.mean()),
+        "std_duty": float(duty.std()),
+        "mean_abs_deviation": float(deviation.mean()),
+        "p95_abs_deviation": float(np.percentile(deviation, 95)),
+        "max_abs_deviation": float(deviation.max()),
+        "percent_within_5pp_of_half": float((deviation <= 0.05).mean() * 100.0),
+        "percent_at_extremes": float(((duty <= 0.01) | (duty >= 0.99)).mean() * 100.0),
+    }
+
+
+def policy_improvement_summary(baseline: AgingResult, mitigated: AgingResult
+                               ) -> Dict[str, float]:
+    """Headline improvement metrics of one policy over a baseline result."""
+    baseline_degradation = baseline.snm_degradation()
+    mitigated_degradation = mitigated.snm_degradation()
+    return {
+        "baseline_policy": baseline.policy_name,
+        "mitigated_policy": mitigated.policy_name,
+        "mean_degradation_reduction_pp": float(baseline_degradation.mean()
+                                               - mitigated_degradation.mean()),
+        "max_degradation_reduction_pp": float(baseline_degradation.max()
+                                              - mitigated_degradation.max()),
+        "baseline_mean_degradation": float(baseline_degradation.mean()),
+        "mitigated_mean_degradation": float(mitigated_degradation.mean()),
+        "baseline_max_degradation": float(baseline_degradation.max()),
+        "mitigated_max_degradation": float(mitigated_degradation.max()),
+    }
+
+
+def tail_fraction(duty_cycles: np.ndarray, b_over_k: float) -> float:
+    """Fraction of cells with duty <= b/K or >= 1 - b/K (empirical Eq. 1)."""
+    duty = np.asarray(duty_cycles, dtype=np.float64).reshape(-1)
+    return float(((duty <= b_over_k) | (duty >= 1.0 - b_over_k)).mean())
+
+
+def compare_duty_distributions(results: Dict[str, AgingResult],
+                               thresholds: Optional[Sequence[float]] = None
+                               ) -> Dict[str, Dict[str, float]]:
+    """Tail fractions at several b/K thresholds for a set of policy results."""
+    thresholds = list(thresholds) if thresholds is not None else [0.1, 0.2, 0.3, 0.4]
+    comparison: Dict[str, Dict[str, float]] = {}
+    for label, result in results.items():
+        duty = result.duty_cycles
+        comparison[label] = {f"tail@{threshold:.1f}": tail_fraction(duty, threshold)
+                             for threshold in thresholds}
+    return comparison

@@ -1,0 +1,53 @@
+"""Energy-overhead analysis of the aging-mitigation hardware.
+
+The paper's headline claim is that DNN-Life balances the weight-memory
+duty-cycle "at minimal energy overhead".  These helpers quantify that for any
+workload: they compare the per-inference energy of the write/read transducers
+(and metadata accesses) of each policy against the energy of the weight-memory
+traffic itself, using the hardware cost models of :mod:`repro.hwsynth` and the
+memory access-energy model of :mod:`repro.memory.energy`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Union
+
+from repro.core.framework import DnnLife
+from repro.core.policies import MitigationPolicy
+from repro.utils.tables import AsciiTable
+
+
+def energy_overhead_report(framework: DnnLife,
+                           policies: Optional[Iterable[Union[str, MitigationPolicy]]] = None
+                           ) -> Dict[str, Dict[str, float]]:
+    """Per-policy energy overhead for one workload."""
+    policies = list(policies) if policies is not None else [
+        "none", "inversion", "barrel_shifter", "dnn_life"]
+    report: Dict[str, Dict[str, float]] = {}
+    for policy in policies:
+        overhead = framework.mitigation_energy_overhead(policy)
+        label = overhead["policy"] if isinstance(policy, str) else policy.display_name
+        report[label] = overhead
+    return report
+
+
+def energy_overhead_table(framework: DnnLife,
+                          policies: Optional[Iterable[Union[str, MitigationPolicy]]] = None
+                          ) -> AsciiTable:
+    """ASCII rendering of :func:`energy_overhead_report`."""
+    report = energy_overhead_report(framework, policies)
+    table = AsciiTable(
+        ["policy", "memory energy [uJ]", "transducer energy [uJ]",
+         "metadata energy [uJ]", "overhead [%]"],
+        title=f"Per-inference mitigation energy overhead — {framework.describe()}",
+        precision=4,
+    )
+    for label, entry in report.items():
+        table.add_row([
+            label,
+            entry["weight_memory_energy_joules"] * 1e6,
+            entry["transducer_energy_joules"] * 1e6,
+            entry["metadata_energy_joules"] * 1e6,
+            entry["overhead_percent_of_memory_energy"],
+        ])
+    return table

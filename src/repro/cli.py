@@ -1,0 +1,176 @@
+"""Command-line interface: ``dnn-life <command>``.
+
+The CLI exposes the experiment drivers so that every table and figure of the
+paper can be regenerated from a shell::
+
+    dnn-life fig9 --quick          # Fig. 9 histograms (reduced configuration)
+    dnn-life table2                # Table II WDE costs
+    dnn-life compare --network custom_mnist --format int8_symmetric
+
+Results are printed as ASCII tables/histograms; ``--json PATH`` additionally
+writes the machine-readable result to a JSON file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.utils.serialization import save_json
+
+
+def _cmd_fig1(args: argparse.Namespace):
+    from repro.experiments.fig1 import render_fig1, run_fig1_access_energy, run_fig1_model_comparison
+
+    print(render_fig1())
+    return {"fig1a": run_fig1_model_comparison(), "fig1b": run_fig1_access_energy()}
+
+
+def _cmd_fig2(args: argparse.Namespace):
+    from repro.experiments.fig2 import render_fig2, run_fig2_snm_curve
+
+    print(render_fig2())
+    return run_fig2_snm_curve()
+
+
+def _cmd_fig6(args: argparse.Namespace):
+    from repro.experiments.fig6 import fig6_observations, render_fig6
+
+    print(render_fig6(quick=args.quick, seed=args.seed))
+    return fig6_observations(quick=args.quick, seed=args.seed)
+
+
+def _cmd_fig7(args: argparse.Namespace):
+    from repro.experiments.fig7 import render_fig7, run_fig7_case_study
+
+    print(render_fig7())
+    return run_fig7_case_study()
+
+
+def _cmd_fig9(args: argparse.Namespace):
+    from repro.experiments.fig9 import render_fig9, run_fig9_baseline_alexnet
+
+    results = run_fig9_baseline_alexnet(quick=args.quick, seed=args.seed)
+    print(render_fig9(quick=args.quick, seed=args.seed))
+    return results
+
+
+def _cmd_fig11(args: argparse.Namespace):
+    from repro.experiments.fig11 import render_fig11, run_fig11_tpu_networks
+
+    results = run_fig11_tpu_networks(quick=args.quick, seed=args.seed)
+    print(render_fig11(quick=args.quick, seed=args.seed))
+    return results
+
+
+def _cmd_table1(args: argparse.Namespace):
+    from repro.experiments.table1 import render_table1, run_table1_configurations
+
+    print(render_table1())
+    return run_table1_configurations()
+
+
+def _cmd_table2(args: argparse.Namespace):
+    from repro.experiments.table2 import render_table2, run_table2_wde_costs
+
+    print(render_table2())
+    return run_table2_wde_costs()
+
+
+def _cmd_compare(args: argparse.Namespace):
+    from repro.core.framework import DnnLife
+    from repro.nn.models import build_model
+    from repro.nn.weights import attach_synthetic_weights
+
+    network = attach_synthetic_weights(build_model(args.network), seed=args.seed)
+    framework = DnnLife(network, data_format=args.format,
+                        num_inferences=args.inferences, seed=args.seed)
+    comparison = framework.compare_policies()
+    print(comparison.table().render())
+    return comparison.summary()
+
+
+def _cmd_report(args: argparse.Namespace):
+    from repro.analysis.report import WorkloadReport
+    from repro.core.framework import DnnLife
+    from repro.nn.models import build_model
+    from repro.nn.weights import attach_synthetic_weights
+
+    network = attach_synthetic_weights(build_model(args.network), seed=args.seed)
+    framework = DnnLife(network, data_format=args.format,
+                        num_inferences=args.inferences, seed=args.seed)
+    report = WorkloadReport(framework)
+    print(report.render())
+    return report.summary()
+
+
+def _cmd_energy(args: argparse.Namespace):
+    from repro.analysis.energy import energy_overhead_report, energy_overhead_table
+    from repro.core.framework import DnnLife
+    from repro.nn.models import build_model
+    from repro.nn.weights import attach_synthetic_weights
+
+    network = attach_synthetic_weights(build_model(args.network), seed=args.seed)
+    framework = DnnLife(network, data_format=args.format,
+                        num_inferences=args.inferences, seed=args.seed)
+    print(energy_overhead_table(framework).render())
+    return energy_overhead_report(framework)
+
+
+_COMMANDS: Dict[str, Callable[[argparse.Namespace], object]] = {
+    "fig1": _cmd_fig1,
+    "fig2": _cmd_fig2,
+    "fig6": _cmd_fig6,
+    "fig7": _cmd_fig7,
+    "fig9": _cmd_fig9,
+    "fig11": _cmd_fig11,
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "compare": _cmd_compare,
+    "energy": _cmd_energy,
+    "report": _cmd_report,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="dnn-life",
+        description="DNN-Life aging analysis and mitigation framework (DATE 2021 reproduction)",
+    )
+    parser.add_argument("--json", type=str, default=None,
+                        help="write the machine-readable result to this JSON file")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for name in ("fig1", "fig2", "fig7", "table1", "table2"):
+        subparsers.add_parser(name, help=f"regenerate {name} of the paper")
+    for name in ("fig6", "fig9", "fig11"):
+        sub = subparsers.add_parser(name, help=f"regenerate {name} of the paper")
+        sub.add_argument("--quick", action="store_true", default=True,
+                         help="reduced configuration (default)")
+        sub.add_argument("--full", dest="quick", action="store_false",
+                         help="paper-scale configuration (slow)")
+        sub.add_argument("--seed", type=int, default=0)
+    for name in ("compare", "energy", "report"):
+        sub = subparsers.add_parser(name, help=f"{name} policies on one workload")
+        sub.add_argument("--network", type=str, default="custom_mnist")
+        sub.add_argument("--format", type=str, default="int8_symmetric")
+        sub.add_argument("--inferences", type=int, default=50)
+        sub.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = _COMMANDS[args.command]
+    result = handler(args)
+    if args.json:
+        path = save_json(result, args.json)
+        print(f"\nJSON result written to {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

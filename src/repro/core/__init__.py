@@ -1,0 +1,65 @@
+"""DNN-Life core: the paper's contribution.
+
+This package implements the aging-mitigation micro-architecture of Sec. IV
+and the aging-analysis machinery built around it:
+
+* :mod:`repro.core.trbg` — True Random Bit Generator models (ideal biased
+  source and a 5-stage ring-oscillator model, matching the hardware
+  realisation mentioned in Sec. V-C);
+* :mod:`repro.core.bias_balancer` — the M-bit bias-balancing register that
+  periodically inverts the TRBG output;
+* :mod:`repro.core.controller` — the Aging Mitigation Controller generating
+  the enable (E) signal for every write;
+* :mod:`repro.core.encoder` — the Write Data Encoder (WDE) and Read Data
+  Decoder (RDD), XOR-based inversion transducers around the weight memory;
+* :mod:`repro.core.policies` — aging-mitigation policies: no mitigation,
+  periodic inversion, barrel-shifter rotation and the proposed DNN-Life
+  scheme, all sharing one encode/decode interface;
+* :mod:`repro.core.simulation` — duty-cycle/aging simulators (an exact
+  explicit engine and a vectorized fast engine) that evaluate a policy on an
+  accelerator weight-write stream;
+* :mod:`repro.core.framework` — the :class:`~repro.core.framework.DnnLife`
+  end-to-end API used by the examples and benchmarks.
+"""
+
+from repro.core.bias_balancer import BiasBalancingRegister
+from repro.core.controller import AgingMitigationController
+from repro.core.encoder import ReadDataDecoder, WriteDataEncoder
+from repro.core.framework import DnnLife, PolicyComparison
+from repro.core.policies import (
+    BarrelShifterPolicy,
+    DnnLifePolicy,
+    MitigationPolicy,
+    NoMitigationPolicy,
+    PeriodicInversionPolicy,
+    default_policy_suite,
+    make_policy,
+)
+from repro.core.simulation import (
+    AgingResult,
+    AgingSimulator,
+    ExplicitAgingSimulator,
+)
+from repro.core.trbg import IdealTrbg, RingOscillatorTrbg, TrueRandomBitGenerator
+
+__all__ = [
+    "BiasBalancingRegister",
+    "AgingMitigationController",
+    "ReadDataDecoder",
+    "WriteDataEncoder",
+    "DnnLife",
+    "PolicyComparison",
+    "BarrelShifterPolicy",
+    "DnnLifePolicy",
+    "MitigationPolicy",
+    "NoMitigationPolicy",
+    "PeriodicInversionPolicy",
+    "default_policy_suite",
+    "make_policy",
+    "AgingResult",
+    "AgingSimulator",
+    "ExplicitAgingSimulator",
+    "IdealTrbg",
+    "RingOscillatorTrbg",
+    "TrueRandomBitGenerator",
+]

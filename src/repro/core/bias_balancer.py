@@ -1,0 +1,83 @@
+"""The M-bit bias-balancing register of the aging controller.
+
+A practical TRBG may emit '1' with a probability different from 0.5.  The
+DNN-Life controller compensates by keeping an M-bit counter that is
+incremented by the *new data block* signal; the counter's most significant
+bit is XOR-ed with the TRBG output before it is used as the enable signal.
+Because the MSB spends exactly half of every full counter period at '1', the
+long-run probability of the effective enable signal is
+
+    0.5 * bias + 0.5 * (1 - bias) = 0.5
+
+regardless of the TRBG bias — which is what restores optimal duty-cycle
+balancing in the Bias = 0.7 experiments of Fig. 9.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+
+class BiasBalancingRegister:
+    """M-bit counter whose MSB periodically inverts the TRBG output."""
+
+    def __init__(self, num_bits: int = 4):
+        check_positive_int(num_bits, "num_bits")
+        self.num_bits = num_bits
+        self._count = 0
+
+    @property
+    def period(self) -> int:
+        """Number of increments for a full counter wrap (2^M)."""
+        return 1 << self.num_bits
+
+    @property
+    def half_period(self) -> int:
+        """Number of increments after which the MSB toggles (2^(M-1))."""
+        return 1 << (self.num_bits - 1)
+
+    @property
+    def count(self) -> int:
+        """Current counter value (0 .. 2^M - 1)."""
+        return self._count
+
+    @property
+    def phase(self) -> int:
+        """Current MSB of the counter — the inversion phase applied to the TRBG."""
+        return (self._count >> (self.num_bits - 1)) & 0x1
+
+    def tick(self) -> int:
+        """Increment the counter (new data block signal); returns the new phase."""
+        self._count = (self._count + 1) % self.period
+        return self.phase
+
+    def apply(self, trbg_bit: int) -> int:
+        """Apply the current phase to one TRBG bit (no counter increment)."""
+        if trbg_bit not in (0, 1):
+            raise ValueError(f"trbg_bit must be 0 or 1, got {trbg_bit}")
+        return trbg_bit ^ self.phase
+
+    def apply_bits(self, trbg_bits: np.ndarray) -> np.ndarray:
+        """Apply the current phase to an array of TRBG bits (vectorized)."""
+        bits = np.asarray(trbg_bits, dtype=np.uint8)
+        if bits.size and int(bits.max()) > 1:
+            raise ValueError("trbg_bits must contain only 0/1 values")
+        return bits ^ np.uint8(self.phase)
+
+    def reset(self) -> None:
+        """Reset the counter to zero (power-on state)."""
+        self._count = 0
+
+    def phase_sequence(self, start_count: int, num_ticks: int) -> np.ndarray:
+        """Phase observed after each of ``num_ticks`` ticks from ``start_count``.
+
+        Utility used by the fast aging simulator to reproduce the exact
+        deterministic phase pattern without stepping the register one tick at
+        a time.
+        """
+        if num_ticks < 0:
+            raise ValueError("num_ticks must be non-negative")
+        counts = (np.arange(1, num_ticks + 1) + int(start_count)) % self.period
+        return ((counts >> (self.num_bits - 1)) & 0x1).astype(np.uint8)

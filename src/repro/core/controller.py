@@ -1,0 +1,106 @@
+"""The Aging Mitigation Controller (paper Fig. 8, right).
+
+The controller produces the enable signal ``E`` that drives the inversion
+logic of the Write Data Encoder.  For every write it samples the TRBG and
+XORs the sample with the bias-balancing phase; the phase register is advanced
+by the *new data block* signal, i.e. once per weight block brought into the
+on-chip memory.  The same ``E`` value is stored as metadata so the Read Data
+Decoder can undo the inversion when the weights are read back.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.bias_balancer import BiasBalancingRegister
+from repro.core.trbg import IdealTrbg, TrueRandomBitGenerator
+from repro.utils.rng import SeedLike
+
+
+class AgingMitigationController:
+    """Generates per-write enable bits from a TRBG and a bias balancer."""
+
+    def __init__(self, trbg: Optional[TrueRandomBitGenerator] = None,
+                 bias_balancer: Optional[BiasBalancingRegister] = None,
+                 seed: SeedLike = None):
+        self.trbg = trbg if trbg is not None else IdealTrbg(bias=0.5, seed=seed)
+        #: ``None`` disables bias balancing (the "without bias balancing"
+        #: configuration of the Fig. 9 experiments).
+        self.bias_balancer = bias_balancer
+        self._blocks_seen = 0
+        self._enables_generated = 0
+
+    # ------------------------------------------------------------------ #
+    # Hardware-facing interface
+    # ------------------------------------------------------------------ #
+    def new_data_block(self) -> None:
+        """Signal that a new weight block is about to be written.
+
+        Advances the bias-balancing register (its clock input in Fig. 8).
+        """
+        self._blocks_seen += 1
+        if self.bias_balancer is not None:
+            self.bias_balancer.tick()
+
+    def enable_bits(self, count: int) -> np.ndarray:
+        """Generate ``count`` enable bits for the next ``count`` write words."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        bits = self.trbg.bits(count)
+        if self.bias_balancer is not None:
+            bits = self.bias_balancer.apply_bits(bits)
+        self._enables_generated += count
+        return bits
+
+    def next_enable(self) -> int:
+        """Generate a single enable bit."""
+        return int(self.enable_bits(1)[0])
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def effective_bias(self) -> float:
+        """Long-run probability of the enable signal being '1'.
+
+        With bias balancing enabled this is 0.5 regardless of the TRBG bias;
+        without it, it equals the TRBG bias.
+        """
+        if self.bias_balancer is not None:
+            return 0.5
+        return self.trbg.nominal_bias
+
+    @property
+    def blocks_seen(self) -> int:
+        """Number of new-data-block signals received."""
+        return self._blocks_seen
+
+    @property
+    def enables_generated(self) -> int:
+        """Total number of enable bits produced (energy accounting)."""
+        return self._enables_generated
+
+    @property
+    def has_bias_balancing(self) -> bool:
+        """Whether the M-bit bias-balancing register is present."""
+        return self.bias_balancer is not None
+
+    def reset(self) -> None:
+        """Reset controller state (counters and balancing register)."""
+        self._blocks_seen = 0
+        self._enables_generated = 0
+        if self.bias_balancer is not None:
+            self.bias_balancer.reset()
+
+    def describe(self) -> dict:
+        """Machine-readable configuration summary."""
+        return {
+            "trbg_model": type(self.trbg).__name__,
+            "trbg_bias": self.trbg.nominal_bias,
+            "bias_balancing": self.has_bias_balancing,
+            "bias_balancer_bits": (self.bias_balancer.num_bits
+                                   if self.bias_balancer is not None else None),
+            "effective_bias": self.effective_bias,
+        }

@@ -1,0 +1,113 @@
+"""Write Data Encoder (WDE) and Read Data Decoder (RDD).
+
+The WDE sits between the off-chip weight stream and the on-chip weight memory
+(paper Fig. 4a) and, when its enable input ``E`` is asserted, stores the
+bitwise complement of the incoming word; the RDD applies the same XOR on the
+read path, restoring the original value before it reaches the processing
+array.  Because XOR-with-all-ones is an involution, WDE and RDD are the same
+circuit, which is one of the design's cost advantages.
+
+The classes here are *functional* models operating on numpy word arrays; the
+hardware cost of the corresponding circuits is modelled in
+:mod:`repro.hwsynth`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quantization.bitops import invert_words
+from repro.utils.validation import check_positive_int
+
+
+class WriteDataEncoder:
+    """XOR-based inversion encoder in front of the weight memory."""
+
+    def __init__(self, word_bits: int):
+        check_positive_int(word_bits, "word_bits")
+        if word_bits > 64:
+            raise ValueError("word_bits must not exceed 64")
+        self.word_bits = word_bits
+        self._words_encoded = 0
+        self._words_inverted = 0
+
+    def encode(self, words: np.ndarray, enable: np.ndarray) -> np.ndarray:
+        """Encode a batch of words.
+
+        Parameters
+        ----------
+        words:
+            Unsigned integer words (any shape, flattened internally).
+        enable:
+            Either a scalar 0/1 applied to all words, or a 0/1 array with one
+            enable bit per word.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``uint64`` array of the same length where words with ``enable=1``
+            are bitwise complemented within ``word_bits`` bits.
+        """
+        flat = np.asarray(words, dtype=np.uint64).reshape(-1)
+        enable_bits = np.asarray(enable, dtype=np.uint8).reshape(-1)
+        if enable_bits.size == 1:
+            enable_bits = np.full(flat.size, int(enable_bits[0]), dtype=np.uint8)
+        if enable_bits.size != flat.size:
+            raise ValueError(
+                f"enable must be scalar or have one bit per word "
+                f"({flat.size} words, {enable_bits.size} enable bits)"
+            )
+        if enable_bits.size and int(enable_bits.max()) > 1:
+            raise ValueError("enable bits must be 0 or 1")
+        inverted = invert_words(flat, self.word_bits)
+        encoded = np.where(enable_bits.astype(bool), inverted, flat)
+        self._words_encoded += flat.size
+        self._words_inverted += int(enable_bits.sum())
+        return encoded
+
+    @property
+    def words_encoded(self) -> int:
+        """Total number of words that passed through the encoder."""
+        return self._words_encoded
+
+    @property
+    def words_inverted(self) -> int:
+        """Number of words stored inverted (XOR activity, for energy models)."""
+        return self._words_inverted
+
+    @property
+    def inversion_rate(self) -> float:
+        """Fraction of encoded words that were inverted."""
+        if self._words_encoded == 0:
+            return 0.0
+        return self._words_inverted / self._words_encoded
+
+    def reset_counters(self) -> None:
+        """Reset the activity counters."""
+        self._words_encoded = 0
+        self._words_inverted = 0
+
+
+class ReadDataDecoder(WriteDataEncoder):
+    """XOR-based decoder after the weight memory.
+
+    Identical datapath to the WDE (XOR is self-inverse); kept as a separate
+    class so read-path and write-path activity can be accounted separately.
+    """
+
+    def decode(self, words: np.ndarray, enable: np.ndarray) -> np.ndarray:
+        """Decode previously encoded words using the stored metadata bits."""
+        return self.encode(words, enable)
+
+
+def roundtrip_is_transparent(words: np.ndarray, enable: np.ndarray, word_bits: int) -> bool:
+    """Check WDE -> memory -> RDD transparency for a batch of words.
+
+    Used by tests and by the quickstart example to demonstrate that DNN-Life
+    never changes the values the processing array consumes.
+    """
+    encoder = WriteDataEncoder(word_bits)
+    decoder = ReadDataDecoder(word_bits)
+    encoded = encoder.encode(words, enable)
+    decoded = decoder.decode(encoded, enable)
+    return bool(np.array_equal(decoded, np.asarray(words, dtype=np.uint64).reshape(-1)))

@@ -1,0 +1,246 @@
+"""The DNN-Life end-to-end framework (paper Fig. 3).
+
+:class:`DnnLife` ties the substrates together behind one small API:
+
+* **design time** — analyze the bit-level distribution of a DNN's weights
+  under a data representation (Sec. III), pick a mitigation policy and the
+  corresponding micro-architecture configuration;
+* **run time** — simulate the aging of the accelerator's on-chip weight
+  memory over a period of repeated inferences under that policy (Sec. V) and
+  account the energy overhead of the mitigation hardware.
+
+Example
+-------
+>>> from repro import DnnLife
+>>> from repro.nn import build_model, attach_synthetic_weights
+>>> network = attach_synthetic_weights(build_model("custom_mnist"), seed=0)
+>>> framework = DnnLife(network, data_format="int8_symmetric", num_inferences=20)
+>>> comparison = framework.compare_policies()
+>>> print(comparison.table().render())  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Union
+
+import numpy as np
+
+from repro.accelerator.baseline import BaselineAccelerator
+from repro.aging.snm import SnmDegradationModel, default_degradation_bins, default_snm_model
+from repro.core.policies import (
+    MitigationPolicy,
+    default_policy_suite,
+    make_policy,
+)
+from repro.core.simulation import AgingResult, AgingSimulator
+from repro.nn.network import Network
+from repro.nn.weights import attach_synthetic_weights
+from repro.quantization.bitops import bit_probabilities
+from repro.quantization.formats import DataFormat, get_format
+from repro.utils.rng import SeedLike
+from repro.utils.tables import AsciiTable
+from repro.utils.validation import check_positive_int
+
+
+@dataclass
+class PolicyComparison:
+    """Results of evaluating several mitigation policies on one workload."""
+
+    workload: Dict[str, object]
+    results: Dict[str, AgingResult] = field(default_factory=dict)
+
+    def add(self, label: str, result: AgingResult) -> None:
+        """Add one policy's result under a unique label."""
+        if label in self.results:
+            raise ValueError(f"a result labelled '{label}' already exists")
+        self.results[label] = result
+
+    def labels(self) -> List[str]:
+        """Labels of all evaluated policies, in insertion order."""
+        return list(self.results)
+
+    def table(self) -> AsciiTable:
+        """Summary table: one row per policy (mean / max SNM degradation)."""
+        table = AsciiTable(
+            ["policy", "mean SNM deg. [%]", "max SNM deg. [%]",
+             "% cells near best", "% cells near worst"],
+            title=(f"{self.workload.get('network')} on {self.workload.get('accelerator')} "
+                   f"({self.workload.get('data_format')})"),
+        )
+        for label, result in self.results.items():
+            summary = result.summary()
+            table.add_row([
+                label,
+                summary["mean_snm_degradation_percent"],
+                summary["max_snm_degradation_percent"],
+                summary["percent_cells_near_best"],
+                summary["percent_cells_near_worst"],
+            ])
+        return table
+
+    def histograms(self, bin_edges: Optional[np.ndarray] = None) -> Dict[str, Dict[str, object]]:
+        """Fig. 9/11 style histograms for every policy."""
+        output: Dict[str, Dict[str, object]] = {}
+        for label, result in self.results.items():
+            percentages, edges, labels = result.histogram(bin_edges)
+            output[label] = {
+                "percent_of_cells": percentages.tolist(),
+                "bin_edges": np.asarray(edges).tolist(),
+                "bin_labels": labels,
+            }
+        return output
+
+    def best_policy(self) -> str:
+        """Label of the policy with the lowest mean SNM degradation."""
+        if not self.results:
+            raise ValueError("no results recorded")
+        return min(self.results,
+                   key=lambda label: float(self.results[label].snm_degradation().mean()))
+
+    def summary(self) -> Dict[str, object]:
+        """Machine-readable summary of the whole comparison."""
+        return {
+            "workload": self.workload,
+            "policies": {label: result.summary() for label, result in self.results.items()},
+            "best_policy": self.best_policy(),
+        }
+
+
+class DnnLife:
+    """End-to-end aging analysis and mitigation for one workload."""
+
+    def __init__(self, network: Network, accelerator=None,
+                 data_format: Union[str, DataFormat] = "int8_symmetric",
+                 num_inferences: int = 100, seed: SeedLike = 0,
+                 snm_model: Optional[SnmDegradationModel] = None,
+                 aging_years: float = 7.0):
+        self.network = network
+        self.accelerator = accelerator if accelerator is not None else BaselineAccelerator()
+        self.data_format = get_format(data_format) if isinstance(data_format, str) else data_format
+        self.num_inferences = check_positive_int(num_inferences, "num_inferences")
+        self.seed = seed
+        self.snm_model = snm_model or default_snm_model()
+        self.aging_years = aging_years
+        if not network.has_weights_attached:
+            attach_synthetic_weights(network, seed=0 if seed is None else int(np.abs(hash(seed))) % (2**31))
+
+    # ------------------------------------------------------------------ #
+    # Design-time analysis (Sec. III)
+    # ------------------------------------------------------------------ #
+    def weight_words(self) -> np.ndarray:
+        """All weight words of the network under the configured data format."""
+        return self.data_format.to_words(self.network.flat_weights())
+
+    def bit_distribution(self) -> np.ndarray:
+        """P(bit = 1) at every bit-location of a weight word (Fig. 6)."""
+        return bit_probabilities(self.weight_words(), self.data_format.word_bits)
+
+    def average_bit_probability(self) -> float:
+        """Average probability of a '1' across all bit-locations."""
+        return float(np.mean(self.bit_distribution()))
+
+    # ------------------------------------------------------------------ #
+    # Run-time simulation (Sec. V)
+    # ------------------------------------------------------------------ #
+    def build_scheduler(self):
+        """Weight-stream scheduler of the configured accelerator/workload."""
+        return self.accelerator.build_scheduler(self.network, self.data_format)
+
+    def simulate(self, policy: Union[str, MitigationPolicy, None] = None,
+                 **policy_kwargs) -> AgingResult:
+        """Simulate aging under one mitigation policy.
+
+        ``policy`` is a :class:`MitigationPolicy`, a policy name accepted by
+        :func:`repro.core.policies.make_policy`, or ``None`` for the proposed
+        DNN-Life policy with default settings.
+        """
+        resolved = self._resolve_policy(policy, **policy_kwargs)
+        simulator = AgingSimulator(
+            scheduler=self.build_scheduler(),
+            policy=resolved,
+            num_inferences=self.num_inferences,
+            seed=self.seed,
+            snm_model=self.snm_model,
+        )
+        result = simulator.run()
+        result.years = self.aging_years
+        return result
+
+    def compare_policies(self, policies: Optional[Iterable[Union[str, MitigationPolicy]]] = None
+                         ) -> PolicyComparison:
+        """Evaluate several policies (defaults to the paper's Fig. 9 suite)."""
+        if policies is None:
+            policies = default_policy_suite(self.data_format.word_bits, seed=self.seed)
+        comparison = PolicyComparison(workload=self.describe())
+        for entry in policies:
+            resolved = self._resolve_policy(entry)
+            result = self.simulate(resolved)
+            comparison.add(resolved.display_name, result)
+        return comparison
+
+    def degradation_bins(self, num_bins: int = 8) -> np.ndarray:
+        """Histogram bin edges consistent with the configured SNM model."""
+        return default_degradation_bins(self.snm_model, num_bins=num_bins)
+
+    # ------------------------------------------------------------------ #
+    # Hardware-cost accounting
+    # ------------------------------------------------------------------ #
+    def mitigation_energy_overhead(self, policy: Union[str, MitigationPolicy, None] = None,
+                                   **policy_kwargs) -> Dict[str, float]:
+        """Per-inference energy overhead of the mitigation hardware.
+
+        Compares the energy spent in the write/read transducers (and metadata
+        storage) against the energy of the weight-memory accesses they guard.
+        """
+        from repro.hwsynth.wde_designs import wde_for_policy
+
+        resolved = self._resolve_policy(policy, **policy_kwargs)
+        scheduler = self.build_scheduler()
+        energy_model = self.accelerator.weight_memory_energy_model(self.data_format)
+        words_per_inference = scheduler.num_blocks * scheduler.words_per_block
+        memory_energy = (energy_model.inference_write_energy(words_per_inference)
+                         + energy_model.inference_read_energy(words_per_inference))
+
+        design = wde_for_policy(resolved, self.data_format.word_bits)
+        words_per_transfer = max(design.datapath_bits // self.data_format.word_bits, 1)
+        transfers = int(np.ceil(words_per_inference / words_per_transfer))
+        # Encoder on the write path and decoder on the read path.
+        transducer_energy = 2.0 * design.energy_per_transfer_joules() * transfers
+        metadata_bits = resolved.metadata_bits_per_word * words_per_inference
+        metadata_energy = (energy_model.write_energy + energy_model.read_energy) \
+            * metadata_bits / self.data_format.word_bits
+
+        overhead = transducer_energy + metadata_energy
+        return {
+            "policy": resolved.name,
+            "weight_memory_energy_joules": float(memory_energy),
+            "transducer_energy_joules": float(transducer_energy),
+            "metadata_energy_joules": float(metadata_energy),
+            "total_overhead_joules": float(overhead),
+            "overhead_percent_of_memory_energy": float(100.0 * overhead / memory_energy),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Utilities
+    # ------------------------------------------------------------------ #
+    def _resolve_policy(self, policy: Union[str, MitigationPolicy, None],
+                        **policy_kwargs) -> MitigationPolicy:
+        if policy is None:
+            return make_policy("dnn_life", self.data_format.word_bits, seed=self.seed,
+                               **policy_kwargs)
+        if isinstance(policy, str):
+            return make_policy(policy, self.data_format.word_bits, seed=self.seed,
+                               **policy_kwargs)
+        return policy
+
+    def describe(self) -> Dict[str, object]:
+        """Machine-readable description of the workload."""
+        return {
+            "network": self.network.name,
+            "accelerator": getattr(self.accelerator, "config", None).name
+            if getattr(self.accelerator, "config", None) else type(self.accelerator).__name__,
+            "data_format": self.data_format.name,
+            "num_inferences": self.num_inferences,
+            "aging_years": self.aging_years,
+        }

@@ -1,0 +1,356 @@
+"""Aging-mitigation policies.
+
+A *policy* is the algorithm that decides how a weight block is transformed on
+its way into the on-chip weight memory (and transformed back on the way out).
+All policies implement the same ``encode_block`` / ``decode_block`` interface
+so the explicit memory simulator, the fast aging simulator and the functional
+accelerator path can treat them interchangeably.  The four policies evaluated
+in the paper (Sec. V-B) are provided:
+
+* :class:`NoMitigationPolicy` — weights are stored verbatim;
+* :class:`PeriodicInversionPolicy` — the classic duty-cycle balancing scheme:
+  every other write is stored inverted.  The hardware keeps a single toggle
+  flip-flop on the write path (``granularity="write"``), which in a DNN
+  accelerator aliases with the periodic reuse of the same weights; the
+  idealised per-location variant (``granularity="location"``) is also
+  provided for the Sec. III-B analysis;
+* :class:`BarrelShifterPolicy` — rotates each word by a write-counter driven
+  amount (register-file style NBTI balancing);
+* :class:`DnnLifePolicy` — the proposed scheme: every write is inverted or
+  not according to a TRBG-generated enable bit, optionally corrected by the
+  M-bit bias-balancing register.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.bias_balancer import BiasBalancingRegister
+from repro.core.controller import AgingMitigationController
+from repro.core.trbg import IdealTrbg, TrueRandomBitGenerator
+from repro.quantization.bitops import invert_words
+from repro.utils.rng import SeedLike
+from repro.utils.validation import check_positive_int
+
+
+class MitigationPolicy(abc.ABC):
+    """Common interface of all aging-mitigation policies."""
+
+    #: Short machine-readable identifier (used in reports and factories).
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def encode_block(self, words: np.ndarray, block_index: int,
+                     start_row: int = 0) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Encode one block of words before it is written to the memory.
+
+        Parameters
+        ----------
+        words:
+            Unsigned words of the block, in row order.
+        block_index:
+            Global index of the block within the current inference.
+        start_row:
+            First memory row the block will occupy (FIFO tile offset).
+
+        Returns
+        -------
+        (encoded_words, metadata)
+            ``metadata`` is whatever the matching decoder needs (per-word
+            enable bits, shift amounts, ...), or ``None``.
+        """
+
+    @abc.abstractmethod
+    def decode_block(self, encoded_words: np.ndarray,
+                     metadata: Optional[np.ndarray]) -> np.ndarray:
+        """Invert :meth:`encode_block` given the stored metadata."""
+
+    def reset(self) -> None:
+        """Reset all internal counters/state (start of a fresh lifetime)."""
+
+    @property
+    def metadata_bits_per_word(self) -> float:
+        """Storage overhead of the metadata, in bits per weight word."""
+        return 0.0
+
+    def describe(self) -> Dict[str, object]:
+        """Machine-readable description used in experiment reports."""
+        return {"policy": self.name}
+
+    @property
+    def display_name(self) -> str:
+        """Human-readable name used in tables."""
+        return self.name.replace("_", " ")
+
+
+class NoMitigationPolicy(MitigationPolicy):
+    """Baseline: weights are written unmodified."""
+
+    name = "none"
+
+    def encode_block(self, words: np.ndarray, block_index: int,
+                     start_row: int = 0) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        return np.asarray(words, dtype=np.uint64).reshape(-1).copy(), None
+
+    def decode_block(self, encoded_words: np.ndarray,
+                     metadata: Optional[np.ndarray]) -> np.ndarray:
+        return np.asarray(encoded_words, dtype=np.uint64).reshape(-1).copy()
+
+
+class PeriodicInversionPolicy(MitigationPolicy):
+    """Classic periodic-inversion duty-cycle balancing.
+
+    ``granularity="write"`` models the realistic hardware: a single toggle
+    bit flips after every word written to the memory, so the inversion state
+    a particular cell observes is a function of its position in the write
+    stream — and because the same stream repeats every inference, the state
+    aliases and the balancing breaks down (the failure mode the paper points
+    out for DNN workloads).
+
+    ``granularity="location"`` models an idealised scheme with one toggle bit
+    per memory row (every other write *to the same location* is inverted),
+    used for the Sec. III-B analysis.
+    """
+
+    def __init__(self, word_bits: int, granularity: str = "write"):
+        check_positive_int(word_bits, "word_bits")
+        if granularity not in ("write", "location"):
+            raise ValueError("granularity must be 'write' or 'location'")
+        self.word_bits = word_bits
+        self.granularity = granularity
+        self.name = ("inversion" if granularity == "write" else "inversion_per_location")
+        self._write_counter = 0
+        self._location_counters: Dict[int, int] = {}
+
+    def reset(self) -> None:
+        self._write_counter = 0
+        self._location_counters = {}
+
+    def _parities(self, num_words: int, start_row: int) -> np.ndarray:
+        if self.granularity == "write":
+            parities = (self._write_counter + np.arange(num_words)) % 2
+            self._write_counter += num_words
+            return parities.astype(np.uint8)
+        rows = start_row + np.arange(num_words)
+        parities = np.array([self._location_counters.get(int(row), 0) % 2 for row in rows],
+                            dtype=np.uint8)
+        for row in rows:
+            self._location_counters[int(row)] = self._location_counters.get(int(row), 0) + 1
+        return parities
+
+    def encode_block(self, words: np.ndarray, block_index: int,
+                     start_row: int = 0) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        flat = np.asarray(words, dtype=np.uint64).reshape(-1)
+        parities = self._parities(flat.size, start_row)
+        inverted = invert_words(flat, self.word_bits)
+        encoded = np.where(parities.astype(bool), inverted, flat)
+        return encoded, parities
+
+    def decode_block(self, encoded_words: np.ndarray,
+                     metadata: Optional[np.ndarray]) -> np.ndarray:
+        flat = np.asarray(encoded_words, dtype=np.uint64).reshape(-1)
+        parities = np.asarray(metadata, dtype=np.uint8).reshape(-1)
+        inverted = invert_words(flat, self.word_bits)
+        return np.where(parities.astype(bool), inverted, flat)
+
+    @property
+    def metadata_bits_per_word(self) -> float:
+        # The decoder regenerates the parity from its own mirrored counter in
+        # hardware; no stored metadata is required.
+        return 0.0
+
+    def describe(self) -> Dict[str, object]:
+        return {"policy": self.name, "granularity": self.granularity,
+                "word_bits": self.word_bits}
+
+
+class BarrelShifterPolicy(MitigationPolicy):
+    """Bit-rotation balancing (register-file style).
+
+    Every written word is rotated left by an amount taken from a free-running
+    write counter, so that over many writes each cell is exposed to bits from
+    every position of the word.  The scheme needs a barrel shifter on both the
+    write and read paths (the expensive part, see Table II) and only helps
+    when the *average* bit probability across positions is close to 0.5.
+    """
+
+    def __init__(self, word_bits: int):
+        check_positive_int(word_bits, "word_bits")
+        self.word_bits = word_bits
+        self.name = "barrel_shifter"
+        self._write_counter = 0
+
+    def reset(self) -> None:
+        self._write_counter = 0
+
+    def _shifts(self, num_words: int) -> np.ndarray:
+        shifts = (self._write_counter + np.arange(num_words)) % self.word_bits
+        self._write_counter += num_words
+        return shifts.astype(np.uint8)
+
+    def encode_block(self, words: np.ndarray, block_index: int,
+                     start_row: int = 0) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        flat = np.asarray(words, dtype=np.uint64).reshape(-1)
+        shifts = self._shifts(flat.size)
+        encoded = _rotate_left_per_word(flat, shifts, self.word_bits)
+        return encoded, shifts
+
+    def decode_block(self, encoded_words: np.ndarray,
+                     metadata: Optional[np.ndarray]) -> np.ndarray:
+        flat = np.asarray(encoded_words, dtype=np.uint64).reshape(-1)
+        shifts = np.asarray(metadata, dtype=np.uint8).reshape(-1)
+        inverse = (self.word_bits - shifts.astype(np.int64)) % self.word_bits
+        return _rotate_left_per_word(flat, inverse.astype(np.uint8), self.word_bits)
+
+    @property
+    def metadata_bits_per_word(self) -> float:
+        # As with inversion, the read-side shifter mirrors the write counter.
+        return 0.0
+
+    def describe(self) -> Dict[str, object]:
+        return {"policy": self.name, "word_bits": self.word_bits}
+
+
+class DnnLifePolicy(MitigationPolicy):
+    """The proposed DNN-Life aging-mitigation scheme (paper Sec. IV).
+
+    For every group of ``words_per_enable`` words written, the aging
+    mitigation controller draws a fresh enable bit from the TRBG (optionally
+    corrected by the M-bit bias-balancing register); the Write Data Encoder
+    stores the group inverted when the enable bit is 1 and the enable bit is
+    kept as metadata for the Read Data Decoder.
+    """
+
+    def __init__(self, word_bits: int,
+                 controller: Optional[AgingMitigationController] = None,
+                 trbg_bias: float = 0.5, bias_balancing: bool = True,
+                 balance_register_bits: int = 4, words_per_enable: int = 1,
+                 seed: SeedLike = None):
+        check_positive_int(word_bits, "word_bits")
+        check_positive_int(words_per_enable, "words_per_enable")
+        self.word_bits = word_bits
+        self.words_per_enable = words_per_enable
+        if controller is None:
+            balancer = (BiasBalancingRegister(balance_register_bits)
+                        if bias_balancing else None)
+            controller = AgingMitigationController(
+                trbg=IdealTrbg(bias=trbg_bias, seed=seed), bias_balancer=balancer)
+        self.controller = controller
+        self.name = "dnn_life"
+
+    def reset(self) -> None:
+        self.controller.reset()
+
+    def encode_block(self, words: np.ndarray, block_index: int,
+                     start_row: int = 0) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        flat = np.asarray(words, dtype=np.uint64).reshape(-1)
+        self.controller.new_data_block()
+        num_groups = (flat.size + self.words_per_enable - 1) // self.words_per_enable
+        group_enables = self.controller.enable_bits(num_groups)
+        enables = np.repeat(group_enables, self.words_per_enable)[:flat.size]
+        inverted = invert_words(flat, self.word_bits)
+        encoded = np.where(enables.astype(bool), inverted, flat)
+        return encoded, enables
+
+    def decode_block(self, encoded_words: np.ndarray,
+                     metadata: Optional[np.ndarray]) -> np.ndarray:
+        flat = np.asarray(encoded_words, dtype=np.uint64).reshape(-1)
+        enables = np.asarray(metadata, dtype=np.uint8).reshape(-1)
+        inverted = invert_words(flat, self.word_bits)
+        return np.where(enables.astype(bool), inverted, flat)
+
+    @property
+    def metadata_bits_per_word(self) -> float:
+        """One enable bit is stored per group of ``words_per_enable`` words."""
+        return 1.0 / self.words_per_enable
+
+    @property
+    def trbg_bias(self) -> float:
+        """Nominal bias of the underlying TRBG."""
+        return self.controller.trbg.nominal_bias
+
+    @property
+    def effective_bias(self) -> float:
+        """Long-run inversion probability after bias balancing."""
+        return self.controller.effective_bias
+
+    @property
+    def has_bias_balancing(self) -> bool:
+        """Whether the M-bit bias-balancing register is active."""
+        return self.controller.has_bias_balancing
+
+    def describe(self) -> Dict[str, object]:
+        description = {"policy": self.name, "word_bits": self.word_bits,
+                       "words_per_enable": self.words_per_enable}
+        description.update(self.controller.describe())
+        return description
+
+    @property
+    def display_name(self) -> str:
+        suffix = "with bias balancing" if self.has_bias_balancing else "without bias balancing"
+        return f"DNN-Life (bias={self.trbg_bias:g}, {suffix})"
+
+
+def _rotate_left_per_word(words: np.ndarray, shifts: np.ndarray, word_bits: int) -> np.ndarray:
+    """Rotate every word left by its own shift amount (vectorized)."""
+    values = np.asarray(words, dtype=np.uint64)
+    amounts = np.asarray(shifts, dtype=np.uint64) % np.uint64(word_bits)
+    mask = np.uint64((1 << word_bits) - 1) if word_bits < 64 else np.uint64(0xFFFFFFFFFFFFFFFF)
+    with np.errstate(over="ignore"):
+        left = (values << amounts) & mask
+        # Avoid shifting by the full word width (undefined): reduce modulo the
+        # width and mask out the contribution where the shift amount is zero.
+        right_shift = (np.uint64(word_bits) - amounts) % np.uint64(word_bits)
+        right = np.where(amounts > 0, (values & mask) >> right_shift, np.uint64(0))
+    return (left | right).astype(np.uint64)
+
+
+def make_policy(name: str, word_bits: int, seed: SeedLike = None, **kwargs) -> MitigationPolicy:
+    """Factory: build a policy from its registry name.
+
+    Supported names: ``none``, ``inversion``, ``inversion_per_location``,
+    ``barrel_shifter`` and ``dnn_life`` (extra keyword arguments are forwarded
+    to :class:`DnnLifePolicy`).
+    """
+    if name == "none":
+        return NoMitigationPolicy()
+    if name == "inversion":
+        return PeriodicInversionPolicy(word_bits, granularity="write")
+    if name == "inversion_per_location":
+        return PeriodicInversionPolicy(word_bits, granularity="location")
+    if name == "barrel_shifter":
+        return BarrelShifterPolicy(word_bits)
+    if name == "dnn_life":
+        # By default one enable bit covers one 64-bit memory transfer (the
+        # datapath width of the Table II WDE designs), which is what keeps the
+        # metadata overhead negligible.
+        kwargs.setdefault("words_per_enable", max(64 // word_bits, 1))
+        return DnnLifePolicy(word_bits, seed=seed, **kwargs)
+    raise ValueError(
+        f"unknown policy '{name}' (expected one of: none, inversion, "
+        f"inversion_per_location, barrel_shifter, dnn_life)")
+
+
+def default_policy_suite(word_bits: int, seed: SeedLike = 0) -> List[MitigationPolicy]:
+    """The six policy configurations compared in the paper's Fig. 9.
+
+    1. no mitigation; 2. periodic inversion; 3. barrel shifter;
+    4. DNN-Life with an ideal TRBG (bias 0.5);
+    5. DNN-Life with a biased TRBG (0.7) and no bias balancing;
+    6. DNN-Life with a biased TRBG (0.7) and the 4-bit bias-balancing register.
+    """
+    words_per_enable = max(64 // word_bits, 1)
+    return [
+        NoMitigationPolicy(),
+        PeriodicInversionPolicy(word_bits, granularity="write"),
+        BarrelShifterPolicy(word_bits),
+        DnnLifePolicy(word_bits, trbg_bias=0.5, bias_balancing=False,
+                      words_per_enable=words_per_enable, seed=seed),
+        DnnLifePolicy(word_bits, trbg_bias=0.7, bias_balancing=False,
+                      words_per_enable=words_per_enable, seed=seed),
+        DnnLifePolicy(word_bits, trbg_bias=0.7, bias_balancing=True,
+                      words_per_enable=words_per_enable, seed=seed),
+    ]

@@ -1,0 +1,136 @@
+"""True Random Bit Generator (TRBG) models.
+
+The DNN-Life aging controller draws one random bit per write to decide whether
+the data is stored inverted.  The paper realises the TRBG as a free-running
+5-stage ring oscillator sampled by the (much slower) system clock; practical
+TRBGs of this kind exhibit a *bias* — they emit '1' with a probability that
+can deviate from 0.5 — which is exactly the non-ideality the bias-balancing
+register of the controller compensates (the Bias = 0.7 experiments of Fig. 9).
+
+Two models are provided:
+
+* :class:`IdealTrbg` — i.i.d. Bernoulli bits with a configurable bias;
+* :class:`RingOscillatorTrbg` — a behavioural model of the ring-oscillator
+  entropy source: the oscillator phase advances by a nominal amount plus
+  accumulated jitter between samples, and the sampled bit is the oscillator
+  output level.  Its empirical bias is controlled by the oscillator duty
+  cycle, mimicking how device asymmetries bias real ring-oscillator TRBGs.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.utils.rng import RngMixin, SeedLike
+from repro.utils.validation import check_positive, check_probability
+
+
+class TrueRandomBitGenerator(abc.ABC):
+    """Interface shared by all TRBG models."""
+
+    @abc.abstractmethod
+    def bits(self, count: int) -> np.ndarray:
+        """Draw ``count`` bits as a ``uint8`` array of 0/1 values."""
+
+    def next_bit(self) -> int:
+        """Draw a single bit."""
+        return int(self.bits(1)[0])
+
+    @property
+    @abc.abstractmethod
+    def nominal_bias(self) -> float:
+        """Long-run probability of emitting a '1'."""
+
+
+class IdealTrbg(RngMixin, TrueRandomBitGenerator):
+    """I.i.d. Bernoulli bit source with configurable bias.
+
+    ``bias`` is the probability of producing a '1'.  ``bias=0.5`` is the ideal
+    case; the paper also evaluates ``bias=0.7`` to show the effect of a
+    non-ideal entropy source.
+    """
+
+    def __init__(self, bias: float = 0.5, seed: SeedLike = None):
+        check_probability(bias, "bias")
+        self._bias = float(bias)
+        self._init_rng(seed)
+        self._draws = 0
+
+    def bits(self, count: int) -> np.ndarray:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self._draws += count
+        return (self.rng.random(count) < self._bias).astype(np.uint8)
+
+    @property
+    def nominal_bias(self) -> float:
+        return self._bias
+
+    @property
+    def draws(self) -> int:
+        """Total number of bits drawn so far (used by energy accounting)."""
+        return self._draws
+
+
+class RingOscillatorTrbg(RngMixin, TrueRandomBitGenerator):
+    """Behavioural model of a sampled ring-oscillator TRBG.
+
+    A ``num_stages``-stage ring oscillator toggles with a period of
+    ``2 * num_stages`` gate delays.  Between two samples of the system clock
+    the oscillator advances by a large, jittery number of gate delays; the
+    sampled bit is '1' whenever the oscillator output is in the high phase of
+    its period.  ``duty_cycle`` sets the fraction of the period the output is
+    high, modelling rise/fall asymmetry — the physical origin of TRBG bias.
+    """
+
+    def __init__(self, num_stages: int = 5, cycles_per_sample: float = 1000.0,
+                 jitter_fraction: float = 0.02, duty_cycle: float = 0.5,
+                 seed: SeedLike = None):
+        if num_stages < 3 or num_stages % 2 == 0:
+            raise ValueError("a ring oscillator needs an odd number of stages >= 3")
+        check_positive(cycles_per_sample, "cycles_per_sample")
+        check_positive(jitter_fraction, "jitter_fraction")
+        check_probability(duty_cycle, "duty_cycle")
+        self.num_stages = num_stages
+        self.cycles_per_sample = float(cycles_per_sample)
+        self.jitter_fraction = float(jitter_fraction)
+        self.duty_cycle = float(duty_cycle)
+        self._phase = 0.0
+        self._init_rng(seed)
+
+    def bits(self, count: int) -> np.ndarray:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return np.zeros(0, dtype=np.uint8)
+        # Phase advance per sample, in oscillator periods, with accumulated
+        # Gaussian jitter (jitter grows with the number of elapsed cycles).
+        jitter_sigma = self.jitter_fraction * np.sqrt(self.cycles_per_sample)
+        advances = self.cycles_per_sample + self.rng.normal(0.0, jitter_sigma, size=count)
+        phases = (self._phase + np.cumsum(advances)) % 1.0
+        self._phase = float(phases[-1])
+        return (phases < self.duty_cycle).astype(np.uint8)
+
+    @property
+    def nominal_bias(self) -> float:
+        return self.duty_cycle
+
+    @property
+    def oscillation_period_gate_delays(self) -> int:
+        """Oscillation period expressed in gate delays (2 x stages)."""
+        return 2 * self.num_stages
+
+
+def make_trbg(bias: float = 0.5, seed: SeedLike = None,
+              model: str = "ideal") -> TrueRandomBitGenerator:
+    """Factory used by experiment configuration files.
+
+    ``model`` is ``"ideal"`` or ``"ring_oscillator"``.
+    """
+    if model == "ideal":
+        return IdealTrbg(bias=bias, seed=seed)
+    if model == "ring_oscillator":
+        return RingOscillatorTrbg(duty_cycle=bias, seed=seed)
+    raise ValueError(f"unknown TRBG model '{model}' (expected 'ideal' or 'ring_oscillator')")

@@ -1,0 +1,191 @@
+"""Ablation studies beyond the paper's figures.
+
+These quantify the design choices DESIGN.md calls out:
+
+* the size M of the bias-balancing register;
+* the TRBG bias the controller can tolerate;
+* the enable-signal granularity (one enable bit per word vs. per 64-bit
+  transfer) and its metadata overhead;
+* the inversion-policy granularity (per write-stream vs. idealised
+  per-location) — the aliasing effect discussed in Sec. III-B;
+* robustness of the conclusions to the device aging model (calibrated
+  power-law vs. reaction-diffusion backend);
+* the per-inference energy overhead of every policy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.accelerator.baseline import BaselineAccelerator
+from repro.aging.nbti import ReactionDiffusionSnmModel
+from repro.analysis.energy import energy_overhead_report
+from repro.core.framework import DnnLife
+from repro.core.policies import DnnLifePolicy, NoMitigationPolicy, PeriodicInversionPolicy
+from repro.core.simulation import AgingSimulator
+from repro.experiments.aging_runner import build_workload_stream
+from repro.experiments.common import ExperimentScale
+from repro.nn.models import build_model
+from repro.nn.weights import attach_synthetic_weights
+from repro.quantization.formats import get_format
+
+
+def _default_stream(network_name: str, data_format: str, quick: bool, seed: int):
+    scale = ExperimentScale.from_quick_flag(quick)
+    accelerator = BaselineAccelerator()
+    stream = build_workload_stream(network_name, accelerator, data_format, scale, seed=seed)
+    return stream, scale
+
+
+def run_bias_sweep(network_name: str = "alexnet", data_format: str = "int8_asymmetric",
+                   biases: Iterable[float] = (0.5, 0.6, 0.7, 0.8, 0.9),
+                   bias_balancing: bool = False, quick: bool = True,
+                   seed: int = 0) -> Dict[float, Dict[str, float]]:
+    """Mean/max SNM degradation of DNN-Life as a function of the TRBG bias."""
+    stream, scale = _default_stream(network_name, data_format, quick, seed)
+    word_bits = get_format(data_format).word_bits
+    results: Dict[float, Dict[str, float]] = {}
+    for bias in biases:
+        policy = DnnLifePolicy(word_bits, trbg_bias=bias,
+                               bias_balancing=bias_balancing, seed=seed)
+        result = AgingSimulator(stream, policy, num_inferences=scale.num_inferences,
+                                seed=seed).run()
+        degradation = result.snm_degradation()
+        results[float(bias)] = {
+            "mean_snm_degradation_percent": float(degradation.mean()),
+            "max_snm_degradation_percent": float(degradation.max()),
+        }
+    return results
+
+
+def run_balance_register_sweep(network_name: str = "alexnet",
+                               data_format: str = "int8_symmetric",
+                               register_bits: Iterable[int] = (1, 2, 4, 6, 8),
+                               trbg_bias: float = 0.7, quick: bool = True,
+                               seed: int = 0) -> Dict[int, Dict[str, float]]:
+    """Effect of the bias-balancing register size M on aging mitigation."""
+    stream, scale = _default_stream(network_name, data_format, quick, seed)
+    word_bits = get_format(data_format).word_bits
+    results: Dict[int, Dict[str, float]] = {}
+    for bits in register_bits:
+        policy = DnnLifePolicy(word_bits, trbg_bias=trbg_bias, bias_balancing=True,
+                               balance_register_bits=bits, seed=seed)
+        result = AgingSimulator(stream, policy, num_inferences=scale.num_inferences,
+                                seed=seed).run()
+        degradation = result.snm_degradation()
+        results[int(bits)] = {
+            "mean_snm_degradation_percent": float(degradation.mean()),
+            "max_snm_degradation_percent": float(degradation.max()),
+        }
+    return results
+
+
+def run_enable_granularity_sweep(network_name: str = "alexnet",
+                                 data_format: str = "int8_symmetric",
+                                 group_sizes: Iterable[int] = (1, 2, 8, 64),
+                                 quick: bool = True, seed: int = 0
+                                 ) -> Dict[int, Dict[str, float]]:
+    """Enable-bit granularity: aging quality vs. metadata overhead trade-off."""
+    stream, scale = _default_stream(network_name, data_format, quick, seed)
+    word_bits = get_format(data_format).word_bits
+    results: Dict[int, Dict[str, float]] = {}
+    for group in group_sizes:
+        policy = DnnLifePolicy(word_bits, trbg_bias=0.5, bias_balancing=True,
+                               words_per_enable=group, seed=seed)
+        result = AgingSimulator(stream, policy, num_inferences=scale.num_inferences,
+                                seed=seed).run()
+        degradation = result.snm_degradation()
+        results[int(group)] = {
+            "mean_snm_degradation_percent": float(degradation.mean()),
+            "max_snm_degradation_percent": float(degradation.max()),
+            "metadata_bits_per_word": policy.metadata_bits_per_word,
+        }
+    return results
+
+
+def run_inversion_granularity_comparison(network_name: str = "alexnet",
+                                         data_format: str = "float32",
+                                         quick: bool = True, seed: int = 0
+                                         ) -> Dict[str, Dict[str, float]]:
+    """Aliasing ablation: write-stream inversion vs. idealised per-location."""
+    stream, scale = _default_stream(network_name, data_format, quick, seed)
+    word_bits = get_format(data_format).word_bits
+    results: Dict[str, Dict[str, float]] = {}
+    for granularity in ("write", "location"):
+        policy = PeriodicInversionPolicy(word_bits, granularity=granularity)
+        result = AgingSimulator(stream, policy, num_inferences=scale.num_inferences,
+                                seed=seed).run()
+        degradation = result.snm_degradation()
+        results[granularity] = {
+            "mean_snm_degradation_percent": float(degradation.mean()),
+            "max_snm_degradation_percent": float(degradation.max()),
+            "percent_cells_at_worst": float((degradation >= degradation.max() - 0.5).mean() * 100),
+        }
+    return results
+
+
+def run_device_model_comparison(network_name: str = "custom_mnist",
+                                data_format: str = "int8_symmetric",
+                                quick: bool = True, seed: int = 0
+                                ) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Check that the policy ranking is independent of the device aging model."""
+    stream, scale = _default_stream(network_name, data_format, quick, seed)
+    word_bits = get_format(data_format).word_bits
+    models = {
+        "calibrated_power_law": None,  # default model
+        "reaction_diffusion": ReactionDiffusionSnmModel(),
+    }
+    policies = {
+        "none": lambda: NoMitigationPolicy(),
+        "dnn_life": lambda: DnnLifePolicy(word_bits, trbg_bias=0.5, seed=seed),
+    }
+    results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for model_name, model in models.items():
+        per_policy: Dict[str, Dict[str, float]] = {}
+        for policy_name, factory in policies.items():
+            result = AgingSimulator(stream, factory(), num_inferences=scale.num_inferences,
+                                    seed=seed, snm_model=model).run()
+            degradation = result.snm_degradation()
+            per_policy[policy_name] = {
+                "mean_snm_degradation_percent": float(degradation.mean()),
+                "max_snm_degradation_percent": float(degradation.max()),
+            }
+        results[model_name] = per_policy
+    return results
+
+
+def run_energy_overhead_ablation(network_name: str = "alexnet",
+                                 data_format: str = "int8_symmetric",
+                                 num_inferences: int = 10, seed: int = 0,
+                                 policies: Optional[Iterable[str]] = None
+                                 ) -> Dict[str, Dict[str, float]]:
+    """Per-inference mitigation energy overhead of every policy."""
+    network = attach_synthetic_weights(build_model(network_name), seed=seed)
+    framework = DnnLife(network, data_format=data_format,
+                        num_inferences=num_inferences, seed=seed)
+    return energy_overhead_report(framework, policies)
+
+
+def run_lifetime_improvement(network_name: str = "alexnet",
+                             data_format: str = "float32",
+                             max_degradation_percent: float = 15.0,
+                             quick: bool = True, seed: int = 0) -> Dict[str, float]:
+    """Lifetime extension of DNN-Life over no mitigation (extension metric)."""
+    from repro.aging.lifetime import LifetimeEstimator
+
+    stream, scale = _default_stream(network_name, data_format, quick, seed)
+    word_bits = get_format(data_format).word_bits
+    baseline = AgingSimulator(stream, NoMitigationPolicy(),
+                              num_inferences=scale.num_inferences, seed=seed).run()
+    mitigated = AgingSimulator(stream, DnnLifePolicy(word_bits, seed=seed),
+                               num_inferences=scale.num_inferences, seed=seed).run()
+    estimator = LifetimeEstimator(max_degradation_percent=max_degradation_percent)
+    return {
+        "baseline_lifetime_years": estimator.memory_lifetime_years(baseline.duty_cycles),
+        "dnn_life_lifetime_years": estimator.memory_lifetime_years(mitigated.duty_cycles),
+        "lifetime_improvement_factor": estimator.lifetime_improvement(
+            baseline.duty_cycles, mitigated.duty_cycles),
+        "max_degradation_threshold_percent": max_degradation_percent,
+    }

@@ -1,0 +1,64 @@
+"""Shared runner for the aging experiments (Figs. 9 and 11)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.accelerator.scheduler import CachedWeightStream
+from repro.aging.snm import SnmDegradationModel, default_degradation_bins, default_snm_model
+from repro.core.policies import MitigationPolicy
+from repro.core.simulation import AgingSimulator
+from repro.experiments.common import ExperimentScale, reduce_network
+from repro.nn.models import build_model
+from repro.nn.weights import attach_synthetic_weights
+from repro.utils.tables import format_histogram
+
+
+def evaluate_policies_on_stream(stream, policies: Iterable[MitigationPolicy],
+                                num_inferences: int, seed: int = 0,
+                                snm_model: Optional[SnmDegradationModel] = None
+                                ) -> Dict[str, Dict[str, object]]:
+    """Evaluate each policy on a (cached) weight stream.
+
+    Returns a mapping from policy display name to its histogram and summary.
+    """
+    snm_model = snm_model or default_snm_model()
+    bins = default_degradation_bins(snm_model)
+    results: Dict[str, Dict[str, object]] = {}
+    for policy in policies:
+        simulator = AgingSimulator(stream, policy, num_inferences=num_inferences,
+                                   seed=seed, snm_model=snm_model)
+        result = simulator.run()
+        percentages, edges, labels = result.histogram(bins)
+        results[policy.display_name] = {
+            "policy": policy.name,
+            "policy_config": policy.describe(),
+            "summary": result.summary(),
+            "histogram_percent": np.asarray(percentages).tolist(),
+            "histogram_bin_edges": np.asarray(edges).tolist(),
+            "histogram_bin_labels": labels,
+        }
+    return results
+
+
+def build_workload_stream(network_name: str, accelerator, data_format: str,
+                          scale: ExperimentScale, seed: int = 0) -> CachedWeightStream:
+    """Build the (possibly reduced) cached weight stream for one workload."""
+    network = attach_synthetic_weights(build_model(network_name), seed=seed)
+    network = reduce_network(network, scale.max_weights_per_layer, seed=seed)
+    scheduler = accelerator.build_scheduler(network, data_format)
+    return CachedWeightStream(scheduler)
+
+
+def render_policy_histograms(results: Dict[str, Dict[str, object]], title: str) -> str:
+    """Render the Fig. 9 / Fig. 11 style histograms of one panel."""
+    sections: List[str] = [title]
+    for label, entry in results.items():
+        sections.append(format_histogram(
+            entry["histogram_bin_labels"], entry["histogram_percent"],
+            title=f"-- {label} "
+                  f"(mean SNM deg. {entry['summary']['mean_snm_degradation_percent']:.2f}%)",
+        ))
+    return "\n\n".join(sections)

@@ -1,0 +1,67 @@
+"""Fig. 1 — motivation data.
+
+(a) model size versus top-1/top-5 ImageNet accuracy for AlexNet, GoogLeNet,
+    VGG-16 and ResNet-152 (sizes are computed from our architecture
+    definitions at 32-bit weights; accuracies are the published values);
+(b) access-energy comparison of a 32-bit access to a 32 KB on-chip SRAM
+    versus off-chip DRAM.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.memory.energy import dram_access_energy, sram_access_energy
+from repro.nn.models import PUBLISHED_ACCURACY, build_model
+from repro.utils.tables import AsciiTable
+from repro.utils.units import KB
+
+#: The networks shown in Fig. 1a, in plot order.
+FIG1_NETWORKS = ("alexnet", "googlenet", "vgg16", "resnet152")
+
+
+def run_fig1_model_comparison() -> List[Dict[str, float]]:
+    """Fig. 1a: one row per network with size and published accuracy."""
+    rows = []
+    for name in FIG1_NETWORKS:
+        network = build_model(name)
+        top1, top5 = PUBLISHED_ACCURACY[name]
+        rows.append({
+            "network": name,
+            "parameters_millions": network.parameter_count / 1e6,
+            "size_mb_float32": network.model_size_mb(4.0),
+            "size_mb_int8": network.model_size_mb(1.0),
+            "top1_accuracy_percent": top1,
+            "top5_accuracy_percent": top5,
+        })
+    return rows
+
+
+def run_fig1_access_energy() -> Dict[str, float]:
+    """Fig. 1b: 32-bit access energy of a 32 KB SRAM versus DRAM (picojoules)."""
+    sram = sram_access_energy(32 * KB, access_bits=32)
+    dram = dram_access_energy(access_bits=32)
+    return {
+        "sram_32kb_32bit_access_pj": sram * 1e12,
+        "dram_32bit_access_pj": dram * 1e12,
+        "dram_to_sram_ratio": dram / sram,
+    }
+
+
+def render_fig1() -> str:
+    """ASCII rendering of both panels of Fig. 1."""
+    table = AsciiTable(
+        ["network", "params [M]", "size [MB]", "top-1 [%]", "top-5 [%]"],
+        title="Fig. 1a — DNN size and accuracy comparison", precision=1,
+    )
+    for row in run_fig1_model_comparison():
+        table.add_row([row["network"], row["parameters_millions"], row["size_mb_float32"],
+                       row["top1_accuracy_percent"], row["top5_accuracy_percent"]])
+    energy = run_fig1_access_energy()
+    energy_table = AsciiTable(
+        ["memory", "32-bit access energy [pJ]"],
+        title="Fig. 1b — access energy comparison", precision=1,
+    )
+    energy_table.add_row(["32 KB on-chip SRAM", energy["sram_32kb_32bit_access_pj"]])
+    energy_table.add_row(["off-chip DRAM", energy["dram_32bit_access_pj"]])
+    return table.render() + "\n\n" + energy_table.render()

@@ -1,0 +1,91 @@
+"""Fig. 11 — SNM degradation of the TPU-like NPU's weight FIFO when running
+AlexNet, VGG-16 and the custom MNIST network (all quantized to 8-bit with
+symmetric range-linear quantization), under four mitigation configurations:
+no mitigation, periodic inversion, barrel shifter and DNN-Life with bias
+balancing (biased TRBG, 0.7)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.accelerator.tpu import TpuLikeNpu
+from repro.core.policies import (
+    BarrelShifterPolicy,
+    DnnLifePolicy,
+    NoMitigationPolicy,
+    PeriodicInversionPolicy,
+)
+from repro.experiments.aging_runner import (
+    build_workload_stream,
+    evaluate_policies_on_stream,
+    render_policy_histograms,
+)
+from repro.experiments.common import ExperimentScale
+from repro.quantization.formats import get_format
+
+#: Networks evaluated on the TPU-like NPU in Fig. 11.
+FIG11_NETWORKS = ("alexnet", "vgg16", "custom_mnist")
+#: Data format used throughout Fig. 11.
+FIG11_FORMAT = "int8_symmetric"
+
+
+def fig11_policy_suite(word_bits: int, seed: int = 0):
+    """The four policy configurations compared in Fig. 11."""
+    return [
+        NoMitigationPolicy(),
+        PeriodicInversionPolicy(word_bits, granularity="write"),
+        BarrelShifterPolicy(word_bits),
+        DnnLifePolicy(word_bits, trbg_bias=0.7, bias_balancing=True,
+                      words_per_enable=max(64 // word_bits, 1), seed=seed),
+    ]
+
+
+def run_fig11_tpu_networks(networks: Optional[Iterable[str]] = None,
+                           quick: bool = True, seed: int = 0
+                           ) -> Dict[str, Dict[str, Dict[str, object]]]:
+    """Run the full Fig. 11 grid: network -> policy -> histogram/summary."""
+    scale = ExperimentScale.from_quick_flag(quick)
+    networks = list(networks) if networks is not None else list(FIG11_NETWORKS)
+    accelerator = TpuLikeNpu()
+    word_bits = get_format(FIG11_FORMAT).word_bits
+    results: Dict[str, Dict[str, Dict[str, object]]] = {}
+    for network_name in networks:
+        stream = build_workload_stream(network_name, accelerator, FIG11_FORMAT, scale, seed=seed)
+        policies = fig11_policy_suite(word_bits, seed=seed)
+        results[network_name] = evaluate_policies_on_stream(
+            stream, policies, num_inferences=scale.num_inferences, seed=seed)
+    return results
+
+
+def render_fig11(quick: bool = True, seed: int = 0) -> str:
+    """ASCII rendering of every Fig. 11 panel."""
+    sections = []
+    for network_name, per_policy in run_fig11_tpu_networks(quick=quick, seed=seed).items():
+        sections.append(render_policy_histograms(
+            per_policy,
+            title=(f"=== Fig. 11 — TPU-like NPU, {network_name}, "
+                   f"format: {FIG11_FORMAT} ===")))
+    return "\n\n".join(sections)
+
+
+def fig11_headline_claims(results: Dict[str, Dict[str, Dict[str, object]]]) -> Dict[str, object]:
+    """The paper's Fig. 11 observations, quantified.
+
+    The classic inversion scheme looks adequate for the large networks but
+    collapses on the small custom MNIST network (whose weights occupy fewer
+    FIFO tiles than one rotation), while DNN-Life with bias balancing achieves
+    near-minimal degradation for every network.
+    """
+    claims: Dict[str, object] = {}
+    for network_name, per_policy in results.items():
+        means = {label: entry["summary"]["mean_snm_degradation_percent"]
+                 for label, entry in per_policy.items()}
+        dnn_life_label = [label for label in means if label.startswith("DNN-Life")][0]
+        claims[network_name] = {
+            "no_mitigation_mean": means["none"],
+            "inversion_mean": means["inversion"],
+            "barrel_shifter_mean": means["barrel shifter"],
+            "dnn_life_mean": means[dnn_life_label],
+            "dnn_life_is_best": means[dnn_life_label] <= min(means.values()) + 1e-9,
+        }
+    return claims

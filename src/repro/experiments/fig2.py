@@ -1,0 +1,50 @@
+"""Fig. 2b — SNM degradation after 7 years as a function of the cell duty-cycle.
+
+The paper's Fig. 2b (after Kothawade et al.) shows the characteristic U-shaped
+dependence: minimal degradation at a 50% duty-cycle, maximal at 0%/100%.  This
+driver sweeps the configured device model over the full duty-cycle range; the
+anchor values are the ones stated in Sec. V-A (10.82% at 50%, 26.12% at the
+extremes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.aging.snm import SnmDegradationModel, default_snm_model
+from repro.utils.tables import format_series
+
+
+def run_fig2_snm_curve(num_points: int = 21, years: float = 7.0,
+                       model: Optional[SnmDegradationModel] = None) -> List[Dict[str, float]]:
+    """Sweep duty-cycle 0..1 and report SNM degradation after ``years`` years.
+
+    The x-axis is reported both as duty-cycle (fraction of time storing '1')
+    and as the paper's "percentage of time that the cell stores zero".
+    """
+    model = model or default_snm_model()
+    duty = np.linspace(0.0, 1.0, num_points)
+    degradation = model.degradation_percent(duty, years)
+    return [
+        {
+            "duty_cycle": float(d),
+            "percent_time_storing_zero": float((1.0 - d) * 100.0),
+            "snm_degradation_percent": float(deg),
+        }
+        for d, deg in zip(duty, degradation)
+    ]
+
+
+def render_fig2(num_points: int = 11) -> str:
+    """ASCII rendering of the Fig. 2b curve."""
+    rows = run_fig2_snm_curve(num_points)
+    return format_series(
+        [row["percent_time_storing_zero"] for row in rows],
+        [row["snm_degradation_percent"] for row in rows],
+        x_name="time storing zero [%]",
+        y_name="SNM degradation after 7 years [%]",
+        title="Fig. 2b — SNM degradation vs. duty-cycle",
+        precision=2,
+    )

@@ -1,0 +1,52 @@
+"""Fig. 6 — distribution of weight bits of AlexNet and VGG-16 under three
+data representation formats (float32, int8 symmetric, int8 asymmetric)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.analysis.bit_distribution import (
+    BitDistributionResult,
+    analyze_network_bit_distribution,
+    bit_distribution_table,
+)
+from repro.experiments.common import ExperimentScale
+from repro.nn.models import build_model
+from repro.nn.weights import attach_synthetic_weights
+from repro.quantization.formats import PAPER_FORMATS
+
+#: Networks analysed in Fig. 6.
+FIG6_NETWORKS = ("alexnet", "vgg16")
+
+
+def run_fig6_bit_distributions(networks: Iterable[str] = FIG6_NETWORKS,
+                               data_formats: Optional[Iterable[str]] = None,
+                               quick: bool = True, seed: int = 0
+                               ) -> Dict[str, Dict[str, BitDistributionResult]]:
+    """Bit probabilities for every (network, format) pair of Fig. 6."""
+    scale = ExperimentScale.from_quick_flag(quick)
+    data_formats = list(data_formats) if data_formats is not None else list(PAPER_FORMATS)
+    results: Dict[str, Dict[str, BitDistributionResult]] = {}
+    for name in networks:
+        network = attach_synthetic_weights(build_model(name), seed=seed)
+        results[name] = analyze_network_bit_distribution(
+            network, data_formats, max_weights_per_layer=scale.max_weights_per_layer)
+    return results
+
+
+def render_fig6(quick: bool = True, seed: int = 0) -> str:
+    """ASCII rendering of all Fig. 6 panels."""
+    sections = []
+    for name, per_format in run_fig6_bit_distributions(quick=quick, seed=seed).items():
+        sections.append(bit_distribution_table(per_format).render())
+    return "\n\n".join(sections)
+
+
+def fig6_observations(quick: bool = True, seed: int = 0) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """The paper's three Sec. III-A observations quantified per network/format."""
+    from repro.analysis.bit_distribution import format_balance_summary
+
+    return {
+        name: format_balance_summary(per_format)
+        for name, per_format in run_fig6_bit_distributions(quick=quick, seed=seed).items()
+    }

@@ -1,0 +1,66 @@
+"""Fig. 7 — the probabilistic duty-cycle model (Eq. 1) for K = 20 and K = 160.
+
+The paper's example case study (Sec. III-B): with K = 20 blocks and a balanced
+bit distribution (rho = 0.5), more than 10% of cells are expected to see a
+duty-cycle at most 0.3 (or at least 0.7); raising the effective K to 160
+(e.g. seven additional shift positions) collapses those tail probabilities.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.aging.probabilistic import (
+    duty_cycle_tail_probability,
+    fig7_sweep,
+    probability_at_least_n_cells,
+)
+from repro.utils.tables import format_series
+
+#: The two K values shown in Fig. 7.
+FIG7_K_VALUES = (20, 160)
+#: Memory size of the example case study (I x J cells).
+FIG7_NUM_CELLS = 8192
+
+
+def run_fig7_probabilistic_model(rho: float = 0.5) -> Dict[int, List[Dict[str, float]]]:
+    """Eq. (1) sweeps for both K values of Fig. 7."""
+    results: Dict[int, List[Dict[str, float]]] = {}
+    for num_blocks in FIG7_K_VALUES:
+        b_over_k, probabilities = fig7_sweep(num_blocks, rho)
+        results[num_blocks] = [
+            {"b_over_k": float(x), "probability": float(p)}
+            for x, p in zip(b_over_k, probabilities)
+        ]
+    return results
+
+
+def run_fig7_case_study(rho: float = 0.5) -> Dict[str, float]:
+    """The quantitative claims the paper makes about Fig. 7."""
+    p_k20_b6 = duty_cycle_tail_probability(20, rho, 6)      # b/K = 0.3
+    p_k160_b48 = duty_cycle_tail_probability(160, rho, 48)  # b/K = 0.3
+    return {
+        "P(duty<=0.3 or >=0.7) @ K=20": p_k20_b6,
+        "P(duty<=0.3 or >=0.7) @ K=160": p_k160_b48,
+        "expected_unbalanced_cells_K20": p_k20_b6 * FIG7_NUM_CELLS,
+        "expected_unbalanced_cells_K160": p_k160_b48 * FIG7_NUM_CELLS,
+        "P(at least 100 cells unbalanced) @ K=20": probability_at_least_n_cells(
+            FIG7_NUM_CELLS, p_k20_b6, 100),
+        "P(at least 100 cells unbalanced) @ K=160": probability_at_least_n_cells(
+            FIG7_NUM_CELLS, p_k160_b48, 100),
+    }
+
+
+def render_fig7(rho: float = 0.5) -> str:
+    """ASCII rendering of both Fig. 7 panels."""
+    sections = []
+    for num_blocks, rows in run_fig7_probabilistic_model(rho).items():
+        sections.append(format_series(
+            [row["b_over_k"] for row in rows],
+            [row["probability"] for row in rows],
+            x_name="b/K",
+            y_name="P(duty <= b/K or >= 1-b/K)",
+            title=f"Fig. 7 — probabilistic model, K = {num_blocks}, rho = {rho}",
+            precision=4,
+        ))
+    return "\n\n".join(sections)

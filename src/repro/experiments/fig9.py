@@ -1,0 +1,77 @@
+"""Fig. 9 — SNM degradation of the baseline accelerator's weight memory when
+running AlexNet, for three data formats and six mitigation configurations.
+
+The six configurations are: no mitigation, periodic inversion, barrel shifter,
+DNN-Life with an ideal TRBG (bias 0.5), DNN-Life with a biased TRBG (0.7)
+without bias balancing, and DNN-Life with a biased TRBG (0.7) with the 4-bit
+bias-balancing register — exactly the columns of the paper's Fig. 9.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.accelerator.baseline import BaselineAccelerator
+from repro.core.policies import default_policy_suite
+from repro.experiments.aging_runner import (
+    build_workload_stream,
+    evaluate_policies_on_stream,
+    render_policy_histograms,
+)
+from repro.experiments.common import ExperimentScale
+from repro.quantization.formats import PAPER_FORMATS, get_format
+
+#: Network evaluated on the baseline accelerator in Fig. 9.
+FIG9_NETWORK = "alexnet"
+
+
+def run_fig9_baseline_alexnet(data_formats: Optional[Iterable[str]] = None,
+                              quick: bool = True, seed: int = 0,
+                              network_name: str = FIG9_NETWORK
+                              ) -> Dict[str, Dict[str, Dict[str, object]]]:
+    """Run the full Fig. 9 grid: format -> policy -> histogram/summary."""
+    scale = ExperimentScale.from_quick_flag(quick)
+    data_formats = list(data_formats) if data_formats is not None else list(PAPER_FORMATS)
+    accelerator = BaselineAccelerator()
+    results: Dict[str, Dict[str, Dict[str, object]]] = {}
+    for format_name in data_formats:
+        stream = build_workload_stream(network_name, accelerator, format_name, scale, seed=seed)
+        policies = default_policy_suite(get_format(format_name).word_bits, seed=seed)
+        results[format_name] = evaluate_policies_on_stream(
+            stream, policies, num_inferences=scale.num_inferences, seed=seed)
+    return results
+
+
+def render_fig9(quick: bool = True, seed: int = 0) -> str:
+    """ASCII rendering of every Fig. 9 panel."""
+    sections = []
+    for format_name, per_policy in run_fig9_baseline_alexnet(quick=quick, seed=seed).items():
+        sections.append(render_policy_histograms(
+            per_policy,
+            title=(f"=== Fig. 9 — baseline accelerator, {FIG9_NETWORK}, "
+                   f"format: {format_name} ===")))
+    return "\n\n".join(sections)
+
+
+def fig9_headline_claims(results: Dict[str, Dict[str, Dict[str, object]]]) -> Dict[str, object]:
+    """Quantify the paper's headline observations on a Fig. 9 result set.
+
+    For every data format: DNN-Life with bias balancing should give the lowest
+    mean degradation, and the biased-TRBG-without-balancing configuration
+    should be worse than the balanced one.
+    """
+    claims: Dict[str, object] = {}
+    for format_name, per_policy in results.items():
+        means = {label: entry["summary"]["mean_snm_degradation_percent"]
+                 for label, entry in per_policy.items()}
+        balanced = [label for label in means if "with bias balancing" in label][0]
+        unbalanced = [label for label in means
+                      if "bias=0.7, without bias balancing" in label][0]
+        claims[format_name] = {
+            "best_policy": min(means, key=means.get),
+            "dnn_life_balanced_mean": means[balanced],
+            "dnn_life_unbalanced_mean": means[unbalanced],
+            "no_mitigation_mean": means["none"],
+            "bias_balancing_helps": means[balanced] <= means[unbalanced],
+        }
+    return claims

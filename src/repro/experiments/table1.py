@@ -1,0 +1,36 @@
+"""Table I — hardware configurations and settings used in the evaluation."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.accelerator.config import TABLE_I_CONFIGS, TABLE_I_NETWORKS
+from repro.utils.tables import AsciiTable
+
+
+def run_table1_configurations() -> List[Dict[str, object]]:
+    """One row per accelerator configuration of Table I."""
+    rows = []
+    for name, config in TABLE_I_CONFIGS.items():
+        description = config.describe()
+        description["networks"] = list(TABLE_I_NETWORKS[name])
+        rows.append(description)
+    return rows
+
+
+def render_table1() -> str:
+    """ASCII rendering of Table I."""
+    table = AsciiTable(
+        ["configuration", "weight mem [KB]", "activation mem [MB]", "PE array",
+         "f (parallel filters)", "FIFO tiles", "networks"],
+        title="Table I — hardware configurations and settings used in evaluation",
+        precision=0,
+    )
+    for row in run_table1_configurations():
+        pe_array = f"{row['num_pes']} PEs x {row['multipliers_per_pe']} mult"
+        table.add_row([
+            row["name"], row["weight_memory_KB"], row["activation_memory_MB"],
+            pe_array, row["parallel_filters_f"], row["weight_fifo_depth_tiles"],
+            "+".join(row["networks"]),
+        ])
+    return table.render()

@@ -1,0 +1,49 @@
+"""Hardware cost substrate (Table II).
+
+The paper synthesises three 64-bit Write Data Encoders (barrel-shifter based,
+inversion based, and the proposed design with its aging-mitigation controller)
+for TSMC 65 nm with Cadence Genus.  That flow is not available offline, so
+this package provides a *structural* cost model instead:
+
+* a 65 nm-class standard-cell :class:`~repro.hwsynth.technology.TechnologyLibrary`
+  (area, delay, switching energy and leakage per cell type);
+* a :class:`~repro.hwsynth.netlist.Netlist` abstraction composing cell counts
+  and logic depth;
+* generators for the building blocks the designs need (XOR arrays, crossbar
+  barrel shifters, ring oscillators, counters) in
+  :mod:`repro.hwsynth.components`;
+* the three WDE designs themselves in :mod:`repro.hwsynth.wde_designs` and a
+  small synthesis-report layer in :mod:`repro.hwsynth.synthesis`.
+
+The model preserves the *relative* costs the paper reports (the barrel
+shifter is one to two orders of magnitude more expensive than the XOR-based
+designs; the proposed WDE adds only a small controller on top of the
+inversion WDE) — see EXPERIMENTS.md for the quantitative comparison against
+Table II.
+"""
+
+from repro.hwsynth.netlist import CellType, Netlist
+from repro.hwsynth.synthesis import SynthesisReport, synthesize, table2_report
+from repro.hwsynth.technology import TechnologyLibrary, tsmc65_like_library
+from repro.hwsynth.wde_designs import (
+    WdeDesign,
+    barrel_shifter_wde,
+    inversion_wde,
+    proposed_dnn_life_wde,
+    wde_for_policy,
+)
+
+__all__ = [
+    "CellType",
+    "Netlist",
+    "SynthesisReport",
+    "synthesize",
+    "table2_report",
+    "TechnologyLibrary",
+    "tsmc65_like_library",
+    "WdeDesign",
+    "barrel_shifter_wde",
+    "inversion_wde",
+    "proposed_dnn_life_wde",
+    "wde_for_policy",
+]

@@ -1,0 +1,106 @@
+"""Structural generators for the building blocks of the WDE designs."""
+
+from __future__ import annotations
+
+import math
+
+from repro.hwsynth.netlist import Netlist
+from repro.hwsynth.technology import CellKind
+from repro.utils.validation import check_positive_int
+
+
+def xor_inversion_array(width: int, name: str = "xor_array") -> Netlist:
+    """A rank of ``width`` XOR gates sharing one enable input.
+
+    This is the inversion datapath of both the classic inversion WDE and the
+    proposed design: each data bit is XOR-ed with the (buffered) enable
+    signal.  One buffer per 8 bits is added for the enable fan-out.
+    """
+    check_positive_int(width, "width")
+    netlist = Netlist(name=name)
+    netlist.add_cells(CellKind.XOR2, width)
+    netlist.add_cells(CellKind.BUF, max(width // 8, 1))
+    netlist.set_critical_path([CellKind.BUF, CellKind.XOR2])
+    return netlist
+
+
+def crossbar_barrel_shifter(width: int, name: str = "barrel_shifter") -> Netlist:
+    """A single-stage (crossbar) barrel rotator of ``width`` bits.
+
+    Every output bit selects among all ``width`` input bits through a one-hot
+    column of transmission gates, plus a shift-amount decoder.  This is the
+    classical barrel-shifter structure whose area grows with ``width**2`` —
+    the reason Table II reports it as by far the most expensive WDE.
+    """
+    check_positive_int(width, "width")
+    netlist = Netlist(name=name, routing_overhead=0.35, wire_delay_per_stage_ps=12.0)
+    netlist.add_cells(CellKind.TGATE, width * width)
+    # One-hot decoder for the shift amount (width AND gates over log2(width)
+    # buffered select lines).
+    select_bits = max(int(math.ceil(math.log2(width))), 1)
+    netlist.add_cells(CellKind.AND2, width * max(select_bits - 1, 1))
+    netlist.add_cells(CellKind.BUF, width)
+    netlist.add_cells(CellKind.INV, select_bits)
+    # Critical path: decode the shift amount, drive the long select wires,
+    # traverse the transmission gate and the output buffer.
+    netlist.set_critical_path(
+        [CellKind.INV] + [CellKind.AND2] * max(select_bits - 1, 1)
+        + [CellKind.BUF, CellKind.TGATE, CellKind.BUF])
+    return netlist
+
+
+def logarithmic_barrel_shifter(width: int, name: str = "log_shifter") -> Netlist:
+    """A log2(width)-stage mux-based rotator (cheaper alternative structure).
+
+    Provided for the design-space ablation: it trades the crossbar's area for
+    logic depth.
+    """
+    check_positive_int(width, "width")
+    stages = max(int(math.ceil(math.log2(width))), 1)
+    netlist = Netlist(name=name, routing_overhead=0.2)
+    netlist.add_cells(CellKind.MUX2, width * stages)
+    netlist.add_cells(CellKind.BUF, stages)
+    netlist.set_critical_path([CellKind.MUX2] * stages + [CellKind.BUF])
+    return netlist
+
+
+def ring_oscillator_trbg(stages: int = 5, name: str = "trbg") -> Netlist:
+    """A ``stages``-stage ring oscillator sampled by a flip-flop (Sec. V-C)."""
+    check_positive_int(stages, "stages")
+    if stages % 2 == 0:
+        raise ValueError("a ring oscillator needs an odd number of inverter stages")
+    netlist = Netlist(name=name, activity_factor=0.5)
+    netlist.add_cells(CellKind.INV, stages)
+    netlist.add_cells(CellKind.DFF, 1)       # sampling flop
+    netlist.add_cells(CellKind.NAND2, 1)     # enable gate
+    netlist.set_critical_path([CellKind.DFF])
+    return netlist
+
+
+def binary_counter(bits: int, name: str = "counter") -> Netlist:
+    """An M-bit synchronous counter (the bias-balancing register)."""
+    check_positive_int(bits, "bits")
+    netlist = Netlist(name=name)
+    netlist.add_cells(CellKind.DFF, bits)
+    netlist.add_cells(CellKind.HALF_ADDER, bits)
+    netlist.set_critical_path([CellKind.HALF_ADDER, CellKind.DFF])
+    return netlist
+
+
+def pipeline_register(width: int, name: str = "pipeline_register") -> Netlist:
+    """An output register rank of ``width`` flip-flops."""
+    check_positive_int(width, "width")
+    netlist = Netlist(name=name)
+    netlist.add_cells(CellKind.DFF, width)
+    netlist.set_critical_path([CellKind.DFF])
+    return netlist
+
+
+def enable_control_logic(name: str = "enable_control") -> Netlist:
+    """Glue logic combining TRBG output, balancing phase and control signals."""
+    netlist = Netlist(name=name)
+    netlist.add_cells(CellKind.XOR2, 1)   # TRBG output xor balancing phase
+    netlist.add_cells(CellKind.AND2, 1)   # gated by the write-valid signal
+    netlist.add_cells(CellKind.DFF, 1)    # registered enable / metadata bit
+    netlist.set_critical_path([CellKind.XOR2, CellKind.AND2, CellKind.DFF])
+    return netlist

@@ -1,0 +1,154 @@
+"""Netlist abstraction: cell counts + logic depth + wiring overhead.
+
+A :class:`Netlist` is a bag of standard cells plus the information needed to
+estimate the three quantities Table II reports:
+
+* **area** — sum of cell areas times a routing overhead factor;
+* **delay** — the critical path, expressed as an ordered list of cell kinds
+  traversed from input to output, plus a wire-delay allowance per stage;
+* **power** — dynamic power (switching energy x per-group activity x clock
+  frequency) plus leakage.
+
+Cells are added in *groups*; each group carries its own switching-activity
+factor, so an always-toggling ring oscillator and a rarely-toggling datapath
+can coexist in one netlist without distorting each other's power.  Netlists
+compose with ``+`` (parallel composition: areas and power add, the critical
+path is the longer one) and :meth:`cascade` (series composition: critical
+paths concatenate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.hwsynth.technology import CellKind, TechnologyLibrary
+
+#: Backwards-compatible alias used throughout the package's public API.
+CellType = CellKind
+
+#: Default fraction of cells toggling per cycle for datapath logic.
+DEFAULT_ACTIVITY = 0.15
+
+
+@dataclass(frozen=True)
+class CellGroup:
+    """A homogeneous group of cells sharing one switching-activity factor."""
+
+    kind: CellKind
+    count: int
+    activity: float
+
+
+@dataclass
+class Netlist:
+    """A structural description sufficient for area/power/delay estimation."""
+
+    name: str
+    cell_groups: List[CellGroup] = field(default_factory=list)
+    critical_path: List[CellKind] = field(default_factory=list)
+    #: Fractional area added for routing/wiring (0.1 = 10%).
+    routing_overhead: float = 0.10
+    #: Additional wire delay per critical-path stage, in ps.
+    wire_delay_per_stage_ps: float = 5.0
+    #: Activity factor applied to cells added without an explicit one.
+    activity_factor: float = DEFAULT_ACTIVITY
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    def add_cells(self, kind: CellKind, count: int,
+                  activity: Optional[float] = None) -> "Netlist":
+        """Add ``count`` cells of the given kind (returns self for chaining)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return self
+        self.cell_groups.append(CellGroup(kind=kind, count=int(count),
+                                          activity=self.activity_factor
+                                          if activity is None else float(activity)))
+        return self
+
+    def set_critical_path(self, path: List[CellKind]) -> "Netlist":
+        """Define the ordered list of cells on the critical path."""
+        self.critical_path = list(path)
+        return self
+
+    def __add__(self, other: "Netlist") -> "Netlist":
+        """Parallel composition: cells add, the longer critical path wins."""
+        merged = Netlist(name=f"{self.name}+{other.name}",
+                         routing_overhead=max(self.routing_overhead, other.routing_overhead),
+                         wire_delay_per_stage_ps=max(self.wire_delay_per_stage_ps,
+                                                     other.wire_delay_per_stage_ps))
+        merged.cell_groups = list(self.cell_groups) + list(other.cell_groups)
+        longer = self if len(self.critical_path) >= len(other.critical_path) else other
+        merged.critical_path = list(longer.critical_path)
+        return merged
+
+    def cascade(self, other: "Netlist", name: Optional[str] = None) -> "Netlist":
+        """Series composition: cells add and critical paths concatenate."""
+        combined = self + other
+        combined.name = name or f"{self.name}->{other.name}"
+        combined.critical_path = list(self.critical_path) + list(other.critical_path)
+        return combined
+
+    # ------------------------------------------------------------------ #
+    # Estimation
+    # ------------------------------------------------------------------ #
+    @property
+    def cell_counts(self) -> Dict[CellKind, int]:
+        """Aggregate cell counts by kind."""
+        counts: Dict[CellKind, int] = {}
+        for group in self.cell_groups:
+            counts[group.kind] = counts.get(group.kind, 0) + group.count
+        return counts
+
+    @property
+    def total_cells(self) -> int:
+        """Total number of standard cells."""
+        return sum(group.count for group in self.cell_groups)
+
+    def area(self, library: TechnologyLibrary) -> float:
+        """Area in NAND2-equivalent cell-area units (incl. routing overhead)."""
+        raw = sum(library.cell(group.kind).area * group.count for group in self.cell_groups)
+        return raw * (1.0 + self.routing_overhead)
+
+    def delay_ps(self, library: TechnologyLibrary) -> float:
+        """Critical-path delay in picoseconds."""
+        logic = sum(library.cell(kind).delay_ps for kind in self.critical_path)
+        wires = self.wire_delay_per_stage_ps * len(self.critical_path)
+        return logic + wires
+
+    def energy_per_cycle_joules(self, library: TechnologyLibrary) -> float:
+        """Dynamic energy consumed in one active cycle, in joules."""
+        energy_fj = sum(
+            library.cell(group.kind).switching_energy_fj * group.count * group.activity
+            for group in self.cell_groups
+        )
+        return energy_fj * 1e-15
+
+    def dynamic_power_nw(self, library: TechnologyLibrary, frequency_hz: float) -> float:
+        """Dynamic power at the given clock frequency, in nanowatts."""
+        if frequency_hz <= 0:
+            raise ValueError("frequency_hz must be positive")
+        return self.energy_per_cycle_joules(library) * frequency_hz * 1e9
+
+    def leakage_power_nw(self, library: TechnologyLibrary) -> float:
+        """Static leakage power in nanowatts."""
+        return sum(library.cell(group.kind).leakage_nw * group.count
+                   for group in self.cell_groups)
+
+    def power_nw(self, library: TechnologyLibrary, frequency_hz: float) -> float:
+        """Total power (dynamic + leakage) in nanowatts."""
+        return self.dynamic_power_nw(library, frequency_hz) + self.leakage_power_nw(library)
+
+    def describe(self, library: TechnologyLibrary, frequency_hz: float) -> Dict[str, float]:
+        """All estimated quantities in one dictionary."""
+        return {
+            "cells": float(self.total_cells),
+            "area_cell_units": self.area(library),
+            "delay_ps": self.delay_ps(library),
+            "power_nw": self.power_nw(library, frequency_hz),
+            "leakage_nw": self.leakage_power_nw(library),
+            "energy_per_cycle_joules": self.energy_per_cycle_joules(library),
+        }

@@ -1,0 +1,94 @@
+"""Synthesis-report layer: turns netlists into Table II style reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.hwsynth.netlist import Netlist
+from repro.hwsynth.technology import TechnologyLibrary, tsmc65_like_library
+from repro.hwsynth.wde_designs import (
+    DEFAULT_CLOCK_HZ,
+    TABLE2_DATAPATH_BITS,
+    barrel_shifter_wde,
+    inversion_wde,
+    proposed_dnn_life_wde,
+)
+from repro.utils.tables import AsciiTable
+
+#: The numbers reported in the paper's Table II, for side-by-side comparison.
+PAPER_TABLE2 = {
+    "Barrel Shifter based WDE": {"delay_ps": 977.7, "power_nw": 345190.0, "area_cell_units": 9035.0},
+    "Inversion based WDE": {"delay_ps": 811.6, "power_nw": 10716.0, "area_cell_units": 195.0},
+    "Proposed WDE with Aging Mitigation Controller": {
+        "delay_ps": 581.8, "power_nw": 13747.0, "area_cell_units": 295.0},
+}
+
+
+@dataclass(frozen=True)
+class SynthesisReport:
+    """Area / power / delay estimate of one netlist."""
+
+    design: str
+    area_cell_units: float
+    delay_ps: float
+    power_nw: float
+    leakage_nw: float
+    total_cells: int
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dictionary view used by serialization."""
+        return {
+            "design": self.design,
+            "area_cell_units": self.area_cell_units,
+            "delay_ps": self.delay_ps,
+            "power_nw": self.power_nw,
+            "leakage_nw": self.leakage_nw,
+            "total_cells": float(self.total_cells),
+        }
+
+
+def synthesize(netlist: Netlist, library: Optional[TechnologyLibrary] = None,
+               clock_hz: float = DEFAULT_CLOCK_HZ) -> SynthesisReport:
+    """Estimate area/power/delay of a netlist against a technology library."""
+    library = library or tsmc65_like_library()
+    return SynthesisReport(
+        design=netlist.name,
+        area_cell_units=netlist.area(library),
+        delay_ps=netlist.delay_ps(library),
+        power_nw=netlist.power_nw(library, clock_hz),
+        leakage_nw=netlist.leakage_power_nw(library),
+        total_cells=netlist.total_cells,
+    )
+
+
+def table2_report(width: int = TABLE2_DATAPATH_BITS,
+                  library: Optional[TechnologyLibrary] = None,
+                  clock_hz: float = DEFAULT_CLOCK_HZ) -> List[Dict[str, float]]:
+    """Regenerate Table II: the three WDE designs at the given width."""
+    designs = [
+        barrel_shifter_wde(width, library=library, clock_hz=clock_hz),
+        inversion_wde(width, library=library, clock_hz=clock_hz),
+        proposed_dnn_life_wde(width, library=library, clock_hz=clock_hz),
+    ]
+    return [design.report() for design in designs]
+
+
+def table2_ascii(width: int = TABLE2_DATAPATH_BITS,
+                 library: Optional[TechnologyLibrary] = None) -> str:
+    """Render Table II (measured vs. paper) as an ASCII table."""
+    rows = table2_report(width, library=library)
+    table = AsciiTable(
+        ["design", "delay [ps]", "power [nW]", "area [cells]",
+         "paper delay", "paper power", "paper area"],
+        title=f"Table II — Write Data Encoder hardware costs ({width}-bit datapath)",
+        precision=1,
+    )
+    for row in rows:
+        reference = PAPER_TABLE2.get(row["design"], {})
+        table.add_row([
+            row["design"], row["delay_ps"], row["power_nw"], row["area_cell_units"],
+            reference.get("delay_ps", "-"), reference.get("power_nw", "-"),
+            reference.get("area_cell_units", "-"),
+        ])
+    return table.render()

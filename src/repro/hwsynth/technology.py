@@ -1,0 +1,118 @@
+"""65 nm-class standard-cell technology library.
+
+Per-cell figures (area in NAND2-equivalent "cell area" units, intrinsic delay,
+switching energy and leakage power) representative of a commercial 65 nm
+low-power library at nominal voltage.  Absolute values are order-of-magnitude
+calibrated; the experiments only rely on relative comparisons between designs
+built from the same library, mirroring how the paper uses its Cadence Genus
+results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict
+
+
+class CellKind(str, Enum):
+    """Standard-cell types used by the WDE designs."""
+
+    INV = "INV"
+    BUF = "BUF"
+    NAND2 = "NAND2"
+    NOR2 = "NOR2"
+    AND2 = "AND2"
+    OR2 = "OR2"
+    XOR2 = "XOR2"
+    XNOR2 = "XNOR2"
+    MUX2 = "MUX2"
+    TGATE = "TGATE"
+    HALF_ADDER = "HA"
+    FULL_ADDER = "FA"
+    DFF = "DFF"
+
+
+@dataclass(frozen=True)
+class CellCharacteristics:
+    """Electrical/physical characteristics of one standard cell."""
+
+    #: Area in NAND2-equivalent units ("cell area" as reported in Table II).
+    area: float
+    #: Intrinsic propagation delay in picoseconds (typical load).
+    delay_ps: float
+    #: Dynamic energy per output transition in femtojoules.
+    switching_energy_fj: float
+    #: Static leakage power in nanowatts.
+    leakage_nw: float
+
+
+@dataclass(frozen=True)
+class TechnologyLibrary:
+    """A named collection of characterised standard cells."""
+
+    name: str
+    nominal_voltage: float
+    cells: Dict[CellKind, CellCharacteristics] = field(default_factory=dict)
+
+    def cell(self, kind: CellKind) -> CellCharacteristics:
+        """Characteristics of one cell type."""
+        try:
+            return self.cells[kind]
+        except KeyError:
+            raise KeyError(f"library '{self.name}' has no cell of kind {kind}") from None
+
+    def scale_voltage(self, voltage: float) -> "TechnologyLibrary":
+        """Derive a library at a different supply voltage.
+
+        Dynamic energy scales with V^2, delay roughly with 1/V (alpha-power
+        approximation), leakage roughly linearly.  Used by the
+        voltage-scaling ablation benchmark.
+        """
+        if voltage <= 0:
+            raise ValueError("voltage must be positive")
+        ratio = voltage / self.nominal_voltage
+        scaled = {
+            kind: CellCharacteristics(
+                area=cell.area,
+                delay_ps=cell.delay_ps / ratio,
+                switching_energy_fj=cell.switching_energy_fj * ratio ** 2,
+                leakage_nw=cell.leakage_nw * ratio,
+            )
+            for kind, cell in self.cells.items()
+        }
+        return TechnologyLibrary(name=f"{self.name}@{voltage:.2f}V",
+                                 nominal_voltage=voltage, cells=scaled)
+
+
+def tsmc65_like_library() -> TechnologyLibrary:
+    """A 65 nm-class library with representative cell characteristics."""
+    cells = {
+        CellKind.INV: CellCharacteristics(area=0.7, delay_ps=14.0,
+                                          switching_energy_fj=1.1, leakage_nw=1.6),
+        CellKind.BUF: CellCharacteristics(area=1.0, delay_ps=28.0,
+                                          switching_energy_fj=1.8, leakage_nw=2.2),
+        CellKind.NAND2: CellCharacteristics(area=1.0, delay_ps=18.0,
+                                            switching_energy_fj=1.5, leakage_nw=2.1),
+        CellKind.NOR2: CellCharacteristics(area=1.0, delay_ps=22.0,
+                                           switching_energy_fj=1.6, leakage_nw=2.1),
+        CellKind.AND2: CellCharacteristics(area=1.3, delay_ps=30.0,
+                                           switching_energy_fj=2.0, leakage_nw=2.6),
+        CellKind.OR2: CellCharacteristics(area=1.3, delay_ps=32.0,
+                                          switching_energy_fj=2.0, leakage_nw=2.6),
+        CellKind.XOR2: CellCharacteristics(area=2.2, delay_ps=45.0,
+                                           switching_energy_fj=3.4, leakage_nw=3.8),
+        CellKind.XNOR2: CellCharacteristics(area=2.2, delay_ps=45.0,
+                                            switching_energy_fj=3.4, leakage_nw=3.8),
+        CellKind.MUX2: CellCharacteristics(area=2.0, delay_ps=40.0,
+                                           switching_energy_fj=2.8, leakage_nw=3.2),
+        CellKind.TGATE: CellCharacteristics(area=1.4, delay_ps=25.0,
+                                            switching_energy_fj=1.9, leakage_nw=2.4),
+        CellKind.HALF_ADDER: CellCharacteristics(area=3.0, delay_ps=60.0,
+                                                 switching_energy_fj=4.5, leakage_nw=5.0),
+        CellKind.FULL_ADDER: CellCharacteristics(area=4.5, delay_ps=90.0,
+                                                 switching_energy_fj=7.0, leakage_nw=7.5),
+        CellKind.DFF: CellCharacteristics(area=4.0, delay_ps=120.0,
+                                          switching_energy_fj=6.0, leakage_nw=6.5),
+    }
+    return TechnologyLibrary(name="generic65lp", nominal_voltage=1.2, cells=cells)

@@ -1,0 +1,154 @@
+"""The three Write Data Encoder designs compared in Table II.
+
+All three designs are built for a 64-bit memory interface (the width used in
+the paper's synthesis experiments) from the structural components in
+:mod:`repro.hwsynth.components`:
+
+* **barrel-shifter WDE** — a full crossbar rotator plus the write counter that
+  supplies the rotation amount;
+* **inversion WDE** — a rank of XOR gates driven by a toggle flip-flop;
+* **proposed WDE with aging-mitigation controller** — the same XOR rank plus
+  the DNN-Life controller: a 5-stage ring-oscillator TRBG, the M-bit
+  bias-balancing register and the enable glue logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hwsynth.components import (
+    binary_counter,
+    crossbar_barrel_shifter,
+    enable_control_logic,
+    ring_oscillator_trbg,
+    xor_inversion_array,
+)
+from repro.hwsynth.netlist import Netlist
+from repro.hwsynth.technology import TechnologyLibrary, tsmc65_like_library
+from repro.utils.validation import check_positive_int
+
+#: Interface width used for the Table II comparison.
+TABLE2_DATAPATH_BITS = 64
+#: Reference clock used to translate switching energy into power figures.
+DEFAULT_CLOCK_HZ = 500.0e6
+
+
+@dataclass
+class WdeDesign:
+    """A WDE design together with its estimation context."""
+
+    name: str
+    datapath_bits: int
+    netlist: Netlist
+    library: TechnologyLibrary
+    clock_hz: float = DEFAULT_CLOCK_HZ
+
+    @property
+    def area_cell_units(self) -> float:
+        """Area in NAND2-equivalent cell-area units (Table II column 3)."""
+        return self.netlist.area(self.library)
+
+    @property
+    def delay_ps(self) -> float:
+        """Critical-path delay in picoseconds (Table II column 1)."""
+        return self.netlist.delay_ps(self.library)
+
+    @property
+    def power_nw(self) -> float:
+        """Total power at the reference clock in nanowatts (Table II column 2)."""
+        return self.netlist.power_nw(self.library, self.clock_hz)
+
+    def energy_per_transfer_joules(self) -> float:
+        """Dynamic energy of encoding one ``datapath_bits``-wide transfer."""
+        return self.netlist.energy_per_cycle_joules(self.library)
+
+    def report(self) -> dict:
+        """Table II row for this design."""
+        return {
+            "design": self.name,
+            "datapath_bits": self.datapath_bits,
+            "delay_ps": self.delay_ps,
+            "power_nw": self.power_nw,
+            "area_cell_units": self.area_cell_units,
+            "total_cells": self.netlist.total_cells,
+            "energy_per_transfer_joules": self.energy_per_transfer_joules(),
+        }
+
+
+def barrel_shifter_wde(width: int = TABLE2_DATAPATH_BITS,
+                       library: TechnologyLibrary = None,
+                       clock_hz: float = DEFAULT_CLOCK_HZ) -> WdeDesign:
+    """Barrel-shifter based WDE (rotation-amount counter + crossbar rotator)."""
+    check_positive_int(width, "width")
+    library = library or tsmc65_like_library()
+    shifter = crossbar_barrel_shifter(width)
+    amount_counter = binary_counter(max(width.bit_length() - 1, 1), name="shift_counter")
+    netlist = amount_counter.cascade(shifter, name="barrel_shifter_wde")
+    return WdeDesign(name="Barrel Shifter based WDE", datapath_bits=width,
+                     netlist=netlist, library=library, clock_hz=clock_hz)
+
+
+def inversion_wde(width: int = TABLE2_DATAPATH_BITS,
+                  library: TechnologyLibrary = None,
+                  clock_hz: float = DEFAULT_CLOCK_HZ) -> WdeDesign:
+    """Classic inversion WDE (XOR rank driven by a toggle flip-flop)."""
+    check_positive_int(width, "width")
+    library = library or tsmc65_like_library()
+    toggle = binary_counter(1, name="toggle_flop")
+    netlist = toggle.cascade(xor_inversion_array(width), name="inversion_wde")
+    return WdeDesign(name="Inversion based WDE", datapath_bits=width,
+                     netlist=netlist, library=library, clock_hz=clock_hz)
+
+
+def proposed_dnn_life_wde(width: int = TABLE2_DATAPATH_BITS,
+                          balance_register_bits: int = 4,
+                          trbg_stages: int = 5,
+                          library: TechnologyLibrary = None,
+                          clock_hz: float = DEFAULT_CLOCK_HZ) -> WdeDesign:
+    """The proposed WDE with its aging-mitigation controller (paper Fig. 8)."""
+    check_positive_int(width, "width")
+    library = library or tsmc65_like_library()
+    controller = (ring_oscillator_trbg(trbg_stages)
+                  + binary_counter(balance_register_bits, name="bias_balancer")
+                  + enable_control_logic())
+    netlist = controller.cascade(xor_inversion_array(width), name="proposed_wde")
+    return WdeDesign(name="Proposed WDE with Aging Mitigation Controller",
+                     datapath_bits=width, netlist=netlist, library=library,
+                     clock_hz=clock_hz)
+
+
+def wde_for_policy(policy, word_bits: int, interface_bits: int = TABLE2_DATAPATH_BITS,
+                   library: TechnologyLibrary = None) -> WdeDesign:
+    """The WDE design that implements a given mitigation policy.
+
+    Used by the system-level energy accounting: the interface width defaults
+    to the Table II 64-bit datapath (several weight words per transfer).
+    """
+    from repro.core.policies import (
+        BarrelShifterPolicy,
+        DnnLifePolicy,
+        NoMitigationPolicy,
+        PeriodicInversionPolicy,
+    )
+
+    library = library or tsmc65_like_library()
+    width = max(interface_bits, word_bits)
+    if isinstance(policy, NoMitigationPolicy):
+        # A bare buffered interface: no mitigation logic at all.
+        from repro.hwsynth.technology import CellKind
+
+        passthrough = Netlist(name="passthrough")
+        passthrough.add_cells(CellKind.BUF, max(width // 8, 1))
+        passthrough.set_critical_path([CellKind.BUF])
+        return WdeDesign(name="Pass-through interface", datapath_bits=width,
+                         netlist=passthrough, library=library)
+    if isinstance(policy, PeriodicInversionPolicy):
+        return inversion_wde(width, library=library)
+    if isinstance(policy, BarrelShifterPolicy):
+        return barrel_shifter_wde(width, library=library)
+    if isinstance(policy, DnnLifePolicy):
+        balance_bits = (policy.controller.bias_balancer.num_bits
+                        if policy.controller.bias_balancer is not None else 1)
+        return proposed_dnn_life_wde(width, balance_register_bits=balance_bits,
+                                     library=library)
+    raise TypeError(f"no WDE design is associated with policy type {type(policy).__name__}")

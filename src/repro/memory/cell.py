@@ -1,0 +1,88 @@
+"""Single 6T-SRAM cell model.
+
+A 6T cell stores one bit in a pair of cross-coupled inverters (Fig. 2a of the
+paper).  Whichever of the two PMOS pull-up transistors is conducting is under
+negative bias stress, so:
+
+* while the cell stores a '1', PMOS ``P1`` is stressed and ``P2`` recovers;
+* while it stores a '0', ``P2`` is stressed and ``P1`` recovers.
+
+Because the cell's read stability is limited by its *most aged* transistor,
+the aging-optimal operating point is a 50% duty-cycle, where both PMOS devices
+accumulate the same average stress.  This class tracks the stress bookkeeping
+for one cell explicitly; the array-level simulation in
+:mod:`repro.memory.sram` does the same thing vectorially.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SixTransistorCell:
+    """Duty-cycle bookkeeping for a single 6T-SRAM cell."""
+
+    #: Currently stored bit value (0 or 1); None until the first write.
+    value: int = field(default=0)
+    #: Whether the cell has been written at least once.
+    initialized: bool = False
+    #: Accumulated time (arbitrary units) spent storing a '1'.
+    time_storing_one: float = 0.0
+    #: Accumulated time spent storing a '0'.
+    time_storing_zero: float = 0.0
+
+    def write(self, bit: int) -> None:
+        """Write a new bit value into the cell (takes effect for future holds)."""
+        if bit not in (0, 1):
+            raise ValueError(f"bit must be 0 or 1, got {bit}")
+        self.value = int(bit)
+        self.initialized = True
+
+    def hold(self, duration: float) -> None:
+        """Account for the cell holding its current value for ``duration`` units."""
+        if duration < 0:
+            raise ValueError(f"duration must be non-negative, got {duration}")
+        if not self.initialized:
+            raise RuntimeError("cell must be written before it can hold a value")
+        if self.value == 1:
+            self.time_storing_one += duration
+        else:
+            self.time_storing_zero += duration
+
+    def write_and_hold(self, bit: int, duration: float = 1.0) -> None:
+        """Convenience: write ``bit`` then hold it for ``duration`` units."""
+        self.write(bit)
+        self.hold(duration)
+
+    @property
+    def total_time(self) -> float:
+        """Total accounted lifetime."""
+        return self.time_storing_one + self.time_storing_zero
+
+    @property
+    def duty_cycle(self) -> float:
+        """Fraction of the accounted lifetime spent storing a '1'.
+
+        Raises if the cell has never held a value (duty-cycle is undefined).
+        """
+        total = self.total_time
+        if total <= 0:
+            raise RuntimeError("duty-cycle is undefined before the cell has held a value")
+        return self.time_storing_one / total
+
+    @property
+    def pmos1_stress_fraction(self) -> float:
+        """Fraction of lifetime PMOS P1 is under NBTI stress (cell stores '1')."""
+        return self.duty_cycle
+
+    @property
+    def pmos2_stress_fraction(self) -> float:
+        """Fraction of lifetime PMOS P2 is under NBTI stress (cell stores '0')."""
+        return 1.0 - self.duty_cycle
+
+    @property
+    def worst_case_stress_fraction(self) -> float:
+        """Stress fraction of the most-stressed PMOS (what determines aging)."""
+        duty = self.duty_cycle
+        return max(duty, 1.0 - duty)

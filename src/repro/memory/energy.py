@@ -1,0 +1,91 @@
+"""Analytic memory access-energy model.
+
+Reproduces the motivation data of Fig. 1b (access energy of a 32-bit word from
+a 32 KB on-chip SRAM versus off-chip DRAM, after Sze et al., "Efficient
+processing of deep neural networks") and provides the per-access energy
+figures used by the energy-overhead analysis of the mitigation hardware.
+
+The SRAM model follows the usual CACTI-style observation that access energy
+grows roughly with the square root of capacity (longer bit-lines/word-lines),
+anchored at the published 32 KB / 32-bit figure.  DRAM access energy is
+dominated by the off-chip interface and is modelled as a flat per-bit cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.units import KB
+from repro.utils.validation import check_positive
+
+#: Published anchor: reading 32 bits from a 32 KB SRAM costs ~5 pJ,
+#: while a 32-bit DRAM access costs ~640 pJ (two orders of magnitude more).
+SRAM_32KB_32BIT_ACCESS_PJ = 5.0
+DRAM_32BIT_ACCESS_PJ = 640.0
+
+
+def sram_access_energy(capacity_bytes: float, access_bits: int = 32) -> float:
+    """Energy (Joules) of one read/write access of ``access_bits`` bits.
+
+    Scales with sqrt(capacity) from the 32 KB anchor point.
+    """
+    check_positive(capacity_bytes, "capacity_bytes")
+    check_positive(access_bits, "access_bits")
+    scale = np.sqrt(capacity_bytes / (32.0 * KB))
+    per_bit = SRAM_32KB_32BIT_ACCESS_PJ / 32.0
+    return float(per_bit * access_bits * scale) * 1e-12
+
+
+def dram_access_energy(access_bits: int = 32) -> float:
+    """Energy (Joules) of one off-chip DRAM access of ``access_bits`` bits."""
+    check_positive(access_bits, "access_bits")
+    return float(DRAM_32BIT_ACCESS_PJ / 32.0 * access_bits) * 1e-12
+
+
+@dataclass(frozen=True)
+class MemoryEnergyModel:
+    """Per-memory energy model used by the system-level energy accounting.
+
+    Attributes
+    ----------
+    capacity_bytes:
+        On-chip memory capacity.
+    word_bits:
+        Access width in bits.
+    """
+
+    capacity_bytes: int
+    word_bits: int
+
+    @property
+    def read_energy(self) -> float:
+        """Energy of one word read (Joules)."""
+        return sram_access_energy(self.capacity_bytes, self.word_bits)
+
+    @property
+    def write_energy(self) -> float:
+        """Energy of one word write (Joules).
+
+        Writes are marginally more expensive than reads in small SRAM macros;
+        a 10% uplift is typical and sufficient for relative comparisons.
+        """
+        return self.read_energy * 1.1
+
+    @property
+    def dram_transfer_energy(self) -> float:
+        """Energy of bringing one word in from DRAM (Joules)."""
+        return dram_access_energy(self.word_bits)
+
+    def inference_write_energy(self, words_written: int) -> float:
+        """Energy of writing ``words_written`` words into the memory."""
+        return self.write_energy * int(words_written)
+
+    def inference_read_energy(self, words_read: int) -> float:
+        """Energy of reading ``words_read`` words from the memory."""
+        return self.read_energy * int(words_read)
+
+    def energy_ratio_vs_dram(self) -> float:
+        """How many times cheaper an on-chip access is than a DRAM access."""
+        return self.dram_transfer_energy / self.read_energy

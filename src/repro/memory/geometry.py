@@ -1,0 +1,70 @@
+"""Weight-memory geometry.
+
+The paper models the on-chip weight memory as an ``I x J`` array of 6T-SRAM
+cells.  In this library the geometry is derived from the memory capacity and
+the weight word width: the memory holds ``rows`` words of ``word_bits`` bits,
+so ``I x J = rows x word_bits`` cells.  One *block* of the Fig. 5 dataflow
+fills (at most) the whole array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.units import format_bytes
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class MemoryGeometry:
+    """Geometry of an on-chip weight memory.
+
+    Attributes
+    ----------
+    capacity_bytes:
+        Total storage capacity in bytes (e.g. ``512 * 1024`` for the baseline
+        accelerator of Table I).
+    word_bits:
+        Width of one stored weight word in bits (8 for int8, 32 for float32).
+    """
+
+    capacity_bytes: int
+    word_bits: int
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.capacity_bytes, "capacity_bytes")
+        check_positive_int(self.word_bits, "word_bits")
+        if self.capacity_bits % self.word_bits != 0:
+            raise ValueError(
+                f"capacity of {self.capacity_bits} bits is not a multiple of "
+                f"word_bits={self.word_bits}"
+            )
+
+    @property
+    def capacity_bits(self) -> int:
+        """Total number of cells (I x J)."""
+        return self.capacity_bytes * 8
+
+    @property
+    def rows(self) -> int:
+        """Number of weight words the memory can hold (one word per row)."""
+        return self.capacity_bits // self.word_bits
+
+    @property
+    def num_cells(self) -> int:
+        """Total number of 6T-SRAM cells."""
+        return self.rows * self.word_bits
+
+    @property
+    def words_per_block(self) -> int:
+        """Number of weight words in one dataflow block (fills the memory)."""
+        return self.rows
+
+    def blocks_for(self, num_weights: int) -> int:
+        """Number of blocks (K in Eq. 1) needed to stream ``num_weights`` words."""
+        check_positive_int(num_weights, "num_weights")
+        return (num_weights + self.rows - 1) // self.rows
+
+    def __str__(self) -> str:
+        return (f"MemoryGeometry({format_bytes(self.capacity_bytes)}, "
+                f"{self.word_bits}-bit words, {self.rows} rows, {self.num_cells} cells)")

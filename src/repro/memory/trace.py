@@ -1,0 +1,114 @@
+"""Write-trace recording and replay.
+
+A :class:`WriteTrace` captures the sequence of block writes an accelerator
+issues to its weight memory (block index, encoded words, residency and the
+encoding metadata).  Traces decouple the dataflow generation from the aging
+simulation: a trace recorded once can be replayed against different memory
+models or aging models, and traces are small enough to serialise for
+regression tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, List, Optional, Union
+
+import numpy as np
+
+from repro.memory.sram import SramArray
+
+
+@dataclass
+class WriteRecord:
+    """One block write: the words written and how long they stay resident."""
+
+    block_index: int
+    words: np.ndarray
+    residency: float = 1.0
+    #: First memory row the block is written to (FIFO tiles use offsets).
+    start_row: int = 0
+    #: Encoding metadata (e.g. the DNN-Life enable bits), if any.
+    metadata: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.words = np.asarray(self.words, dtype=np.uint64).reshape(-1)
+        if self.metadata is not None:
+            self.metadata = np.asarray(self.metadata, dtype=np.uint8).reshape(-1)
+        if self.residency < 0:
+            raise ValueError("residency must be non-negative")
+
+
+@dataclass
+class WriteTrace:
+    """An ordered sequence of :class:`WriteRecord` objects."""
+
+    word_bits: int
+    records: List[WriteRecord] = field(default_factory=list)
+
+    def append(self, record: WriteRecord) -> None:
+        """Add one record to the trace."""
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[WriteRecord]:
+        return iter(self.records)
+
+    @property
+    def total_words_written(self) -> int:
+        """Total number of word writes in the trace."""
+        return sum(record.words.size for record in self.records)
+
+    @property
+    def total_bits_written(self) -> int:
+        """Total number of cell writes in the trace."""
+        return self.total_words_written * self.word_bits
+
+    def replay(self, array: SramArray) -> SramArray:
+        """Replay the trace into an SRAM array (explicit simulation path)."""
+        if array.geometry.word_bits != self.word_bits:
+            raise ValueError(
+                f"trace word width {self.word_bits} does not match memory word width "
+                f"{array.geometry.word_bits}"
+            )
+        for record in self.records:
+            array.write_block(record.words, residency=record.residency,
+                              start_row=record.start_row)
+        array.finalize()
+        return array
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path: Union[str, Path]) -> None:
+        """Save the trace to a compressed ``.npz`` file."""
+        arrays = {"word_bits": np.asarray([self.word_bits])}
+        for index, record in enumerate(self.records):
+            arrays[f"words_{index}"] = record.words
+            arrays[f"meta_{index}"] = (record.metadata if record.metadata is not None
+                                       else np.empty(0, dtype=np.uint8))
+            arrays[f"info_{index}"] = np.asarray(
+                [record.block_index, record.residency, record.start_row], dtype=np.float64)
+        np.savez_compressed(path, **arrays)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "WriteTrace":
+        """Load a trace previously written with :meth:`save`."""
+        with np.load(path) as data:
+            word_bits = int(data["word_bits"][0])
+            trace = cls(word_bits=word_bits)
+            index = 0
+            while f"words_{index}" in data:
+                info = data[f"info_{index}"]
+                metadata = data[f"meta_{index}"]
+                trace.append(WriteRecord(
+                    block_index=int(info[0]),
+                    words=data[f"words_{index}"],
+                    residency=float(info[1]),
+                    start_row=int(info[2]) if info.size > 2 else 0,
+                    metadata=metadata if metadata.size else None,
+                ))
+                index += 1
+        return trace

@@ -1,0 +1,127 @@
+"""Wear maps: spatial view of per-cell aging (extension).
+
+The Fig. 9/11 histograms aggregate over all cells; designers also want to know
+*where* in the memory the stressed cells sit (e.g. whether a particular bit
+column or FIFO tile wears out first, which drives wear-levelling or column
+remapping decisions).  A :class:`WearMap` summarises a duty-cycle (or SNM
+degradation) matrix along rows, bit columns and FIFO regions and renders a
+coarse ASCII heat map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.aging.snm import SnmDegradationModel, default_snm_model
+from repro.utils.validation import check_positive_int
+
+#: Characters used for the ASCII heat map, from least to most degraded.
+_HEAT_CHARS = " .:-=+*#%@"
+
+
+@dataclass
+class WearMap:
+    """Spatial aging summary of a weight memory."""
+
+    duty_cycles: np.ndarray          # (rows, word_bits)
+    num_regions: int = 1
+    snm_model: Optional[SnmDegradationModel] = None
+    years: float = 7.0
+
+    def __post_init__(self) -> None:
+        self.duty_cycles = np.asarray(self.duty_cycles, dtype=np.float64)
+        if self.duty_cycles.ndim != 2:
+            raise ValueError("duty_cycles must be a (rows, word_bits) matrix")
+        check_positive_int(self.num_regions, "num_regions")
+        if self.duty_cycles.shape[0] % self.num_regions != 0:
+            raise ValueError("rows must divide evenly into num_regions")
+        if self.snm_model is None:
+            self.snm_model = default_snm_model()
+
+    # ------------------------------------------------------------------ #
+    # Aggregations
+    # ------------------------------------------------------------------ #
+    @property
+    def degradation(self) -> np.ndarray:
+        """Per-cell SNM degradation matrix (percent)."""
+        return self.snm_model.degradation_percent(self.duty_cycles, self.years)
+
+    def per_bit_column(self) -> np.ndarray:
+        """Mean SNM degradation of each bit column (MSB-first index)."""
+        return self.degradation.mean(axis=0)
+
+    def per_region(self) -> np.ndarray:
+        """Mean SNM degradation of each FIFO region / tile."""
+        region_rows = self.duty_cycles.shape[0] // self.num_regions
+        degradation = self.degradation
+        return np.array([
+            degradation[index * region_rows:(index + 1) * region_rows].mean()
+            for index in range(self.num_regions)
+        ])
+
+    def worst_cells(self, count: int = 10) -> Dict[str, np.ndarray]:
+        """Coordinates and degradation of the ``count`` most-aged cells."""
+        check_positive_int(count, "count")
+        degradation = self.degradation
+        flat_indices = np.argsort(degradation, axis=None)[::-1][:count]
+        rows, columns = np.unravel_index(flat_indices, degradation.shape)
+        return {
+            "rows": rows,
+            "bit_columns": columns,
+            "degradation_percent": degradation[rows, columns],
+        }
+
+    def summary(self) -> Dict[str, float]:
+        """Headline spatial statistics."""
+        degradation = self.degradation
+        per_column = self.per_bit_column()
+        per_region = self.per_region()
+        return {
+            "mean_degradation_percent": float(degradation.mean()),
+            "max_degradation_percent": float(degradation.max()),
+            "worst_bit_column": int(np.argmax(per_column)),
+            "worst_bit_column_mean_percent": float(per_column.max()),
+            "best_bit_column_mean_percent": float(per_column.min()),
+            "worst_region": int(np.argmax(per_region)),
+            "worst_region_mean_percent": float(per_region.max()),
+            "column_imbalance_pp": float(per_column.max() - per_column.min()),
+            "region_imbalance_pp": float(per_region.max() - per_region.min()),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Rendering
+    # ------------------------------------------------------------------ #
+    def render(self, max_rows: int = 32) -> str:
+        """Render a coarse ASCII heat map (rows are bucketed to ``max_rows``)."""
+        check_positive_int(max_rows, "max_rows")
+        degradation = self.degradation
+        rows, bits = degradation.shape
+        buckets = min(max_rows, rows)
+        bucket_edges = np.linspace(0, rows, buckets + 1).astype(int)
+        best = self.snm_model.best_case_percent(self.years)
+        worst = self.snm_model.worst_case_percent(self.years)
+        span = max(worst - best, 1e-9)
+
+        lines = [f"Wear map ({rows} rows x {bits} bit columns, "
+                 f"{buckets} row buckets, MSB on the left)"]
+        for index in range(buckets):
+            chunk = degradation[bucket_edges[index]:bucket_edges[index + 1]]
+            if chunk.size == 0:
+                continue
+            column_means = chunk.mean(axis=0)
+            levels = np.clip((column_means - best) / span, 0.0, 1.0)
+            chars = "".join(_HEAT_CHARS[int(round(level * (len(_HEAT_CHARS) - 1)))]
+                            for level in levels)
+            lines.append(f"rows {bucket_edges[index]:>7d}-{bucket_edges[index + 1] - 1:>7d} |{chars}|")
+        lines.append(f"scale: '{_HEAT_CHARS[0]}' = {best:.1f}%  ...  "
+                     f"'{_HEAT_CHARS[-1]}' = {worst:.1f}% SNM degradation")
+        return "\n".join(lines)
+
+
+def wear_map_from_result(result, num_regions: int = 1) -> WearMap:
+    """Build a :class:`WearMap` from an :class:`~repro.core.simulation.AgingResult`."""
+    return WearMap(duty_cycles=result.duty_cycles, num_regions=num_regions,
+                   snm_model=result.snm_model, years=result.years)

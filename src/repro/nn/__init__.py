@@ -1,0 +1,80 @@
+"""DNN model substrate.
+
+The paper consumes pre-trained DNNs (AlexNet, VGG-16, a small custom MNIST
+CNN) only through the shapes and values of their weight tensors.  This package
+provides:
+
+* a compact layer IR (:mod:`repro.nn.layers`) and a :class:`~repro.nn.network.Network`
+  container with parameter/size accounting;
+* a model zoo (:mod:`repro.nn.models`) with the architectures referenced in the
+  paper — AlexNet, VGG-16, GoogLeNet, ResNet-152, LeNet-5 and the custom MNIST
+  network of Sec. V-A;
+* synthetic *trained-like* weight generation (:mod:`repro.nn.weights`) used in
+  place of framework-downloaded checkpoints (no network access / PyTorch in
+  this environment) — see DESIGN.md for the substitution rationale;
+* a functional numpy forward pass (:mod:`repro.nn.functional`) used to
+  demonstrate that DNN-Life encoding/decoding is bit-exact transparent to the
+  computation.
+"""
+
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Layer,
+    Linear,
+    LocalResponseNorm,
+    MaxPool2d,
+    ReLU,
+    Softmax,
+)
+from repro.nn.models import (
+    MODEL_ZOO,
+    PUBLISHED_ACCURACY,
+    alexnet,
+    build_model,
+    custom_mnist_cnn,
+    googlenet,
+    lenet5,
+    resnet152,
+    vgg16,
+)
+from repro.nn.network import Network
+from repro.nn.weights import (
+    WeightGenerationConfig,
+    attach_synthetic_weights,
+    load_weights_npz,
+    save_weights_npz,
+    synthesize_layer_weights,
+)
+
+__all__ = [
+    "AvgPool2d",
+    "BatchNorm2d",
+    "Conv2d",
+    "Dropout",
+    "Flatten",
+    "Layer",
+    "Linear",
+    "LocalResponseNorm",
+    "MaxPool2d",
+    "ReLU",
+    "Softmax",
+    "MODEL_ZOO",
+    "PUBLISHED_ACCURACY",
+    "alexnet",
+    "build_model",
+    "custom_mnist_cnn",
+    "googlenet",
+    "lenet5",
+    "resnet152",
+    "vgg16",
+    "Network",
+    "WeightGenerationConfig",
+    "attach_synthetic_weights",
+    "load_weights_npz",
+    "save_weights_npz",
+    "synthesize_layer_weights",
+]

@@ -1,0 +1,159 @@
+"""Composite layers (Inception modules, residual blocks).
+
+GoogLeNet and ResNet-152 appear in the paper's Fig. 1a model-size comparison.
+Their topologies are not sequential, so they are modelled here as *composite*
+layers: a composite owns a set of weight-carrying sub-layers, reports the
+aggregate parameter count and the correct output shape, and exposes its
+sub-layers so that the weight-memory scheduler can stream their weights just
+like any plain layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.nn.layers import BatchNorm2d, Conv2d, Layer, ShapeHW
+
+
+@dataclass
+class CompositeLayer(Layer):
+    """A layer made of named weight-carrying sub-layers."""
+
+    sub_layers: List[Layer] = field(default_factory=list)
+
+    @property
+    def weight_shape(self) -> Optional[Tuple[int, ...]]:
+        return None
+
+    @property
+    def has_weights(self) -> bool:
+        return any(sub.has_weights for sub in self.sub_layers)
+
+    @property
+    def weight_count(self) -> int:
+        return sum(sub.weight_count for sub in self.sub_layers)
+
+    @property
+    def bias_count(self) -> int:
+        return sum(sub.bias_count for sub in self.sub_layers)
+
+    @property
+    def parameter_count(self) -> int:
+        return sum(sub.parameter_count for sub in self.sub_layers)
+
+    def iter_weight_sublayers(self) -> List[Layer]:
+        """Weight-carrying sub-layers that stream through the weight memory."""
+        selected = []
+        for sub in self.sub_layers:
+            if not sub.has_weights:
+                continue
+            if not getattr(sub, "counts_toward_weight_memory", True):
+                continue
+            selected.append(sub)
+        return selected
+
+
+@dataclass
+class Inception(CompositeLayer):
+    """A GoogLeNet Inception-v1 module.
+
+    Four parallel branches whose outputs are concatenated channel-wise:
+    1x1 conv; 1x1 -> 3x3 convs; 1x1 -> 5x5 convs; 3x3 maxpool -> 1x1 conv.
+    """
+
+    in_channels: int = 1
+    ch1x1: int = 1
+    ch3x3_reduce: int = 1
+    ch3x3: int = 1
+    ch5x5_reduce: int = 1
+    ch5x5: int = 1
+    pool_proj: int = 1
+
+    def __post_init__(self) -> None:
+        prefix = self.name or "inception"
+        self.sub_layers = [
+            Conv2d(name=f"{prefix}.b1_1x1", out_channels=self.ch1x1,
+                   in_channels=self.in_channels, kernel_size=(1, 1)),
+            Conv2d(name=f"{prefix}.b2_reduce", out_channels=self.ch3x3_reduce,
+                   in_channels=self.in_channels, kernel_size=(1, 1)),
+            Conv2d(name=f"{prefix}.b2_3x3", out_channels=self.ch3x3,
+                   in_channels=self.ch3x3_reduce, kernel_size=(3, 3), padding=1),
+            Conv2d(name=f"{prefix}.b3_reduce", out_channels=self.ch5x5_reduce,
+                   in_channels=self.in_channels, kernel_size=(1, 1)),
+            Conv2d(name=f"{prefix}.b3_5x5", out_channels=self.ch5x5,
+                   in_channels=self.ch5x5_reduce, kernel_size=(5, 5), padding=2),
+            Conv2d(name=f"{prefix}.b4_proj", out_channels=self.pool_proj,
+                   in_channels=self.in_channels, kernel_size=(1, 1)),
+        ]
+
+    @property
+    def out_channels(self) -> int:
+        """Channels after concatenating the four branches."""
+        return self.ch1x1 + self.ch3x3 + self.ch5x5 + self.pool_proj
+
+    def output_shape(self, input_shape: ShapeHW) -> ShapeHW:
+        channels, height, width = input_shape
+        if channels != self.in_channels:
+            raise ValueError(
+                f"{self.name}: expected {self.in_channels} input channels, got {channels}"
+            )
+        return (self.out_channels, height, width)
+
+
+@dataclass
+class Bottleneck(CompositeLayer):
+    """A ResNet bottleneck residual block (1x1 -> 3x3 -> 1x1, expansion 4)."""
+
+    in_channels: int = 64
+    planes: int = 64
+    stride: int = 1
+    expansion: int = 4
+    with_batchnorm: bool = True
+
+    def __post_init__(self) -> None:
+        prefix = self.name or "bottleneck"
+        out_channels = self.planes * self.expansion
+        self.sub_layers = [
+            Conv2d(name=f"{prefix}.conv1", out_channels=self.planes,
+                   in_channels=self.in_channels, kernel_size=(1, 1), use_bias=False),
+            Conv2d(name=f"{prefix}.conv2", out_channels=self.planes,
+                   in_channels=self.planes, kernel_size=(3, 3), stride=self.stride,
+                   padding=1, use_bias=False),
+            Conv2d(name=f"{prefix}.conv3", out_channels=out_channels,
+                   in_channels=self.planes, kernel_size=(1, 1), use_bias=False),
+        ]
+        if self.with_batchnorm:
+            self.sub_layers.extend([
+                BatchNorm2d(name=f"{prefix}.bn1", num_features=self.planes),
+                BatchNorm2d(name=f"{prefix}.bn2", num_features=self.planes),
+                BatchNorm2d(name=f"{prefix}.bn3", num_features=out_channels),
+            ])
+        if self.needs_projection:
+            self.sub_layers.append(
+                Conv2d(name=f"{prefix}.downsample", out_channels=out_channels,
+                       in_channels=self.in_channels, kernel_size=(1, 1),
+                       stride=self.stride, use_bias=False))
+            if self.with_batchnorm:
+                self.sub_layers.append(
+                    BatchNorm2d(name=f"{prefix}.bn_down", num_features=out_channels))
+
+    @property
+    def needs_projection(self) -> bool:
+        """Whether the skip connection needs a 1x1 projection convolution."""
+        return self.stride != 1 or self.in_channels != self.planes * self.expansion
+
+    @property
+    def out_channels(self) -> int:
+        """Output channel count of the block."""
+        return self.planes * self.expansion
+
+    def output_shape(self, input_shape: ShapeHW) -> ShapeHW:
+        channels, height, width = input_shape
+        if channels != self.in_channels:
+            raise ValueError(
+                f"{self.name}: expected {self.in_channels} input channels, got {channels}"
+            )
+        return (self.out_channels,
+                (height + self.stride - 1) // self.stride,
+                (width + self.stride - 1) // self.stride)

@@ -1,0 +1,185 @@
+"""Functional numpy forward pass.
+
+Used to (a) run the small networks (custom MNIST CNN, LeNet-5) end to end in
+examples and integration tests, and (b) prove that the DNN-Life write/read
+transducers are *bit-exact transparent*: encoding weights on the way into the
+weight memory and decoding them on the way out leaves the inference result
+unchanged.
+
+Layouts: activations are ``(batch, channels, height, width)``; convolution
+weights are ``(out_channels, in_channels, kh, kw)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.layers import (
+    AvgPool2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Layer,
+    Linear,
+    LocalResponseNorm,
+    MaxPool2d,
+    ReLU,
+    Softmax,
+)
+from repro.nn.network import Network
+
+
+def _im2col(inputs: np.ndarray, kernel_h: int, kernel_w: int, stride: int,
+            padding: int) -> np.ndarray:
+    """Rearrange input patches into columns for matrix-multiply convolution."""
+    batch, channels, height, width = inputs.shape
+    if padding:
+        inputs = np.pad(inputs, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+        height += 2 * padding
+        width += 2 * padding
+    out_h = (height - kernel_h) // stride + 1
+    out_w = (width - kernel_w) // stride + 1
+    columns = np.empty((batch, channels, kernel_h, kernel_w, out_h, out_w),
+                       dtype=inputs.dtype)
+    for row in range(kernel_h):
+        row_end = row + stride * out_h
+        for col in range(kernel_w):
+            col_end = col + stride * out_w
+            columns[:, :, row, col, :, :] = inputs[:, :, row:row_end:stride, col:col_end:stride]
+    return columns.reshape(batch, channels * kernel_h * kernel_w, out_h * out_w)
+
+
+def conv2d(inputs: np.ndarray, layer: Conv2d) -> np.ndarray:
+    """2-D convolution via im2col + matrix multiplication."""
+    if layer.groups != 1:
+        raise NotImplementedError("grouped convolution forward pass is not implemented")
+    weights = np.asarray(layer.weights, dtype=np.float64)
+    kernel_h, kernel_w = layer.kernel_size
+    columns = _im2col(np.asarray(inputs, dtype=np.float64), kernel_h, kernel_w,
+                      layer.stride, layer.padding)
+    batch = columns.shape[0]
+    flat_weights = weights.reshape(layer.out_channels, -1)
+    output = np.einsum("ok,bkp->bop", flat_weights, columns)
+    if layer.bias is not None:
+        output += np.asarray(layer.bias, dtype=np.float64)[None, :, None]
+    _, _, height, width = inputs.shape
+    out_h = (height + 2 * layer.padding - kernel_h) // layer.stride + 1
+    out_w = (width + 2 * layer.padding - kernel_w) // layer.stride + 1
+    return output.reshape(batch, layer.out_channels, out_h, out_w)
+
+
+def linear(inputs: np.ndarray, layer: Linear) -> np.ndarray:
+    """Fully-connected layer over flattened inputs."""
+    flat = np.asarray(inputs, dtype=np.float64).reshape(inputs.shape[0], -1)
+    weights = np.asarray(layer.weights, dtype=np.float64)
+    output = flat @ weights.T
+    if layer.bias is not None:
+        output += np.asarray(layer.bias, dtype=np.float64)[None, :]
+    return output
+
+
+def relu(inputs: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(inputs, 0.0)
+
+
+def max_pool2d(inputs: np.ndarray, kernel: int, stride: Optional[int], padding: int) -> np.ndarray:
+    """Max pooling."""
+    stride = stride if stride is not None else kernel
+    columns = _im2col(inputs, kernel, kernel, stride,
+                      padding).reshape(inputs.shape[0], inputs.shape[1], kernel * kernel, -1)
+    pooled = columns.max(axis=2)
+    batch, channels, height, width = inputs.shape
+    out_h = (height + 2 * padding - kernel) // stride + 1
+    out_w = (width + 2 * padding - kernel) // stride + 1
+    return pooled.reshape(batch, channels, out_h, out_w)
+
+
+def avg_pool2d(inputs: np.ndarray, kernel: int, stride: Optional[int], padding: int) -> np.ndarray:
+    """Average pooling."""
+    stride = stride if stride is not None else kernel
+    columns = _im2col(inputs, kernel, kernel, stride,
+                      padding).reshape(inputs.shape[0], inputs.shape[1], kernel * kernel, -1)
+    pooled = columns.mean(axis=2)
+    batch, channels, height, width = inputs.shape
+    out_h = (height + 2 * padding - kernel) // stride + 1
+    out_w = (width + 2 * padding - kernel) // stride + 1
+    return pooled.reshape(batch, channels, out_h, out_w)
+
+
+def local_response_norm(inputs: np.ndarray, layer: LocalResponseNorm) -> np.ndarray:
+    """AlexNet-style local response normalisation across channels."""
+    squared = inputs ** 2
+    batch, channels, height, width = inputs.shape
+    accumulated = np.zeros_like(inputs)
+    half = layer.size // 2
+    for channel in range(channels):
+        low = max(0, channel - half)
+        high = min(channels, channel + half + 1)
+        accumulated[:, channel] = squared[:, low:high].sum(axis=1)
+    return inputs / np.power(layer.k + layer.alpha * accumulated, layer.beta)
+
+
+def softmax(inputs: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last dimension."""
+    flat = np.asarray(inputs, dtype=np.float64).reshape(inputs.shape[0], -1)
+    shifted = flat - flat.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def forward_layer(inputs: np.ndarray, layer: Layer) -> np.ndarray:
+    """Apply a single layer to a batch of activations."""
+    if isinstance(layer, Conv2d):
+        return conv2d(inputs, layer)
+    if isinstance(layer, Linear):
+        return linear(inputs, layer)
+    if isinstance(layer, ReLU):
+        return relu(inputs)
+    if isinstance(layer, MaxPool2d):
+        return max_pool2d(inputs, layer.kernel_size, layer.stride, layer.padding)
+    if isinstance(layer, AvgPool2d):
+        return avg_pool2d(inputs, layer.kernel_size, layer.stride, layer.padding)
+    if isinstance(layer, GlobalAvgPool2d):
+        return inputs.mean(axis=(2, 3), keepdims=True)
+    if isinstance(layer, LocalResponseNorm):
+        return local_response_norm(inputs, layer)
+    if isinstance(layer, Flatten):
+        return inputs.reshape(inputs.shape[0], -1)
+    if isinstance(layer, Dropout):
+        return inputs  # inference mode: identity
+    if isinstance(layer, Softmax):
+        return softmax(inputs)
+    raise NotImplementedError(f"forward pass not implemented for {type(layer).__name__}")
+
+
+def forward(network: Network, inputs: np.ndarray, upto_layer: Optional[str] = None) -> np.ndarray:
+    """Run a full (or partial) forward pass of ``network``.
+
+    Parameters
+    ----------
+    inputs:
+        Batch of shape ``(batch,) + network.input_shape``.
+    upto_layer:
+        If given, stop after the layer with this name and return its output.
+    """
+    network.validate_weights()
+    activations = np.asarray(inputs, dtype=np.float64)
+    expected = tuple(network.input_shape)
+    if tuple(activations.shape[1:]) != expected:
+        raise ValueError(
+            f"input shape {activations.shape[1:]} does not match network input {expected}"
+        )
+    for layer in network.layers:
+        activations = forward_layer(activations, layer)
+        if upto_layer is not None and layer.name == upto_layer:
+            break
+    return activations
+
+
+def classify(network: Network, inputs: np.ndarray) -> np.ndarray:
+    """Return the arg-max class index for each input in the batch."""
+    return np.argmax(forward(network, inputs), axis=1)

@@ -1,0 +1,253 @@
+"""Model zoo.
+
+Architectures referenced by the paper:
+
+* **AlexNet** and **VGG-16** (ImageNet) — used throughout the aging analysis
+  (Figs. 6, 9, 11);
+* the **custom MNIST network** of Sec. V-A — ``CONV(16,1,5,5)``,
+  ``CONV(50,16,5,5)``, ``FC(256,800)``, ``FC(10,256)`` — used in the TPU-like
+  NPU evaluation (Fig. 11);
+* **GoogLeNet** and **ResNet-152** — used in the Fig. 1a size/accuracy
+  comparison;
+* **LeNet-5** — an additional small model used by examples and ablations.
+
+All builders return a :class:`~repro.nn.network.Network` with exact layer
+shapes; weights are attached separately (synthetic trained-like weights or a
+loaded checkpoint), see :mod:`repro.nn.weights`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.nn.composite import Bottleneck, Inception
+from repro.nn.layers import (
+    AvgPool2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    LocalResponseNorm,
+    MaxPool2d,
+    ReLU,
+    Softmax,
+)
+from repro.nn.network import Network
+
+#: Published ImageNet accuracies used for the Fig. 1a comparison
+#: (top-1 %, top-5 %).  Values follow the single-crop numbers commonly
+#: reported for the reference implementations of each architecture.
+PUBLISHED_ACCURACY: Dict[str, Tuple[float, float]] = {
+    "alexnet": (57.2, 80.2),
+    "googlenet": (69.8, 89.5),
+    "vgg16": (71.5, 90.4),
+    "resnet152": (78.3, 94.1),
+}
+
+
+def alexnet() -> Network:
+    """AlexNet (single-tower variant, ~61M parameters)."""
+    layers = [
+        Conv2d(name="conv1", out_channels=64, in_channels=3, kernel_size=(11, 11),
+               stride=4, padding=2),
+        ReLU(name="relu1"),
+        LocalResponseNorm(name="lrn1"),
+        MaxPool2d(name="pool1", kernel_size=3, stride=2),
+        Conv2d(name="conv2", out_channels=192, in_channels=64, kernel_size=(5, 5), padding=2),
+        ReLU(name="relu2"),
+        LocalResponseNorm(name="lrn2"),
+        MaxPool2d(name="pool2", kernel_size=3, stride=2),
+        Conv2d(name="conv3", out_channels=384, in_channels=192, kernel_size=(3, 3), padding=1),
+        ReLU(name="relu3"),
+        Conv2d(name="conv4", out_channels=256, in_channels=384, kernel_size=(3, 3), padding=1),
+        ReLU(name="relu4"),
+        Conv2d(name="conv5", out_channels=256, in_channels=256, kernel_size=(3, 3), padding=1),
+        ReLU(name="relu5"),
+        MaxPool2d(name="pool5", kernel_size=3, stride=2),
+        Flatten(name="flatten"),
+        Dropout(name="drop6"),
+        Linear(name="fc6", out_features=4096, in_features=256 * 6 * 6),
+        ReLU(name="relu6"),
+        Dropout(name="drop7"),
+        Linear(name="fc7", out_features=4096, in_features=4096),
+        ReLU(name="relu7"),
+        Linear(name="fc8", out_features=1000, in_features=4096),
+        Softmax(name="softmax"),
+    ]
+    return Network(name="alexnet", layers=layers, input_shape=(3, 224, 224), dataset="imagenet")
+
+
+def vgg16() -> Network:
+    """VGG-16 (configuration D, ~138M parameters)."""
+    config = [64, 64, "M", 128, 128, "M", 256, 256, 256, "M",
+              512, 512, 512, "M", 512, 512, 512, "M"]
+    layers = []
+    in_channels = 3
+    conv_index = 1
+    block_index = 1
+    for item in config:
+        if item == "M":
+            layers.append(MaxPool2d(name=f"pool{block_index}", kernel_size=2, stride=2))
+            block_index += 1
+            conv_index = 1
+            continue
+        layers.append(Conv2d(name=f"conv{block_index}_{conv_index}", out_channels=int(item),
+                             in_channels=in_channels, kernel_size=(3, 3), padding=1))
+        layers.append(ReLU(name=f"relu{block_index}_{conv_index}"))
+        in_channels = int(item)
+        conv_index += 1
+    layers.extend([
+        Flatten(name="flatten"),
+        Linear(name="fc6", out_features=4096, in_features=512 * 7 * 7),
+        ReLU(name="relu6"),
+        Dropout(name="drop6"),
+        Linear(name="fc7", out_features=4096, in_features=4096),
+        ReLU(name="relu7"),
+        Dropout(name="drop7"),
+        Linear(name="fc8", out_features=1000, in_features=4096),
+        Softmax(name="softmax"),
+    ])
+    return Network(name="vgg16", layers=layers, input_shape=(3, 224, 224), dataset="imagenet")
+
+
+#: GoogLeNet Inception-v1 module configuration:
+#: (in, 1x1, 3x3reduce, 3x3, 5x5reduce, 5x5, pool_proj)
+_GOOGLENET_INCEPTION_CONFIG = [
+    ("inception3a", 192, 64, 96, 128, 16, 32, 32),
+    ("inception3b", 256, 128, 128, 192, 32, 96, 64),
+    ("pool", None, None, None, None, None, None, None),
+    ("inception4a", 480, 192, 96, 208, 16, 48, 64),
+    ("inception4b", 512, 160, 112, 224, 24, 64, 64),
+    ("inception4c", 512, 128, 128, 256, 24, 64, 64),
+    ("inception4d", 512, 112, 144, 288, 32, 64, 64),
+    ("inception4e", 528, 256, 160, 320, 32, 128, 128),
+    ("pool", None, None, None, None, None, None, None),
+    ("inception5a", 832, 256, 160, 320, 32, 128, 128),
+    ("inception5b", 832, 384, 192, 384, 48, 128, 128),
+]
+
+
+def googlenet() -> Network:
+    """GoogLeNet / Inception-v1 (main branch, no auxiliary classifiers)."""
+    layers = [
+        Conv2d(name="conv1", out_channels=64, in_channels=3, kernel_size=(7, 7),
+               stride=2, padding=3),
+        ReLU(name="relu1"),
+        MaxPool2d(name="pool1", kernel_size=3, stride=2, padding=1),
+        LocalResponseNorm(name="lrn1"),
+        Conv2d(name="conv2_reduce", out_channels=64, in_channels=64, kernel_size=(1, 1)),
+        ReLU(name="relu2a"),
+        Conv2d(name="conv2", out_channels=192, in_channels=64, kernel_size=(3, 3), padding=1),
+        ReLU(name="relu2b"),
+        LocalResponseNorm(name="lrn2"),
+        MaxPool2d(name="pool2", kernel_size=3, stride=2, padding=1),
+    ]
+    pool_index = 3
+    for entry in _GOOGLENET_INCEPTION_CONFIG:
+        if entry[0] == "pool":
+            layers.append(MaxPool2d(name=f"pool{pool_index}", kernel_size=3, stride=2, padding=1))
+            pool_index += 1
+            continue
+        name, in_c, c1, c3r, c3, c5r, c5, proj = entry
+        layers.append(Inception(name=name, in_channels=in_c, ch1x1=c1, ch3x3_reduce=c3r,
+                                ch3x3=c3, ch5x5_reduce=c5r, ch5x5=c5, pool_proj=proj))
+    layers.extend([
+        GlobalAvgPool2d(name="avgpool"),
+        Flatten(name="flatten"),
+        Dropout(name="dropout", rate=0.4),
+        Linear(name="fc", out_features=1000, in_features=1024),
+        Softmax(name="softmax"),
+    ])
+    return Network(name="googlenet", layers=layers, input_shape=(3, 224, 224), dataset="imagenet")
+
+
+def resnet152() -> Network:
+    """ResNet-152 (bottleneck blocks 3/8/36/3, ~60M parameters)."""
+    layers = [
+        Conv2d(name="conv1", out_channels=64, in_channels=3, kernel_size=(7, 7),
+               stride=2, padding=3, use_bias=False),
+        ReLU(name="relu1"),
+        MaxPool2d(name="pool1", kernel_size=3, stride=2, padding=1),
+    ]
+    stage_blocks = (3, 8, 36, 3)
+    stage_planes = (64, 128, 256, 512)
+    in_channels = 64
+    for stage, (blocks, planes) in enumerate(zip(stage_blocks, stage_planes), start=1):
+        for block in range(blocks):
+            stride = 2 if (block == 0 and stage > 1) else 1
+            layer = Bottleneck(name=f"layer{stage}.{block}", in_channels=in_channels,
+                               planes=planes, stride=stride)
+            layers.append(layer)
+            in_channels = layer.out_channels
+    layers.extend([
+        GlobalAvgPool2d(name="avgpool"),
+        Flatten(name="flatten"),
+        Linear(name="fc", out_features=1000, in_features=2048),
+        Softmax(name="softmax"),
+    ])
+    return Network(name="resnet152", layers=layers, input_shape=(3, 224, 224), dataset="imagenet")
+
+
+def custom_mnist_cnn() -> Network:
+    """The paper's custom MNIST network (Sec. V-A).
+
+    ``CONV(16,1,5,5)``, ``CONV(50,16,5,5)``, ``FC(256,800)``, ``FC(10,256)``
+    with 2x2 max-pooling after each convolution (which yields exactly the 800
+    inputs of the first FC layer for 28x28 MNIST images).
+    """
+    layers = [
+        Conv2d(name="conv1", out_channels=16, in_channels=1, kernel_size=(5, 5)),
+        ReLU(name="relu1"),
+        MaxPool2d(name="pool1", kernel_size=2, stride=2),
+        Conv2d(name="conv2", out_channels=50, in_channels=16, kernel_size=(5, 5)),
+        ReLU(name="relu2"),
+        MaxPool2d(name="pool2", kernel_size=2, stride=2),
+        Flatten(name="flatten"),
+        Linear(name="fc1", out_features=256, in_features=800),
+        ReLU(name="relu3"),
+        Linear(name="fc2", out_features=10, in_features=256),
+        Softmax(name="softmax"),
+    ]
+    return Network(name="custom_mnist", layers=layers, input_shape=(1, 28, 28), dataset="mnist")
+
+
+def lenet5() -> Network:
+    """Classic LeNet-5 (used by examples and ablation studies)."""
+    layers = [
+        Conv2d(name="conv1", out_channels=6, in_channels=1, kernel_size=(5, 5), padding=2),
+        ReLU(name="relu1"),
+        AvgPool2d(name="pool1", kernel_size=2, stride=2),
+        Conv2d(name="conv2", out_channels=16, in_channels=6, kernel_size=(5, 5)),
+        ReLU(name="relu2"),
+        AvgPool2d(name="pool2", kernel_size=2, stride=2),
+        Flatten(name="flatten"),
+        Linear(name="fc1", out_features=120, in_features=16 * 5 * 5),
+        ReLU(name="relu3"),
+        Linear(name="fc2", out_features=84, in_features=120),
+        ReLU(name="relu4"),
+        Linear(name="fc3", out_features=10, in_features=84),
+        Softmax(name="softmax"),
+    ]
+    return Network(name="lenet5", layers=layers, input_shape=(1, 28, 28), dataset="mnist")
+
+
+#: Registry of model builders by canonical name.
+MODEL_ZOO: Dict[str, Callable[[], Network]] = {
+    "alexnet": alexnet,
+    "vgg16": vgg16,
+    "googlenet": googlenet,
+    "resnet152": resnet152,
+    "custom_mnist": custom_mnist_cnn,
+    "lenet5": lenet5,
+}
+
+
+def build_model(name: str) -> Network:
+    """Build a model from the zoo by name."""
+    try:
+        builder = MODEL_ZOO[name]
+    except KeyError:
+        known = ", ".join(sorted(MODEL_ZOO))
+        raise KeyError(f"unknown model '{name}'; known models: {known}") from None
+    return builder()

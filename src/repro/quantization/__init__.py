@@ -1,0 +1,75 @@
+"""Quantization and data-representation substrate.
+
+The aging analysis in DNN-Life depends on the *bit-level* view of DNN weights
+under different data representations.  This package implements:
+
+* IEEE-754 single-precision decomposition (:mod:`repro.quantization.float32`);
+* range-linear symmetric and asymmetric 8-bit quantization, per-tensor and
+  per-channel (:mod:`repro.quantization.linear`);
+* generic signed/unsigned fixed-point formats (:mod:`repro.quantization.fixed_point`);
+* vectorized bit-plane utilities (:mod:`repro.quantization.bitops`);
+* a :class:`~repro.quantization.formats.DataFormat` registry that maps a name
+  such as ``"int8_symmetric"`` to the machinery that turns a float weight
+  tensor into the exact machine words written into the weight memory.
+"""
+
+from repro.quantization.bitops import (
+    bit_probabilities,
+    pack_words_to_bits,
+    unpack_bits,
+    words_to_bitplanes,
+)
+from repro.quantization.calibration import (
+    calibration_report,
+    mse_symmetric_params,
+    percentile_symmetric_params,
+)
+from repro.quantization.fixed_point import FixedPointFormat, quantize_fixed_point
+from repro.quantization.float32 import (
+    EXPONENT_BITS,
+    MANTISSA_BITS,
+    SIGN_BIT,
+    decompose_float32,
+    float32_to_words,
+    words_to_float32,
+)
+from repro.quantization.formats import (
+    DataFormat,
+    available_formats,
+    get_format,
+    register_format,
+)
+from repro.quantization.linear import (
+    AsymmetricQuantizer,
+    LinearQuantParams,
+    SymmetricQuantizer,
+    quantize_asymmetric,
+    quantize_symmetric,
+)
+
+__all__ = [
+    "calibration_report",
+    "mse_symmetric_params",
+    "percentile_symmetric_params",
+    "bit_probabilities",
+    "pack_words_to_bits",
+    "unpack_bits",
+    "words_to_bitplanes",
+    "FixedPointFormat",
+    "quantize_fixed_point",
+    "EXPONENT_BITS",
+    "MANTISSA_BITS",
+    "SIGN_BIT",
+    "decompose_float32",
+    "float32_to_words",
+    "words_to_float32",
+    "DataFormat",
+    "available_formats",
+    "get_format",
+    "register_format",
+    "AsymmetricQuantizer",
+    "LinearQuantParams",
+    "SymmetricQuantizer",
+    "quantize_asymmetric",
+    "quantize_symmetric",
+]

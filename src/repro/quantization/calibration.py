@@ -1,0 +1,110 @@
+"""Quantization-range calibration (extension).
+
+Post-training quantization quality (and, through the weight distributions,
+the bit-level statistics the aging analysis sees) depends on how the
+quantization range is chosen.  The paper uses plain min/max range-linear
+quantization; this module adds the two calibrators most deployment toolchains
+offer so that users can study their aging impact:
+
+* **percentile calibration** — clip the range to the p-th percentile of the
+  absolute values, trading a little clipping error for much finer resolution
+  on the bulk of the weights;
+* **MSE calibration** — search the clipping threshold that minimises the mean
+  squared quantization error.
+
+Both return the same :class:`~repro.quantization.linear.LinearQuantParams`
+used everywhere else, so calibrated quantizers drop into the existing
+:class:`~repro.quantization.formats.DataFormat` machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.quantization.linear import (
+    LinearQuantParams,
+    dequantize_with_params,
+    quantize_with_params,
+)
+from repro.utils.validation import check_in_range, check_positive_int
+
+
+def percentile_symmetric_params(values: np.ndarray, num_bits: int = 8,
+                                percentile: float = 99.9) -> LinearQuantParams:
+    """Symmetric parameters with the range clipped at a percentile of |w|."""
+    check_positive_int(num_bits, "num_bits")
+    check_in_range(percentile, "percentile", low=50.0, high=100.0)
+    array = np.abs(np.asarray(values, dtype=np.float64).reshape(-1))
+    if array.size == 0:
+        return LinearQuantParams(scale=1.0, zero_point=0, num_bits=num_bits, signed=True)
+    clip = float(np.percentile(array, percentile))
+    clip = clip if clip > 0 else float(array.max() or 1.0)
+    qmax = 2 ** (num_bits - 1) - 1
+    return LinearQuantParams(scale=clip / qmax, zero_point=0, num_bits=num_bits, signed=True)
+
+
+def mse_symmetric_params(values: np.ndarray, num_bits: int = 8,
+                         num_candidates: int = 40) -> LinearQuantParams:
+    """Symmetric parameters minimising the mean squared quantization error.
+
+    The clipping threshold is swept between 20% and 100% of ``max |w|``; the
+    candidate with the lowest reconstruction MSE wins.
+    """
+    check_positive_int(num_bits, "num_bits")
+    check_positive_int(num_candidates, "num_candidates")
+    array = np.asarray(values, dtype=np.float64).reshape(-1)
+    if array.size == 0:
+        return LinearQuantParams(scale=1.0, zero_point=0, num_bits=num_bits, signed=True)
+    abs_max = float(np.abs(array).max())
+    if abs_max == 0:
+        return LinearQuantParams(scale=1.0, zero_point=0, num_bits=num_bits, signed=True)
+    qmax = 2 ** (num_bits - 1) - 1
+    best_params = None
+    best_error = np.inf
+    for fraction in np.linspace(0.2, 1.0, num_candidates):
+        params = LinearQuantParams(scale=fraction * abs_max / qmax, zero_point=0,
+                                   num_bits=num_bits, signed=True)
+        reconstructed = dequantize_with_params(quantize_with_params(array, params), params)
+        error = float(np.mean((array - reconstructed) ** 2))
+        if error < best_error:
+            best_error = error
+            best_params = params
+    return best_params
+
+
+def calibration_report(values: np.ndarray, num_bits: int = 8) -> dict:
+    """Compare min/max, percentile and MSE calibration on one tensor.
+
+    Returns, per method, the scale, the clipping fraction and the RMS error —
+    the ingredients of the quantization-vs-aging trade-off ablation.
+    """
+    from repro.quantization.linear import compute_symmetric_params
+
+    array = np.asarray(values, dtype=np.float64).reshape(-1)
+    abs_max = float(np.abs(array).max()) if array.size else 0.0
+    methods = {
+        "minmax": compute_symmetric_params(array, num_bits),
+        "percentile_99.9": percentile_symmetric_params(array, num_bits, 99.9),
+        "mse": mse_symmetric_params(array, num_bits),
+    }
+    qmax = 2 ** (num_bits - 1) - 1
+    report = {}
+    for name, params in methods.items():
+        reconstructed = dequantize_with_params(quantize_with_params(array, params), params)
+        rms = float(np.sqrt(np.mean((array - reconstructed) ** 2))) if array.size else 0.0
+        report[name] = {
+            "scale": params.scale,
+            "clip_fraction_of_max": (params.scale * qmax / abs_max) if abs_max else 1.0,
+            "rms_error": rms,
+        }
+    return report
+
+
+def calibrated_words(values: np.ndarray, params: LinearQuantParams) -> Tuple[np.ndarray, LinearQuantParams]:
+    """Quantize ``values`` with precomputed calibrated parameters into words."""
+    from repro.quantization.linear import levels_to_words
+
+    levels = quantize_with_params(np.asarray(values, dtype=np.float64), params)
+    return levels_to_words(levels.reshape(-1), params), params

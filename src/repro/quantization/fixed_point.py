@@ -1,0 +1,103 @@
+"""Generic signed fixed-point (Qm.n) formats.
+
+The paper's evaluation uses float32 and 8-bit range-linear integers, but the
+framework is explicitly format-agnostic ("the mitigation technique should be
+generic and independent of the datatype used").  Fixed-point formats are a
+common alternative in embedded DNN accelerators, so they are provided as an
+additional :class:`~repro.quantization.formats.DataFormat` backend and are
+used by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """A signed two's-complement fixed-point format with ``integer_bits`` and
+    ``fraction_bits`` (sign bit included in ``integer_bits``)."""
+
+    integer_bits: int
+    fraction_bits: int
+
+    def __post_init__(self) -> None:
+        if self.integer_bits < 1:
+            raise ValueError("integer_bits must include the sign bit (>= 1)")
+        if self.fraction_bits < 0:
+            raise ValueError("fraction_bits must be >= 0")
+        if self.word_bits > 64:
+            raise ValueError("total width must not exceed 64 bits")
+
+    @property
+    def word_bits(self) -> int:
+        """Total width of the stored word."""
+        return self.integer_bits + self.fraction_bits
+
+    @property
+    def resolution(self) -> float:
+        """Value of one least-significant bit."""
+        return 2.0 ** (-self.fraction_bits)
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable value."""
+        return (2 ** (self.word_bits - 1) - 1) * self.resolution
+
+    @property
+    def min_value(self) -> float:
+        """Smallest (most negative) representable value."""
+        return -(2 ** (self.word_bits - 1)) * self.resolution
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """Quantize float values to integer levels (two's-complement range)."""
+        array = np.asarray(values, dtype=np.float64)
+        levels = np.round(array / self.resolution)
+        low = -(2 ** (self.word_bits - 1))
+        high = 2 ** (self.word_bits - 1) - 1
+        return np.clip(levels, low, high).astype(np.int64)
+
+    def dequantize(self, levels: np.ndarray) -> np.ndarray:
+        """Map integer levels back to float values."""
+        return np.asarray(levels, dtype=np.float64) * self.resolution
+
+    def to_words(self, values: np.ndarray) -> np.ndarray:
+        """Quantize and return the unsigned machine words (two's complement)."""
+        levels = self.quantize(values).reshape(-1)
+        mask = (1 << self.word_bits) - 1
+        return (levels & mask).astype(np.uint64)
+
+    def from_words(self, words: np.ndarray) -> np.ndarray:
+        """Decode machine words back to float values."""
+        words = np.asarray(words, dtype=np.uint64).astype(np.int64)
+        sign_bit = 1 << (self.word_bits - 1)
+        mask = (1 << self.word_bits) - 1
+        words = words & mask
+        levels = np.where(words >= sign_bit, words - (mask + 1), words)
+        return self.dequantize(levels)
+
+
+def quantize_fixed_point(values: np.ndarray, integer_bits: int,
+                         fraction_bits: int) -> Tuple[np.ndarray, FixedPointFormat]:
+    """Quantize ``values`` with a Q(integer_bits).(fraction_bits) format."""
+    fmt = FixedPointFormat(integer_bits=integer_bits, fraction_bits=fraction_bits)
+    return fmt.quantize(values), fmt
+
+
+def best_fixed_point_format(values: np.ndarray, word_bits: int) -> FixedPointFormat:
+    """Choose the Qm.n split of ``word_bits`` that minimises clipping.
+
+    The integer width is the smallest that covers the dynamic range of the
+    data; the remaining bits become fraction bits.
+    """
+    if word_bits < 2:
+        raise ValueError("word_bits must be >= 2 for a signed fixed-point format")
+    array = np.asarray(values, dtype=np.float64)
+    abs_max = float(np.max(np.abs(array))) if array.size else 0.0
+    integer_bits = 1
+    while integer_bits < word_bits and (2 ** (integer_bits - 1)) <= abs_max:
+        integer_bits += 1
+    return FixedPointFormat(integer_bits=integer_bits, fraction_bits=word_bits - integer_bits)

@@ -1,0 +1,73 @@
+"""IEEE-754 single-precision bit-level views.
+
+The paper's first data representation is the standard 32-bit floating point
+format.  The weight memory then simply stores the raw 32-bit pattern of each
+weight; this module exposes that pattern and its sign/exponent/mantissa
+decomposition for the bit-distribution analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Bit-location (LSB = 0) of the sign bit in an IEEE-754 binary32 word.
+SIGN_BIT = 31
+#: Bit-locations of the exponent field, MSB to LSB.
+EXPONENT_BITS = tuple(range(30, 22, -1))
+#: Bit-locations of the mantissa (fraction) field, MSB to LSB.
+MANTISSA_BITS = tuple(range(22, -1, -1))
+
+WORD_BITS = 32
+
+
+@dataclass(frozen=True)
+class Float32Fields:
+    """Sign / exponent / mantissa fields of an array of float32 values."""
+
+    sign: np.ndarray
+    exponent: np.ndarray
+    mantissa: np.ndarray
+
+    def reconstruct(self) -> np.ndarray:
+        """Re-assemble the original float32 values from the fields."""
+        words = (
+            (self.sign.astype(np.uint32) << np.uint32(31))
+            | (self.exponent.astype(np.uint32) << np.uint32(23))
+            | self.mantissa.astype(np.uint32)
+        )
+        return words_to_float32(words)
+
+
+def float32_to_words(values: np.ndarray) -> np.ndarray:
+    """Return the raw 32-bit machine words of an array of float32 values."""
+    as_float32 = np.ascontiguousarray(values, dtype=np.float32)
+    return as_float32.view(np.uint32).reshape(-1).astype(np.uint64)
+
+
+def words_to_float32(words: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`float32_to_words`."""
+    as_uint32 = np.ascontiguousarray(words, dtype=np.uint64).astype(np.uint32)
+    return as_uint32.view(np.float32).copy()
+
+
+def decompose_float32(values: np.ndarray) -> Float32Fields:
+    """Split float32 values into their sign, exponent and mantissa fields."""
+    words = float32_to_words(values).astype(np.uint32)
+    sign = (words >> np.uint32(31)) & np.uint32(0x1)
+    exponent = (words >> np.uint32(23)) & np.uint32(0xFF)
+    mantissa = words & np.uint32(0x7FFFFF)
+    return Float32Fields(sign=sign, exponent=exponent, mantissa=mantissa)
+
+
+def exponent_value_distribution(values: np.ndarray) -> np.ndarray:
+    """Histogram (256 bins) of the biased exponent field across the values.
+
+    Useful for understanding why the high-order bit positions of float32 DNN
+    weights are strongly biased: trained weights are concentrated well below
+    1.0 in magnitude, so the biased exponent clusters in a narrow band below
+    127 and its upper bits are almost always ``0111...``.
+    """
+    fields = decompose_float32(values)
+    return np.bincount(fields.exponent.astype(np.int64), minlength=256).astype(np.int64)

@@ -1,0 +1,178 @@
+"""Data-format registry.
+
+A :class:`DataFormat` is the bridge between the software view of a DNN (float
+weight tensors) and the hardware view (fixed-width machine words written into
+the on-chip weight memory).  The three formats evaluated in the paper are
+registered by default:
+
+* ``float32``            — raw IEEE-754 binary32 words (32-bit);
+* ``int8_symmetric``     — 8-bit range-linear symmetric quantization;
+* ``int8_asymmetric``    — 8-bit range-linear asymmetric quantization;
+
+plus fixed-point variants used in the ablation studies.  New formats can be
+added with :func:`register_format` without touching the rest of the library,
+which is the paper's "generic and independent of the datatype" requirement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.quantization.fixed_point import FixedPointFormat
+from repro.quantization.float32 import float32_to_words, words_to_float32
+from repro.quantization.linear import (
+    AsymmetricQuantizer,
+    SymmetricQuantizer,
+    dequantize_with_params,
+    words_to_levels,
+)
+
+#: Signature of the per-tensor encoder: float tensor -> (words, decoder).
+EncodeFn = Callable[[np.ndarray], Tuple[np.ndarray, Callable[[np.ndarray], np.ndarray]]]
+
+
+@dataclass(frozen=True)
+class DataFormat:
+    """A named, fixed-width data representation for DNN weights.
+
+    Attributes
+    ----------
+    name:
+        Registry key, e.g. ``"int8_symmetric"``.
+    word_bits:
+        Width in bits of one stored weight word.
+    description:
+        Human-readable description used in reports.
+    """
+
+    name: str
+    word_bits: int
+    description: str
+    _encode: EncodeFn
+
+    def to_words(self, weights: np.ndarray) -> np.ndarray:
+        """Convert a float weight tensor to a flat array of machine words."""
+        words, _ = self._encode(np.asarray(weights))
+        return words
+
+    def to_words_with_decoder(self, weights: np.ndarray):
+        """Convert to words and also return a decoder back to float values.
+
+        The decoder closes over the quantization parameters computed for this
+        particular tensor, which mirrors how a real accelerator keeps the
+        per-tensor scale/zero-point alongside the integer weights.
+        """
+        return self._encode(np.asarray(weights))
+
+    @property
+    def bytes_per_weight(self) -> float:
+        """Storage cost of one weight in bytes."""
+        return self.word_bits / 8.0
+
+
+_REGISTRY: Dict[str, DataFormat] = {}
+
+
+def register_format(fmt: DataFormat, overwrite: bool = False) -> DataFormat:
+    """Add a format to the global registry."""
+    if fmt.name in _REGISTRY and not overwrite:
+        raise ValueError(f"data format '{fmt.name}' is already registered")
+    _REGISTRY[fmt.name] = fmt
+    return fmt
+
+
+def get_format(name: str) -> DataFormat:
+    """Look up a registered format by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown data format '{name}'; known formats: {known}") from None
+
+
+def available_formats() -> List[str]:
+    """Names of all registered formats."""
+    return sorted(_REGISTRY)
+
+
+def _encode_float32(weights: np.ndarray):
+    words = float32_to_words(weights)
+
+    def decode(encoded_words: np.ndarray) -> np.ndarray:
+        return words_to_float32(encoded_words)
+
+    return words, decode
+
+
+def _encode_int8_symmetric(weights: np.ndarray):
+    quantizer = SymmetricQuantizer(num_bits=8)
+    words, params = quantizer.to_words(weights)
+
+    def decode(encoded_words: np.ndarray) -> np.ndarray:
+        return dequantize_with_params(words_to_levels(encoded_words, params), params)
+
+    return words, decode
+
+
+def _encode_int8_asymmetric(weights: np.ndarray):
+    quantizer = AsymmetricQuantizer(num_bits=8)
+    words, params = quantizer.to_words(weights)
+
+    def decode(encoded_words: np.ndarray) -> np.ndarray:
+        return dequantize_with_params(words_to_levels(encoded_words, params), params)
+
+    return words, decode
+
+
+def _make_fixed_point_encoder(fmt: FixedPointFormat) -> EncodeFn:
+    def encode(weights: np.ndarray):
+        words = fmt.to_words(weights)
+
+        def decode(encoded_words: np.ndarray) -> np.ndarray:
+            return fmt.from_words(encoded_words)
+
+        return words, decode
+
+    return encode
+
+
+def _register_default_formats() -> None:
+    register_format(DataFormat(
+        name="float32",
+        word_bits=32,
+        description="IEEE-754 single precision (raw 32-bit pattern)",
+        _encode=_encode_float32,
+    ))
+    register_format(DataFormat(
+        name="int8_symmetric",
+        word_bits=8,
+        description="8-bit range-linear symmetric quantization (two's complement)",
+        _encode=_encode_int8_symmetric,
+    ))
+    register_format(DataFormat(
+        name="int8_asymmetric",
+        word_bits=8,
+        description="8-bit range-linear asymmetric quantization (unsigned, zero-point)",
+        _encode=_encode_int8_asymmetric,
+    ))
+    register_format(DataFormat(
+        name="q1_7_fixed",
+        word_bits=8,
+        description="Q1.7 signed fixed point",
+        _encode=_make_fixed_point_encoder(FixedPointFormat(1, 7)),
+    ))
+    register_format(DataFormat(
+        name="q2_14_fixed",
+        word_bits=16,
+        description="Q2.14 signed fixed point",
+        _encode=_make_fixed_point_encoder(FixedPointFormat(2, 14)),
+    ))
+
+
+_register_default_formats()
+
+#: The three formats evaluated in the paper (Figs. 6 and 9).
+PAPER_FORMATS = ("float32", "int8_symmetric", "int8_asymmetric")

@@ -1,0 +1,191 @@
+"""Range-linear post-training quantization (symmetric and asymmetric).
+
+These are the two 8-bit integer representations studied in the paper
+(Sec. III-A, citing Lin et al., "Fixed point quantization of deep
+convolutional networks").
+
+* **Symmetric** quantization maps the float range ``[-max|w|, +max|w|]`` to
+  signed integers ``[-2^(n-1)+1, 2^(n-1)-1]`` with a zero-point of 0.  The
+  stored machine word is the two's-complement pattern of the signed integer.
+* **Asymmetric** quantization maps ``[min(w), max(w)]`` to unsigned integers
+  ``[0, 2^n - 1]`` with a non-zero zero-point.  The stored machine word is the
+  unsigned integer itself.
+
+Both per-tensor and per-channel parameter computation are supported; the
+paper's experiments use per-tensor quantization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_in_range
+
+
+@dataclass(frozen=True)
+class LinearQuantParams:
+    """Scale / zero-point pair describing a range-linear quantization."""
+
+    scale: float
+    zero_point: int
+    num_bits: int
+    signed: bool
+
+    @property
+    def qmin(self) -> int:
+        """Smallest representable integer level."""
+        if self.signed:
+            return -(2 ** (self.num_bits - 1)) + 1
+        return 0
+
+    @property
+    def qmax(self) -> int:
+        """Largest representable integer level."""
+        if self.signed:
+            return 2 ** (self.num_bits - 1) - 1
+        return 2 ** self.num_bits - 1
+
+
+def _check_bits(num_bits: int) -> int:
+    check_in_range(num_bits, "num_bits", low=2, high=32)
+    return int(num_bits)
+
+
+def compute_symmetric_params(values: np.ndarray, num_bits: int = 8) -> LinearQuantParams:
+    """Compute per-tensor symmetric quantization parameters."""
+    num_bits = _check_bits(num_bits)
+    abs_max = float(np.max(np.abs(values))) if np.asarray(values).size else 0.0
+    qmax = 2 ** (num_bits - 1) - 1
+    scale = abs_max / qmax if abs_max > 0 else 1.0
+    return LinearQuantParams(scale=scale, zero_point=0, num_bits=num_bits, signed=True)
+
+
+def compute_asymmetric_params(values: np.ndarray, num_bits: int = 8) -> LinearQuantParams:
+    """Compute per-tensor asymmetric quantization parameters."""
+    num_bits = _check_bits(num_bits)
+    array = np.asarray(values, dtype=np.float64)
+    if array.size == 0:
+        return LinearQuantParams(scale=1.0, zero_point=0, num_bits=num_bits, signed=False)
+    # The representable range must include zero so that zero-valued weights
+    # (and zero padding) are exactly representable.
+    low = min(float(array.min()), 0.0)
+    high = max(float(array.max()), 0.0)
+    qmax = 2 ** num_bits - 1
+    span = high - low
+    scale = span / qmax if span > 0 else 1.0
+    zero_point = int(round(-low / scale))
+    zero_point = int(np.clip(zero_point, 0, qmax))
+    return LinearQuantParams(scale=scale, zero_point=zero_point, num_bits=num_bits, signed=False)
+
+
+def quantize_with_params(values: np.ndarray, params: LinearQuantParams) -> np.ndarray:
+    """Quantize float values to integer levels using precomputed parameters."""
+    array = np.asarray(values, dtype=np.float64)
+    levels = np.round(array / params.scale) + params.zero_point
+    return np.clip(levels, params.qmin, params.qmax).astype(np.int64)
+
+
+def dequantize_with_params(levels: np.ndarray, params: LinearQuantParams) -> np.ndarray:
+    """Map integer levels back to (approximate) float values."""
+    return (np.asarray(levels, dtype=np.float64) - params.zero_point) * params.scale
+
+
+def levels_to_words(levels: np.ndarray, params: LinearQuantParams) -> np.ndarray:
+    """Convert integer levels to the unsigned machine words stored in memory.
+
+    Signed levels are stored as two's complement within ``num_bits`` bits.
+    """
+    levels = np.asarray(levels, dtype=np.int64)
+    if params.signed:
+        mask = (1 << params.num_bits) - 1
+        return (levels & mask).astype(np.uint64)
+    return levels.astype(np.uint64)
+
+
+def words_to_levels(words: np.ndarray, params: LinearQuantParams) -> np.ndarray:
+    """Inverse of :func:`levels_to_words`."""
+    words = np.asarray(words, dtype=np.uint64).astype(np.int64)
+    if not params.signed:
+        return words
+    sign_bit = 1 << (params.num_bits - 1)
+    mask = (1 << params.num_bits) - 1
+    words = words & mask
+    return np.where(words >= sign_bit, words - (mask + 1), words)
+
+
+class SymmetricQuantizer:
+    """Per-tensor (or per-channel) symmetric range-linear quantizer."""
+
+    def __init__(self, num_bits: int = 8, per_channel: bool = False, channel_axis: int = 0):
+        self.num_bits = _check_bits(num_bits)
+        self.per_channel = bool(per_channel)
+        self.channel_axis = int(channel_axis)
+
+    def quantize(self, values: np.ndarray) -> Tuple[np.ndarray, LinearQuantParams]:
+        """Quantize ``values``; returns (integer levels, parameters).
+
+        For per-channel mode the returned parameters describe channel 0 and a
+        list of per-channel parameters is available via :meth:`channel_params`.
+        """
+        if not self.per_channel:
+            params = compute_symmetric_params(values, self.num_bits)
+            return quantize_with_params(values, params), params
+        params_list = self.channel_params(values)
+        moved = np.moveaxis(np.asarray(values, dtype=np.float64), self.channel_axis, 0)
+        levels = np.empty_like(moved, dtype=np.int64)
+        for channel, channel_params in enumerate(params_list):
+            levels[channel] = quantize_with_params(moved[channel], channel_params)
+        return np.moveaxis(levels, 0, self.channel_axis), params_list[0]
+
+    def channel_params(self, values: np.ndarray) -> list:
+        """Per-channel quantization parameters along ``channel_axis``."""
+        moved = np.moveaxis(np.asarray(values, dtype=np.float64), self.channel_axis, 0)
+        return [compute_symmetric_params(moved[channel], self.num_bits)
+                for channel in range(moved.shape[0])]
+
+    def to_words(self, values: np.ndarray) -> Tuple[np.ndarray, LinearQuantParams]:
+        """Quantize and return the flat array of stored machine words."""
+        levels, params = self.quantize(values)
+        return levels_to_words(levels.reshape(-1), params), params
+
+
+class AsymmetricQuantizer:
+    """Per-tensor asymmetric range-linear quantizer."""
+
+    def __init__(self, num_bits: int = 8):
+        self.num_bits = _check_bits(num_bits)
+
+    def quantize(self, values: np.ndarray) -> Tuple[np.ndarray, LinearQuantParams]:
+        """Quantize ``values``; returns (integer levels, parameters)."""
+        params = compute_asymmetric_params(values, self.num_bits)
+        return quantize_with_params(values, params), params
+
+    def to_words(self, values: np.ndarray) -> Tuple[np.ndarray, LinearQuantParams]:
+        """Quantize and return the flat array of stored machine words."""
+        levels, params = self.quantize(values)
+        return levels_to_words(levels.reshape(-1), params), params
+
+
+def quantize_symmetric(values: np.ndarray, num_bits: int = 8) -> Tuple[np.ndarray, LinearQuantParams]:
+    """Convenience wrapper: per-tensor symmetric quantization to levels."""
+    return SymmetricQuantizer(num_bits=num_bits).quantize(values)
+
+
+def quantize_asymmetric(values: np.ndarray, num_bits: int = 8) -> Tuple[np.ndarray, LinearQuantParams]:
+    """Convenience wrapper: per-tensor asymmetric quantization to levels."""
+    return AsymmetricQuantizer(num_bits=num_bits).quantize(values)
+
+
+def quantization_error(values: np.ndarray, params: Optional[LinearQuantParams] = None,
+                       symmetric: bool = True, num_bits: int = 8) -> float:
+    """Root-mean-square error introduced by quantizing ``values``."""
+    array = np.asarray(values, dtype=np.float64)
+    if params is None:
+        params = (compute_symmetric_params(array, num_bits) if symmetric
+                  else compute_asymmetric_params(array, num_bits))
+    levels = quantize_with_params(array, params)
+    reconstructed = dequantize_with_params(levels, params)
+    return float(np.sqrt(np.mean((array - reconstructed) ** 2))) if array.size else 0.0

@@ -1,0 +1,52 @@
+"""Serialization helpers for experiment results.
+
+Experiment drivers return plain dataclasses / dictionaries; these helpers save
+them to JSON (for the human-readable reports committed next to the benchmark
+outputs) and load them back for comparisons.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Union
+
+import numpy as np
+
+PathLike = Union[str, Path]
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert dataclasses / numpy types into JSON-safe values."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: to_jsonable(getattr(obj, f.name)) for f in dataclasses.fields(obj)}
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, (np.bool_,)):
+        return bool(obj)
+    if isinstance(obj, dict):
+        return {str(key): to_jsonable(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(value) for value in obj]
+    return obj
+
+
+def save_json(obj: Any, path: PathLike, indent: int = 2) -> Path:
+    """Serialize ``obj`` (dataclass / dict / numpy) to a JSON file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(to_jsonable(obj), handle, indent=indent, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_json(path: PathLike) -> Any:
+    """Load a JSON file previously written with :func:`save_json`."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return json.load(handle)

@@ -1,0 +1,116 @@
+"""ASCII rendering of tables, histograms and series.
+
+The benchmark harness prints the same rows/series the paper reports.  Since no
+plotting library is available offline, figures are rendered as text tables and
+horizontal bar histograms which preserve the information content (the series
+values) of the original plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Union
+
+Number = Union[int, float]
+
+
+def _format_cell(value: object, precision: int) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+@dataclass
+class AsciiTable:
+    """A minimal ASCII table builder used by experiment reports.
+
+    Examples
+    --------
+    >>> table = AsciiTable(["policy", "mean SNM deg. [%]"], title="Fig. 9")
+    >>> table.add_row(["no mitigation", 19.73])
+    >>> print(table.render())  # doctest: +SKIP
+    """
+
+    headers: Sequence[str]
+    title: Optional[str] = None
+    precision: int = 3
+    rows: List[List[object]] = field(default_factory=list)
+
+    def add_row(self, row: Sequence[object]) -> None:
+        """Append a row; its length must match the header count."""
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(self.headers)} columns"
+            )
+        self.rows.append(list(row))
+
+    def add_rows(self, rows: Iterable[Sequence[object]]) -> None:
+        """Append several rows at once."""
+        for row in rows:
+            self.add_row(row)
+
+    def render(self) -> str:
+        """Render the table as an ASCII string."""
+        text_rows = [[_format_cell(c, self.precision) for c in row] for row in self.rows]
+        headers = [str(h) for h in self.headers]
+        widths = [len(h) for h in headers]
+        for row in text_rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def render_line(cells: Sequence[str]) -> str:
+            return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+        separator = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(separator)
+        lines.append(render_line(headers))
+        lines.append(separator)
+        for row in text_rows:
+            lines.append(render_line(row))
+        lines.append(separator)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def format_histogram(bin_labels: Sequence[str], percentages: Sequence[Number],
+                     title: Optional[str] = None, width: int = 50) -> str:
+    """Render a horizontal bar histogram (used for the Fig. 9/11 style plots).
+
+    Parameters
+    ----------
+    bin_labels:
+        Label of each histogram bin (e.g. SNM-degradation ranges).
+    percentages:
+        Percentage of cells in each bin (0..100).
+    width:
+        Number of characters used for a 100% bar.
+    """
+    if len(bin_labels) != len(percentages):
+        raise ValueError("bin_labels and percentages must have equal length")
+    label_width = max((len(str(label)) for label in bin_labels), default=0)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, pct in zip(bin_labels, percentages):
+        bar = "#" * int(round(float(pct) / 100.0 * width))
+        lines.append(f"{str(label).rjust(label_width)} | {float(pct):6.2f}% {bar}")
+    return "\n".join(lines)
+
+
+def format_series(x_values: Sequence[Number], y_values: Sequence[Number],
+                  x_name: str = "x", y_name: str = "y",
+                  title: Optional[str] = None, precision: int = 4) -> str:
+    """Render a two-column series (used for curve-style figures)."""
+    if len(x_values) != len(y_values):
+        raise ValueError("x_values and y_values must have equal length")
+    table = AsciiTable([x_name, y_name], title=title, precision=precision)
+    for x, y in zip(x_values, y_values):
+        table.add_row([x, y])
+    return table.render()

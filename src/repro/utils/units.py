@@ -1,0 +1,65 @@
+"""Unit constants and human-readable formatting helpers."""
+
+from __future__ import annotations
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+SECONDS_PER_YEAR = 365.25 * 24 * 3600.0
+
+
+def bytes_to_bits(num_bytes: int) -> int:
+    """Convert a byte count to a bit count."""
+    return int(num_bytes) * 8
+
+
+def bits_to_bytes(num_bits: int) -> int:
+    """Convert a bit count to bytes, rounding up to whole bytes."""
+    return (int(num_bits) + 7) // 8
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Render a byte count with a binary-prefix unit (``512.0 KB``)."""
+    value = float(num_bytes)
+    for unit, scale in (("GB", GB), ("MB", MB), ("KB", KB)):
+        if abs(value) >= scale:
+            return f"{value / scale:.1f} {unit}"
+    return f"{value:.0f} B"
+
+
+def format_energy(joules: float) -> str:
+    """Render an energy value with an SI prefix (pJ / nJ / uJ / mJ / J)."""
+    value = float(joules)
+    for unit, scale in (("J", 1.0), ("mJ", 1e-3), ("uJ", 1e-6), ("nJ", 1e-9), ("pJ", 1e-12)):
+        if abs(value) >= scale:
+            return f"{value / scale:.2f} {unit}"
+    return f"{value / 1e-15:.2f} fJ"
+
+
+def format_power(watts: float) -> str:
+    """Render a power value with an SI prefix (nW / uW / mW / W)."""
+    value = float(watts)
+    for unit, scale in (("W", 1.0), ("mW", 1e-3), ("uW", 1e-6), ("nW", 1e-9)):
+        if abs(value) >= scale:
+            return f"{value / scale:.2f} {unit}"
+    return f"{value / 1e-12:.2f} pW"
+
+
+def format_time(seconds: float) -> str:
+    """Render a delay/time value with an SI prefix (ps / ns / us / ms / s)."""
+    value = float(seconds)
+    for unit, scale in (("s", 1.0), ("ms", 1e-3), ("us", 1e-6), ("ns", 1e-9), ("ps", 1e-12)):
+        if abs(value) >= scale:
+            return f"{value / scale:.2f} {unit}"
+    return f"{value / 1e-15:.2f} fs"
+
+
+def years_to_seconds(years: float) -> float:
+    """Convert years to seconds (Julian year of 365.25 days)."""
+    return float(years) * SECONDS_PER_YEAR
+
+
+def seconds_to_years(seconds: float) -> float:
+    """Convert seconds to years (Julian year of 365.25 days)."""
+    return float(seconds) / SECONDS_PER_YEAR

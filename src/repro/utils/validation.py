@@ -1,0 +1,53 @@
+"""Argument-validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+def check_positive(value: float, name: str, strict: bool = True) -> float:
+    """Validate that ``value`` is positive (strictly by default)."""
+    if strict and value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that ``value`` is a probability in [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be within [0, 1], got {value}")
+    return float(value)
+
+
+def check_in_range(value: float, name: str, low: Optional[float] = None,
+                   high: Optional[float] = None, inclusive: bool = True) -> float:
+    """Validate that ``value`` lies in the given (optionally open) interval."""
+    if low is not None:
+        if inclusive and value < low:
+            raise ValueError(f"{name} must be >= {low}, got {value}")
+        if not inclusive and value <= low:
+            raise ValueError(f"{name} must be > {low}, got {value}")
+    if high is not None:
+        if inclusive and value > high:
+            raise ValueError(f"{name} must be <= {high}, got {value}")
+        if not inclusive and value >= high:
+            raise ValueError(f"{name} must be < {high}, got {value}")
+    return value
+
+
+def check_power_of_two(value: int, name: str) -> int:
+    """Validate that ``value`` is a positive power of two."""
+    if value <= 0 or (value & (value - 1)) != 0:
+        raise ValueError(f"{name} must be a positive power of two, got {value}")
+    return value
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that ``value`` is a positive integer."""
+    if not isinstance(value, (int,)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    return value

@@ -1,0 +1,120 @@
+"""Tests for repro.analysis (bit distributions, duty-cycle stats, energy)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bit_distribution import (
+    analyze_network_bit_distribution,
+    bit_distribution_table,
+    format_balance_summary,
+)
+from repro.analysis.duty_cycle import (
+    compare_duty_distributions,
+    duty_cycle_histogram,
+    duty_cycle_summary,
+    policy_improvement_summary,
+    tail_fraction,
+)
+from repro.analysis.energy import energy_overhead_report, energy_overhead_table
+from repro.core.framework import DnnLife
+from repro.core.simulation import AgingResult
+
+
+def _result(name, duty):
+    return AgingResult(policy_name=name, policy_description={"policy": name},
+                       duty_cycles=np.asarray(duty, dtype=np.float64),
+                       num_inferences=1, num_blocks=1)
+
+
+class TestBitDistributionAnalysis:
+    def test_all_formats_analyzed(self, mnist_network):
+        results = analyze_network_bit_distribution(mnist_network)
+        assert set(results) == {"float32", "int8_symmetric", "int8_asymmetric"}
+        assert results["float32"].word_bits == 32
+        assert results["int8_symmetric"].probabilities.shape == (8,)
+
+    def test_probabilities_are_valid(self, mnist_network):
+        for result in analyze_network_bit_distribution(mnist_network).values():
+            assert np.all((result.probabilities >= 0) & (result.probabilities <= 1))
+
+    def test_float32_exponent_msb_biased(self, mnist_network):
+        result = analyze_network_bit_distribution(mnist_network, ["float32"])["float32"]
+        # Bit-location 30 (exponent MSB) is essentially never 1 for trained-
+        # like weights; low mantissa bit-locations are balanced.
+        assert result.probabilities[30] < 0.02
+        assert abs(result.probabilities[2] - 0.5) < 0.1
+        assert not result.is_balanced
+
+    def test_symmetric_int8_is_most_balanced(self, mnist_network):
+        results = analyze_network_bit_distribution(mnist_network)
+        assert (results["int8_symmetric"].max_deviation_from_half
+                < results["float32"].max_deviation_from_half)
+
+    def test_subsampling_consistency(self, mnist_network):
+        full = analyze_network_bit_distribution(mnist_network, ["int8_symmetric"])
+        subsampled = analyze_network_bit_distribution(mnist_network, ["int8_symmetric"],
+                                                      max_weights_per_layer=5000)
+        assert np.allclose(full["int8_symmetric"].probabilities,
+                           subsampled["int8_symmetric"].probabilities, atol=0.1)
+
+    def test_table_rendering(self, mnist_network):
+        results = analyze_network_bit_distribution(mnist_network)
+        text = bit_distribution_table(results).render()
+        assert "bit-location" in text and "average" in text
+
+    def test_balance_summary(self, mnist_network):
+        summary = format_balance_summary(analyze_network_bit_distribution(mnist_network))
+        for entry in summary.values():
+            assert 0.0 <= entry["average_probability"] <= 1.0
+            assert entry["balanced"] in (0.0, 1.0)
+
+    def test_per_bit_dictionary(self, mnist_network):
+        result = analyze_network_bit_distribution(mnist_network, ["int8_symmetric"])[
+            "int8_symmetric"]
+        per_bit = result.per_bit()
+        assert set(per_bit) == set(range(8))
+
+
+class TestDutyCycleAnalysis:
+    def test_histogram_sums_to_100(self):
+        percentages, edges = duty_cycle_histogram(np.array([0.0, 0.5, 0.5, 1.0]), num_bins=10)
+        assert percentages.sum() == pytest.approx(100.0)
+        assert edges.size == 11
+
+    def test_summary_fields(self):
+        summary = duty_cycle_summary(np.array([0.5, 0.4, 0.6, 0.0, 1.0]))
+        assert summary["mean_duty"] == pytest.approx(0.5)
+        assert summary["percent_at_extremes"] == pytest.approx(40.0)
+        assert summary["max_abs_deviation"] == pytest.approx(0.5)
+
+    def test_tail_fraction(self):
+        duty = np.array([0.05, 0.5, 0.95, 0.3])
+        assert tail_fraction(duty, 0.1) == pytest.approx(0.5)
+
+    def test_policy_improvement(self):
+        baseline = _result("none", [[0.0, 1.0]])
+        mitigated = _result("dnn_life", [[0.5, 0.5]])
+        improvement = policy_improvement_summary(baseline, mitigated)
+        assert improvement["mean_degradation_reduction_pp"] > 10.0
+        assert improvement["mitigated_mean_degradation"] == pytest.approx(10.82, abs=0.01)
+
+    def test_compare_duty_distributions(self):
+        comparison = compare_duty_distributions({
+            "none": _result("none", [[0.0, 1.0, 0.5]]),
+            "dnn_life": _result("dnn_life", [[0.5, 0.49, 0.51]]),
+        })
+        assert comparison["none"]["tail@0.1"] > comparison["dnn_life"]["tail@0.1"]
+
+
+class TestEnergyAnalysis:
+    def test_report_and_table(self, mnist_network):
+        framework = DnnLife(mnist_network, data_format="int8_symmetric",
+                            num_inferences=5, seed=0)
+        report = energy_overhead_report(framework)
+        assert set(report) == {"none", "inversion", "barrel_shifter", "dnn_life"}
+        assert all(entry["overhead_percent_of_memory_energy"] >= 0 for entry in report.values())
+        # The barrel shifter's transducers burn more energy than DNN-Life's.
+        assert (report["barrel_shifter"]["transducer_energy_joules"]
+                > report["dnn_life"]["transducer_energy_joules"])
+        text = energy_overhead_table(framework).render()
+        assert "overhead" in text

@@ -1,0 +1,59 @@
+"""Tests for the dnn-life command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in ("fig1", "fig2", "fig6", "fig7", "fig9", "fig11",
+                        "table1", "table2", "compare", "energy"):
+            args = parser.parse_args([command] if command not in ("compare", "energy")
+                                     else [command, "--network", "custom_mnist"])
+            assert args.command == command
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_full_flag(self):
+        args = build_parser().parse_args(["fig9", "--full"])
+        assert args.quick is False
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "512" in capsys.readouterr().out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        assert "Barrel" in capsys.readouterr().out
+
+    def test_fig2(self, capsys):
+        assert main(["fig2"]) == 0
+        assert "SNM degradation" in capsys.readouterr().out
+
+    def test_fig7_with_json(self, tmp_path, capsys):
+        output = tmp_path / "fig7.json"
+        assert main(["--json", str(output), "fig7"]) == 0
+        payload = json.loads(output.read_text())
+        assert payload["P(duty<=0.3 or >=0.7) @ K=20"] > 0.1
+        assert "JSON result written" in capsys.readouterr().out
+
+    def test_compare_small_workload(self, capsys, tmp_path):
+        output = tmp_path / "compare.json"
+        assert main(["--json", str(output), "compare", "--network", "custom_mnist",
+                     "--format", "int8_symmetric", "--inferences", "5"]) == 0
+        text = capsys.readouterr().out
+        assert "DNN-Life" in text
+        payload = json.loads(output.read_text())
+        assert "best_policy" in payload
+
+    def test_energy_command(self, capsys):
+        assert main(["energy", "--network", "custom_mnist", "--inferences", "2"]) == 0
+        assert "overhead" in capsys.readouterr().out

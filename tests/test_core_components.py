@@ -1,0 +1,231 @@
+"""Tests for the DNN-Life hardware components: TRBG, bias balancer, controller,
+write data encoder / read data decoder."""
+
+import numpy as np
+import pytest
+
+from repro.core.bias_balancer import BiasBalancingRegister
+from repro.core.controller import AgingMitigationController
+from repro.core.encoder import ReadDataDecoder, WriteDataEncoder, roundtrip_is_transparent
+from repro.core.trbg import IdealTrbg, RingOscillatorTrbg, make_trbg
+
+
+class TestIdealTrbg:
+    def test_bits_are_binary(self):
+        bits = IdealTrbg(seed=0).bits(1000)
+        assert set(np.unique(bits)).issubset({0, 1})
+
+    def test_unbiased_mean_near_half(self):
+        assert abs(IdealTrbg(bias=0.5, seed=0).bits(50000).mean() - 0.5) < 0.01
+
+    def test_biased_mean(self):
+        assert abs(IdealTrbg(bias=0.7, seed=0).bits(50000).mean() - 0.7) < 0.01
+
+    def test_nominal_bias_property(self):
+        assert IdealTrbg(bias=0.7).nominal_bias == 0.7
+
+    def test_deterministic_with_seed(self):
+        assert np.array_equal(IdealTrbg(seed=5).bits(64), IdealTrbg(seed=5).bits(64))
+
+    def test_draw_counter(self):
+        trbg = IdealTrbg(seed=0)
+        trbg.bits(10)
+        trbg.next_bit()
+        assert trbg.draws == 11
+
+    def test_invalid_bias_rejected(self):
+        with pytest.raises(ValueError):
+            IdealTrbg(bias=1.5)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            IdealTrbg(seed=0).bits(-1)
+
+
+class TestRingOscillatorTrbg:
+    def test_bits_are_binary(self):
+        bits = RingOscillatorTrbg(seed=0).bits(2000)
+        assert set(np.unique(bits)).issubset({0, 1})
+
+    def test_duty_cycle_controls_bias(self):
+        biased = RingOscillatorTrbg(duty_cycle=0.7, seed=0).bits(20000)
+        assert 0.6 < biased.mean() < 0.8
+
+    def test_balanced_by_default(self):
+        bits = RingOscillatorTrbg(seed=1).bits(20000)
+        assert 0.45 < bits.mean() < 0.55
+
+    def test_even_stage_count_rejected(self):
+        with pytest.raises(ValueError):
+            RingOscillatorTrbg(num_stages=4)
+
+    def test_period_in_gate_delays(self):
+        assert RingOscillatorTrbg(num_stages=5).oscillation_period_gate_delays == 10
+
+    def test_zero_count(self):
+        assert RingOscillatorTrbg(seed=0).bits(0).size == 0
+
+    def test_factory(self):
+        assert isinstance(make_trbg(model="ideal"), IdealTrbg)
+        assert isinstance(make_trbg(model="ring_oscillator"), RingOscillatorTrbg)
+        with pytest.raises(ValueError):
+            make_trbg(model="quantum")
+
+
+class TestBiasBalancingRegister:
+    def test_period(self):
+        register = BiasBalancingRegister(num_bits=4)
+        assert register.period == 16
+        assert register.half_period == 8
+
+    def test_phase_toggles_every_half_period(self):
+        register = BiasBalancingRegister(num_bits=4)
+        phases = [register.tick() for _ in range(32)]
+        # Counter counts 1..8 -> phase 1 appears when MSB set (count >= 8).
+        assert phases[:7] == [0] * 7
+        assert phases[7:15] == [1] * 8
+        assert phases[15:23] == [0] * 8
+
+    def test_phase_balanced_over_full_period(self):
+        register = BiasBalancingRegister(num_bits=3)
+        phases = [register.tick() for _ in range(8 * 10)]
+        assert sum(phases) == len(phases) // 2
+
+    def test_apply_and_apply_bits(self):
+        register = BiasBalancingRegister(num_bits=1)
+        assert register.apply(1) in (0, 1)
+        register.tick()  # phase becomes 1 for M=1 after one tick
+        assert register.phase == 1
+        assert register.apply(1) == 0
+        assert np.array_equal(register.apply_bits(np.array([0, 1, 1], dtype=np.uint8)),
+                              np.array([1, 0, 0]))
+
+    def test_apply_validates_input(self):
+        register = BiasBalancingRegister()
+        with pytest.raises(ValueError):
+            register.apply(2)
+        with pytest.raises(ValueError):
+            register.apply_bits(np.array([0, 3]))
+
+    def test_reset(self):
+        register = BiasBalancingRegister(num_bits=2)
+        register.tick()
+        register.reset()
+        assert register.count == 0 and register.phase == 0
+
+    def test_phase_sequence_matches_ticks(self):
+        register = BiasBalancingRegister(num_bits=4)
+        expected = register.phase_sequence(0, 40)
+        fresh = BiasBalancingRegister(num_bits=4)
+        actual = np.array([fresh.tick() for _ in range(40)], dtype=np.uint8)
+        assert np.array_equal(expected, actual)
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            BiasBalancingRegister(num_bits=0)
+
+
+class TestAgingMitigationController:
+    def test_effective_bias_with_balancing(self):
+        controller = AgingMitigationController(IdealTrbg(bias=0.7, seed=0),
+                                               BiasBalancingRegister(4))
+        assert controller.effective_bias == 0.5
+        assert controller.has_bias_balancing
+
+    def test_effective_bias_without_balancing(self):
+        controller = AgingMitigationController(IdealTrbg(bias=0.7, seed=0))
+        assert controller.effective_bias == 0.7
+        assert not controller.has_bias_balancing
+
+    def test_bias_balancing_fixes_long_run_mean(self):
+        controller = AgingMitigationController(IdealTrbg(bias=0.8, seed=0),
+                                               BiasBalancingRegister(4))
+        samples = []
+        for _ in range(2000):
+            controller.new_data_block()
+            samples.extend(controller.enable_bits(4))
+        assert abs(np.mean(samples) - 0.5) < 0.03
+
+    def test_without_balancing_mean_stays_biased(self):
+        controller = AgingMitigationController(IdealTrbg(bias=0.8, seed=0))
+        samples = []
+        for _ in range(500):
+            controller.new_data_block()
+            samples.extend(controller.enable_bits(4))
+        assert abs(np.mean(samples) - 0.8) < 0.05
+
+    def test_counters(self):
+        controller = AgingMitigationController(IdealTrbg(seed=0), BiasBalancingRegister(2))
+        controller.new_data_block()
+        controller.enable_bits(10)
+        assert controller.blocks_seen == 1
+        assert controller.enables_generated == 10
+        controller.reset()
+        assert controller.blocks_seen == 0 and controller.enables_generated == 0
+
+    def test_default_controller_is_ideal_unbiased(self):
+        controller = AgingMitigationController(seed=3)
+        assert controller.trbg.nominal_bias == 0.5
+
+    def test_describe(self):
+        description = AgingMitigationController(IdealTrbg(bias=0.7, seed=0),
+                                                BiasBalancingRegister(4)).describe()
+        assert description["trbg_bias"] == 0.7
+        assert description["bias_balancing"] is True
+        assert description["bias_balancer_bits"] == 4
+
+
+class TestWriteDataEncoder:
+    def test_enable_zero_is_identity(self, rng):
+        words = rng.integers(0, 256, size=64, dtype=np.uint64)
+        encoder = WriteDataEncoder(8)
+        assert np.array_equal(encoder.encode(words, 0), words)
+
+    def test_enable_one_inverts(self):
+        encoder = WriteDataEncoder(8)
+        assert encoder.encode(np.array([0x0F]), 1)[0] == 0xF0
+
+    def test_per_word_enable(self, rng):
+        words = rng.integers(0, 256, size=10, dtype=np.uint64)
+        enable = np.array([0, 1] * 5, dtype=np.uint8)
+        encoded = WriteDataEncoder(8).encode(words, enable)
+        assert np.array_equal(encoded[::2], words[::2])
+        assert np.array_equal(encoded[1::2], words[1::2] ^ 0xFF)
+
+    def test_roundtrip_transparency(self, rng):
+        words = rng.integers(0, 2**32, size=200, dtype=np.uint64)
+        enable = rng.integers(0, 2, size=200, dtype=np.uint8)
+        assert roundtrip_is_transparent(words, enable, 32)
+
+    def test_decoder_is_same_operation(self, rng):
+        words = rng.integers(0, 256, size=32, dtype=np.uint64)
+        enable = rng.integers(0, 2, size=32, dtype=np.uint8)
+        encoded = WriteDataEncoder(8).encode(words, enable)
+        decoded = ReadDataDecoder(8).decode(encoded, enable)
+        assert np.array_equal(decoded, words)
+
+    def test_activity_counters(self, rng):
+        encoder = WriteDataEncoder(8)
+        words = rng.integers(0, 256, size=100, dtype=np.uint64)
+        enable = np.zeros(100, dtype=np.uint8)
+        enable[:25] = 1
+        encoder.encode(words, enable)
+        assert encoder.words_encoded == 100
+        assert encoder.words_inverted == 25
+        assert encoder.inversion_rate == 0.25
+        encoder.reset_counters()
+        assert encoder.words_encoded == 0
+
+    def test_enable_length_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            WriteDataEncoder(8).encode(rng.integers(0, 256, 10, dtype=np.uint64),
+                                       np.array([0, 1, 0]))
+
+    def test_invalid_enable_values_rejected(self, rng):
+        with pytest.raises(ValueError):
+            WriteDataEncoder(8).encode(rng.integers(0, 256, 3, dtype=np.uint64),
+                                       np.array([0, 2, 1]))
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            WriteDataEncoder(65)

@@ -1,0 +1,221 @@
+"""Tests for the aging-mitigation policies."""
+
+import numpy as np
+import pytest
+
+from repro.core.policies import (
+    BarrelShifterPolicy,
+    DnnLifePolicy,
+    NoMitigationPolicy,
+    PeriodicInversionPolicy,
+    default_policy_suite,
+    make_policy,
+)
+from repro.quantization.bitops import hamming_weight, unpack_bits
+
+
+def _random_words(rng, count, bits):
+    return rng.integers(0, 2**bits, size=count, dtype=np.uint64)
+
+
+class TestNoMitigation:
+    def test_encode_is_identity(self, rng):
+        policy = NoMitigationPolicy()
+        words = _random_words(rng, 32, 8)
+        encoded, metadata = policy.encode_block(words, 0)
+        assert np.array_equal(encoded, words)
+        assert metadata is None
+        assert np.array_equal(policy.decode_block(encoded, metadata), words)
+
+    def test_no_metadata_overhead(self):
+        assert NoMitigationPolicy().metadata_bits_per_word == 0.0
+
+
+class TestPeriodicInversion:
+    def test_write_granularity_alternates_within_block(self, rng):
+        policy = PeriodicInversionPolicy(word_bits=8, granularity="write")
+        words = _random_words(rng, 6, 8)
+        encoded, parities = policy.encode_block(words, 0)
+        assert parities.tolist() == [0, 1, 0, 1, 0, 1]
+        assert np.array_equal(encoded[::2], words[::2])
+        assert np.array_equal(encoded[1::2], words[1::2] ^ 0xFF)
+
+    def test_write_counter_carries_across_blocks(self, rng):
+        policy = PeriodicInversionPolicy(word_bits=8, granularity="write")
+        policy.encode_block(_random_words(rng, 3, 8), 0)       # odd-length block
+        _, parities = policy.encode_block(_random_words(rng, 2, 8), 1)
+        assert parities.tolist() == [1, 0]
+
+    def test_location_granularity_alternates_per_row(self, rng):
+        policy = PeriodicInversionPolicy(word_bits=8, granularity="location")
+        words = _random_words(rng, 4, 8)
+        _, first = policy.encode_block(words, 0, start_row=0)
+        _, second = policy.encode_block(words, 1, start_row=0)
+        assert first.tolist() == [0, 0, 0, 0]
+        assert second.tolist() == [1, 1, 1, 1]
+
+    def test_location_granularity_tracks_rows_independently(self, rng):
+        policy = PeriodicInversionPolicy(word_bits=8, granularity="location")
+        policy.encode_block(_random_words(rng, 4, 8), 0, start_row=0)
+        _, parities = policy.encode_block(_random_words(rng, 4, 8), 1, start_row=4)
+        assert parities.tolist() == [0, 0, 0, 0]
+
+    def test_decode_restores_original(self, rng):
+        for granularity in ("write", "location"):
+            policy = PeriodicInversionPolicy(word_bits=16, granularity=granularity)
+            words = _random_words(rng, 64, 16)
+            encoded, metadata = policy.encode_block(words, 0)
+            assert np.array_equal(policy.decode_block(encoded, metadata), words)
+
+    def test_reset_clears_counters(self, rng):
+        policy = PeriodicInversionPolicy(word_bits=8)
+        policy.encode_block(_random_words(rng, 5, 8), 0)
+        policy.reset()
+        _, parities = policy.encode_block(_random_words(rng, 2, 8), 0)
+        assert parities.tolist() == [0, 1]
+
+    def test_invalid_granularity(self):
+        with pytest.raises(ValueError):
+            PeriodicInversionPolicy(8, granularity="per-bank")
+
+    def test_name_reflects_granularity(self):
+        assert PeriodicInversionPolicy(8).name == "inversion"
+        assert PeriodicInversionPolicy(8, "location").name == "inversion_per_location"
+
+
+class TestBarrelShifter:
+    def test_shift_amounts_follow_write_counter(self, rng):
+        policy = BarrelShifterPolicy(word_bits=8)
+        _, shifts = policy.encode_block(_random_words(rng, 10, 8), 0)
+        assert shifts.tolist() == [i % 8 for i in range(10)]
+        _, shifts2 = policy.encode_block(_random_words(rng, 4, 8), 1)
+        assert shifts2.tolist() == [(10 + i) % 8 for i in range(4)]
+
+    def test_rotation_preserves_hamming_weight(self, rng):
+        policy = BarrelShifterPolicy(word_bits=8)
+        words = _random_words(rng, 100, 8)
+        encoded, _ = policy.encode_block(words, 0)
+        assert np.array_equal(hamming_weight(words, 8), hamming_weight(encoded, 8))
+
+    def test_known_rotation(self):
+        policy = BarrelShifterPolicy(word_bits=8)
+        words = np.array([0b00000001, 0b00000001], dtype=np.uint64)
+        encoded, shifts = policy.encode_block(words, 0)
+        assert shifts.tolist() == [0, 1]
+        assert encoded.tolist() == [0b00000001, 0b00000010]
+
+    def test_decode_restores_original(self, rng):
+        policy = BarrelShifterPolicy(word_bits=32)
+        words = _random_words(rng, 200, 32)
+        encoded, metadata = policy.encode_block(words, 0)
+        assert np.array_equal(policy.decode_block(encoded, metadata), words)
+
+    def test_reset(self, rng):
+        policy = BarrelShifterPolicy(word_bits=8)
+        policy.encode_block(_random_words(rng, 5, 8), 0)
+        policy.reset()
+        _, shifts = policy.encode_block(_random_words(rng, 3, 8), 0)
+        assert shifts.tolist() == [0, 1, 2]
+
+
+class TestDnnLifePolicy:
+    def test_decode_restores_original(self, rng):
+        policy = DnnLifePolicy(word_bits=8, seed=0)
+        words = _random_words(rng, 128, 8)
+        encoded, enables = policy.encode_block(words, 0)
+        assert np.array_equal(policy.decode_block(encoded, enables), words)
+
+    def test_enable_bits_drive_inversion(self, rng):
+        policy = DnnLifePolicy(word_bits=8, seed=0)
+        words = _random_words(rng, 64, 8)
+        encoded, enables = policy.encode_block(words, 0)
+        expected = np.where(enables.astype(bool), words ^ 0xFF, words)
+        assert np.array_equal(encoded, expected)
+
+    def test_fresh_randomness_every_block(self, rng):
+        policy = DnnLifePolicy(word_bits=8, seed=0)
+        words = _random_words(rng, 256, 8)
+        _, first = policy.encode_block(words, 0)
+        _, second = policy.encode_block(words, 0)
+        assert not np.array_equal(first, second)
+
+    def test_metadata_overhead_per_word(self):
+        assert DnnLifePolicy(word_bits=8, seed=0).metadata_bits_per_word == 1.0
+        assert DnnLifePolicy(word_bits=8, words_per_enable=8,
+                             seed=0).metadata_bits_per_word == pytest.approx(1 / 8)
+
+    def test_group_granularity_shares_enable(self, rng):
+        policy = DnnLifePolicy(word_bits=8, words_per_enable=4, seed=0)
+        words = _random_words(rng, 16, 8)
+        _, enables = policy.encode_block(words, 0)
+        groups = enables.reshape(4, 4)
+        assert np.all(groups == groups[:, :1])
+
+    def test_unbiased_inversion_rate_near_half(self, rng):
+        policy = DnnLifePolicy(word_bits=8, trbg_bias=0.5, seed=0)
+        _, enables = policy.encode_block(_random_words(rng, 20000, 8), 0)
+        assert abs(enables.mean() - 0.5) < 0.02
+
+    def test_biased_without_balancing_stays_biased(self, rng):
+        policy = DnnLifePolicy(word_bits=8, trbg_bias=0.8, bias_balancing=False, seed=0)
+        _, enables = policy.encode_block(_random_words(rng, 20000, 8), 0)
+        assert abs(enables.mean() - 0.8) < 0.02
+
+    def test_bias_balancing_restores_half_across_blocks(self, rng):
+        policy = DnnLifePolicy(word_bits=8, trbg_bias=0.8, bias_balancing=True,
+                               balance_register_bits=2, seed=0)
+        means = []
+        for block in range(64):
+            _, enables = policy.encode_block(_random_words(rng, 100, 8), block)
+            means.append(enables.mean())
+        assert abs(np.mean(means) - 0.5) < 0.05
+
+    def test_properties(self):
+        policy = DnnLifePolicy(word_bits=8, trbg_bias=0.7, bias_balancing=True, seed=0)
+        assert policy.trbg_bias == 0.7
+        assert policy.effective_bias == 0.5
+        assert policy.has_bias_balancing
+        assert "with bias balancing" in policy.display_name
+
+    def test_describe_includes_controller(self):
+        description = DnnLifePolicy(word_bits=8, seed=0).describe()
+        assert description["policy"] == "dnn_life"
+        assert "trbg_bias" in description
+
+
+class TestPolicyFactoryAndSuite:
+    def test_make_policy_all_names(self):
+        for name, expected in (("none", NoMitigationPolicy),
+                               ("inversion", PeriodicInversionPolicy),
+                               ("inversion_per_location", PeriodicInversionPolicy),
+                               ("barrel_shifter", BarrelShifterPolicy),
+                               ("dnn_life", DnnLifePolicy)):
+            assert isinstance(make_policy(name, word_bits=8, seed=0), expected)
+
+    def test_make_policy_unknown(self):
+        with pytest.raises(ValueError):
+            make_policy("magic", word_bits=8)
+
+    def test_default_suite_matches_fig9_columns(self):
+        suite = default_policy_suite(word_bits=8, seed=0)
+        assert len(suite) == 6
+        assert isinstance(suite[0], NoMitigationPolicy)
+        assert isinstance(suite[1], PeriodicInversionPolicy)
+        assert isinstance(suite[2], BarrelShifterPolicy)
+        assert all(isinstance(policy, DnnLifePolicy) for policy in suite[3:])
+        biases = [policy.trbg_bias for policy in suite[3:]]
+        balancing = [policy.has_bias_balancing for policy in suite[3:]]
+        assert biases == [0.5, 0.7, 0.7]
+        assert balancing == [False, False, True]
+
+    def test_all_policies_roundtrip_on_random_blocks(self, rng):
+        for policy in default_policy_suite(word_bits=32, seed=1):
+            words = _random_words(rng, 64, 32)
+            encoded, metadata = policy.encode_block(words, 0)
+            assert np.array_equal(policy.decode_block(encoded, metadata), words)
+
+    def test_encoded_bits_stay_within_word_width(self, rng):
+        for policy in default_policy_suite(word_bits=8, seed=1):
+            encoded, _ = policy.encode_block(_random_words(rng, 64, 8), 0)
+            assert int(encoded.max()) < 256
+            assert unpack_bits(encoded, 8).shape == (64, 8)

@@ -1,0 +1,54 @@
+"""Smoke tests: the example scripts run end to end.
+
+Only the two fastest examples are executed here (the figure-scale examples are
+exercised through their underlying experiment drivers in test_experiments.py);
+the goal is to catch import errors and API drift in the documented entry
+points.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run_example(name: str, argv=None, capsys=None):
+    path = EXAMPLES_DIR / name
+    assert path.exists(), f"example {name} is missing"
+    old_argv = sys.argv
+    sys.argv = [str(path)] + list(argv or [])
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out if capsys else ""
+
+
+class TestExamples:
+    def test_all_documented_examples_exist(self):
+        expected = {
+            "quickstart.py",
+            "alexnet_weight_memory_aging.py",
+            "tpu_npu_multi_network.py",
+            "mitigation_hardware_costs.py",
+            "transparent_inference.py",
+            "wear_report_and_multi_tenant.py",
+        }
+        present = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+        assert expected <= present
+
+    @pytest.mark.slow
+    def test_quickstart_runs(self, capsys):
+        output = _run_example("quickstart.py", capsys=capsys)
+        assert "best policy" in output
+        assert "DNN-Life" in output
+        assert "mitigation energy overhead" in output
+
+    @pytest.mark.slow
+    def test_transparent_inference_runs(self, capsys):
+        output = _run_example("transparent_inference.py", capsys=capsys)
+        assert "bit-identical" in output
+        assert "inference outputs identical" in output

@@ -1,0 +1,208 @@
+"""Tests for the hardware cost substrate (Table II models)."""
+
+import pytest
+
+from repro.core.policies import (
+    BarrelShifterPolicy,
+    DnnLifePolicy,
+    NoMitigationPolicy,
+    PeriodicInversionPolicy,
+)
+from repro.hwsynth.components import (
+    binary_counter,
+    crossbar_barrel_shifter,
+    enable_control_logic,
+    logarithmic_barrel_shifter,
+    pipeline_register,
+    ring_oscillator_trbg,
+    xor_inversion_array,
+)
+from repro.hwsynth.netlist import Netlist
+from repro.hwsynth.synthesis import PAPER_TABLE2, synthesize, table2_ascii, table2_report
+from repro.hwsynth.technology import CellKind, tsmc65_like_library
+from repro.hwsynth.wde_designs import (
+    barrel_shifter_wde,
+    inversion_wde,
+    proposed_dnn_life_wde,
+    wde_for_policy,
+)
+
+
+class TestTechnologyLibrary:
+    def test_all_cells_characterised(self):
+        library = tsmc65_like_library()
+        for kind in CellKind:
+            cell = library.cell(kind)
+            assert cell.area > 0 and cell.delay_ps > 0
+            assert cell.switching_energy_fj > 0 and cell.leakage_nw > 0
+
+    def test_relative_cell_costs_sane(self):
+        library = tsmc65_like_library()
+        assert library.cell(CellKind.XOR2).area > library.cell(CellKind.NAND2).area
+        assert library.cell(CellKind.DFF).area > library.cell(CellKind.INV).area
+
+    def test_unknown_cell_raises(self):
+        library = tsmc65_like_library()
+        library_without = type(library)(name="empty", nominal_voltage=1.2, cells={})
+        with pytest.raises(KeyError):
+            library_without.cell(CellKind.XOR2)
+
+    def test_voltage_scaling(self):
+        library = tsmc65_like_library()
+        scaled = library.scale_voltage(0.9)
+        assert scaled.cell(CellKind.XOR2).switching_energy_fj < \
+            library.cell(CellKind.XOR2).switching_energy_fj
+        assert scaled.cell(CellKind.XOR2).delay_ps > library.cell(CellKind.XOR2).delay_ps
+
+    def test_invalid_voltage(self):
+        with pytest.raises(ValueError):
+            tsmc65_like_library().scale_voltage(0.0)
+
+
+class TestNetlist:
+    def test_area_and_cells(self):
+        library = tsmc65_like_library()
+        netlist = Netlist("n").add_cells(CellKind.XOR2, 10).add_cells(CellKind.DFF, 2)
+        assert netlist.total_cells == 12
+        expected_area = (10 * 2.2 + 2 * 4.0) * 1.1
+        assert netlist.area(library) == pytest.approx(expected_area)
+
+    def test_delay_follows_critical_path(self):
+        library = tsmc65_like_library()
+        netlist = Netlist("n").add_cells(CellKind.XOR2, 1)
+        netlist.set_critical_path([CellKind.XOR2, CellKind.XOR2])
+        assert netlist.delay_ps(library) == pytest.approx(2 * 45.0 + 2 * 5.0)
+
+    def test_power_scales_with_frequency(self):
+        library = tsmc65_like_library()
+        netlist = Netlist("n").add_cells(CellKind.XOR2, 100)
+        assert netlist.dynamic_power_nw(library, 1e9) == pytest.approx(
+            2 * netlist.dynamic_power_nw(library, 0.5e9))
+
+    def test_per_group_activity(self):
+        library = tsmc65_like_library()
+        quiet = Netlist("quiet").add_cells(CellKind.INV, 10, activity=0.0)
+        busy = Netlist("busy").add_cells(CellKind.INV, 10, activity=1.0)
+        assert quiet.energy_per_cycle_joules(library) == 0.0
+        assert busy.energy_per_cycle_joules(library) > 0.0
+        merged = quiet + busy
+        assert merged.energy_per_cycle_joules(library) == pytest.approx(
+            busy.energy_per_cycle_joules(library))
+
+    def test_parallel_composition_adds_cells_keeps_longest_path(self):
+        a = Netlist("a").add_cells(CellKind.INV, 3).set_critical_path([CellKind.INV])
+        b = Netlist("b").add_cells(CellKind.XOR2, 2).set_critical_path(
+            [CellKind.XOR2, CellKind.XOR2])
+        merged = a + b
+        assert merged.total_cells == 5
+        assert merged.critical_path == [CellKind.XOR2, CellKind.XOR2]
+
+    def test_cascade_concatenates_paths(self):
+        a = Netlist("a").set_critical_path([CellKind.INV])
+        b = Netlist("b").set_critical_path([CellKind.XOR2])
+        assert a.cascade(b).critical_path == [CellKind.INV, CellKind.XOR2]
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ValueError):
+            Netlist("n").dynamic_power_nw(tsmc65_like_library(), 0.0)
+
+    def test_negative_cell_count_rejected(self):
+        with pytest.raises(ValueError):
+            Netlist("n").add_cells(CellKind.INV, -1)
+
+
+class TestComponents:
+    def test_xor_array_scales_linearly(self):
+        assert (xor_inversion_array(64).cell_counts[CellKind.XOR2]
+                == 2 * xor_inversion_array(32).cell_counts[CellKind.XOR2])
+
+    def test_crossbar_scales_quadratically(self):
+        assert (crossbar_barrel_shifter(64).cell_counts[CellKind.TGATE]
+                == 4 * crossbar_barrel_shifter(32).cell_counts[CellKind.TGATE])
+
+    def test_log_shifter_cheaper_than_crossbar(self):
+        library = tsmc65_like_library()
+        assert (logarithmic_barrel_shifter(64).area(library)
+                < crossbar_barrel_shifter(64).area(library))
+
+    def test_ring_oscillator_needs_odd_stages(self):
+        with pytest.raises(ValueError):
+            ring_oscillator_trbg(4)
+        assert ring_oscillator_trbg(5).cell_counts[CellKind.INV] == 5
+
+    def test_counter_and_register(self):
+        assert binary_counter(4).cell_counts[CellKind.DFF] == 4
+        assert pipeline_register(16).cell_counts[CellKind.DFF] == 16
+
+    def test_enable_control_logic_has_path(self):
+        assert len(enable_control_logic().critical_path) == 3
+
+
+class TestWdeDesigns:
+    def test_relative_area_matches_paper(self):
+        barrel = barrel_shifter_wde().area_cell_units
+        inversion = inversion_wde().area_cell_units
+        proposed = proposed_dnn_life_wde().area_cell_units
+        paper_barrel_ratio = PAPER_TABLE2["Barrel Shifter based WDE"]["area_cell_units"] / \
+            PAPER_TABLE2["Inversion based WDE"]["area_cell_units"]
+        # Ordering and order-of-magnitude: barrel is tens of times larger;
+        # the proposed design is only slightly larger than plain inversion.
+        assert barrel / inversion > 20
+        assert barrel / inversion == pytest.approx(paper_barrel_ratio, rel=0.5)
+        assert 1.0 < proposed / inversion < 2.0
+
+    def test_relative_power_matches_paper(self):
+        barrel = barrel_shifter_wde().power_nw
+        inversion = inversion_wde().power_nw
+        proposed = proposed_dnn_life_wde().power_nw
+        assert barrel / inversion > 10
+        assert 1.0 < proposed / inversion < 2.0
+
+    def test_absolute_area_same_order_as_paper(self):
+        for design, reference in (
+                (barrel_shifter_wde(), PAPER_TABLE2["Barrel Shifter based WDE"]),
+                (inversion_wde(), PAPER_TABLE2["Inversion based WDE"]),
+                (proposed_dnn_life_wde(),
+                 PAPER_TABLE2["Proposed WDE with Aging Mitigation Controller"])):
+            assert reference["area_cell_units"] / 3 < design.area_cell_units \
+                < reference["area_cell_units"] * 3
+
+    def test_barrel_shifter_is_slowest(self):
+        assert barrel_shifter_wde().delay_ps > inversion_wde().delay_ps
+        assert barrel_shifter_wde().delay_ps > proposed_dnn_life_wde().delay_ps
+
+    def test_energy_per_transfer_positive_and_ordered(self):
+        assert (barrel_shifter_wde().energy_per_transfer_joules()
+                > proposed_dnn_life_wde().energy_per_transfer_joules()
+                > 0.0)
+
+    def test_report_fields(self):
+        report = inversion_wde().report()
+        assert {"design", "delay_ps", "power_nw", "area_cell_units"} <= set(report)
+
+    def test_table2_report_has_three_designs(self):
+        rows = table2_report()
+        assert len(rows) == 3
+        assert {row["design"] for row in rows} == set(PAPER_TABLE2)
+
+    def test_table2_ascii_mentions_paper_values(self):
+        text = table2_ascii()
+        assert "9035" in text and "Barrel" in text
+
+    def test_synthesize_report(self):
+        report = synthesize(xor_inversion_array(8))
+        assert report.total_cells >= 8
+        assert report.area_cell_units > 0
+
+    def test_wde_for_policy_mapping(self):
+        assert "Inversion" in wde_for_policy(PeriodicInversionPolicy(8), 8).name
+        assert "Barrel" in wde_for_policy(BarrelShifterPolicy(8), 8).name
+        assert "Proposed" in wde_for_policy(DnnLifePolicy(8, seed=0), 8).name
+        assert "Pass-through" in wde_for_policy(NoMitigationPolicy(), 8).name
+
+    def test_wde_for_policy_unknown_type(self):
+        with pytest.raises(TypeError):
+            wde_for_policy(object(), 8)
+
+    def test_width_scaling(self):
+        assert inversion_wde(128).area_cell_units > inversion_wde(64).area_cell_units

@@ -1,0 +1,199 @@
+"""Tests for repro.nn.layers, repro.nn.composite and repro.nn.network."""
+
+import numpy as np
+import pytest
+
+from repro.nn.composite import Bottleneck, Inception
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    kaiming_std,
+)
+from repro.nn.network import Network, concatenate_networks
+
+
+class TestConv2d:
+    def test_weight_shape(self):
+        layer = Conv2d(out_channels=16, in_channels=3, kernel_size=(5, 5))
+        assert layer.weight_shape == (16, 3, 5, 5)
+        assert layer.weight_count == 16 * 3 * 25
+        assert layer.bias_shape == (16,)
+
+    def test_parameter_count_includes_bias(self):
+        layer = Conv2d(out_channels=8, in_channels=2, kernel_size=(3, 3))
+        assert layer.parameter_count == 8 * 2 * 9 + 8
+
+    def test_no_bias(self):
+        layer = Conv2d(out_channels=8, in_channels=2, kernel_size=(3, 3), use_bias=False)
+        assert layer.bias_shape is None
+        assert layer.parameter_count == 8 * 2 * 9
+
+    def test_output_shape_with_stride_and_padding(self):
+        layer = Conv2d(out_channels=64, in_channels=3, kernel_size=(11, 11), stride=4, padding=2)
+        assert layer.output_shape((3, 224, 224)) == (64, 55, 55)
+
+    def test_output_shape_channel_mismatch(self):
+        layer = Conv2d(out_channels=4, in_channels=3, kernel_size=(3, 3))
+        with pytest.raises(ValueError):
+            layer.output_shape((1, 8, 8))
+
+    def test_fan_in(self):
+        assert Conv2d(out_channels=4, in_channels=3, kernel_size=(3, 3)).fan_in == 27
+
+    def test_macs(self):
+        layer = Conv2d(out_channels=2, in_channels=1, kernel_size=(3, 3))
+        assert layer.macs((1, 5, 5)) == 2 * 3 * 3 * 9
+
+    def test_groups_must_divide(self):
+        with pytest.raises(ValueError):
+            Conv2d(out_channels=4, in_channels=3, kernel_size=(3, 3), groups=2)
+
+
+class TestLinearAndOthers:
+    def test_linear_shapes(self):
+        layer = Linear(out_features=10, in_features=20)
+        assert layer.weight_shape == (10, 20)
+        assert layer.fan_in == 20
+        assert layer.output_shape((20, 1, 1)) == (10, 1, 1)
+
+    def test_linear_input_mismatch(self):
+        with pytest.raises(ValueError):
+            Linear(out_features=10, in_features=20).output_shape((30, 1, 1))
+
+    def test_pooling_shapes(self):
+        assert MaxPool2d(kernel_size=2, stride=2).output_shape((4, 8, 8)) == (4, 4, 4)
+        assert MaxPool2d(kernel_size=3, stride=2).output_shape((4, 13, 13)) == (4, 6, 6)
+        assert AvgPool2d(kernel_size=2).output_shape((4, 8, 8)) == (4, 4, 4)
+
+    def test_global_avg_pool(self):
+        assert GlobalAvgPool2d().output_shape((512, 7, 7)) == (512, 1, 1)
+
+    def test_flatten(self):
+        assert Flatten().output_shape((4, 5, 5)) == (100, 1, 1)
+
+    def test_weightless_layers(self):
+        for layer in (ReLU(), MaxPool2d(), Dropout(), Flatten()):
+            assert not layer.has_weights
+            assert layer.parameter_count == 0
+
+    def test_batchnorm_not_in_weight_memory(self):
+        layer = BatchNorm2d(num_features=8)
+        assert layer.has_weights
+        assert layer.counts_toward_weight_memory is False
+
+    def test_kaiming_std(self):
+        layer = Conv2d(out_channels=4, in_channels=2, kernel_size=(3, 3))
+        assert kaiming_std(layer) == pytest.approx(np.sqrt(2.0 / 18))
+
+
+class TestCompositeLayers:
+    def test_inception_output_channels(self):
+        module = Inception(name="inc", in_channels=192, ch1x1=64, ch3x3_reduce=96,
+                           ch3x3=128, ch5x5_reduce=16, ch5x5=32, pool_proj=32)
+        assert module.out_channels == 256
+        assert module.output_shape((192, 28, 28)) == (256, 28, 28)
+
+    def test_inception_parameter_count(self):
+        module = Inception(name="inc", in_channels=192, ch1x1=64, ch3x3_reduce=96,
+                           ch3x3=128, ch5x5_reduce=16, ch5x5=32, pool_proj=32)
+        expected_weights = (192 * 64 + 192 * 96 + 96 * 128 * 9
+                            + 192 * 16 + 16 * 32 * 25 + 192 * 32)
+        assert module.weight_count == expected_weights
+
+    def test_inception_channel_mismatch(self):
+        module = Inception(name="inc", in_channels=192, ch1x1=64, ch3x3_reduce=96,
+                           ch3x3=128, ch5x5_reduce=16, ch5x5=32, pool_proj=32)
+        with pytest.raises(ValueError):
+            module.output_shape((100, 28, 28))
+
+    def test_bottleneck_projection(self):
+        block = Bottleneck(name="b", in_channels=64, planes=64, stride=1)
+        assert block.needs_projection  # 64 != 64 * 4
+        assert block.out_channels == 256
+        assert block.output_shape((64, 56, 56)) == (256, 56, 56)
+
+    def test_bottleneck_stride_downsamples(self):
+        block = Bottleneck(name="b", in_channels=256, planes=128, stride=2)
+        assert block.output_shape((256, 56, 56)) == (512, 28, 28)
+
+    def test_bottleneck_weight_sublayers_exclude_batchnorm(self):
+        block = Bottleneck(name="b", in_channels=64, planes=64)
+        kinds = {type(layer).__name__ for layer in block.iter_weight_sublayers()}
+        assert kinds == {"Conv2d"}
+
+
+class TestNetwork:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Network("dup", [ReLU(name="a"), ReLU(name="a")])
+
+    def test_anonymous_layers_get_names(self):
+        network = Network("anon", [ReLU(), ReLU()])
+        assert len({layer.name for layer in network.layers}) == 2
+
+    def test_layer_lookup(self, tiny_network):
+        assert tiny_network.layer("conv1").name == "conv1"
+        with pytest.raises(KeyError):
+            tiny_network.layer("missing")
+
+    def test_weight_layers_order(self, tiny_network):
+        names = [layer.name for layer in tiny_network.weight_layers()]
+        assert names == ["conv1", "conv2", "fc1", "fc2"]
+
+    def test_parameter_and_weight_counts(self, tiny_network):
+        weights = 4 * 1 * 9 + 8 * 4 * 9 + 16 * 968 + 4 * 16
+        biases = 4 + 8 + 16 + 4
+        assert tiny_network.weight_count == weights
+        assert tiny_network.parameter_count == weights + biases
+
+    def test_model_size(self, tiny_network):
+        assert tiny_network.model_size_bytes(4.0) == tiny_network.parameter_count * 4.0
+
+    def test_output_shape(self, tiny_network):
+        assert tiny_network.output_shape() == (4, 1, 1)
+
+    def test_layer_shapes_chain(self, tiny_network):
+        shapes = dict(tiny_network.layer_shapes())
+        assert shapes["conv1"] == (4, 26, 26)
+        assert shapes["fc2"] == (4, 1, 1)
+
+    def test_macs_positive(self, tiny_network):
+        assert tiny_network.macs() > 0
+
+    def test_flat_weights_concatenation(self, tiny_network):
+        flat = tiny_network.flat_weights()
+        assert flat.size == tiny_network.weight_count
+        assert flat.dtype == np.float32
+
+    def test_flat_weights_requires_attachment(self):
+        network = Network("noweights", [Linear(name="fc", out_features=2, in_features=3)])
+        with pytest.raises(ValueError):
+            network.flat_weights()
+
+    def test_validate_weights_shape_mismatch(self, tiny_network):
+        tiny_network.layer("fc2").weights = np.zeros((3, 3), dtype=np.float32)
+        with pytest.raises(ValueError):
+            tiny_network.validate_weights()
+
+    def test_summary_contains_layers(self, tiny_network):
+        text = tiny_network.summary()
+        assert "conv1" in text and "TOTAL" in text
+
+    def test_describe(self, tiny_network):
+        description = tiny_network.describe()
+        assert description["name"] == "tiny_cnn"
+        assert description["num_weight_layers"] == 4
+
+    def test_concatenate_networks(self, tiny_network, lenet_network):
+        combined = concatenate_networks("multi", [tiny_network, lenet_network])
+        assert combined.parameter_count == (tiny_network.parameter_count
+                                            + lenet_network.parameter_count)
+        assert combined.weight_count == (tiny_network.weight_count
+                                         + lenet_network.weight_count)

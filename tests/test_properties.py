@@ -1,0 +1,179 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.aging.probabilistic import duty_cycle_tail_probability
+from repro.aging.snm import CalibratedSnmModel, default_snm_model
+from repro.core.bias_balancer import BiasBalancingRegister
+from repro.core.policies import (
+    BarrelShifterPolicy,
+    DnnLifePolicy,
+    NoMitigationPolicy,
+    PeriodicInversionPolicy,
+)
+from repro.quantization.bitops import (
+    bit_probabilities,
+    invert_words,
+    pack_bits_to_words,
+    pack_words_to_bits,
+    rotate_words,
+    unpack_bits,
+)
+from repro.quantization.fixed_point import FixedPointFormat
+from repro.quantization.float32 import float32_to_words, words_to_float32
+from repro.quantization.linear import (
+    AsymmetricQuantizer,
+    SymmetricQuantizer,
+    dequantize_with_params,
+    levels_to_words,
+    words_to_levels,
+)
+
+word_bits_strategy = st.sampled_from([4, 8, 16, 32])
+
+
+def words_strategy(word_bits, max_size=64):
+    return hnp.arrays(dtype=np.uint64, shape=st.integers(1, max_size),
+                      elements=st.integers(0, 2**word_bits - 1))
+
+
+@st.composite
+def words_with_bits(draw, max_size=64):
+    bits = draw(word_bits_strategy)
+    words = draw(words_strategy(bits, max_size))
+    return bits, words
+
+
+class TestBitopsProperties:
+    @given(words_with_bits())
+    def test_unpack_pack_roundtrip(self, data):
+        bits, words = data
+        stream = pack_words_to_bits(words, bits)
+        assert np.array_equal(pack_bits_to_words(stream, bits), words)
+
+    @given(words_with_bits())
+    def test_unpack_shape_and_binary(self, data):
+        bits, words = data
+        matrix = unpack_bits(words, bits)
+        assert matrix.shape == (words.size, bits)
+        assert set(np.unique(matrix)).issubset({0, 1})
+
+    @given(words_with_bits())
+    def test_double_inversion_is_identity(self, data):
+        bits, words = data
+        assert np.array_equal(invert_words(invert_words(words, bits), bits), words)
+
+    @given(words_with_bits(), st.integers(0, 63))
+    def test_rotation_roundtrip(self, data, amount):
+        bits, words = data
+        rotated = rotate_words(words, bits, amount % bits)
+        back = rotate_words(rotated, bits, (bits - amount % bits) % bits)
+        assert np.array_equal(back, words)
+
+    @given(words_with_bits())
+    def test_inversion_complements_probabilities(self, data):
+        bits, words = data
+        original = bit_probabilities(words, bits)
+        inverted = bit_probabilities(invert_words(words, bits), bits)
+        assert np.allclose(original + inverted, 1.0)
+
+
+class TestQuantizationProperties:
+    @given(hnp.arrays(dtype=np.float32, shape=st.integers(1, 200),
+                      elements=st.floats(-10, 10, width=32)))
+    def test_float32_word_roundtrip(self, values):
+        assert np.array_equal(words_to_float32(float32_to_words(values)), values)
+
+    @given(hnp.arrays(dtype=np.float64, shape=st.integers(1, 200),
+                      elements=st.floats(-5, 5)))
+    def test_symmetric_quantization_error_bounded(self, values):
+        levels, params = SymmetricQuantizer(8).quantize(values)
+        reconstructed = dequantize_with_params(levels, params)
+        assert np.max(np.abs(values - reconstructed)) <= params.scale * 0.5 + 1e-9
+
+    @given(hnp.arrays(dtype=np.float64, shape=st.integers(1, 200),
+                      elements=st.floats(-5, 5)))
+    def test_asymmetric_levels_in_range(self, values):
+        levels, params = AsymmetricQuantizer(8).quantize(values)
+        assert levels.min() >= params.qmin and levels.max() <= params.qmax
+
+    @given(hnp.arrays(dtype=np.float64, shape=st.integers(1, 100),
+                      elements=st.floats(-3, 3)))
+    def test_twos_complement_word_roundtrip(self, values):
+        levels, params = SymmetricQuantizer(8).quantize(values)
+        assert np.array_equal(words_to_levels(levels_to_words(levels, params), params), levels)
+
+    @given(hnp.arrays(dtype=np.float64, shape=st.integers(1, 100),
+                      elements=st.floats(-0.99, 0.99)),
+           st.integers(0, 7))
+    def test_fixed_point_error_bounded(self, values, fraction_bits):
+        fmt = FixedPointFormat(1, fraction_bits)
+        recovered = fmt.from_words(fmt.to_words(values))
+        assert np.max(np.abs(values - recovered)) <= fmt.resolution + 1e-12
+
+
+class TestPolicyProperties:
+    @settings(deadline=None)
+    @given(words_with_bits(), st.integers(0, 5))
+    def test_all_policies_decode_to_original(self, data, block_index):
+        bits, words = data
+        policies = [NoMitigationPolicy(),
+                    PeriodicInversionPolicy(bits, "write"),
+                    PeriodicInversionPolicy(bits, "location"),
+                    BarrelShifterPolicy(bits),
+                    DnnLifePolicy(bits, seed=0)]
+        for policy in policies:
+            encoded, metadata = policy.encode_block(words, block_index)
+            assert np.array_equal(policy.decode_block(encoded, metadata), words)
+
+    @settings(deadline=None)
+    @given(words_with_bits())
+    def test_encoded_words_fit_width(self, data):
+        bits, words = data
+        for policy in (PeriodicInversionPolicy(bits), BarrelShifterPolicy(bits),
+                       DnnLifePolicy(bits, seed=1)):
+            encoded, _ = policy.encode_block(words, 0)
+            assert int(encoded.max()) < 2**bits
+
+    @given(st.integers(1, 8), st.integers(1, 300))
+    def test_bias_balancer_phase_balanced_over_whole_periods(self, num_bits, periods):
+        register = BiasBalancingRegister(num_bits)
+        ticks = register.period * periods
+        phases = [register.tick() for _ in range(ticks)]
+        assert sum(phases) == ticks // 2
+
+
+class TestAgingModelProperties:
+    @given(hnp.arrays(dtype=np.float64, shape=st.integers(1, 100),
+                      elements=st.floats(0, 1)))
+    def test_snm_degradation_within_anchor_bounds(self, duty):
+        model = default_snm_model()
+        degradation = model.degradation_percent(duty)
+        assert np.all(degradation >= model.best_case_percent() - 1e-9)
+        assert np.all(degradation <= model.worst_case_percent() + 1e-9)
+
+    @given(st.floats(0, 0.5))
+    def test_snm_symmetry(self, duty):
+        model = default_snm_model()
+        low = model.degradation_percent(np.array([duty]))[0]
+        high = model.degradation_percent(np.array([1.0 - duty]))[0]
+        assert low == high
+
+    @given(st.floats(10.9, 26.0), st.floats(27.0, 60.0))
+    def test_calibrated_model_hits_custom_anchors(self, best, worst):
+        model = CalibratedSnmModel(best_percent=best, worst_percent=worst)
+        assert model.best_case_percent() == pytest.approx(best, rel=1e-9)
+        assert model.worst_case_percent() == pytest.approx(worst, rel=1e-9)
+
+    @given(st.integers(2, 60), st.floats(0.05, 0.95))
+    def test_eq1_is_probability_and_monotone(self, num_blocks, rho):
+        previous = 0.0
+        for b in range(num_blocks // 2 + 1):
+            value = duty_cycle_tail_probability(num_blocks, rho, b)
+            assert 0.0 <= value <= 1.0 + 1e-12
+            assert value >= previous - 1e-12
+            previous = value

@@ -1,0 +1,218 @@
+"""Tests for repro.quantization.{float32, linear, fixed_point, formats}."""
+
+import numpy as np
+import pytest
+
+from repro.quantization.fixed_point import (
+    FixedPointFormat,
+    best_fixed_point_format,
+    quantize_fixed_point,
+)
+from repro.quantization.float32 import (
+    decompose_float32,
+    exponent_value_distribution,
+    float32_to_words,
+    words_to_float32,
+)
+from repro.quantization.formats import PAPER_FORMATS, available_formats, get_format, register_format
+from repro.quantization.linear import (
+    AsymmetricQuantizer,
+    SymmetricQuantizer,
+    compute_asymmetric_params,
+    compute_symmetric_params,
+    dequantize_with_params,
+    levels_to_words,
+    quantization_error,
+    quantize_with_params,
+    words_to_levels,
+)
+
+
+class TestFloat32:
+    def test_word_roundtrip(self, rng):
+        values = rng.normal(size=1000).astype(np.float32)
+        assert np.array_equal(words_to_float32(float32_to_words(values)), values)
+
+    def test_known_patterns(self):
+        assert float32_to_words(np.array([0.0], dtype=np.float32))[0] == 0
+        assert float32_to_words(np.array([1.0], dtype=np.float32))[0] == 0x3F800000
+        assert float32_to_words(np.array([-2.0], dtype=np.float32))[0] == 0xC0000000
+
+    def test_decomposition_fields(self):
+        fields = decompose_float32(np.array([1.5, -1.5], dtype=np.float32))
+        assert fields.sign.tolist() == [0, 1]
+        assert fields.exponent.tolist() == [127, 127]
+        assert fields.mantissa.tolist() == [0x400000, 0x400000]
+
+    def test_decomposition_reconstructs(self, rng):
+        values = rng.normal(size=256).astype(np.float32)
+        assert np.array_equal(decompose_float32(values).reconstruct(), values)
+
+    def test_small_weights_have_biased_exponent_msb(self, rng):
+        # Trained-DNN-like weights are all well below 2.0 in magnitude, so the
+        # exponent MSB (bit 30) is essentially always zero — the property that
+        # makes float32 storage age-unfriendly without mitigation.
+        values = (rng.normal(size=10000) * 0.05).astype(np.float32)
+        words = float32_to_words(values)
+        from repro.quantization.bitops import bit_probabilities
+
+        probabilities = bit_probabilities(words, 32)
+        assert probabilities[30] < 0.01
+        # and mantissa LSBs are balanced
+        assert abs(probabilities[0] - 0.5) < 0.05
+
+    def test_exponent_histogram_sums_to_count(self, rng):
+        values = rng.normal(size=500).astype(np.float32)
+        assert exponent_value_distribution(values).sum() == 500
+
+
+class TestSymmetricQuantization:
+    def test_zero_point_is_zero(self, rng):
+        params = compute_symmetric_params(rng.normal(size=100), 8)
+        assert params.zero_point == 0
+        assert params.signed
+
+    def test_range_limits(self):
+        params = compute_symmetric_params(np.array([-1.0, 1.0]), 8)
+        assert params.qmin == -127 and params.qmax == 127
+
+    def test_levels_within_range(self, rng):
+        quantizer = SymmetricQuantizer(8)
+        levels, params = quantizer.quantize(rng.normal(size=1000) * 0.1)
+        assert levels.min() >= params.qmin and levels.max() <= params.qmax
+
+    def test_roundtrip_error_bounded_by_scale(self, rng):
+        values = rng.normal(size=1000) * 0.2
+        levels, params = SymmetricQuantizer(8).quantize(values)
+        reconstructed = dequantize_with_params(levels, params)
+        assert np.max(np.abs(values - reconstructed)) <= params.scale * 0.5 + 1e-12
+
+    def test_extreme_value_is_exact(self):
+        values = np.array([-0.5, 0.25, 0.5])
+        levels, params = SymmetricQuantizer(8).quantize(values)
+        assert dequantize_with_params(levels, params)[2] == pytest.approx(0.5, rel=1e-6)
+
+    def test_words_are_twos_complement(self):
+        params = compute_symmetric_params(np.array([-1.0, 1.0]), 8)
+        words = levels_to_words(np.array([-1, -127, 5]), params)
+        assert words.tolist() == [0xFF, 0x81, 0x05]
+        assert words_to_levels(words, params).tolist() == [-1, -127, 5]
+
+    def test_per_channel_quantization(self, rng):
+        values = rng.normal(size=(4, 10)) * np.array([[0.1], [1.0], [5.0], [0.01]])
+        quantizer = SymmetricQuantizer(8, per_channel=True, channel_axis=0)
+        levels, _ = quantizer.quantize(values)
+        assert levels.shape == values.shape
+        params = quantizer.channel_params(values)
+        assert len(params) == 4
+        assert params[2].scale > params[3].scale
+
+    def test_empty_input(self):
+        params = compute_symmetric_params(np.array([]), 8)
+        assert params.scale == 1.0
+
+    def test_quantization_error_positive(self, rng):
+        assert quantization_error(rng.normal(size=100)) > 0.0
+
+
+class TestAsymmetricQuantization:
+    def test_unsigned_range(self, rng):
+        levels, params = AsymmetricQuantizer(8).quantize(rng.normal(size=500))
+        assert not params.signed
+        assert levels.min() >= 0 and levels.max() <= 255
+
+    def test_zero_is_representable(self, rng):
+        values = rng.normal(size=500) * 0.3
+        levels, params = AsymmetricQuantizer(8).quantize(values)
+        zero_level = quantize_with_params(np.array([0.0]), params)[0]
+        assert dequantize_with_params(np.array([zero_level]), params)[0] == pytest.approx(0.0,
+                                                                                          abs=1e-9)
+
+    def test_asymmetric_range_shifts_zero_point(self):
+        values = np.array([-0.1, 0.0, 0.9])  # strongly asymmetric range
+        _, params = AsymmetricQuantizer(8).quantize(values)
+        assert 0 < params.zero_point < 128
+
+    def test_min_max_mapped_to_extremes(self):
+        values = np.array([-1.0, 0.0, 3.0])
+        levels, params = AsymmetricQuantizer(8).quantize(values)
+        assert levels[0] == params.qmin and levels[-1] == params.qmax
+
+
+class TestFixedPoint:
+    def test_word_bits(self):
+        assert FixedPointFormat(1, 7).word_bits == 8
+        assert FixedPointFormat(2, 14).word_bits == 16
+
+    def test_resolution_and_limits(self):
+        fmt = FixedPointFormat(1, 7)
+        assert fmt.resolution == pytest.approx(1 / 128)
+        assert fmt.max_value == pytest.approx(127 / 128)
+        assert fmt.min_value == pytest.approx(-1.0)
+
+    def test_roundtrip(self, rng):
+        values = rng.uniform(-0.9, 0.9, size=200)
+        fmt = FixedPointFormat(1, 7)
+        recovered = fmt.from_words(fmt.to_words(values))
+        assert np.max(np.abs(values - recovered)) <= fmt.resolution
+
+    def test_clipping(self):
+        fmt = FixedPointFormat(1, 7)
+        assert fmt.quantize(np.array([10.0]))[0] == 127
+        assert fmt.quantize(np.array([-10.0]))[0] == -128
+
+    def test_quantize_fixed_point_helper(self):
+        levels, fmt = quantize_fixed_point(np.array([0.5]), 2, 6)
+        assert fmt.word_bits == 8
+        assert levels[0] == 32
+
+    def test_best_format_covers_range(self, rng):
+        values = rng.normal(size=100) * 3.0
+        fmt = best_fixed_point_format(values, 8)
+        assert fmt.max_value >= np.abs(values).max() or fmt.integer_bits == 8
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(0, 8)
+        with pytest.raises(ValueError):
+            FixedPointFormat(1, -1)
+
+
+class TestFormatRegistry:
+    def test_paper_formats_registered(self):
+        for name in PAPER_FORMATS:
+            assert name in available_formats()
+
+    def test_word_bits(self):
+        assert get_format("float32").word_bits == 32
+        assert get_format("int8_symmetric").word_bits == 8
+        assert get_format("int8_asymmetric").word_bits == 8
+
+    def test_unknown_format_raises(self):
+        with pytest.raises(KeyError):
+            get_format("int3_magic")
+
+    def test_duplicate_registration_rejected(self):
+        existing = get_format("float32")
+        with pytest.raises(ValueError):
+            register_format(existing)
+
+    def test_to_words_and_decoder_roundtrip(self, rng):
+        values = (rng.normal(size=300) * 0.1).astype(np.float32)
+        for name in PAPER_FORMATS:
+            data_format = get_format(name)
+            words, decode = data_format.to_words_with_decoder(values)
+            assert words.shape == (300,)
+            recovered = decode(words)
+            # Quantized formats are lossy but must stay within one scale step.
+            assert np.max(np.abs(recovered - values)) < 0.05
+
+    def test_float32_words_are_exact(self, rng):
+        values = rng.normal(size=64).astype(np.float32)
+        data_format = get_format("float32")
+        words, decode = data_format.to_words_with_decoder(values)
+        assert np.array_equal(decode(words), values)
+
+    def test_bytes_per_weight(self):
+        assert get_format("float32").bytes_per_weight == 4.0
+        assert get_format("int8_symmetric").bytes_per_weight == 1.0

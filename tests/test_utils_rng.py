@@ -1,0 +1,99 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import (
+    RngMixin,
+    as_rng,
+    deterministic_hash_seed,
+    random_bits,
+    spawn_rngs,
+)
+
+
+class TestAsRng:
+    def test_none_returns_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        assert as_rng(42).integers(0, 1000) == as_rng(42).integers(0, 1000)
+
+    def test_different_seeds_differ(self):
+        draws_a = as_rng(1).random(16)
+        draws_b = as_rng(2).random(16)
+        assert not np.allclose(draws_a, draws_b)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert as_rng(generator) is generator
+
+    def test_seed_sequence_accepted(self):
+        sequence = np.random.SeedSequence(7)
+        assert isinstance(as_rng(sequence), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_children_are_independent_streams(self):
+        children = spawn_rngs(0, 2)
+        assert not np.allclose(children[0].random(8), children[1].random(8))
+
+    def test_reproducible_family(self):
+        first = [generator.random() for generator in spawn_rngs(3, 4)]
+        second = [generator.random() for generator in spawn_rngs(3, 4)]
+        assert first == second
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_spawn_from_generator(self):
+        children = spawn_rngs(np.random.default_rng(0), 3)
+        assert len(children) == 3
+
+
+class TestRngMixin:
+    class Component(RngMixin):
+        def __init__(self, seed=None):
+            self._init_rng(seed)
+
+    def test_seeded_component_is_deterministic(self):
+        assert (self.Component(5).rng.integers(0, 100)
+                == self.Component(5).rng.integers(0, 100))
+
+    def test_reseed_restores_stream(self):
+        component = self.Component(1)
+        first = component.rng.random(4)
+        component.reseed(1)
+        assert np.allclose(component.rng.random(4), first)
+
+
+class TestRandomBits:
+    def test_values_are_binary(self, rng):
+        bits = random_bits(rng, 1000)
+        assert set(np.unique(bits)).issubset({0, 1})
+
+    def test_bias_is_respected(self, rng):
+        bits = random_bits(rng, 20000, probability_of_one=0.8)
+        assert 0.77 < bits.mean() < 0.83
+
+    def test_zero_probability(self, rng):
+        assert random_bits(rng, 100, probability_of_one=0.0).sum() == 0
+
+    def test_invalid_probability_rejected(self, rng):
+        with pytest.raises(ValueError):
+            random_bits(rng, 10, probability_of_one=1.5)
+
+
+class TestDeterministicHashSeed:
+    def test_stable_across_calls(self):
+        assert deterministic_hash_seed("a", 1) == deterministic_hash_seed("a", 1)
+
+    def test_differs_for_different_inputs(self):
+        assert deterministic_hash_seed("a", 1) != deterministic_hash_seed("a", 2)
+
+    def test_fits_in_63_bits(self):
+        assert 0 <= deterministic_hash_seed("net", "layer", 123) < 2**63
