@@ -24,7 +24,9 @@ The main subpackages are:
 * :mod:`repro.aging` — NBTI/SNM aging models and the paper's probabilistic model;
 * :mod:`repro.hwsynth` — hardware cost models of the mitigation circuits;
 * :mod:`repro.analysis` — bit-distribution and aging statistics;
-* :mod:`repro.experiments` — drivers regenerating every table and figure.
+* :mod:`repro.experiments` — drivers regenerating every table and figure;
+* :mod:`repro.orchestration` — experiment registry, result cache and
+  parallel sweep runner behind ``dnn-life run/sweep/list``.
 """
 
 from repro.core.framework import DnnLife, PolicyComparison

@@ -1,175 +1,318 @@
 """Command-line interface: ``dnn-life <command>``.
 
-The CLI exposes the experiment drivers so that every table and figure of the
-paper can be regenerated from a shell::
+The CLI is a thin shell over the experiment registry
+(:mod:`repro.orchestration`): every figure/table/ablation driver registers
+itself with a name and parameter schema, and the CLI exposes three generic
+verbs plus one convenience subcommand per registered experiment::
 
-    dnn-life fig9 --quick          # Fig. 9 histograms (reduced configuration)
-    dnn-life table2                # Table II WDE costs
+    dnn-life list                       # catalogue of every experiment
+    dnn-life run fig9 --set seed=3      # run one experiment by name
+    dnn-life sweep aging \
+        --grid network=custom_mnist,lenet5 \
+        --grid policy=none,dnn_life     # parallel parameter-grid sweep
+    dnn-life fig9 --quick               # per-experiment command (same as run)
     dnn-life compare --network custom_mnist --format int8_symmetric
 
 Results are printed as ASCII tables/histograms; ``--json PATH`` additionally
-writes the machine-readable result to a JSON file.
+writes the machine-readable result to a JSON file.  Completed runs are
+cached on disk (``~/.cache/dnn-life`` or ``$DNN_LIFE_CACHE_DIR``) keyed by
+(experiment, parameters, code version), so repeated invocations are served
+from the cache; disable with ``--no-cache`` or redirect with ``--cache-dir``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
-from typing import Callable, Dict, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.utils.serialization import save_json
-
-
-def _cmd_fig1(args: argparse.Namespace):
-    from repro.experiments.fig1 import render_fig1, run_fig1_access_energy, run_fig1_model_comparison
-
-    print(render_fig1())
-    return {"fig1a": run_fig1_model_comparison(), "fig1b": run_fig1_access_energy()}
-
-
-def _cmd_fig2(args: argparse.Namespace):
-    from repro.experiments.fig2 import render_fig2, run_fig2_snm_curve
-
-    print(render_fig2())
-    return run_fig2_snm_curve()
+from repro.orchestration import (
+    REGISTRY,
+    ExperimentSpec,
+    ResultCache,
+    SweepRunner,
+    load_all_experiments,
+    render_experiment,
+    run_experiment,
+)
+from repro.utils.serialization import save_json, to_jsonable
+from repro.utils.tables import AsciiTable
 
 
-def _cmd_fig6(args: argparse.Namespace):
-    from repro.experiments.fig6 import fig6_observations, render_fig6
+def _add_param_arguments(sub: argparse.ArgumentParser, spec: ExperimentSpec) -> None:
+    """Generate one CLI option per declared parameter of ``spec``.
 
-    print(render_fig6(quick=args.quick, seed=args.seed))
-    return fig6_observations(quick=args.quick, seed=args.seed)
-
-
-def _cmd_fig7(args: argparse.Namespace):
-    from repro.experiments.fig7 import render_fig7, run_fig7_case_study
-
-    print(render_fig7())
-    return run_fig7_case_study()
-
-
-def _cmd_fig9(args: argparse.Namespace):
-    from repro.experiments.fig9 import render_fig9, run_fig9_baseline_alexnet
-
-    results = run_fig9_baseline_alexnet(quick=args.quick, seed=args.seed)
-    print(render_fig9(quick=args.quick, seed=args.seed))
-    return results
-
-
-def _cmd_fig11(args: argparse.Namespace):
-    from repro.experiments.fig11 import render_fig11, run_fig11_tpu_networks
-
-    results = run_fig11_tpu_networks(quick=args.quick, seed=args.seed)
-    print(render_fig11(quick=args.quick, seed=args.seed))
-    return results
+    Defaults are ``SUPPRESS``ed: only flags the user actually typed land in
+    the namespace, so :meth:`ExperimentSpec.resolve` can layer the declared
+    defaults and the quick/full configuration *under* the explicit overrides
+    (``dnn-life aging --full`` applies the full config's 100 inferences,
+    ``dnn-life aging --full --inferences 7`` keeps the explicit 7).
+    """
+    for param in spec.params:
+        if param.type is bool:
+            if param.name == "quick":
+                sub.add_argument("--quick", dest="quick", action="store_true",
+                                 default=argparse.SUPPRESS,
+                                 help=param.help or "reduced configuration (default)")
+                sub.add_argument("--full", dest="quick", action="store_false",
+                                 default=argparse.SUPPRESS,
+                                 help="paper-scale configuration (slow)")
+            else:
+                sub.add_argument(param.cli_flag, dest=param.name,
+                                 action=argparse.BooleanOptionalAction,
+                                 default=argparse.SUPPRESS, help=param.help)
+        else:
+            sub.add_argument(param.cli_flag, dest=param.name, type=param.type,
+                             default=argparse.SUPPRESS,
+                             choices=param.choices, help=param.help)
 
 
-def _cmd_table1(args: argparse.Namespace):
-    from repro.experiments.table1 import render_table1, run_table1_configurations
-
-    print(render_table1())
-    return run_table1_configurations()
-
-
-def _cmd_table2(args: argparse.Namespace):
-    from repro.experiments.table2 import render_table2, run_table2_wde_costs
-
-    print(render_table2())
-    return run_table2_wde_costs()
-
-
-def _cmd_compare(args: argparse.Namespace):
-    from repro.core.framework import DnnLife
-    from repro.nn.models import build_model
-    from repro.nn.weights import attach_synthetic_weights
-
-    network = attach_synthetic_weights(build_model(args.network), seed=args.seed)
-    framework = DnnLife(network, data_format=args.format,
-                        num_inferences=args.inferences, seed=args.seed)
-    comparison = framework.compare_policies()
-    print(comparison.table().render())
-    return comparison.summary()
-
-
-def _cmd_report(args: argparse.Namespace):
-    from repro.analysis.report import WorkloadReport
-    from repro.core.framework import DnnLife
-    from repro.nn.models import build_model
-    from repro.nn.weights import attach_synthetic_weights
-
-    network = attach_synthetic_weights(build_model(args.network), seed=args.seed)
-    framework = DnnLife(network, data_format=args.format,
-                        num_inferences=args.inferences, seed=args.seed)
-    report = WorkloadReport(framework)
-    print(report.render())
-    return report.summary()
-
-
-def _cmd_energy(args: argparse.Namespace):
-    from repro.analysis.energy import energy_overhead_report, energy_overhead_table
-    from repro.core.framework import DnnLife
-    from repro.nn.models import build_model
-    from repro.nn.weights import attach_synthetic_weights
-
-    network = attach_synthetic_weights(build_model(args.network), seed=args.seed)
-    framework = DnnLife(network, data_format=args.format,
-                        num_inferences=args.inferences, seed=args.seed)
-    print(energy_overhead_table(framework).render())
-    return energy_overhead_report(framework)
-
-
-_COMMANDS: Dict[str, Callable[[argparse.Namespace], object]] = {
-    "fig1": _cmd_fig1,
-    "fig2": _cmd_fig2,
-    "fig6": _cmd_fig6,
-    "fig7": _cmd_fig7,
-    "fig9": _cmd_fig9,
-    "fig11": _cmd_fig11,
-    "table1": _cmd_table1,
-    "table2": _cmd_table2,
-    "compare": _cmd_compare,
-    "energy": _cmd_energy,
-    "report": _cmd_report,
-}
+def _parse_assignment(text: str) -> Tuple[str, str]:
+    """Split one ``param=value`` CLI token."""
+    if "=" not in text:
+        raise argparse.ArgumentTypeError(
+            f"expected PARAM=VALUE, got '{text}'")
+    name, _, value = text.partition("=")
+    return name.strip(), value.strip()
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Build the top-level argument parser."""
+    """Build the top-level argument parser from the experiment registry."""
+    load_all_experiments()
     parser = argparse.ArgumentParser(
         prog="dnn-life",
         description="DNN-Life aging analysis and mitigation framework (DATE 2021 reproduction)",
     )
     parser.add_argument("--json", type=str, default=None,
                         help="write the machine-readable result to this JSON file")
+    parser.add_argument("--cache-dir", type=str, default=None,
+                        help="result-cache directory (default: $DNN_LIFE_CACHE_DIR "
+                             "or ~/.cache/dnn-life)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="neither read nor write the result cache")
     subparsers = parser.add_subparsers(dest="command", required=True)
-    for name in ("fig1", "fig2", "fig7", "table1", "table2"):
-        subparsers.add_parser(name, help=f"regenerate {name} of the paper")
-    for name in ("fig6", "fig9", "fig11"):
-        sub = subparsers.add_parser(name, help=f"regenerate {name} of the paper")
-        sub.add_argument("--quick", action="store_true", default=True,
-                         help="reduced configuration (default)")
-        sub.add_argument("--full", dest="quick", action="store_false",
-                         help="paper-scale configuration (slow)")
-        sub.add_argument("--seed", type=int, default=0)
-    for name in ("compare", "energy", "report"):
-        sub = subparsers.add_parser(name, help=f"{name} policies on one workload")
-        sub.add_argument("--network", type=str, default="custom_mnist")
-        sub.add_argument("--format", type=str, default="int8_symmetric")
-        sub.add_argument("--inferences", type=int, default=50)
-        sub.add_argument("--seed", type=int, default=0)
+
+    list_parser = subparsers.add_parser(
+        "list", help="list every registered experiment and its parameters")
+    list_parser.add_argument("--tag", type=str, default=None,
+                             help="only list experiments carrying this tag")
+
+    run_parser = subparsers.add_parser(
+        "run", help="run one registered experiment by name")
+    run_parser.add_argument("experiment", help="experiment name (see `dnn-life list`)")
+    run_parser.add_argument("--set", dest="assignments", action="append", default=[],
+                            metavar="PARAM=VALUE", type=_parse_assignment,
+                            help="override one parameter (repeatable)")
+    run_parser.add_argument("--full", action="store_true",
+                            help="apply the paper-scale configuration")
+    run_parser.add_argument("--no-render", action="store_true",
+                            help="skip the ASCII rendering (print the JSON payload)")
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="expand a parameter grid and run it across worker processes")
+    sweep_parser.add_argument("experiment", help="experiment name (see `dnn-life list`)")
+    sweep_parser.add_argument("--grid", dest="grid", action="append", default=[],
+                              metavar="PARAM=V1,V2,...", type=_parse_assignment,
+                              help="one grid axis (repeatable); single-value axes pin "
+                                   "a parameter")
+    sweep_parser.add_argument("--workers", type=int, default=None,
+                              help="worker processes (default: CPU-based, "
+                                   "$DNN_LIFE_MAX_WORKERS overrides; 1 = serial)")
+    sweep_parser.add_argument("--base-seed", type=int, default=0,
+                              help="base seed for deterministic per-job seeding")
+    sweep_parser.add_argument("--full", action="store_true",
+                              help="apply the paper-scale configuration to every job")
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect or clear the on-disk result cache")
+    cache_parser.add_argument("--clear", action="store_true",
+                              help="delete every cached entry")
+
+    for spec in REGISTRY:
+        sub = subparsers.add_parser(spec.name, help=f"{spec.artifact}: {spec.description}")
+        _add_param_arguments(sub, spec)
     return parser
 
 
+# --------------------------------------------------------------------------- #
+# Verb implementations
+# --------------------------------------------------------------------------- #
+def _cmd_list(args: argparse.Namespace) -> List[Dict[str, Any]]:
+    rows = REGISTRY.describe()
+    if args.tag:
+        rows = [row for row in rows if args.tag in row["tags"]]
+    table = AsciiTable(["experiment", "artifact", "parameters", "description"],
+                       title=f"registered experiments ({len(rows)})")
+    for row in rows:
+        table.add_row([row["name"], row["artifact"],
+                       " ".join(row["params"]) or "-", row["description"]])
+    print(table.render())
+    return rows
+
+
+def _print_run(run, no_render: bool = False, footer: bool = True) -> None:
+    """Print a run's rendering (JSON payload if it has no renderer)."""
+    text = None if no_render else render_experiment(run)
+    if text is None:
+        print(json.dumps(to_jsonable(run.payload), indent=2, sort_keys=True))
+    else:
+        print(text)
+    if footer:
+        source = "cache" if run.from_cache else "computed"
+        key = run.cache_key[:12] if run.cache_key else "- (cache disabled)"
+        print(f"\n[{run.experiment} | {source} in {run.seconds:.2f}s | key {key}]")
+
+
+def _parse_grid(args: argparse.Namespace) -> Dict[str, List[Any]]:
+    """Parse the repeated ``--grid PARAM=V1,V2,...`` options against the schema.
+
+    Shared by input validation and execution so the two can't diverge.
+    Raises ``ValueError`` on an empty or duplicated axis.
+    """
+    spec = REGISTRY.get(args.experiment)
+    grid: Dict[str, List[Any]] = {}
+    for name, values in args.grid:
+        param = spec.get_param(name)
+        parsed = [param.parse(value) for value in values.split(",") if value != ""]
+        if not parsed:
+            raise ValueError(f"grid axis '{name}' has no values")
+        if name in grid:
+            combined = ",".join(str(value) for value in grid[name] + parsed)
+            raise ValueError(
+                f"grid axis '{name}' specified twice; list all values in one "
+                f"option: --grid {name}={combined}")
+        grid[name] = parsed
+    return grid
+
+
+def _cmd_run(args: argparse.Namespace, cache: Optional[ResultCache]) -> Any:
+    params = dict(args.assignments)
+    run = run_experiment(args.experiment, params, full=args.full, cache=cache)
+    _print_run(run, no_render=args.no_render)
+    return run.payload
+
+
+def _cmd_experiment(args: argparse.Namespace, cache: Optional[ResultCache]) -> Any:
+    spec = REGISTRY.get(args.command)
+    params = {param.name: getattr(args, param.name)
+              for param in spec.params if hasattr(args, param.name)}
+    # `--full` (quick=False) selects the spec's paper-scale configuration,
+    # which explicit flags still override (see _add_param_arguments).
+    full = params.get("quick") is False
+    run = run_experiment(spec.name, params, full=full, cache=cache)
+    _print_run(run, footer=False)
+    return run.payload
+
+
+def _cmd_sweep(args: argparse.Namespace, cache: Optional[ResultCache]) -> Any:
+    grid = _parse_grid(args)
+    runner = SweepRunner(cache=cache, max_workers=args.workers)
+    report = runner.run(args.experiment, grid, base_seed=args.base_seed, full=args.full)
+
+    failed = f", {report.num_failed} failed" if report.num_failed else ""
+    table = AsciiTable(
+        ["job", "parameters", "source", "seconds"],
+        title=(f"sweep '{args.experiment}': {report.num_jobs} jobs, "
+               f"{report.num_from_cache} from cache, "
+               f"{report.num_computed} computed across "
+               f"{max(len(report.worker_pids), 1)} process(es){failed}, "
+               f"{report.seconds:.1f}s total"),
+        precision=2,
+    )
+    varying = [name for name, values in grid.items() if len(values) > 1]
+    for result in report.results:
+        shown = {name: result.job.params[name] for name in varying} if varying \
+            else result.job.params
+        if result.failed:
+            source = "FAILED"
+        elif result.from_cache:
+            source = "cache"
+        else:
+            source = f"pid {result.worker_pid}"
+        table.add_row([
+            result.job.index,
+            " ".join(f"{key}={value}" for key, value in shown.items()) or "-",
+            source,
+            result.seconds,
+        ])
+    print(table.render())
+    for result in report.results:
+        if result.failed:
+            print(f"job {result.job.index} failed: {result.error}", file=sys.stderr)
+    return report.summary()
+
+
+def _cmd_cache(args: argparse.Namespace, cache: Optional[ResultCache]) -> Any:
+    if cache is None:
+        print("cache disabled (--no-cache)")
+        return {"enabled": False}
+    if args.clear:
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.root}")
+        return {"cleared": removed, "root": str(cache.root)}
+    stats = cache.stats()
+    print(f"cache at {stats['root']}: {stats['entries']} entries, "
+          f"{stats['bytes'] / 1024:.1f} KiB")
+    return stats
+
+
+def _validate_user_input(args: argparse.Namespace) -> None:
+    """Resolve the experiment name and parameters named on the command line.
+
+    Raises the registry's ``KeyError``/``ValueError``/``TypeError`` for
+    unknown experiments, unknown parameters or values failing the schema.
+    Validation runs *before* any experiment executes, so ``main`` can map
+    these to a clean usage error without masking genuine runtime failures.
+    """
+    if args.command == "run":
+        spec = REGISTRY.get(args.experiment)
+        spec.resolve(dict(args.assignments), full=args.full)
+    elif args.command == "sweep":
+        _parse_grid(args)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    Returns 0 on success and 2 on a usage error (unknown experiment,
+    unknown/invalid parameter value), mirroring argparse's convention.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    handler = _COMMANDS[args.command]
-    result = handler(args)
-    if args.json:
-        path = save_json(result, args.json)
-        print(f"\nJSON result written to {path}")
-    return 0
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    try:
+        _validate_user_input(args)
+    except (KeyError, ValueError, TypeError) as error:
+        message = error.args[0] if error.args else str(error)
+        print(f"dnn-life: error: {message}", file=sys.stderr)
+        return 2
+    exit_code = 0
+    try:
+        if args.command == "list":
+            result = _cmd_list(args)
+        elif args.command == "run":
+            result = _cmd_run(args, cache)
+        elif args.command == "sweep":
+            result = _cmd_sweep(args, cache)
+            if result["num_failed"]:
+                exit_code = 1  # partial results are reported/saved, but CI must notice
+        elif args.command == "cache":
+            result = _cmd_cache(args, cache)
+        else:
+            result = _cmd_experiment(args, cache)
+        if args.json:
+            path = save_json(result, args.json)
+            print(f"\nJSON result written to {path}")
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe — the unix-conventional quiet
+        # exit.  Point stdout at devnull so the interpreter's shutdown flush
+        # doesn't raise a second time.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 1
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -112,6 +112,87 @@ class AgingResult:
             "duty_cycle": self.duty_cycle_statistics(),
         }
 
+    # ------------------------------------------------------------------ #
+    # Serialization (orchestration cache / sweep-worker transport)
+    # ------------------------------------------------------------------ #
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-safe representation of the full result.
+
+        The payload round-trips through :meth:`from_payload` without loss:
+        it carries the raw duty-cycle matrix (shape preserved) and the SNM
+        model's class/parameters, so a cached or worker-transported result
+        supports the same derived queries (histograms, summaries) as a
+        freshly computed one.
+        """
+        return {
+            "policy_name": self.policy_name,
+            "policy_description": dict(self.policy_description),
+            "duty_cycles_shape": list(self.duty_cycles.shape),
+            "duty_cycles": self.duty_cycles.reshape(-1).tolist(),
+            "num_inferences": self.num_inferences,
+            "num_blocks": self.num_blocks,
+            "years": self.years,
+            "snm_model": _snm_model_to_payload(self.snm_model),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "AgingResult":
+        """Rebuild an :class:`AgingResult` from :meth:`to_payload` output."""
+        duty = np.asarray(payload["duty_cycles"], dtype=np.float64)
+        duty = duty.reshape([int(dim) for dim in payload["duty_cycles_shape"]])
+        return cls(
+            policy_name=str(payload["policy_name"]),
+            policy_description=dict(payload["policy_description"]),
+            duty_cycles=duty,
+            num_inferences=int(payload["num_inferences"]),
+            num_blocks=int(payload["num_blocks"]),
+            snm_model=_snm_model_from_payload(payload["snm_model"]),
+            years=float(payload["years"]),
+        )
+
+
+def _snm_model_to_payload(model: SnmDegradationModel) -> Dict[str, object]:
+    """Serialize an SNM model (a frozen dataclass) to class name + fields."""
+    import dataclasses
+
+    if not dataclasses.is_dataclass(model):
+        raise TypeError(f"cannot serialize SNM model of type {type(model).__name__}; "
+                        "expected a dataclass-based model")
+    fields = {}
+    for spec in dataclasses.fields(model):
+        value = getattr(model, spec.name)
+        fields[spec.name] = (_dataclass_fields_payload(value)
+                             if dataclasses.is_dataclass(value) else value)
+    return {"class": type(model).__name__, "fields": fields}
+
+
+def _dataclass_fields_payload(obj) -> Dict[str, object]:
+    import dataclasses
+
+    return {"class": type(obj).__name__,
+            "fields": {spec.name: getattr(obj, spec.name)
+                       for spec in dataclasses.fields(obj)}}
+
+
+def _snm_model_from_payload(payload: Dict[str, object]) -> SnmDegradationModel:
+    """Rebuild an SNM model from its class name and field values."""
+    from repro.aging.nbti import NbtiDeviceModel, ReactionDiffusionSnmModel
+    from repro.aging.snm import CalibratedSnmModel
+
+    known = {cls.__name__: cls for cls in
+             (CalibratedSnmModel, ReactionDiffusionSnmModel, NbtiDeviceModel)}
+    name = payload["class"]
+    if name not in known:
+        raise ValueError(f"unknown SNM model class '{name}' in payload "
+                         f"(known: {', '.join(sorted(known))})")
+    kwargs = {}
+    for key, value in dict(payload["fields"]).items():
+        if isinstance(value, dict) and "class" in value and "fields" in value:
+            kwargs[key] = _snm_model_from_payload(value)
+        else:
+            kwargs[key] = value
+    return known[name](**kwargs)
+
 
 # --------------------------------------------------------------------------- #
 # Explicit (exact, slow) engine

@@ -1,20 +1,27 @@
 """Experiment drivers.
 
-One module per table/figure of the paper plus the ablation studies.  Every
-driver exposes a ``run_*`` function returning a plain-data result (ready for
-JSON serialization) and a ``render_*`` helper producing the ASCII rendering
-printed by the benchmark harness.
+One module per table/figure of the paper plus the ablation studies and the
+parameterised sweep/workload drivers.  Every driver exposes a ``run_*``
+function returning a plain-data result (ready for JSON serialization) and —
+where there is an ASCII rendering — a ``render_*`` helper.
 
-All drivers accept a ``quick`` flag: ``quick=True`` (the default used by the
-benchmark suite) evaluates a reduced configuration that finishes in seconds
-on a laptop while preserving the qualitative shape of the paper's results;
-``quick=False`` reproduces the full-scale configuration described in the
-paper (full networks, 100 inferences).  Set the environment variable
+Each module *self-registers* its drivers with the experiment registry
+(:mod:`repro.orchestration.registry`) at import time, declaring a name, a
+parameter schema and quick/full configurations.  The ``dnn-life`` CLI and
+the sweep runner dispatch exclusively through that registry, so adding a new
+scenario is one ``register_experiment`` call at the bottom of a new module
+(plus an entry in the registry's module list).
+
+All aging drivers accept a ``quick`` flag: ``quick=True`` (the default used
+by the benchmark suite) evaluates a reduced configuration that finishes in
+seconds on a laptop while preserving the qualitative shape of the paper's
+results; ``quick=False`` reproduces the full-scale configuration described
+in the paper (full networks, 100 inferences).  Set the environment variable
 ``REPRO_FULL_EXPERIMENTS=1`` to make the benchmarks run the full versions.
 """
 
 from repro.experiments.common import ExperimentScale, full_experiments_requested, reduce_network
-from repro.experiments.fig1 import run_fig1_model_comparison, run_fig1_access_energy
+from repro.experiments.fig1 import run_fig1, run_fig1_model_comparison, run_fig1_access_energy
 from repro.experiments.fig2 import run_fig2_snm_curve
 from repro.experiments.fig6 import run_fig6_bit_distributions
 from repro.experiments.fig7 import run_fig7_probabilistic_model
@@ -22,11 +29,14 @@ from repro.experiments.fig9 import run_fig9_baseline_alexnet
 from repro.experiments.fig11 import run_fig11_tpu_networks
 from repro.experiments.table1 import run_table1_configurations
 from repro.experiments.table2 import run_table2_wde_costs
+from repro.experiments.aging_point import run_aging_point
+from repro.experiments.workloads import run_compare, run_energy, run_report
 
 __all__ = [
     "ExperimentScale",
     "full_experiments_requested",
     "reduce_network",
+    "run_fig1",
     "run_fig1_model_comparison",
     "run_fig1_access_energy",
     "run_fig2_snm_curve",
@@ -36,4 +46,8 @@ __all__ = [
     "run_fig11_tpu_networks",
     "run_table1_configurations",
     "run_table2_wde_costs",
+    "run_aging_point",
+    "run_compare",
+    "run_energy",
+    "run_report",
 ]

@@ -1,0 +1,149 @@
+"""Single-point aging experiment — the canonical sweep target.
+
+Every figure-level driver fixes most of the design space; this driver instead
+evaluates *one* fully-parameterised point of it: a network, a quantization
+format, a mitigation policy and a weight-memory geometry (capacity and FIFO
+depth).  Combined with ``dnn-life sweep``, it turns the paper's evaluation
+into an arbitrary grid, e.g.::
+
+    dnn-life sweep aging \
+        --grid network=custom_mnist,lenet5 \
+        --grid data_format=int8_symmetric,float32 \
+        --grid policy=none,dnn_life \
+        --grid weight_memory_kb=64,512
+
+which covers Fig. 9 (baseline geometry), Fig. 11 (FIFO geometry via
+``fifo_depth_tiles``) and any memory scaling study in between.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict
+
+from repro.accelerator.baseline import BaselineAccelerator
+from repro.accelerator.config import baseline_config
+from repro.core.policies import make_policy
+from repro.experiments.aging_runner import (
+    build_workload_stream,
+    evaluate_policies_on_stream,
+    render_policy_histograms,
+)
+from repro.experiments.common import ExperimentScale
+from repro.nn.models import MODEL_ZOO
+from repro.orchestration.registry import ParamSpec, register_experiment
+from repro.quantization.formats import get_format
+from repro.utils.units import KB
+
+#: Policy names accepted by :func:`repro.core.policies.make_policy`.
+POLICY_CHOICES = ("none", "inversion", "inversion_per_location",
+                  "barrel_shifter", "dnn_life")
+
+
+def run_aging_point(network: str = "custom_mnist",
+                    data_format: str = "int8_symmetric",
+                    policy: str = "dnn_life",
+                    weight_memory_kb: int = 512,
+                    fifo_depth_tiles: int = 1,
+                    num_inferences: int = 20,
+                    trbg_bias: float = 0.5,
+                    quick: bool = True,
+                    seed: int = 0) -> Dict[str, object]:
+    """Aging of one (network, format, policy, memory geometry) design point.
+
+    Parameters
+    ----------
+    network:
+        Model-zoo network streamed through the weight memory.
+    data_format:
+        Quantization format of the weights (e.g. ``int8_symmetric``,
+        ``float32``).
+    policy:
+        Mitigation policy name (see :data:`POLICY_CHOICES`).
+    weight_memory_kb:
+        Capacity of the on-chip weight memory in KB (512 for the paper's
+        baseline accelerator, 256 for the TPU-like NPU).
+    fifo_depth_tiles:
+        Number of FIFO tiles the memory is organised in (1 = monolithic
+        buffer as in Fig. 9; 4 = the TPU-like FIFO of Fig. 11).
+    num_inferences:
+        Inference epochs the duty-cycle is accounted over.
+    trbg_bias:
+        TRBG bias of the DNN-Life policy.  The other policies ignore it but
+        it still participates in the cache key, so pin it (or leave it at
+        the default) when sweeping non-DNN-Life policies to avoid redundant
+        recomputation of identical points.
+    quick:
+        Cap the per-layer weight count as in the other quick configurations.
+    seed:
+        Seed for synthetic weights and the stochastic DNN-Life policy.
+
+    Returns
+    -------
+    dict
+        ``{"workload": {...design point...},
+        "results": {policy_label: {"policy", "policy_config", "summary",
+        "histogram_percent", "histogram_bin_edges", "histogram_bin_labels"}}}``.
+    """
+    scale = ExperimentScale.from_quick_flag(quick)
+    config = replace(baseline_config(), name="sweep_point",
+                     weight_memory_bytes=int(weight_memory_kb) * KB,
+                     weight_fifo_depth_tiles=fifo_depth_tiles)
+    accelerator = BaselineAccelerator(config=config)
+    stream = build_workload_stream(network, accelerator, data_format, scale, seed=seed)
+    word_bits = get_format(data_format).word_bits
+    policy_kwargs = {"trbg_bias": trbg_bias} if policy == "dnn_life" else {}
+    resolved_policy = make_policy(policy, word_bits, seed=seed, **policy_kwargs)
+    results = evaluate_policies_on_stream(
+        stream, [resolved_policy], num_inferences=num_inferences, seed=seed)
+    return {
+        "workload": {
+            "network": network,
+            "data_format": data_format,
+            "policy": policy,
+            "weight_memory_kb": int(weight_memory_kb),
+            "fifo_depth_tiles": int(fifo_depth_tiles),
+            "num_inferences": int(num_inferences),
+            "trbg_bias": float(trbg_bias),
+            "quick": bool(quick),
+            "seed": int(seed),
+        },
+        "results": results,
+    }
+
+
+def render_aging_point(payload: Dict[str, object], params: Dict[str, object]) -> str:
+    """ASCII rendering of one design point's histogram."""
+    workload = payload["workload"]
+    title = (f"=== aging — {workload['network']}, {workload['data_format']}, "
+             f"{workload['weight_memory_kb']} KB x {workload['fifo_depth_tiles']} tiles, "
+             f"policy: {workload['policy']} ===")
+    return render_policy_histograms(payload["results"], title=title)
+
+
+register_experiment(
+    name="aging",
+    runner=run_aging_point,
+    description="One (network x format x policy x memory geometry) aging point; "
+                "the canonical `dnn-life sweep` target",
+    artifact="Fig. 9 / Fig. 11 design space",
+    params=(
+        ParamSpec("network", str, "custom_mnist", choices=tuple(sorted(MODEL_ZOO)),
+                  help="workload network"),
+        ParamSpec("data_format", str, "int8_symmetric", flag="--format",
+                  help="weight data format"),
+        ParamSpec("policy", str, "dnn_life", choices=POLICY_CHOICES,
+                  help="mitigation policy"),
+        ParamSpec("weight_memory_kb", int, 512, flag="--memory-kb",
+                  help="weight-memory capacity in KB"),
+        ParamSpec("fifo_depth_tiles", int, 1, help="FIFO tiles (1 = monolithic)"),
+        ParamSpec("num_inferences", int, 20, flag="--inferences",
+                  help="inference epochs"),
+        ParamSpec("trbg_bias", float, 0.5, help="TRBG bias of the DNN-Life policy"),
+        ParamSpec("quick", bool, True, help="cap per-layer weight counts"),
+        ParamSpec("seed", int, 0, help="weight/policy seed"),
+    ),
+    full_config={"quick": False, "num_inferences": 100},
+    renderer=render_aging_point,
+    tags=("sweep", "aging"),
+)

@@ -13,6 +13,7 @@ from typing import Dict, List
 
 from repro.memory.energy import dram_access_energy, sram_access_energy
 from repro.nn.models import PUBLISHED_ACCURACY, build_model
+from repro.orchestration.registry import register_experiment
 from repro.utils.tables import AsciiTable
 from repro.utils.units import KB
 
@@ -21,7 +22,15 @@ FIG1_NETWORKS = ("alexnet", "googlenet", "vgg16", "resnet152")
 
 
 def run_fig1_model_comparison() -> List[Dict[str, float]]:
-    """Fig. 1a: one row per network with size and published accuracy."""
+    """Fig. 1a: one row per network with size and published accuracy.
+
+    Returns
+    -------
+    list of dict
+        One row per network: ``network``, ``parameters_millions``,
+        ``size_mb_float32``, ``size_mb_int8``, ``top1_accuracy_percent``,
+        ``top5_accuracy_percent``.
+    """
     rows = []
     for name in FIG1_NETWORKS:
         network = build_model(name)
@@ -48,6 +57,19 @@ def run_fig1_access_energy() -> Dict[str, float]:
     }
 
 
+def run_fig1() -> Dict[str, object]:
+    """Both Fig. 1 panels in one payload.
+
+    Returns
+    -------
+    dict
+        ``{"fig1a": [row, ...], "fig1b": {energy metrics}}`` — the rows of
+        :func:`run_fig1_model_comparison` and the access-energy metrics of
+        :func:`run_fig1_access_energy`.
+    """
+    return {"fig1a": run_fig1_model_comparison(), "fig1b": run_fig1_access_energy()}
+
+
 def render_fig1() -> str:
     """ASCII rendering of both panels of Fig. 1."""
     table = AsciiTable(
@@ -65,3 +87,32 @@ def render_fig1() -> str:
     energy_table.add_row(["32 KB on-chip SRAM", energy["sram_32kb_32bit_access_pj"]])
     energy_table.add_row(["off-chip DRAM", energy["dram_32bit_access_pj"]])
     return table.render() + "\n\n" + energy_table.render()
+
+
+def render_fig1_payload(payload, params) -> str:
+    """Render a (possibly cache-served) Fig. 1 payload without recomputing."""
+    table = AsciiTable(
+        ["network", "params [M]", "size [MB]", "top-1 [%]", "top-5 [%]"],
+        title="Fig. 1a — DNN size and accuracy comparison", precision=1,
+    )
+    for row in payload["fig1a"]:
+        table.add_row([row["network"], row["parameters_millions"], row["size_mb_float32"],
+                       row["top1_accuracy_percent"], row["top5_accuracy_percent"]])
+    energy = payload["fig1b"]
+    energy_table = AsciiTable(
+        ["memory", "32-bit access energy [pJ]"],
+        title="Fig. 1b — access energy comparison", precision=1,
+    )
+    energy_table.add_row(["32 KB on-chip SRAM", energy["sram_32kb_32bit_access_pj"]])
+    energy_table.add_row(["off-chip DRAM", energy["dram_32bit_access_pj"]])
+    return table.render() + "\n\n" + energy_table.render()
+
+
+register_experiment(
+    name="fig1",
+    runner=run_fig1,
+    description="DNN model sizes/accuracies and SRAM-vs-DRAM access energy (motivation)",
+    artifact="Fig. 1",
+    renderer=render_fig1_payload,
+    tags=("figure", "motivation"),
+)

@@ -21,6 +21,7 @@ from repro.experiments.aging_runner import (
     render_policy_histograms,
 )
 from repro.experiments.common import ExperimentScale
+from repro.orchestration.registry import ParamSpec, register_experiment
 from repro.quantization.formats import get_format
 
 #: Networks evaluated on the TPU-like NPU in Fig. 11.
@@ -43,7 +44,22 @@ def fig11_policy_suite(word_bits: int, seed: int = 0):
 def run_fig11_tpu_networks(networks: Optional[Iterable[str]] = None,
                            quick: bool = True, seed: int = 0
                            ) -> Dict[str, Dict[str, Dict[str, object]]]:
-    """Run the full Fig. 11 grid: network -> policy -> histogram/summary."""
+    """Run the full Fig. 11 grid: network -> policy -> histogram/summary.
+
+    Parameters
+    ----------
+    networks:
+        Networks streamed through the TPU-like NPU's weight FIFO
+        (default: AlexNet, VGG-16 and the custom MNIST network).
+    quick, seed:
+        Experiment scale and weight/policy seed.
+
+    Returns
+    -------
+    dict
+        ``{network: {policy_label: {"policy", "policy_config", "summary",
+        "histogram_percent", "histogram_bin_edges", "histogram_bin_labels"}}}``.
+    """
     scale = ExperimentScale.from_quick_flag(quick)
     networks = list(networks) if networks is not None else list(FIG11_NETWORKS)
     accelerator = TpuLikeNpu()
@@ -89,3 +105,32 @@ def fig11_headline_claims(results: Dict[str, Dict[str, Dict[str, object]]]) -> D
             "dnn_life_is_best": means[dnn_life_label] <= min(means.values()) + 1e-9,
         }
     return claims
+
+
+def render_fig11_payload(payload: Dict[str, Dict[str, Dict[str, object]]],
+                         params: Dict[str, object]) -> str:
+    """Render a (possibly cache-served) Fig. 11 payload without re-simulating."""
+    sections = []
+    for network_name, per_policy in payload.items():
+        sections.append(render_policy_histograms(
+            per_policy,
+            title=(f"=== Fig. 11 — TPU-like NPU, {network_name}, "
+                   f"format: {FIG11_FORMAT} ===")))
+    return "\n\n".join(sections)
+
+
+register_experiment(
+    name="fig11",
+    runner=run_fig11_tpu_networks,
+    description="SNM degradation of the TPU-like NPU's weight FIFO, "
+                "3 networks x 4 mitigation configurations",
+    artifact="Fig. 11",
+    params=(
+        ParamSpec("quick", bool, True,
+                  help="reduced configuration (capped weights, 20 inferences)"),
+        ParamSpec("seed", int, 0, help="weight/policy seed"),
+    ),
+    full_config={"quick": False},
+    renderer=render_fig11_payload,
+    tags=("figure", "aging"),
+)

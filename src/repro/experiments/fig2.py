@@ -14,6 +14,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.aging.snm import SnmDegradationModel, default_snm_model
+from repro.orchestration.registry import ParamSpec, register_experiment
 from repro.utils.tables import format_series
 
 
@@ -48,3 +49,31 @@ def render_fig2(num_points: int = 11) -> str:
         title="Fig. 2b — SNM degradation vs. duty-cycle",
         precision=2,
     )
+
+
+def render_fig2_payload(payload, params):
+    """Render a (possibly cache-served) Fig. 2b payload at its own parameters."""
+    years = params.get("years", 7.0)
+    return format_series(
+        [row["percent_time_storing_zero"] for row in payload],
+        [row["snm_degradation_percent"] for row in payload],
+        x_name="time storing zero [%]",
+        y_name=f"SNM degradation after {years:g} years [%]",
+        title="Fig. 2b — SNM degradation vs. duty-cycle",
+        precision=2,
+    )
+
+
+register_experiment(
+    name="fig2",
+    runner=run_fig2_snm_curve,
+    description="SNM degradation after a configurable horizon as a function "
+                "of the cell duty-cycle",
+    artifact="Fig. 2b",
+    params=(
+        ParamSpec("num_points", int, 21, help="number of duty-cycle sample points"),
+        ParamSpec("years", float, 7.0, help="aging horizon in years"),
+    ),
+    renderer=render_fig2_payload,
+    tags=("figure", "device-model"),
+)

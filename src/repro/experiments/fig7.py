@@ -15,6 +15,7 @@ from repro.aging.probabilistic import (
     fig7_sweep,
     probability_at_least_n_cells,
 )
+from repro.orchestration.registry import ParamSpec, register_experiment
 from repro.utils.tables import format_series
 
 #: The two K values shown in Fig. 7.
@@ -24,7 +25,18 @@ FIG7_NUM_CELLS = 8192
 
 
 def run_fig7_probabilistic_model(rho: float = 0.5) -> Dict[int, List[Dict[str, float]]]:
-    """Eq. (1) sweeps for both K values of Fig. 7."""
+    """Eq. (1) sweeps for both K values of Fig. 7.
+
+    Parameters
+    ----------
+    rho:
+        Probability of a weight bit being 1 (0.5 = balanced distribution).
+
+    Returns
+    -------
+    dict
+        ``{K: [{"b_over_k", "probability"}, ...]}`` for K in (20, 160).
+    """
     results: Dict[int, List[Dict[str, float]]] = {}
     for num_blocks in FIG7_K_VALUES:
         b_over_k, probabilities = fig7_sweep(num_blocks, rho)
@@ -36,7 +48,15 @@ def run_fig7_probabilistic_model(rho: float = 0.5) -> Dict[int, List[Dict[str, f
 
 
 def run_fig7_case_study(rho: float = 0.5) -> Dict[str, float]:
-    """The quantitative claims the paper makes about Fig. 7."""
+    """The quantitative claims the paper makes about Fig. 7.
+
+    Returns
+    -------
+    dict
+        Tail probabilities at b/K = 0.3 for K = 20 and K = 160, the expected
+        number of unbalanced cells in the 8192-cell example memory, and the
+        probability of at least 100 unbalanced cells.
+    """
     p_k20_b6 = duty_cycle_tail_probability(20, rho, 6)      # b/K = 0.3
     p_k160_b48 = duty_cycle_tail_probability(160, rho, 48)  # b/K = 0.3
     return {
@@ -64,3 +84,16 @@ def render_fig7(rho: float = 0.5) -> str:
             precision=4,
         ))
     return "\n\n".join(sections)
+
+
+register_experiment(
+    name="fig7",
+    runner=run_fig7_case_study,
+    description="Probabilistic duty-cycle model (Eq. 1) case study for K=20 vs K=160",
+    artifact="Fig. 7",
+    params=(
+        ParamSpec("rho", float, 0.5, help="probability of a weight bit being 1"),
+    ),
+    renderer=lambda payload, params: render_fig7(rho=params["rho"]),
+    tags=("figure", "model"),
+)

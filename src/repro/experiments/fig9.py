@@ -19,6 +19,7 @@ from repro.experiments.aging_runner import (
     render_policy_histograms,
 )
 from repro.experiments.common import ExperimentScale
+from repro.orchestration.registry import ParamSpec, register_experiment
 from repro.quantization.formats import PAPER_FORMATS, get_format
 
 #: Network evaluated on the baseline accelerator in Fig. 9.
@@ -29,7 +30,26 @@ def run_fig9_baseline_alexnet(data_formats: Optional[Iterable[str]] = None,
                               quick: bool = True, seed: int = 0,
                               network_name: str = FIG9_NETWORK
                               ) -> Dict[str, Dict[str, Dict[str, object]]]:
-    """Run the full Fig. 9 grid: format -> policy -> histogram/summary."""
+    """Run the full Fig. 9 grid: format -> policy -> histogram/summary.
+
+    Parameters
+    ----------
+    data_formats:
+        Data formats to evaluate (default: the paper's three formats).
+    quick:
+        ``True`` runs the reduced configuration (capped weights per layer,
+        20 inferences); ``False`` the paper-scale one.
+    seed:
+        Seed for synthetic weights and the stochastic DNN-Life policy.
+    network_name:
+        Workload network (``alexnet`` in the paper).
+
+    Returns
+    -------
+    dict
+        ``{format: {policy_label: {"policy", "policy_config", "summary",
+        "histogram_percent", "histogram_bin_edges", "histogram_bin_labels"}}}``.
+    """
     scale = ExperimentScale.from_quick_flag(quick)
     data_formats = list(data_formats) if data_formats is not None else list(PAPER_FORMATS)
     accelerator = BaselineAccelerator()
@@ -75,3 +95,35 @@ def fig9_headline_claims(results: Dict[str, Dict[str, Dict[str, object]]]) -> Di
             "bias_balancing_helps": means[balanced] <= means[unbalanced],
         }
     return claims
+
+
+def render_fig9_payload(payload: Dict[str, Dict[str, Dict[str, object]]],
+                        params: Dict[str, object]) -> str:
+    """Render a (possibly cache-served) Fig. 9 payload without re-simulating."""
+    network_name = params.get("network_name", FIG9_NETWORK)
+    sections = []
+    for format_name, per_policy in payload.items():
+        sections.append(render_policy_histograms(
+            per_policy,
+            title=(f"=== Fig. 9 — baseline accelerator, {network_name}, "
+                   f"format: {format_name} ===")))
+    return "\n\n".join(sections)
+
+
+register_experiment(
+    name="fig9",
+    runner=run_fig9_baseline_alexnet,
+    description="SNM degradation on the baseline accelerator (AlexNet), "
+                "3 formats x 6 mitigation configurations",
+    artifact="Fig. 9",
+    params=(
+        ParamSpec("quick", bool, True,
+                  help="reduced configuration (capped weights, 20 inferences)"),
+        ParamSpec("seed", int, 0, help="weight/policy seed"),
+        ParamSpec("network_name", str, FIG9_NETWORK, flag="--network",
+                  help="workload network"),
+    ),
+    full_config={"quick": False},
+    renderer=render_fig9_payload,
+    tags=("figure", "aging"),
+)

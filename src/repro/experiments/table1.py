@@ -5,11 +5,21 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.accelerator.config import TABLE_I_CONFIGS, TABLE_I_NETWORKS
+from repro.orchestration.registry import register_experiment
 from repro.utils.tables import AsciiTable
 
 
 def run_table1_configurations() -> List[Dict[str, object]]:
-    """One row per accelerator configuration of Table I."""
+    """One row per accelerator configuration of Table I.
+
+    Returns
+    -------
+    list of dict
+        Each row holds the configuration description (``name``,
+        ``weight_memory_KB``, ``activation_memory_MB``, ``num_pes``,
+        ``multipliers_per_pe``, ``parallel_filters_f``,
+        ``weight_fifo_depth_tiles``) plus the ``networks`` evaluated on it.
+    """
     rows = []
     for name, config in TABLE_I_CONFIGS.items():
         description = config.describe()
@@ -34,3 +44,31 @@ def render_table1() -> str:
             "+".join(row["networks"]),
         ])
     return table.render()
+
+
+def render_table1_payload(payload, params) -> str:
+    """Render a (possibly cache-served) Table I payload without recomputing."""
+    table = AsciiTable(
+        ["configuration", "weight mem [KB]", "activation mem [MB]", "PE array",
+         "f (parallel filters)", "FIFO tiles", "networks"],
+        title="Table I — hardware configurations and settings used in evaluation",
+        precision=0,
+    )
+    for row in payload:
+        pe_array = f"{row['num_pes']} PEs x {row['multipliers_per_pe']} mult"
+        table.add_row([
+            row["name"], row["weight_memory_KB"], row["activation_memory_MB"],
+            pe_array, row["parallel_filters_f"], row["weight_fifo_depth_tiles"],
+            "+".join(row["networks"]),
+        ])
+    return table.render()
+
+
+register_experiment(
+    name="table1",
+    runner=run_table1_configurations,
+    description="Hardware configurations and settings used in the evaluation",
+    artifact="Table I",
+    renderer=render_table1_payload,
+    tags=("table", "configuration"),
+)

@@ -6,10 +6,24 @@ from typing import Dict, List
 
 from repro.hwsynth.synthesis import PAPER_TABLE2, table2_ascii, table2_report
 from repro.hwsynth.wde_designs import TABLE2_DATAPATH_BITS
+from repro.orchestration.registry import ParamSpec, register_experiment
 
 
 def run_table2_wde_costs(width: int = TABLE2_DATAPATH_BITS) -> List[Dict[str, float]]:
-    """One row per WDE design, with the paper's reference values attached."""
+    """One row per WDE design, with the paper's reference values attached.
+
+    Parameters
+    ----------
+    width:
+        Datapath width of the synthesized write-data encoders in bits
+        (64 in the paper's Table II).
+
+    Returns
+    -------
+    list of dict
+        One row per design with measured ``delay_ps``/``power_nw``/
+        ``area_cell_units`` next to the corresponding ``paper_*`` values.
+    """
     rows = table2_report(width)
     for row in rows:
         reference = PAPER_TABLE2.get(row["design"], {})
@@ -45,3 +59,17 @@ def table2_relative_costs(width: int = TABLE2_DATAPATH_BITS) -> Dict[str, Dict[s
 def render_table2(width: int = TABLE2_DATAPATH_BITS) -> str:
     """ASCII rendering of Table II (measured next to the paper's values)."""
     return table2_ascii(width)
+
+
+register_experiment(
+    name="table2",
+    runner=run_table2_wde_costs,
+    description="Delay/power/area of the three 64-bit Write Data Encoders",
+    artifact="Table II",
+    params=(
+        ParamSpec("width", int, TABLE2_DATAPATH_BITS,
+                  help="datapath width of the synthesized WDEs in bits"),
+    ),
+    renderer=lambda payload, params: render_table2(width=params["width"]),
+    tags=("table", "hardware"),
+)

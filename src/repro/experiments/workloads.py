@@ -1,0 +1,160 @@
+"""Workload-level drivers behind ``dnn-life compare/energy/report``.
+
+These wrap :class:`repro.core.framework.DnnLife` for one (network, format)
+workload: compare every mitigation policy, account the mitigation energy
+overhead, or produce the full multi-section aging report.  Historically they
+lived as hand-wired CLI handlers; as registered experiments they gain
+parameter schemas, result caching and sweepability.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.nn.models import MODEL_ZOO
+from repro.orchestration.registry import ParamSpec, register_experiment
+from repro.utils.tables import AsciiTable
+
+
+def _build_framework(network: str, data_format: str, num_inferences: int, seed: int):
+    from repro.core.framework import DnnLife
+    from repro.nn.models import build_model
+    from repro.nn.weights import attach_synthetic_weights
+
+    workload = attach_synthetic_weights(build_model(network), seed=seed)
+    return DnnLife(workload, data_format=data_format,
+                   num_inferences=num_inferences, seed=seed)
+
+
+def run_compare(network: str = "custom_mnist", data_format: str = "int8_symmetric",
+                num_inferences: int = 50, seed: int = 0) -> Dict[str, Any]:
+    """Compare the paper's six mitigation configurations on one workload.
+
+    The policy suite is the Fig. 9 column set evaluated on the baseline
+    accelerator.
+
+    Returns
+    -------
+    dict
+        ``{"workload": {...}, "policies": {label: summary}, "best_policy": label}``
+        — see :meth:`repro.core.framework.PolicyComparison.summary`.
+    """
+    framework = _build_framework(network, data_format, num_inferences, seed)
+    return framework.compare_policies().summary()
+
+
+def render_compare(payload: Dict[str, Any], params: Dict[str, Any]) -> str:
+    """Summary table of a (possibly cache-served) policy comparison."""
+    workload = payload.get("workload", {})
+    table = AsciiTable(
+        ["policy", "mean SNM deg. [%]", "max SNM deg. [%]",
+         "% cells near best", "% cells near worst"],
+        title=(f"{workload.get('network')} on {workload.get('accelerator')} "
+               f"({workload.get('data_format')})"),
+    )
+    for label, summary in payload["policies"].items():
+        table.add_row([
+            label,
+            summary["mean_snm_degradation_percent"],
+            summary["max_snm_degradation_percent"],
+            summary["percent_cells_near_best"],
+            summary["percent_cells_near_worst"],
+        ])
+    return table.render() + f"\n\nbest policy: {payload['best_policy']}"
+
+
+def run_energy(network: str = "custom_mnist", data_format: str = "int8_symmetric",
+               num_inferences: int = 50, seed: int = 0) -> Dict[str, Any]:
+    """Per-inference mitigation energy overhead of every policy (Table II side).
+
+    Returns
+    -------
+    dict
+        ``{policy: energy metrics}`` — the shape of
+        :func:`repro.analysis.energy.energy_overhead_report`, unchanged from
+        the pre-registry CLI so existing ``--json`` consumers keep working.
+    """
+    from repro.analysis.energy import energy_overhead_report
+
+    framework = _build_framework(network, data_format, num_inferences, seed)
+    return energy_overhead_report(framework)
+
+
+def render_energy(payload: Dict[str, Any], params: Dict[str, Any]) -> str:
+    """Energy-overhead table of a (possibly cache-served) energy payload."""
+    workload = {key: params.get(key) for key in
+                ("network", "data_format", "num_inferences")}
+    table = AsciiTable(
+        ["policy", "memory energy [uJ]", "transducer energy [uJ]",
+         "metadata energy [uJ]", "overhead [%]"],
+        title=f"Per-inference mitigation energy overhead — {workload}",
+        precision=4,
+    )
+    for label, entry in payload.items():
+        table.add_row([
+            label,
+            entry["weight_memory_energy_joules"] * 1e6,
+            entry["transducer_energy_joules"] * 1e6,
+            entry["metadata_energy_joules"] * 1e6,
+            entry["overhead_percent_of_memory_energy"],
+        ])
+    return table.render()
+
+
+def run_report(network: str = "custom_mnist", data_format: str = "int8_symmetric",
+               num_inferences: int = 50, seed: int = 0) -> Dict[str, Any]:
+    """Full multi-section aging report for one workload.
+
+    Returns
+    -------
+    dict
+        ``{"summary": WorkloadReport.summary(), "rendered": str}`` — the
+        rendered text is embedded so cached reports re-print without
+        re-simulating.
+    """
+    from repro.analysis.report import WorkloadReport
+
+    framework = _build_framework(network, data_format, num_inferences, seed)
+    report = WorkloadReport(framework)
+    return {"summary": report.summary(), "rendered": report.render()}
+
+
+_WORKLOAD_PARAMS = (
+    ParamSpec("network", str, "custom_mnist", choices=tuple(sorted(MODEL_ZOO)),
+              help="workload network"),
+    ParamSpec("data_format", str, "int8_symmetric", flag="--format",
+              help="weight data format"),
+    ParamSpec("num_inferences", int, 50, flag="--inferences",
+              help="inference epochs"),
+    ParamSpec("seed", int, 0, help="weight/policy seed"),
+)
+
+register_experiment(
+    name="compare",
+    runner=run_compare,
+    description="Compare all mitigation policies on one (network, format) workload",
+    artifact="Fig. 9 policy suite",
+    params=_WORKLOAD_PARAMS,
+    renderer=render_compare,
+    tags=("workload", "aging"),
+)
+
+register_experiment(
+    name="energy",
+    runner=run_energy,
+    description="Mitigation energy overhead of every policy on one workload",
+    artifact="Table II energy discussion",
+    params=_WORKLOAD_PARAMS,
+    renderer=render_energy,
+    tags=("workload", "energy"),
+)
+
+register_experiment(
+    name="report",
+    runner=run_report,
+    description="Full multi-section aging report for one workload",
+    artifact="end-to-end framework (Fig. 3)",
+    params=_WORKLOAD_PARAMS,
+    renderer=lambda payload, params: payload["rendered"],
+    tags=("workload", "report"),
+)

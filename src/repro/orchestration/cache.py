@@ -1,0 +1,165 @@
+"""Content-addressed on-disk cache for experiment results.
+
+The cache key is the SHA-256 digest of (experiment name, canonical JSON of
+the fully-resolved parameters, code version), where the code version is a
+digest over every ``*.py`` file of the installed :mod:`repro` package.  Any
+change to the parameters *or to the code itself* therefore misses the cache,
+while repeated ``dnn-life`` invocations and sweep jobs with identical inputs
+are served from disk instead of re-simulating.
+
+Entries are JSON files (one per key, sharded by the key's first two hex
+characters) holding the experiment name, the parameters and the JSON-safe
+payload, so a cache directory doubles as a browsable result archive.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Dict, Iterator, Mapping, Optional, Union
+
+from repro.utils.serialization import canonical_json, to_jsonable
+
+__all__ = ["ResultCache", "cache_key", "code_version", "default_cache_dir"]
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "DNN_LIFE_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """The cache directory: ``$DNN_LIFE_CACHE_DIR`` or ``~/.cache/dnn-life``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override).expanduser()
+    return Path.home() / ".cache" / "dnn-life"
+
+
+@lru_cache(maxsize=1)
+def code_version() -> str:
+    """Digest of every python source file of the :mod:`repro` package.
+
+    Computed once per process; editing any module of the library changes the
+    version and therefore invalidates every cached result.
+    """
+    import repro
+
+    package_root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(path.read_bytes())
+        digest.update(b"\x00")
+    return digest.hexdigest()[:16]
+
+
+def cache_key(experiment: str, params: Mapping[str, Any],
+              version: Optional[str] = None) -> str:
+    """Content-addressed key of one (experiment, params, code version) run."""
+    identity = {
+        "experiment": experiment,
+        "params": to_jsonable(dict(params)),
+        "code_version": version if version is not None else code_version(),
+    }
+    return hashlib.sha256(canonical_json(identity).encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """On-disk result store addressed by :func:`cache_key` digests.
+
+    Writes are atomic (temp file + ``os.replace``), so concurrent sweep
+    workers and parallel ``dnn-life`` invocations can share one directory.
+    """
+
+    def __init__(self, root: Union[str, Path, None] = None):
+        self.root = Path(root).expanduser() if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    # -- key/path layout ---------------------------------------------------- #
+    def path_for(self, key: str) -> Path:
+        """Path of the entry file for ``key`` (two-character shard dirs)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- accessors ----------------------------------------------------------- #
+    def get(self, key: str) -> Optional[Any]:
+        """The cached payload for ``key``, or ``None`` on a miss.
+
+        Unreadable/corrupt entries count as misses (and are left on disk for
+        inspection rather than silently deleted).
+        """
+        path = self.path_for(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            payload = entry["payload"]
+        except (OSError, ValueError, KeyError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: Any, experiment: str = "",
+            params: Optional[Mapping[str, Any]] = None,
+            normalized: bool = False) -> Path:
+        """Store ``payload`` (made JSON-safe) under ``key`` atomically.
+
+        ``normalized=True`` skips the :func:`to_jsonable` pass over the
+        payload — callers that already normalised it (the experiment runner
+        and the sweep workers do) avoid a redundant deep copy of large
+        result trees.
+        """
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "experiment": experiment,
+            "params": to_jsonable(dict(params or {})),
+            "code_version": code_version(),
+            "payload": payload if normalized else to_jsonable(payload),
+        }
+        handle = tempfile.NamedTemporaryFile(
+            "w", encoding="utf-8", dir=path.parent, suffix=".tmp", delete=False)
+        try:
+            with handle:
+                json.dump(entry, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    # -- maintenance --------------------------------------------------------- #
+    def _entry_paths(self) -> Iterator[Path]:
+        if not self.root.is_dir():
+            return iter(())
+        return self.root.glob("??/*.json")
+
+    def stats(self) -> Dict[str, Any]:
+        """Entry count / on-disk size plus this process' hit/miss counters."""
+        paths = list(self._entry_paths())
+        return {
+            "root": str(self.root),
+            "entries": len(paths),
+            "bytes": sum(path.stat().st_size for path in paths),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of entries removed."""
+        removed = 0
+        for path in self._entry_paths():
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed

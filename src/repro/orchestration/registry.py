@@ -1,0 +1,275 @@
+"""Experiment registry: one catalogue of every reproducible artifact.
+
+Every figure/table/ablation driver in :mod:`repro.experiments` registers
+itself here with a name, a parameter schema and quick/full configurations.
+The CLI (``dnn-life run/sweep/list``) and the :class:`~repro.orchestration.sweep.SweepRunner`
+resolve experiments exclusively through this registry, so adding a new
+scenario to the whole tool-chain is one :func:`register_experiment` call.
+
+Example
+-------
+>>> from repro.orchestration import REGISTRY, load_all_experiments
+>>> load_all_experiments()
+>>> spec = REGISTRY.get("fig9")
+>>> sorted(spec.param_names())
+['network_name', 'quick', 'seed']
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "ParamSpec",
+    "ExperimentSpec",
+    "ExperimentRegistry",
+    "REGISTRY",
+    "register_experiment",
+    "load_all_experiments",
+]
+
+_TRUE_STRINGS = ("1", "true", "yes", "on")
+_FALSE_STRINGS = ("0", "false", "no", "off")
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """Schema of one experiment parameter.
+
+    Attributes
+    ----------
+    name:
+        Keyword-argument name of the experiment's runner function.
+    type:
+        Scalar python type of the value (``bool``, ``int``, ``float``, ``str``).
+    default:
+        Value used when the parameter is not supplied.
+    choices:
+        Optional closed set of allowed values.
+    help:
+        One-line description shown by ``dnn-life list`` and ``--help``.
+    flag:
+        CLI flag (defaults to ``--<name with _ replaced by ->``); lets the
+        runner keyword (e.g. ``data_format``) keep a short flag (``--format``).
+    """
+
+    name: str
+    type: type
+    default: Any
+    choices: Optional[Tuple[Any, ...]] = None
+    help: str = ""
+    flag: Optional[str] = None
+
+    @property
+    def cli_flag(self) -> str:
+        """The command-line flag exposing this parameter."""
+        return self.flag or "--" + self.name.replace("_", "-")
+
+    def parse(self, text: Any) -> Any:
+        """Coerce a string (e.g. from ``--set key=value``) into the value."""
+        if not isinstance(text, str):
+            return self.validate(text)
+        if self.type is bool:
+            lowered = text.strip().lower()
+            if lowered in _TRUE_STRINGS:
+                return True
+            if lowered in _FALSE_STRINGS:
+                return False
+            raise ValueError(f"parameter '{self.name}' expects a boolean, got '{text}'")
+        return self.validate(self.type(text))
+
+    def validate(self, value: Any) -> Any:
+        """Type-check ``value`` (ints are accepted for float parameters)."""
+        if self.type is float and isinstance(value, int) and not isinstance(value, bool):
+            value = float(value)
+        if self.type is not bool and isinstance(value, bool):
+            raise TypeError(f"parameter '{self.name}' expects {self.type.__name__}, got bool")
+        if not isinstance(value, self.type):
+            raise TypeError(
+                f"parameter '{self.name}' expects {self.type.__name__}, "
+                f"got {type(value).__name__} ({value!r})")
+        if self.choices is not None and value not in self.choices:
+            allowed = ", ".join(repr(choice) for choice in self.choices)
+            raise ValueError(f"parameter '{self.name}' must be one of {allowed}, got {value!r}")
+        return value
+
+
+#: Renderer signature: ``(payload, params) -> ascii_text``.  ``payload`` is the
+#: JSON-safe result of the runner (possibly loaded back from the cache).
+Renderer = Callable[[Any, Dict[str, Any]], str]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A registered experiment: runner + schema + paper artifact mapping."""
+
+    name: str
+    runner: Callable[..., Any]
+    description: str
+    artifact: str
+    params: Tuple[ParamSpec, ...] = ()
+    quick_config: Mapping[str, Any] = field(default_factory=dict)
+    full_config: Mapping[str, Any] = field(default_factory=dict)
+    renderer: Optional[Renderer] = None
+    tags: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for param in self.params:
+            if param.name in seen:
+                raise ValueError(f"experiment '{self.name}' declares parameter "
+                                 f"'{param.name}' twice")
+            seen.add(param.name)
+
+    def param_names(self) -> Tuple[str, ...]:
+        """Names of the declared parameters, in declaration order."""
+        return tuple(param.name for param in self.params)
+
+    def get_param(self, name: str) -> ParamSpec:
+        """Look up one parameter spec by name."""
+        for param in self.params:
+            if param.name == name:
+                return param
+        known = ", ".join(self.param_names()) or "<none>"
+        raise KeyError(f"experiment '{self.name}' has no parameter '{name}' "
+                       f"(known parameters: {known})")
+
+    def defaults(self) -> Dict[str, Any]:
+        """Default value of every declared parameter."""
+        return {param.name: param.default for param in self.params}
+
+    def resolve(self, params: Optional[Mapping[str, Any]] = None,
+                full: bool = False) -> Dict[str, Any]:
+        """Build the fully-resolved, validated parameter dict of one run.
+
+        Layering (later wins): declared defaults, then the quick or full
+        configuration, then the caller's explicit ``params``.  The result is
+        what the runner is called with and what the cache key is derived from.
+        """
+        resolved = self.defaults()
+        resolved.update(self.full_config if full else self.quick_config)
+        for key, value in (params or {}).items():
+            spec = self.get_param(key)
+            resolved[key] = spec.parse(value) if isinstance(value, str) else spec.validate(value)
+        return resolved
+
+    def run(self, **params: Any) -> Any:
+        """Invoke the runner with validated parameters (no caching)."""
+        return self.runner(**self.resolve(params))
+
+
+class ExperimentRegistry:
+    """Name -> :class:`ExperimentSpec` mapping with duplicate protection."""
+
+    def __init__(self) -> None:
+        self._specs: Dict[str, ExperimentSpec] = {}
+
+    def register(self, spec: ExperimentSpec) -> ExperimentSpec:
+        """Add a spec; re-registering a name with a different spec is an error."""
+        existing = self._specs.get(spec.name)
+        if existing is not None:
+            if existing == spec:  # idempotent module re-import
+                return existing
+            raise ValueError(f"experiment '{spec.name}' is already registered")
+        self._specs[spec.name] = spec
+        return spec
+
+    def get(self, name: str) -> ExperimentSpec:
+        """Look up a spec; raise ``KeyError`` naming the known experiments."""
+        try:
+            return self._specs[name]
+        except KeyError:
+            known = ", ".join(sorted(self._specs)) or "<none registered>"
+            raise KeyError(f"unknown experiment '{name}' "
+                           f"(known experiments: {known})") from None
+
+    def names(self) -> List[str]:
+        """Sorted names of all registered experiments."""
+        return sorted(self._specs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __iter__(self) -> Iterator[ExperimentSpec]:
+        return iter(self._specs[name] for name in self.names())
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def describe(self) -> List[Dict[str, Any]]:
+        """One machine-readable row per experiment (``dnn-life list --json``)."""
+        return [
+            {
+                "name": spec.name,
+                "artifact": spec.artifact,
+                "description": spec.description,
+                "params": {param.name: {"type": param.type.__name__,
+                                        "default": param.default,
+                                        "choices": list(param.choices) if param.choices else None,
+                                        "help": param.help}
+                           for param in spec.params},
+                "tags": list(spec.tags),
+            }
+            for spec in self
+        ]
+
+
+#: The process-wide registry used by the CLI and the sweep runner.
+REGISTRY = ExperimentRegistry()
+
+
+def register_experiment(name: str, runner: Callable[..., Any], description: str,
+                        artifact: str, params: Sequence[ParamSpec] = (),
+                        quick_config: Optional[Mapping[str, Any]] = None,
+                        full_config: Optional[Mapping[str, Any]] = None,
+                        renderer: Optional[Renderer] = None,
+                        tags: Sequence[str] = (),
+                        registry: Optional[ExperimentRegistry] = None) -> ExperimentSpec:
+    """Register an experiment driver with the (default) registry.
+
+    Called once at the bottom of every module in :mod:`repro.experiments`.
+    """
+    spec = ExperimentSpec(
+        name=name,
+        runner=runner,
+        description=description,
+        artifact=artifact,
+        params=tuple(params),
+        quick_config=dict(quick_config or {}),
+        full_config=dict(full_config or {}),
+        renderer=renderer,
+        tags=tuple(tags),
+    )
+    return (registry or REGISTRY).register(spec)
+
+
+#: Modules whose import populates the registry (self-registration at the
+#: bottom of each module).  New experiment modules are added here once.
+_EXPERIMENT_MODULES = (
+    "repro.experiments.fig1",
+    "repro.experiments.fig2",
+    "repro.experiments.fig6",
+    "repro.experiments.fig7",
+    "repro.experiments.fig9",
+    "repro.experiments.fig11",
+    "repro.experiments.table1",
+    "repro.experiments.table2",
+    "repro.experiments.ablations",
+    "repro.experiments.aging_point",
+    "repro.experiments.workloads",
+)
+
+
+def load_all_experiments() -> ExperimentRegistry:
+    """Import every experiment module so their registrations run.
+
+    Idempotent: python caches the imports and :meth:`ExperimentRegistry.register`
+    tolerates identical re-registration.  Worker processes of the sweep runner
+    call this before resolving their job's experiment.
+    """
+    import importlib
+
+    for module in _EXPERIMENT_MODULES:
+        importlib.import_module(module)
+    return REGISTRY

@@ -1,0 +1,121 @@
+"""Cached execution of registered experiments.
+
+:func:`run_experiment` is the single execution path shared by the CLI verbs
+(``dnn-life run`` and the per-experiment commands) and by the sweep workers:
+resolve the spec, derive the content-addressed cache key, serve from the
+:class:`~repro.orchestration.cache.ResultCache` on a hit, otherwise invoke
+the runner and store the JSON-safe payload.
+
+Payloads are *always* normalised through
+:func:`repro.utils.serialization.to_jsonable` — cached and freshly-computed
+runs therefore return byte-identical results, which is what makes sweep
+outputs reproducible regardless of which jobs hit the cache.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional
+
+from repro.orchestration.cache import ResultCache, cache_key
+from repro.orchestration.registry import ExperimentRegistry, load_all_experiments
+from repro.utils.serialization import to_jsonable
+
+__all__ = ["ExperimentRun", "resolve_params", "run_experiment", "render_experiment"]
+
+
+def resolve_params(spec, params: Optional[Mapping[str, Any]] = None,
+                   full: bool = False) -> Dict[str, Any]:
+    """Resolve and normalise an experiment's parameters for execution/caching.
+
+    Beyond :meth:`ExperimentSpec.resolve`, this folds environment-driven
+    behaviour into the parameter dict: ``REPRO_FULL_EXPERIMENTS=1`` makes
+    ``ExperimentScale.from_quick_flag`` run paper scale regardless of the
+    quick flag, so ``quick`` is forced to ``False`` here — the cache key
+    must match what actually runs.
+    """
+    resolved = spec.resolve(params, full=full)
+    if "quick" in resolved and resolved["quick"]:
+        from repro.experiments.common import full_experiments_requested
+
+        if full_experiments_requested():
+            resolved["quick"] = False
+    return resolved
+
+
+@dataclass
+class ExperimentRun:
+    """Outcome of one cached experiment execution."""
+
+    experiment: str
+    params: Dict[str, Any]
+    payload: Any
+    cache_key: str
+    from_cache: bool
+    seconds: float
+    artifact: str = ""
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-safe record of the run (used by sweep reports)."""
+        return {
+            "experiment": self.experiment,
+            "artifact": self.artifact,
+            "params": to_jsonable(self.params),
+            "cache_key": self.cache_key,
+            "from_cache": self.from_cache,
+            "seconds": self.seconds,
+            "payload": self.payload,
+        }
+
+
+def run_experiment(name: str, params: Optional[Mapping[str, Any]] = None,
+                   full: bool = False, cache: Optional[ResultCache] = None,
+                   registry: Optional[ExperimentRegistry] = None) -> ExperimentRun:
+    """Run one registered experiment, serving repeated runs from the cache.
+
+    Parameters
+    ----------
+    name:
+        Registered experiment name (see ``dnn-life list``).
+    params:
+        Parameter overrides; string values are parsed against the schema
+        (so ``{"seed": "3"}`` from the CLI works like ``{"seed": 3}``).
+    full:
+        Apply the spec's full (paper-scale) configuration instead of the
+        quick one before overlaying ``params``.
+    cache:
+        Result cache to consult/populate; ``None`` disables caching.
+    registry:
+        Registry to resolve ``name`` in (defaults to the global one, after
+        importing all experiment modules).
+    """
+    if registry is None:
+        registry = load_all_experiments()
+    spec = registry.get(name)
+    resolved = resolve_params(spec, params, full=full)
+    # With caching disabled the key is never used — skip it so sweep workers
+    # (which always run with cache=None) don't hash the package sources.
+    key = cache_key(spec.name, resolved) if cache is not None else ""
+    start = time.perf_counter()
+    if cache is not None:
+        payload = cache.get(key)
+        if payload is not None:
+            return ExperimentRun(spec.name, resolved, payload, key, True,
+                                 time.perf_counter() - start, spec.artifact)
+    payload = to_jsonable(spec.runner(**resolved))
+    if cache is not None:
+        cache.put(key, payload, experiment=spec.name, params=resolved, normalized=True)
+    return ExperimentRun(spec.name, resolved, payload, key, False,
+                         time.perf_counter() - start, spec.artifact)
+
+
+def render_experiment(run: ExperimentRun,
+                      registry: Optional[ExperimentRegistry] = None) -> Optional[str]:
+    """ASCII rendering of a run via the spec's renderer (``None`` if it has none)."""
+    if registry is None:
+        registry = load_all_experiments()
+    spec = registry.get(run.experiment)
+    if spec.renderer is None:
+        return None
+    return spec.renderer(run.payload, dict(run.params))

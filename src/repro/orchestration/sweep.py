@@ -1,0 +1,273 @@
+"""Parameter-grid sweeps with multiprocessing fan-out.
+
+:class:`SweepRunner` expands a parameter grid (e.g. network × quantization
+format × mitigation policy × memory geometry) into jobs, gives every job a
+deterministic seed derived through :func:`repro.utils.rng.deterministic_hash_seed`,
+serves previously-computed jobs from the result cache and fans the remaining
+ones out across worker processes via :class:`concurrent.futures.ProcessPoolExecutor`.
+
+Because every job runs through :func:`repro.orchestration.runner.run_experiment`,
+a sweep job's payload is byte-identical to the payload of a single
+``dnn-life run`` with the same parameters.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import time
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.orchestration.cache import ResultCache, cache_key
+from repro.orchestration.registry import ExperimentRegistry, load_all_experiments
+from repro.utils.rng import deterministic_hash_seed
+from repro.utils.serialization import canonical_json
+
+__all__ = ["expand_grid", "SweepJob", "SweepJobResult", "SweepReport", "SweepRunner"]
+
+#: Environment variable overriding the default worker count.
+MAX_WORKERS_ENV = "DNN_LIFE_MAX_WORKERS"
+
+
+def expand_grid(grid: Mapping[str, Sequence[Any]]) -> List[Dict[str, Any]]:
+    """Expand ``{param: [values...]}`` into the cartesian product of points.
+
+    The expansion order is deterministic: axes vary slowest-first in the
+    order the mapping lists them (like nested for-loops), so job indices —
+    and therefore derived per-job seeds — are stable across invocations.
+    """
+    if not grid:
+        return [{}]
+    axes: List[Tuple[str, List[Any]]] = []
+    for name, values in grid.items():
+        values = list(values)
+        if not values:
+            raise ValueError(f"grid axis '{name}' has no values")
+        axes.append((name, values))
+    names = [name for name, _ in axes]
+    return [dict(zip(names, point)) for point in product(*(values for _, values in axes))]
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One grid point, fully resolved and content-addressed."""
+
+    index: int
+    experiment: str
+    params: Dict[str, Any]
+    cache_key: str
+
+
+@dataclass
+class SweepJobResult:
+    """Outcome of one sweep job (``error`` set and ``payload`` ``None`` on failure)."""
+
+    job: SweepJob
+    payload: Any
+    from_cache: bool
+    seconds: float
+    worker_pid: int
+    error: Optional[str] = None
+
+    @property
+    def failed(self) -> bool:
+        """Whether the job raised instead of producing a payload."""
+        return self.error is not None
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-safe record of the job result."""
+        return {
+            "index": self.job.index,
+            "experiment": self.job.experiment,
+            "params": self.job.params,
+            "cache_key": self.job.cache_key,
+            "from_cache": self.from_cache,
+            "seconds": self.seconds,
+            "worker_pid": self.worker_pid,
+            "error": self.error,
+            "payload": self.payload,
+        }
+
+
+@dataclass
+class SweepReport:
+    """Results and execution statistics of one sweep."""
+
+    experiment: str
+    grid: Dict[str, List[Any]]
+    results: List[SweepJobResult] = field(default_factory=list)
+    seconds: float = 0.0
+
+    @property
+    def num_jobs(self) -> int:
+        """Total number of grid points."""
+        return len(self.results)
+
+    @property
+    def num_from_cache(self) -> int:
+        """Jobs served from the result cache."""
+        return sum(1 for result in self.results if result.from_cache)
+
+    @property
+    def num_computed(self) -> int:
+        """Jobs actually (re)simulated (successfully)."""
+        return self.num_jobs - self.num_from_cache - self.num_failed
+
+    @property
+    def num_failed(self) -> int:
+        """Jobs that raised instead of producing a payload."""
+        return sum(1 for result in self.results if result.failed)
+
+    @property
+    def worker_pids(self) -> List[int]:
+        """Distinct process ids that successfully computed jobs."""
+        return sorted({result.worker_pid for result in self.results
+                       if not result.from_cache and not result.failed})
+
+    def payloads(self) -> List[Any]:
+        """Per-job payloads in grid order."""
+        return [result.payload for result in self.results]
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-safe report: statistics plus every job's params and payload."""
+        return {
+            "experiment": self.experiment,
+            "grid": self.grid,
+            "num_jobs": self.num_jobs,
+            "num_from_cache": self.num_from_cache,
+            "num_computed": self.num_computed,
+            "num_failed": self.num_failed,
+            "worker_pids": self.worker_pids,
+            "seconds": self.seconds,
+            "jobs": [result.describe() for result in self.results],
+        }
+
+
+def _default_max_workers(num_jobs: int) -> int:
+    """Worker-count default: env override, else min(#jobs, max(cpus, 2), 8)."""
+    override = os.environ.get(MAX_WORKERS_ENV)
+    if override:
+        return max(int(override), 1)
+    cpus = os.cpu_count() or 1
+    return max(1, min(num_jobs, max(cpus, 2), 8))
+
+
+def _execute_job(experiment: str, params: Dict[str, Any]) -> Tuple[Any, float, int]:
+    """Worker entry point: run one job, return (payload, seconds, pid).
+
+    Runs in a forked/spawned process; the cache is *not* consulted here —
+    the parent filters hits before dispatch and persists new payloads, which
+    keeps cache accounting in one process.
+    """
+    from repro.orchestration.runner import run_experiment
+
+    run = run_experiment(experiment, params, cache=None)
+    return run.payload, run.seconds, os.getpid()
+
+
+class SweepRunner:
+    """Expand a parameter grid and run it across worker processes.
+
+    Parameters
+    ----------
+    cache:
+        Result cache shared by all jobs; ``None`` disables caching.
+    max_workers:
+        Worker processes for the fan-out. ``None`` picks a default from the
+        CPU count (overridable with ``DNN_LIFE_MAX_WORKERS``); ``1`` runs
+        every job serially in the calling process.
+    registry:
+        Experiment registry (defaults to the global one).
+    """
+
+    def __init__(self, cache: Optional[ResultCache] = None,
+                 max_workers: Optional[int] = None,
+                 registry: Optional[ExperimentRegistry] = None):
+        self.cache = cache
+        self.max_workers = max_workers
+        self.registry = registry
+
+    # -- job construction --------------------------------------------------- #
+    def build_jobs(self, experiment: str, grid: Mapping[str, Sequence[Any]],
+                   base_seed: int = 0, full: bool = False) -> List[SweepJob]:
+        """Expand ``grid`` into fully-resolved, deterministically-seeded jobs.
+
+        When the experiment declares a ``seed`` parameter and the grid does
+        not pin it, every job gets its own reproducible seed derived from
+        (experiment, grid point, ``base_seed``) through
+        :func:`~repro.utils.rng.deterministic_hash_seed` — stable across
+        invocations (so the cache keeps working) yet distinct per point.
+        """
+        from repro.orchestration.runner import resolve_params
+
+        registry = self.registry or load_all_experiments()
+        spec = registry.get(experiment)
+        jobs: List[SweepJob] = []
+        for index, point in enumerate(expand_grid(grid)):
+            params = resolve_params(spec, point, full=full)
+            if "seed" in spec.param_names() and "seed" not in point:
+                params["seed"] = deterministic_hash_seed(
+                    experiment, canonical_json(point), base_seed) % (2 ** 31)
+            jobs.append(SweepJob(index=index, experiment=experiment, params=params,
+                                 cache_key=cache_key(experiment, params)))
+        return jobs
+
+    # -- execution ----------------------------------------------------------- #
+    def run(self, experiment: str, grid: Mapping[str, Sequence[Any]],
+            base_seed: int = 0, full: bool = False) -> SweepReport:
+        """Run the whole grid; cache hits are served without touching a worker."""
+        start = time.perf_counter()
+        jobs = self.build_jobs(experiment, grid, base_seed=base_seed, full=full)
+        results: Dict[int, SweepJobResult] = {}
+        pending: List[SweepJob] = []
+        for job in jobs:
+            payload = self.cache.get(job.cache_key) if self.cache is not None else None
+            if payload is not None:
+                results[job.index] = SweepJobResult(job, payload, True, 0.0, os.getpid())
+            else:
+                pending.append(job)
+
+        max_workers = (self.max_workers if self.max_workers is not None
+                       else _default_max_workers(len(pending)))
+        if pending:
+            if max_workers <= 1 or len(pending) == 1:
+                for job in pending:
+                    try:
+                        results[job.index] = self._record(
+                            job, *_execute_job(job.experiment, job.params))
+                    except Exception as error:  # job failure must not kill the sweep
+                        results[job.index] = self._failure(job, error)
+            else:
+                with concurrent.futures.ProcessPoolExecutor(max_workers=max_workers) as pool:
+                    futures = {pool.submit(_execute_job, job.experiment, job.params): job
+                               for job in pending}
+                    for future in concurrent.futures.as_completed(futures):
+                        job = futures[future]
+                        try:
+                            results[job.index] = self._record(job, *future.result())
+                        except Exception as error:  # keep sibling jobs' results
+                            results[job.index] = self._failure(job, error)
+
+        report = SweepReport(
+            experiment=experiment,
+            grid={name: list(values) for name, values in grid.items()},
+            results=[results[index] for index in sorted(results)],
+            seconds=time.perf_counter() - start,
+        )
+        return report
+
+    def _record(self, job: SweepJob, payload: Any, seconds: float,
+                pid: int) -> SweepJobResult:
+        """Persist a freshly-computed payload and wrap it in a result record."""
+        if self.cache is not None:
+            self.cache.put(job.cache_key, payload, experiment=job.experiment,
+                           params=job.params, normalized=True)
+        return SweepJobResult(job, payload, False, seconds, pid)
+
+    @staticmethod
+    def _failure(job: SweepJob, error: Exception) -> SweepJobResult:
+        """Result record for a job that raised (nothing cached)."""
+        return SweepJobResult(job, None, False, 0.0, os.getpid(),
+                              error=f"{type(error).__name__}: {error}")

@@ -18,8 +18,17 @@ PathLike = Union[str, Path]
 
 
 def to_jsonable(obj: Any) -> Any:
-    """Recursively convert dataclasses / numpy types into JSON-safe values."""
+    """Recursively convert dataclasses / numpy types into JSON-safe values.
+
+    Objects exposing a ``to_payload()`` method (e.g.
+    :class:`repro.core.simulation.AgingResult`) serialize through it, which is
+    what lets experiment results travel through the orchestration layer's
+    result cache and sweep workers.
+    """
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        payload_method = getattr(obj, "to_payload", None)
+        if callable(payload_method):
+            return to_jsonable(payload_method())
         return {f.name: to_jsonable(getattr(obj, f.name)) for f in dataclasses.fields(obj)}
     if isinstance(obj, np.ndarray):
         return obj.tolist()
@@ -33,7 +42,21 @@ def to_jsonable(obj: Any) -> Any:
         return {str(key): to_jsonable(value) for key, value in obj.items()}
     if isinstance(obj, (list, tuple)):
         return [to_jsonable(value) for value in obj]
+    if isinstance(obj, Path):
+        return str(obj)
+    if isinstance(obj, (set, frozenset)):
+        return sorted(to_jsonable(value) for value in obj)
     return obj
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic, compact JSON encoding of ``obj``.
+
+    Keys are sorted and separators are fixed, so equal values always encode
+    to the same string — the property the orchestration cache keys rely on.
+    """
+    return json.dumps(to_jsonable(obj), sort_keys=True, separators=(",", ":"),
+                      ensure_ascii=True)
 
 
 def save_json(obj: Any, path: PathLike, indent: int = 2) -> Path:

@@ -21,6 +21,16 @@ from repro.nn.network import Network
 from repro.nn.weights import attach_synthetic_weights
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Point the orchestration result cache at a per-test directory.
+
+    Keeps CLI invocations inside tests from reading/writing the developer's
+    ``~/.cache/dnn-life`` and from leaking cached results between tests.
+    """
+    monkeypatch.setenv("DNN_LIFE_CACHE_DIR", str(tmp_path / "dnn-life-cache"))
+
+
 @pytest.fixture
 def rng():
     """A seeded random generator."""
