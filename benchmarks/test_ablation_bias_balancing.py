@@ -1,5 +1,7 @@
 """Ablation benchmark: TRBG bias tolerance and the bias-balancing register."""
 
+import pytest
+
 from conftest import run_once
 
 from repro.aging.snm import BEST_SNM_DEGRADATION_PERCENT
@@ -7,6 +9,7 @@ from repro.experiments.ablations import run_balance_register_sweep, run_bias_swe
 from repro.utils.tables import AsciiTable
 
 
+@pytest.mark.slow
 def test_ablation_trbg_bias_without_balancing(benchmark, record_result):
     """Without bias balancing, aging mitigation degrades as the TRBG drifts."""
     results = run_once(benchmark, run_bias_sweep,
@@ -25,6 +28,7 @@ def test_ablation_trbg_bias_without_balancing(benchmark, record_result):
     record_result("ablation_trbg_bias", table.render(), results)
 
 
+@pytest.mark.slow
 def test_ablation_balance_register_size(benchmark, record_result):
     """Any reasonably sized bias-balancing register recovers a biased TRBG."""
     results = run_once(benchmark, run_balance_register_sweep,

@@ -1,5 +1,7 @@
 """Ablation benchmarks: per-inference energy overhead and lifetime extension."""
 
+import pytest
+
 from conftest import run_once
 
 from repro.analysis.energy import energy_overhead_table
@@ -10,6 +12,7 @@ from repro.nn.weights import attach_synthetic_weights
 from repro.utils.tables import AsciiTable
 
 
+@pytest.mark.slow
 def test_ablation_energy_overhead(benchmark, record_result):
     """DNN-Life's per-inference energy overhead stays in the low single-digit
     percent range of the weight-memory traffic, far below the barrel shifter."""
@@ -27,6 +30,7 @@ def test_ablation_energy_overhead(benchmark, record_result):
     record_result("ablation_energy_overhead", energy_overhead_table(framework).render(), report)
 
 
+@pytest.mark.slow
 def test_ablation_lifetime_improvement(benchmark, record_result):
     """Balancing the duty-cycle translates into a large lifetime extension at a
     fixed SNM-degradation budget (the t^(1/6) NBTI time dependence)."""

@@ -1,12 +1,15 @@
 """Benchmark: reproduce Fig. 11 (SNM-degradation histograms of the TPU-like
 NPU's weight FIFO running AlexNet, VGG-16 and the custom MNIST network)."""
 
+import pytest
+
 from conftest import run_once
 
 from repro.aging.snm import BEST_SNM_DEGRADATION_PERCENT, WORST_SNM_DEGRADATION_PERCENT
 from repro.experiments.fig11 import fig11_headline_claims, render_fig11, run_fig11_tpu_networks
 
 
+@pytest.mark.slow
 def test_fig11_tpu_like_npu(benchmark, record_result):
     results = run_once(benchmark, run_fig11_tpu_networks)
     claims = fig11_headline_claims(results)

@@ -1,11 +1,14 @@
 """Benchmark: reproduce Fig. 6 (weight-bit distributions of AlexNet / VGG-16
 under float32, int8-symmetric and int8-asymmetric representations)."""
 
+import pytest
+
 from conftest import run_once
 
 from repro.experiments.fig6 import render_fig6, run_fig6_bit_distributions
 
 
+@pytest.mark.slow
 def test_fig6_bit_distributions(benchmark, record_result):
     results = run_once(benchmark, run_fig6_bit_distributions)
 

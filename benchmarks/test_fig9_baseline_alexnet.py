@@ -2,6 +2,8 @@
 accelerator's 512 KB weight memory running AlexNet, for three data formats and
 six mitigation configurations)."""
 
+import pytest
+
 from conftest import run_once
 
 from repro.aging.snm import BEST_SNM_DEGRADATION_PERCENT, WORST_SNM_DEGRADATION_PERCENT
@@ -12,6 +14,7 @@ def _mean(per_policy, label):
     return per_policy[label]["summary"]["mean_snm_degradation_percent"]
 
 
+@pytest.mark.slow
 def test_fig9_baseline_accelerator_alexnet(benchmark, record_result):
     results = run_once(benchmark, run_fig9_baseline_alexnet)
     claims = fig9_headline_claims(results)

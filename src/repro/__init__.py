@@ -29,6 +29,7 @@ The main subpackages are:
   parallel sweep runner behind ``dnn-life run/sweep/list``.
 """
 
+from repro.accelerator.scheduler import CachedWeightStream, PackedBitTensor
 from repro.core.framework import DnnLife, PolicyComparison
 from repro.core.policies import (
     BarrelShifterPolicy,
@@ -44,6 +45,8 @@ from repro.core.simulation import AgingResult, AgingSimulator, ExplicitAgingSimu
 __version__ = "1.0.0"
 
 __all__ = [
+    "CachedWeightStream",
+    "PackedBitTensor",
     "DnnLife",
     "PolicyComparison",
     "BarrelShifterPolicy",

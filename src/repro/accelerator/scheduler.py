@@ -206,18 +206,282 @@ def _extract_block_words(layer, layer_words: np.ndarray, block) -> np.ndarray:
     return np.ascontiguousarray(selected).reshape(-1)
 
 
+#: Column-chunk budget (bytes of source data per chunk) of the block-axis
+#: reductions.  Chosen so a chunk's accumulator stays cache-resident: summing
+#: a (blocks, cells) tensor over its *outer* axis in one numpy call streams
+#: the full-size accumulator from memory once per block, which for memory-
+#: sized blocks costs many times the traffic of reading the data itself.
+_REDUCE_CHUNK_BYTES = 1 << 22
+
+#: Headroom kept below the uint16 ceiling when picking the SIMD-friendly
+#: small-integer accumulator for weighted block reductions.
+_UINT16_BUDGET = 60_000
+
+
+def block_axis_sum(view: np.ndarray, weights: Optional[np.ndarray] = None,
+                   max_value: Optional[int] = None) -> np.ndarray:
+    """Sum a ``(B, ...)`` array over its block axis, cache-friendly and exact.
+
+    The reduction runs in column chunks so each chunk's accumulator fits in
+    cache, and accumulates in uint16 where the value range *provably* allows
+    it (numpy vectorizes uint8→uint16 adds ~3x better than widening to
+    int64).  ``max_value`` is the caller's bound on the entries of ``view``
+    — bool data is implicitly bounded by 1; anything else keeps the wide
+    accumulator unless a bound is declared, so an unknown value range can
+    never overflow silently.  ``weights`` (shape ``(B, W)``, optional)
+    scales each block word before the reduction.  All supported inputs are
+    integral, so the float64 result is exact.
+    """
+    num_blocks = view.shape[0]
+    if max_value is None and view.dtype == np.bool_:
+        max_value = 1
+    if weights is None:
+        flat = view.reshape(num_blocks, -1)
+        columns = flat.shape[1]
+        small = (view.dtype.itemsize == 1 and max_value is not None
+                 and max_value * num_blocks <= _UINT16_BUDGET)
+        accumulator = np.uint16 if small else (
+            np.int64 if view.dtype.kind in "bui" else np.float64)
+        out = np.empty(columns, dtype=np.float64)
+        chunk = max(4096, _REDUCE_CHUNK_BYTES
+                    // max(num_blocks * view.dtype.itemsize, 1))
+        for start in range(0, columns, chunk):
+            stop = min(start + chunk, columns)
+            out[start:stop] = flat[:, start:stop].sum(axis=0, dtype=accumulator)
+        return out.reshape(view.shape[1:])
+    if view.ndim == 2:
+        return (view * np.asarray(weights, dtype=np.float64)).sum(
+            axis=0, dtype=np.float64)
+    words, word_bits = view.shape[1], view.shape[2]
+    out = np.empty((words, word_bits), dtype=np.float64)
+    chunk = max(64, _REDUCE_CHUNK_BYTES
+                // max(num_blocks * word_bits * view.dtype.itemsize, 1))
+    weight_max = int(weights.max()) if weights.size else 0
+    small = (view.dtype == np.uint8 and weights.dtype.kind in "bui"
+             and max_value is not None
+             and max_value * weight_max <= 255
+             and max_value * weight_max * num_blocks <= _UINT16_BUDGET)
+    if small:
+        weights = weights.astype(np.uint8, copy=False)
+        for start in range(0, words, chunk):
+            stop = min(start + chunk, words)
+            scaled = view[:, start:stop] * weights[:, start:stop, None]
+            out[start:stop] = scaled.sum(axis=0, dtype=np.uint16)
+    else:
+        weights = np.asarray(weights, dtype=np.float64)
+        for start in range(0, words, chunk):
+            stop = min(start + chunk, words)
+            out[start:stop] = np.einsum("bwn,bw->wn", view[:, start:stop],
+                                        weights[:, start:stop])
+    return out
+
+
+def as_stride_indexer(indices: np.ndarray):
+    """Compress sorted block indices into a slice when they form a stride.
+
+    Slicing keeps the subsequent reduction a zero-copy view; the fancy-index
+    fallback only triggers for irregular region/class layouts.
+    """
+    indices = np.asarray(indices)
+    if indices.size == 0:
+        return indices
+    if indices.size == 1:
+        return slice(int(indices[0]), int(indices[0]) + 1)
+    steps = np.diff(indices)
+    if np.all(steps == steps[0]):
+        step = int(steps[0])
+        return slice(int(indices[0]), int(indices[-1]) + 1, step)
+    return indices
+
+
+class PackedBitTensor:
+    """One inference's entire block stream as a single packed bit tensor.
+
+    The fast aging kernels are whole-tensor reductions; feeding them block by
+    block forces a Python loop and an :func:`unpack_bits` call per block.
+    This container performs quantization and bit-unpacking exactly once and
+    stores the result as a ``(num_blocks, words_per_block, word_bits)`` uint8
+    array, so every subsequent policy evaluation on the same workload is a
+    handful of NumPy reductions over one contiguous array.
+
+    Blocks shorter than ``words_per_block`` (an unpadded final block) are
+    zero-padded in ``bits``; ``valid_words`` records each block's true length
+    and :meth:`valid_mask` exposes the per-word validity the kernels use to
+    keep write counts exact.
+
+    Attributes
+    ----------
+    bits:
+        ``uint8`` array of shape ``(num_blocks, words_per_block, word_bits)``
+        holding the unpacked (MSB-first) bits of every block.
+    regions:
+        ``int64`` array of shape ``(num_blocks,)``: the memory region (FIFO
+        tile) each block is written to.
+    valid_words:
+        ``int64`` array of shape ``(num_blocks,)``: the number of genuine
+        (non-padding) words in each block.
+    word_offsets:
+        ``int64`` array of shape ``(num_blocks,)``: cumulative number of
+        genuine words written *before* each block within one inference —
+        i.e. the value of a per-word write counter when the block starts.
+    """
+
+    def __init__(self, bits: np.ndarray, regions: np.ndarray,
+                 valid_words: np.ndarray, geometry: MemoryGeometry,
+                 fifo_depth_tiles: int):
+        bits = np.ascontiguousarray(bits, dtype=np.uint8)
+        if bits.ndim != 3:
+            raise ValueError(f"bits must be (blocks, words, word_bits), got {bits.shape}")
+        self.bits = bits
+        self.regions = np.asarray(regions, dtype=np.int64).reshape(-1)
+        self.valid_words = np.asarray(valid_words, dtype=np.int64).reshape(-1)
+        if not (self.regions.size == self.valid_words.size == bits.shape[0]):
+            raise ValueError("regions/valid_words length must match the block count")
+        self.geometry = geometry
+        self.fifo_depth_tiles = int(fifo_depth_tiles)
+        self.word_offsets = np.concatenate(
+            [[0], np.cumsum(self.valid_words)[:-1]]).astype(np.int64)
+        self._valid_mask: Optional[np.ndarray] = None
+        self._rows_ones: Optional[np.ndarray] = None
+        self._rows_writes: Optional[np.ndarray] = None
+
+    # -- construction ---------------------------------------------------- #
+    @classmethod
+    def from_stream(cls, stream) -> "PackedBitTensor":
+        """Build the tensor from anything exposing the scheduler interface."""
+        from repro.quantization.bitops import unpack_bits
+
+        geometry = stream.geometry
+        words_per_block = stream.words_per_block
+        word_bits = geometry.word_bits
+        num_blocks = int(stream.num_blocks)
+        if num_blocks <= 0:
+            raise ValueError("cannot pack an empty weight stream")
+        bits = np.zeros((num_blocks, words_per_block, word_bits), dtype=np.uint8)
+        regions = np.zeros(num_blocks, dtype=np.int64)
+        valid = np.zeros(num_blocks, dtype=np.int64)
+        count = 0
+        for block in stream.iter_blocks():
+            if count >= num_blocks:
+                raise ValueError(f"stream yielded more than its declared "
+                                 f"{num_blocks} blocks")
+            if block.num_words > words_per_block:
+                raise ValueError(
+                    f"block {block.index} holds {block.num_words} words but the "
+                    f"schedule allows at most {words_per_block}")
+            bits[count, :block.num_words] = unpack_bits(block.words, word_bits)
+            regions[count] = block.region
+            valid[count] = block.num_words
+            count += 1
+        if count != num_blocks:
+            raise ValueError(f"stream yielded {count} blocks but declared {num_blocks}")
+        return cls(bits=bits, regions=regions, valid_words=valid, geometry=geometry,
+                   fifo_depth_tiles=stream.fifo_depth_tiles)
+
+    # -- sizing ----------------------------------------------------------- #
+    @property
+    def num_blocks(self) -> int:
+        """Number of blocks per inference."""
+        return int(self.bits.shape[0])
+
+    @property
+    def words_per_block(self) -> int:
+        """Words per (padded) block — the second axis of :attr:`bits`."""
+        return int(self.bits.shape[1])
+
+    @property
+    def word_bits(self) -> int:
+        """Bits per word — the third axis of :attr:`bits`."""
+        return int(self.bits.shape[2])
+
+    @property
+    def total_words(self) -> int:
+        """Genuine (non-padding) words streamed per inference."""
+        return int(self.valid_words.sum())
+
+    @property
+    def nbytes(self) -> int:
+        """Memory footprint of the packed bit tensor."""
+        return int(self.bits.nbytes)
+
+    def valid_mask(self) -> np.ndarray:
+        """Boolean ``(num_blocks, words_per_block)`` mask of genuine words."""
+        if self._valid_mask is None:
+            word_index = np.arange(self.words_per_block, dtype=np.int64)
+            self._valid_mask = word_index[None, :] < self.valid_words[:, None]
+        return self._valid_mask
+
+    def region_blocks(self, region: int) -> np.ndarray:
+        """Indices (in stream order) of the blocks written to ``region``."""
+        return np.flatnonzero(self.regions == region)
+
+    def region_indexers(self):
+        """Yield ``(row_slice, block indexer)`` for every memory region.
+
+        The indexer selects a region's blocks (in stream order) out of any
+        ``(num_blocks, ...)`` array.  For the round-robin region assignment
+        the scheduler produces it is a stride (a view, no copy); arbitrary
+        region maps fall back to fancy indexing.
+        """
+        depth = self.fifo_depth_tiles
+        words = self.words_per_block
+        round_robin = bool(np.array_equal(
+            self.regions, np.arange(self.num_blocks, dtype=np.int64) % depth))
+        for region in range(depth):
+            row_slice = slice(region * words, (region + 1) * words)
+            indexer = (slice(region, None, depth) if round_robin
+                       else self.region_blocks(region))
+            yield row_slice, indexer
+
+    def rows_sum(self, array: np.ndarray,
+                 weights: Optional[np.ndarray] = None,
+                 max_value: Optional[int] = None) -> np.ndarray:
+        """Reduce a per-block ``(B, W[, n])`` array into per-memory-row totals.
+
+        ``max_value`` bounds the entries of ``array`` and unlocks the narrow
+        SIMD accumulator in :func:`block_axis_sum`; leave it ``None`` when
+        the range is unknown.
+        """
+        out = np.zeros((self.geometry.rows,) + array.shape[2:], dtype=np.float64)
+        for row_slice, indexer in self.region_indexers():
+            view = array[indexer]
+            if view.shape[0]:
+                out[row_slice] = block_axis_sum(
+                    view, None if weights is None else weights[indexer],
+                    max_value=max_value)
+        return out
+
+    def rows_ones(self) -> np.ndarray:
+        """Per-cell count of '1' bits written in one inference (cached).
+
+        Policy-independent, so every kernel evaluating the same stream —
+        a policy suite, a sweep batch — shares one reduction pass.
+        """
+        if self._rows_ones is None:
+            self._rows_ones = self.rows_sum(self.bits, max_value=1)
+        return self._rows_ones
+
+    def rows_writes(self) -> np.ndarray:
+        """Per-row count of genuine writes in one inference (cached)."""
+        if self._rows_writes is None:
+            self._rows_writes = self.rows_sum(self.valid_mask())
+        return self._rows_writes
+
+
 class CachedWeightStream:
     """A scheduler wrapper that materialises the block list once.
 
     Evaluating several mitigation policies on the same workload re-streams the
     same blocks; caching them avoids re-quantizing the network for every
     policy.  The wrapper exposes the subset of the scheduler interface the
-    aging simulators use.
+    aging simulators use, plus :meth:`packed_bits` — the bit-unpacked form of
+    the whole stream, built once and shared by every policy evaluation.
     """
 
     def __init__(self, scheduler: WeightStreamScheduler):
         self._scheduler = scheduler
         self._blocks = list(scheduler.iter_blocks())
+        self._packed: Optional[PackedBitTensor] = None
 
     @property
     def geometry(self) -> MemoryGeometry:
@@ -243,9 +507,29 @@ class CachedWeightStream:
         """Yield the cached blocks in order."""
         return iter(self._blocks)
 
+    def packed_bits(self) -> PackedBitTensor:
+        """The whole stream as one :class:`PackedBitTensor` (built lazily once)."""
+        if self._packed is None:
+            self._packed = PackedBitTensor.from_stream(self)
+        return self._packed
+
     def describe(self) -> dict:
         """Description of the underlying schedule."""
         return self._scheduler.describe()
+
+
+def packed_bit_tensor(stream) -> PackedBitTensor:
+    """Resolve the packed form of ``stream``, reusing its cache when it has one.
+
+    :class:`CachedWeightStream` (and any stream exposing ``packed_bits()``)
+    returns its shared tensor; bare schedulers are packed on the fly.
+    """
+    if isinstance(stream, PackedBitTensor):
+        return stream
+    packed = getattr(stream, "packed_bits", None)
+    if callable(packed):
+        return packed()
+    return PackedBitTensor.from_stream(stream)
 
 
 def stream_to_trace(scheduler: WeightStreamScheduler, num_inferences: int = 1,

@@ -1,0 +1,27 @@
+"""Performance-regression benchmark harness (``dnn-life bench``).
+
+Times the aging-simulation engines against each other on AlexNet/VGG-class
+weight-memory configurations and writes the machine-readable trajectory file
+``BENCH_aging.json``, so engine-performance regressions show up as data
+instead of anecdotes.
+"""
+
+from repro.bench.aging_bench import (
+    BENCH_SCHEMA,
+    DEFAULT_OUTPUT,
+    BenchCase,
+    SyntheticWeightStream,
+    default_bench_cases,
+    render_bench_report,
+    run_aging_bench,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "DEFAULT_OUTPUT",
+    "BenchCase",
+    "SyntheticWeightStream",
+    "default_bench_cases",
+    "render_bench_report",
+    "run_aging_bench",
+]

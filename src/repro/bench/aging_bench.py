@@ -1,0 +1,366 @@
+"""Engine micro-benchmarks for the aging simulators.
+
+The harness answers one question, repeatedly and over the repo's history: how
+much faster is the vectorized *packed* fast engine than the legacy per-block
+*blockwise* fast engine on realistic weight-memory workloads?  Each benchmark
+case evaluates the full mitigation-policy suite on one configuration with
+both engines, checks that the deterministic policies agree byte-for-byte,
+and (on a small configuration) cross-validates the packed engine against the
+exact write-by-write :class:`~repro.core.simulation.ExplicitAgingSimulator`.
+
+Results are written to ``BENCH_aging.json`` (schema
+:data:`BENCH_SCHEMA`), which CI uploads as a build artifact so the
+performance trajectory of the hottest path in the repo is tracked from every
+commit.
+"""
+
+from __future__ import annotations
+
+import platform
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.accelerator.baseline import BaselineAccelerator
+from repro.accelerator.config import baseline_config
+from repro.accelerator.scheduler import PackedBitTensor, WeightBlock
+from repro.core.policies import MitigationPolicy, make_policy
+from repro.core.simulation import AgingSimulator, ExplicitAgingSimulator
+from repro.experiments.aging_runner import build_workload_stream
+from repro.experiments.common import ExperimentScale
+from repro.memory.geometry import MemoryGeometry
+from repro.quantization.bitops import random_words
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.units import KB
+from repro.utils.validation import check_positive_int
+
+#: Schema tag stamped into every benchmark payload.
+BENCH_SCHEMA = "dnn-life-bench/v1"
+
+#: Default output file of ``dnn-life bench``.
+DEFAULT_OUTPUT = "BENCH_aging.json"
+
+#: Policies timed on every case; ``dnn_life`` is stochastic, the rest are
+#: deterministic and must agree byte-for-byte between the engines.
+BENCH_POLICIES = ("none", "inversion", "barrel_shifter", "dnn_life")
+
+_DETERMINISTIC = ("none", "inversion", "inversion_per_location", "barrel_shifter")
+
+
+class SyntheticWeightStream:
+    """A scheduler-compatible stream of biased random weight words.
+
+    Lets the bench exercise configurations no registered data format reaches
+    (the paper's 64-bit-word accountings) without quantizing a real network:
+    the words are random with a DNN-like bit bias, the block structure and
+    region placement mirror :class:`~repro.accelerator.scheduler.WeightStreamScheduler`.
+    """
+
+    def __init__(self, geometry: MemoryGeometry, num_blocks: int,
+                 fifo_depth_tiles: int = 1, seed: SeedLike = 0,
+                 probability_of_one: float = 0.35):
+        self.geometry = geometry
+        self.fifo_depth_tiles = check_positive_int(fifo_depth_tiles, "fifo_depth_tiles")
+        if geometry.rows % self.fifo_depth_tiles != 0:
+            raise ValueError(f"{geometry.rows} rows cannot be divided into "
+                             f"{fifo_depth_tiles} FIFO tiles")
+        check_positive_int(num_blocks, "num_blocks")
+        rng = as_rng(seed)
+        words = random_words(rng, num_blocks * self.words_per_block,
+                             geometry.word_bits, probability_of_one)
+        self._words = words.reshape(num_blocks, self.words_per_block)
+        self._packed: Optional[PackedBitTensor] = None
+
+    @property
+    def words_per_block(self) -> int:
+        """Words per block (one FIFO tile, or the whole memory)."""
+        return self.geometry.rows // self.fifo_depth_tiles
+
+    @property
+    def num_blocks(self) -> int:
+        """Blocks streamed per inference."""
+        return int(self._words.shape[0])
+
+    def iter_blocks(self):
+        """Yield the synthetic blocks with round-robin region placement."""
+        for index in range(self.num_blocks):
+            yield WeightBlock(index=index, words=self._words[index],
+                              region=index % self.fifo_depth_tiles,
+                              layer_names=("synthetic",))
+
+    def packed_bits(self) -> PackedBitTensor:
+        """The stream's packed bit tensor (built lazily once)."""
+        if self._packed is None:
+            self._packed = PackedBitTensor.from_stream(self)
+        return self._packed
+
+    def describe(self) -> dict:
+        """Machine-readable description of the synthetic schedule."""
+        return {
+            "network": "synthetic",
+            "word_bits": self.geometry.word_bits,
+            "memory_capacity_bytes": self.geometry.capacity_bytes,
+            "memory_rows": self.geometry.rows,
+            "words_per_block": self.words_per_block,
+            "fifo_depth_tiles": self.fifo_depth_tiles,
+            "total_weight_words": int(self._words.size),
+            "num_blocks_per_inference": self.num_blocks,
+        }
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One benchmark configuration.
+
+    ``network=None`` makes the case synthetic (random words of
+    ``word_bits``); otherwise the named model-zoo network is quantized with
+    ``data_format`` exactly as the aging experiments do.
+    """
+
+    name: str
+    description: str
+    memory_kb: int
+    word_bits: int
+    num_inferences: int = 100
+    fifo_depth_tiles: int = 1
+    network: Optional[str] = None
+    data_format: Optional[str] = None
+    num_blocks: int = 0  # synthetic cases only
+    policies: Tuple[str, ...] = BENCH_POLICIES
+    max_weights_per_layer: Optional[int] = 1_000_000
+
+    def build_stream(self, seed: int = 0):
+        """Materialise the case's weight stream."""
+        if self.network is None:
+            geometry = MemoryGeometry(capacity_bytes=self.memory_kb * KB,
+                                      word_bits=self.word_bits)
+            return SyntheticWeightStream(geometry, self.num_blocks,
+                                         fifo_depth_tiles=self.fifo_depth_tiles,
+                                         seed=seed)
+        from dataclasses import replace
+
+        config = replace(baseline_config(), name=f"bench_{self.name}",
+                         weight_memory_bytes=self.memory_kb * KB,
+                         weight_fifo_depth_tiles=self.fifo_depth_tiles)
+        scale = ExperimentScale(num_inferences=self.num_inferences,
+                                max_weights_per_layer=self.max_weights_per_layer)
+        return build_workload_stream(self.network, BaselineAccelerator(config=config),
+                                     self.data_format, scale, seed=seed)
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-safe description of the configuration."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "memory_kb": self.memory_kb,
+            "word_bits": self.word_bits,
+            "num_inferences": self.num_inferences,
+            "fifo_depth_tiles": self.fifo_depth_tiles,
+            "network": self.network,
+            "data_format": self.data_format,
+            "num_blocks": self.num_blocks or None,
+            "policies": list(self.policies),
+        }
+
+
+def default_bench_cases() -> List[BenchCase]:
+    """The standard case suite: AlexNet/VGG-class memories plus a smoke case.
+
+    ``alexnet_512kb_64bit`` is the acceptance configuration: the paper's
+    baseline 512 KB weight memory with 64-bit words (the Table II datapath
+    width) under an AlexNet-class block stream.
+    """
+    return [
+        BenchCase(
+            name="alexnet_512kb_64bit",
+            description="AlexNet-class stream, 512 KB memory, 64-bit words",
+            memory_kb=512, word_bits=64, num_blocks=84, num_inferences=100,
+        ),
+        BenchCase(
+            name="alexnet_512kb_8bit",
+            description="AlexNet int8 on the paper's baseline accelerator",
+            memory_kb=512, word_bits=8, network="alexnet",
+            data_format="int8_symmetric", num_inferences=100,
+        ),
+        BenchCase(
+            name="vgg16_512kb_8bit",
+            description="VGG-16 int8 on the paper's baseline accelerator",
+            memory_kb=512, word_bits=8, network="vgg16",
+            data_format="int8_symmetric", num_inferences=100,
+        ),
+        BenchCase(
+            name="alexnet_fifo_256kb_8bit",
+            description="AlexNet int8 on the TPU-like 4-tile weight FIFO",
+            memory_kb=256, word_bits=8, fifo_depth_tiles=4, network="alexnet",
+            data_format="int8_symmetric", num_inferences=100,
+        ),
+        BenchCase(
+            name="smoke_mnist_8bit",
+            description="tiny smoke configuration for tests",
+            memory_kb=8, word_bits=8, network="custom_mnist",
+            data_format="int8_symmetric", num_inferences=10,
+            max_weights_per_layer=20_000,
+        ),
+    ]
+
+
+def _best_of(repeats: int, function, *args, **kwargs) -> Tuple[float, object]:
+    """Run ``function`` ``repeats`` times; return (best seconds, last result)."""
+    best = float("inf")
+    result = None
+    for _ in range(max(repeats, 1)):
+        start = time.perf_counter()
+        result = function(*args, **kwargs)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _policy_for(case: BenchCase, name: str, seed: int) -> MitigationPolicy:
+    return make_policy(name, case.word_bits, seed=seed)
+
+
+def bench_case(case: BenchCase, repeats: int = 3, seed: int = 0) -> Dict[str, object]:
+    """Time both fast engines across the case's policy suite.
+
+    The packed tensor build is timed separately and charged to the packed
+    engine's total: it is the one-time cost every policy evaluation after the
+    first gets for free.
+    """
+    build_start = time.perf_counter()
+    stream = case.build_stream(seed=seed)
+    stream_build_seconds = time.perf_counter() - build_start
+
+    packed_build_seconds, packed = _best_of(1, stream.packed_bits)
+
+    policies: Dict[str, Dict[str, object]] = {}
+    blockwise_total = 0.0
+    packed_total = packed_build_seconds
+    for policy_name in case.policies:
+        def run(engine: str):
+            simulator = AgingSimulator(stream, _policy_for(case, policy_name, seed),
+                                       num_inferences=case.num_inferences,
+                                       seed=seed, engine=engine)
+            return simulator.run()
+
+        blockwise_seconds, blockwise_result = _best_of(repeats, run, "blockwise")
+        packed_seconds, packed_result = _best_of(repeats, run, "packed")
+        deterministic = policy_name in _DETERMINISTIC
+        exact = (bool(np.array_equal(blockwise_result.duty_cycles,
+                                     packed_result.duty_cycles))
+                 if deterministic else None)
+        if deterministic and not exact:
+            raise AssertionError(
+                f"engines disagree on deterministic policy '{policy_name}' "
+                f"for case '{case.name}'")
+        blockwise_total += blockwise_seconds
+        packed_total += packed_seconds
+        policies[policy_name] = {
+            "blockwise_seconds": blockwise_seconds,
+            "packed_seconds": packed_seconds,
+            "speedup": blockwise_seconds / packed_seconds if packed_seconds else None,
+            "deterministic": deterministic,
+            "exact_match": exact,
+        }
+
+    return {
+        "case": case.describe(),
+        "stream": stream.describe(),
+        "packed_tensor_bytes": packed.nbytes,
+        "stream_build_seconds": stream_build_seconds,
+        "packed_build_seconds": packed_build_seconds,
+        "policies": policies,
+        "blockwise_total_seconds": blockwise_total,
+        "packed_total_seconds": packed_total,
+        "speedup": blockwise_total / packed_total if packed_total else None,
+    }
+
+
+def verify_against_explicit(seed: int = 0) -> Dict[str, object]:
+    """Exact-match check of the packed engine on an explicit-simulable config.
+
+    Runs every deterministic policy (including per-location inversion) on a
+    small workload with both the packed engine and the write-by-write
+    explicit simulator; the duty-cycles must agree exactly.
+    """
+    case = BenchCase(name="verify_mnist_8bit",
+                     description="explicit-engine cross-check",
+                     memory_kb=4, word_bits=8, network="custom_mnist",
+                     data_format="int8_symmetric", num_inferences=3,
+                     max_weights_per_layer=10_000)
+    stream = case.build_stream(seed=seed)
+    checks: Dict[str, bool] = {}
+    for policy_name in _DETERMINISTIC:
+        fast = AgingSimulator(stream, _policy_for(case, policy_name, seed),
+                              num_inferences=case.num_inferences, seed=seed,
+                              engine="packed").run()
+        exact = ExplicitAgingSimulator(stream, _policy_for(case, policy_name, seed),
+                                       num_inferences=case.num_inferences).run()
+        checks[policy_name] = bool(np.array_equal(fast.duty_cycles, exact.duty_cycles))
+    return {
+        "case": case.describe(),
+        "policies": checks,
+        "explicit_match": all(checks.values()),
+    }
+
+
+def run_aging_bench(cases: Optional[Sequence[BenchCase]] = None, repeats: int = 3,
+                    seed: int = 0, verify: bool = True) -> Dict[str, object]:
+    """Run the benchmark suite and return the ``BENCH_aging.json`` payload."""
+    cases = list(cases) if cases is not None else default_bench_cases()
+    results = [bench_case(case, repeats=repeats, seed=seed) for case in cases]
+    speedups = [entry["speedup"] for entry in results if entry["speedup"]]
+    payload: Dict[str, object] = {
+        "schema": BENCH_SCHEMA,
+        "created_unix": time.time(),
+        "repeats": repeats,
+        "seed": seed,
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "cases": results,
+        "min_speedup": min(speedups) if speedups else None,
+        "geomean_speedup": (float(np.exp(np.mean(np.log(speedups))))
+                            if speedups else None),
+    }
+    if verify:
+        payload["verification"] = verify_against_explicit(seed=seed)
+    return payload
+
+
+def render_bench_report(payload: Dict[str, object]) -> str:
+    """ASCII rendering of one benchmark payload."""
+    from repro.utils.tables import AsciiTable
+
+    table = AsciiTable(
+        ["case", "policy", "blockwise (s)", "packed (s)", "speedup", "exact"],
+        title=(f"aging-engine benchmark — blockwise vs packed fast engine "
+               f"(best of {payload['repeats']})"),
+        precision=4,
+    )
+    for entry in payload["cases"]:
+        case_name = entry["case"]["name"]
+        for policy_name, row in entry["policies"].items():
+            exact = row["exact_match"]
+            table.add_row([
+                case_name, policy_name,
+                row["blockwise_seconds"], row["packed_seconds"],
+                f"{row['speedup']:.1f}x",
+                "=" if exact else ("n/a" if exact is None else "MISMATCH"),
+            ])
+        table.add_row([case_name, "TOTAL (+pack)",
+                       entry["blockwise_total_seconds"],
+                       entry["packed_total_seconds"],
+                       f"{entry['speedup']:.1f}x", ""])
+    lines = [table.render()]
+    lines.append(f"minimum case speedup: {payload['min_speedup']:.1f}x, "
+                 f"geometric mean: {payload['geomean_speedup']:.1f}x")
+    verification = payload.get("verification")
+    if verification is not None:
+        status = "OK" if verification["explicit_match"] else "FAILED"
+        lines.append(f"explicit-engine cross-check: {status} "
+                     f"({', '.join(sorted(verification['policies']))})")
+    return "\n".join(lines)

@@ -10,6 +10,7 @@ verbs plus one convenience subcommand per registered experiment::
     dnn-life sweep aging \
         --grid network=custom_mnist,lenet5 \
         --grid policy=none,dnn_life     # parallel parameter-grid sweep
+    dnn-life bench                      # engine perf harness -> BENCH_aging.json
     dnn-life fig9 --quick               # per-experiment command (same as run)
     dnn-life compare --network custom_mnist --format int8_symmetric
 
@@ -130,6 +131,27 @@ def build_parser() -> argparse.ArgumentParser:
     cache_parser.add_argument("--clear", action="store_true",
                               help="delete every cached entry")
 
+    bench_parser = subparsers.add_parser(
+        "bench", help="time the aging engines (blockwise vs packed) and write "
+                      "the BENCH_aging.json perf trajectory")
+    bench_parser.add_argument("--output", type=str, default=None,
+                              metavar="PATH",
+                              help="trajectory file (default BENCH_aging.json; "
+                                   "'-' skips writing)")
+    bench_parser.add_argument("--repeats", type=int, default=3,
+                              help="timing repetitions per engine (best is kept)")
+    bench_parser.add_argument("--case", dest="cases", action="append", default=[],
+                              metavar="NAME",
+                              help="run only the named case(s) (repeatable; "
+                                   "see repro.bench.default_bench_cases)")
+    bench_parser.add_argument("--seed", type=int, default=0,
+                              help="stream/policy seed of every case")
+    bench_parser.add_argument("--min-speedup", type=float, default=None,
+                              help="exit non-zero when any case's packed-engine "
+                                   "speedup falls below this factor")
+    bench_parser.add_argument("--skip-verify", action="store_true",
+                              help="skip the explicit-engine cross-check")
+
     for spec in REGISTRY:
         sub = subparsers.add_parser(spec.name, help=f"{spec.artifact}: {spec.description}")
         _add_param_arguments(sub, spec)
@@ -244,6 +266,40 @@ def _cmd_sweep(args: argparse.Namespace, cache: Optional[ResultCache]) -> Any:
     return report.summary()
 
 
+def _cmd_bench(args: argparse.Namespace) -> Tuple[Any, int]:
+    """Run the engine benchmark harness; returns (payload, exit code)."""
+    from repro.bench import (
+        DEFAULT_OUTPUT,
+        default_bench_cases,
+        render_bench_report,
+        run_aging_bench,
+    )
+
+    cases = default_bench_cases()
+    if args.cases:
+        # case names are pre-validated by _validate_user_input
+        known = {case.name: case for case in cases}
+        cases = [known[name] for name in args.cases]
+    payload = run_aging_bench(cases, repeats=max(args.repeats, 1), seed=args.seed,
+                              verify=not args.skip_verify)
+    print(render_bench_report(payload))
+    output = args.output if args.output is not None else DEFAULT_OUTPUT
+    if output != "-":
+        path = save_json(payload, output)
+        print(f"\nbenchmark trajectory written to {path}")
+    exit_code = 0
+    verification = payload.get("verification")
+    if verification is not None and not verification["explicit_match"]:
+        print("dnn-life bench: explicit-engine cross-check FAILED", file=sys.stderr)
+        exit_code = 1
+    if args.min_speedup is not None and payload["min_speedup"] is not None \
+            and payload["min_speedup"] < args.min_speedup:
+        print(f"dnn-life bench: minimum case speedup {payload['min_speedup']:.2f}x "
+              f"is below the required {args.min_speedup:g}x", file=sys.stderr)
+        exit_code = 1
+    return payload, exit_code
+
+
 def _cmd_cache(args: argparse.Namespace, cache: Optional[ResultCache]) -> Any:
     if cache is None:
         print("cache disabled (--no-cache)")
@@ -271,6 +327,14 @@ def _validate_user_input(args: argparse.Namespace) -> None:
         spec.resolve(dict(args.assignments), full=args.full)
     elif args.command == "sweep":
         _parse_grid(args)
+    elif args.command == "bench" and args.cases:
+        from repro.bench import default_bench_cases
+
+        known = {case.name for case in default_bench_cases()}
+        unknown = [name for name in args.cases if name not in known]
+        if unknown:
+            raise ValueError(f"unknown bench case(s): {', '.join(unknown)} "
+                             f"(known: {', '.join(sorted(known))})")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -298,6 +362,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             result = _cmd_sweep(args, cache)
             if result["num_failed"]:
                 exit_code = 1  # partial results are reported/saved, but CI must notice
+        elif args.command == "bench":
+            result, exit_code = _cmd_bench(args)
         elif args.command == "cache":
             result = _cmd_cache(args, cache)
         else:

@@ -123,22 +123,28 @@ class PeriodicInversionPolicy(MitigationPolicy):
         self.granularity = granularity
         self.name = ("inversion" if granularity == "write" else "inversion_per_location")
         self._write_counter = 0
-        self._location_counters: Dict[int, int] = {}
+        # Per-row toggle counters, grown on demand: a block write touches a
+        # contiguous row range, so the whole update is two vectorized slice
+        # operations instead of per-row dict traffic on the hot write path.
+        self._location_counters = np.zeros(0, dtype=np.int64)
 
     def reset(self) -> None:
         self._write_counter = 0
-        self._location_counters = {}
+        self._location_counters = np.zeros(0, dtype=np.int64)
 
     def _parities(self, num_words: int, start_row: int) -> np.ndarray:
         if self.granularity == "write":
             parities = (self._write_counter + np.arange(num_words)) % 2
             self._write_counter += num_words
             return parities.astype(np.uint8)
-        rows = start_row + np.arange(num_words)
-        parities = np.array([self._location_counters.get(int(row), 0) % 2 for row in rows],
-                            dtype=np.uint8)
-        for row in rows:
-            self._location_counters[int(row)] = self._location_counters.get(int(row), 0) + 1
+        end_row = start_row + num_words
+        if end_row > self._location_counters.size:
+            grown = np.zeros(end_row, dtype=np.int64)
+            grown[:self._location_counters.size] = self._location_counters
+            self._location_counters = grown
+        counters = self._location_counters[start_row:end_row]
+        parities = (counters % 2).astype(np.uint8)
+        counters += 1
         return parities
 
     def encode_block(self, words: np.ndarray, block_index: int,

@@ -146,4 +146,9 @@ register_experiment(
     full_config={"quick": False, "num_inferences": 100},
     renderer=render_aging_point,
     tags=("sweep", "aging"),
+    # Jobs agreeing on these parameters stream the same weight blocks; the
+    # sweep runner batches them onto one worker so the process-local stream
+    # cache (and its packed bit tensor) is built once per workload.
+    affinity=("network", "data_format", "weight_memory_kb", "fifo_depth_tiles",
+              "quick", "seed"),
 )

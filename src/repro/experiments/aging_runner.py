@@ -1,7 +1,22 @@
-"""Shared runner for the aging experiments (Figs. 9 and 11)."""
+"""Shared runner for the aging experiments (Figs. 9 and 11).
+
+Besides the policy-evaluation helpers this module hosts the process-local
+*weight-stream cache*: building a workload stream means re-quantizing the
+network and (for the packed fast engine) bit-unpacking every block, which is
+by far the most expensive part of an aging design point.  Sweep jobs that
+share a (network, format, memory geometry, scale, seed) therefore reuse one
+:class:`~repro.accelerator.scheduler.CachedWeightStream` — and its packed bit
+tensor — instead of rebuilding it per job.  The cache lives per process, so
+every worker of a :class:`~repro.orchestration.sweep.SweepRunner` pool warms
+its own copy once and serves all subsequent jobs with stream affinity from
+memory.
+"""
 
 from __future__ import annotations
 
+import os
+from collections import OrderedDict
+from dataclasses import asdict
 from typing import Dict, Iterable, List, Optional
 
 import numpy as np
@@ -13,7 +28,45 @@ from repro.core.simulation import AgingSimulator
 from repro.experiments.common import ExperimentScale, reduce_network
 from repro.nn.models import build_model
 from repro.nn.weights import attach_synthetic_weights
+from repro.utils.serialization import canonical_json
 from repro.utils.tables import format_histogram
+
+#: Environment variable bounding the number of cached streams per process.
+STREAM_CACHE_SIZE_ENV = "DNN_LIFE_STREAM_CACHE"
+
+#: Default number of (network, format, geometry, scale, seed) streams kept.
+_DEFAULT_STREAM_CACHE_SIZE = 4
+
+#: Process-local LRU of workload streams, keyed by the workload signature.
+_STREAM_CACHE: "OrderedDict[str, CachedWeightStream]" = OrderedDict()
+
+
+def _stream_cache_size() -> int:
+    """Configured stream-cache capacity (0 disables caching)."""
+    override = os.environ.get(STREAM_CACHE_SIZE_ENV)
+    if override is None or override == "":
+        return _DEFAULT_STREAM_CACHE_SIZE
+    return max(int(override), 0)
+
+
+def clear_stream_cache() -> int:
+    """Drop every cached stream; returns how many were held."""
+    held = len(_STREAM_CACHE)
+    _STREAM_CACHE.clear()
+    return held
+
+
+def _workload_signature(network_name: str, accelerator, data_format: str,
+                        scale: ExperimentScale, seed: int) -> str:
+    """Canonical cache key of one workload stream."""
+    return canonical_json({
+        "network": network_name,
+        "data_format": data_format,
+        "accelerator_type": type(accelerator).__name__,
+        "accelerator_config": asdict(accelerator.config),
+        "max_weights_per_layer": scale.max_weights_per_layer,
+        "seed": int(seed),
+    })
 
 
 def evaluate_policies_on_stream(stream, policies: Iterable[MitigationPolicy],
@@ -44,12 +97,34 @@ def evaluate_policies_on_stream(stream, policies: Iterable[MitigationPolicy],
 
 
 def build_workload_stream(network_name: str, accelerator, data_format: str,
-                          scale: ExperimentScale, seed: int = 0) -> CachedWeightStream:
-    """Build the (possibly reduced) cached weight stream for one workload."""
+                          scale: ExperimentScale, seed: int = 0,
+                          reuse: bool = True) -> CachedWeightStream:
+    """Build (or fetch) the cached weight stream for one workload.
+
+    With ``reuse`` (the default) the stream is served from the process-local
+    LRU when an identical workload was built before, so consecutive design
+    points sharing a (network, format, geometry, scale, seed) — e.g. a policy
+    sweep — quantize and bit-unpack the network exactly once per process.
+    Set ``DNN_LIFE_STREAM_CACHE=0`` to disable, or a higher value to keep
+    more workloads resident.
+    """
+    capacity = _stream_cache_size() if reuse else 0
+    key = None
+    if capacity:
+        key = _workload_signature(network_name, accelerator, data_format, scale, seed)
+        cached = _STREAM_CACHE.get(key)
+        if cached is not None:
+            _STREAM_CACHE.move_to_end(key)
+            return cached
     network = attach_synthetic_weights(build_model(network_name), seed=seed)
     network = reduce_network(network, scale.max_weights_per_layer, seed=seed)
     scheduler = accelerator.build_scheduler(network, data_format)
-    return CachedWeightStream(scheduler)
+    stream = CachedWeightStream(scheduler)
+    if capacity:
+        _STREAM_CACHE[key] = stream
+        while len(_STREAM_CACHE) > capacity:
+            _STREAM_CACHE.popitem(last=False)
+    return stream
 
 
 def render_policy_histograms(results: Dict[str, Dict[str, object]], title: str) -> str:

@@ -102,7 +102,14 @@ Renderer = Callable[[Any, Dict[str, Any]], str]
 
 @dataclass(frozen=True)
 class ExperimentSpec:
-    """A registered experiment: runner + schema + paper artifact mapping."""
+    """A registered experiment: runner + schema + paper artifact mapping.
+
+    ``affinity`` names the parameters that determine the experiment's
+    expensive shared state (for the aging experiments: the weight stream).
+    The sweep runner keeps jobs whose affinity parameters agree on the same
+    worker process, so per-process caches keyed on those parameters are hit
+    instead of rebuilt.
+    """
 
     name: str
     runner: Callable[..., Any]
@@ -113,6 +120,7 @@ class ExperimentSpec:
     full_config: Mapping[str, Any] = field(default_factory=dict)
     renderer: Optional[Renderer] = None
     tags: Tuple[str, ...] = ()
+    affinity: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         seen = set()
@@ -121,6 +129,14 @@ class ExperimentSpec:
                 raise ValueError(f"experiment '{self.name}' declares parameter "
                                  f"'{param.name}' twice")
             seen.add(param.name)
+        for name in self.affinity:
+            if name not in seen:
+                raise ValueError(f"experiment '{self.name}' declares affinity on "
+                                 f"unknown parameter '{name}'")
+
+    def affinity_key(self, params: Mapping[str, Any]) -> Tuple[Any, ...]:
+        """The values of the affinity parameters within ``params``."""
+        return tuple(params.get(name) for name in self.affinity)
 
     def param_names(self) -> Tuple[str, ...]:
         """Names of the declared parameters, in declaration order."""
@@ -225,6 +241,7 @@ def register_experiment(name: str, runner: Callable[..., Any], description: str,
                         full_config: Optional[Mapping[str, Any]] = None,
                         renderer: Optional[Renderer] = None,
                         tags: Sequence[str] = (),
+                        affinity: Sequence[str] = (),
                         registry: Optional[ExperimentRegistry] = None) -> ExperimentSpec:
     """Register an experiment driver with the (default) registry.
 
@@ -240,6 +257,7 @@ def register_experiment(name: str, runner: Callable[..., Any], description: str,
         full_config=dict(full_config or {}),
         renderer=renderer,
         tags=tuple(tags),
+        affinity=tuple(affinity),
     )
     return (registry or REGISTRY).register(spec)
 

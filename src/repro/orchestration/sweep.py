@@ -167,6 +167,30 @@ def _execute_job(experiment: str, params: Dict[str, Any]) -> Tuple[Any, float, i
     return run.payload, run.seconds, os.getpid()
 
 
+def _execute_job_batch(experiment: str,
+                       batch: List[Tuple[int, Dict[str, Any]]]
+                       ) -> List[Tuple[int, Any, float, int, Optional[str]]]:
+    """Worker entry point: run a batch of jobs sharing stream affinity.
+
+    Jobs in one batch agree on the experiment's affinity parameters, so
+    running them back-to-back in one process lets process-local caches (the
+    aging experiments' weight-stream cache) serve every job after the first.
+    Failures are isolated per job: each outcome carries either a payload or
+    an error string.
+    """
+    from repro.orchestration.runner import run_experiment
+
+    outcomes: List[Tuple[int, Any, float, int, Optional[str]]] = []
+    for index, params in batch:
+        try:
+            run = run_experiment(experiment, params, cache=None)
+            outcomes.append((index, run.payload, run.seconds, os.getpid(), None))
+        except Exception as error:  # job failure must not kill its batch
+            outcomes.append((index, None, 0.0, os.getpid(),
+                             f"{type(error).__name__}: {error}"))
+    return outcomes
+
+
 class SweepRunner:
     """Expand a parameter grid and run it across worker processes.
 
@@ -195,10 +219,15 @@ class SweepRunner:
         """Expand ``grid`` into fully-resolved, deterministically-seeded jobs.
 
         When the experiment declares a ``seed`` parameter and the grid does
-        not pin it, every job gets its own reproducible seed derived from
-        (experiment, grid point, ``base_seed``) through
+        not pin it, every job gets its own reproducible seed derived through
         :func:`~repro.utils.rng.deterministic_hash_seed` — stable across
-        invocations (so the cache keeps working) yet distinct per point.
+        invocations (so the cache keeps working) yet distinct per workload.
+        For experiments declaring stream ``affinity``, the seed is derived
+        from the *affinity-relevant* subset of the grid point only: points
+        that differ in, say, the mitigation policy then share both their
+        seed and their weight stream — which matches the paper's evaluation
+        protocol (policies compared on identical weights) and is what lets
+        the affinity batches actually hit the per-worker stream cache.
         """
         from repro.orchestration.runner import resolve_params
 
@@ -208,8 +237,11 @@ class SweepRunner:
         for index, point in enumerate(expand_grid(grid)):
             params = resolve_params(spec, point, full=full)
             if "seed" in spec.param_names() and "seed" not in point:
+                seed_basis = ({name: value for name, value in point.items()
+                               if name in spec.affinity}
+                              if spec.affinity else point)
                 params["seed"] = deterministic_hash_seed(
-                    experiment, canonical_json(point), base_seed) % (2 ** 31)
+                    experiment, canonical_json(seed_basis), base_seed) % (2 ** 31)
             jobs.append(SweepJob(index=index, experiment=experiment, params=params,
                                  cache_key=cache_key(experiment, params)))
         return jobs
@@ -240,15 +272,29 @@ class SweepRunner:
                     except Exception as error:  # job failure must not kill the sweep
                         results[job.index] = self._failure(job, error)
             else:
+                batches = self._affinity_batches(experiment, pending, max_workers)
                 with concurrent.futures.ProcessPoolExecutor(max_workers=max_workers) as pool:
-                    futures = {pool.submit(_execute_job, job.experiment, job.params): job
-                               for job in pending}
+                    futures = {
+                        pool.submit(_execute_job_batch, experiment,
+                                    [(job.index, job.params) for job in batch]): batch
+                        for batch in batches
+                    }
+                    jobs_by_index = {job.index: job for job in pending}
                     for future in concurrent.futures.as_completed(futures):
-                        job = futures[future]
+                        batch = futures[future]
                         try:
-                            results[job.index] = self._record(job, *future.result())
-                        except Exception as error:  # keep sibling jobs' results
-                            results[job.index] = self._failure(job, error)
+                            outcomes = future.result()
+                        except Exception as error:  # a dead worker fails its batch only
+                            for job in batch:
+                                results[job.index] = self._failure(job, error)
+                            continue
+                        for index, payload, seconds, pid, error in outcomes:
+                            job = jobs_by_index[index]
+                            if error is None:
+                                results[index] = self._record(job, payload, seconds, pid)
+                            else:
+                                results[index] = SweepJobResult(job, None, False, 0.0,
+                                                                pid, error=error)
 
         report = SweepReport(
             experiment=experiment,
@@ -257,6 +303,37 @@ class SweepRunner:
             seconds=time.perf_counter() - start,
         )
         return report
+
+    def _affinity_batches(self, experiment: str, pending: List[SweepJob],
+                          max_workers: int) -> List[List[SweepJob]]:
+        """Partition pending jobs into worker batches along stream affinity.
+
+        Jobs sharing the experiment's affinity-parameter values land in the
+        same batch, so one worker computes their shared state (e.g. the
+        quantized weight stream) once.  When affinity grouping would leave
+        workers idle — fewer groups than workers — the largest batches are
+        halved until the pool is saturated; splitting only costs the shared
+        state one extra build, so saturation wins.  Experiments without an
+        affinity declaration dispatch one job per batch, exactly as before.
+        """
+        registry = self.registry or load_all_experiments()
+        spec = registry.get(experiment)
+        if not spec.affinity:
+            return [[job] for job in pending]
+        grouped: Dict[str, List[SweepJob]] = {}
+        for job in pending:
+            key = canonical_json(list(spec.affinity_key(job.params)))
+            grouped.setdefault(key, []).append(job)
+        batches = list(grouped.values())
+        while len(batches) < max_workers:
+            largest = max(batches, key=len)
+            if len(largest) <= 1:
+                break
+            half = len(largest) // 2
+            batches.remove(largest)
+            batches.extend([largest[:half], largest[half:]])
+        # Deterministic dispatch order regardless of dict/split history.
+        return sorted(batches, key=lambda batch: batch[0].index)
 
     def _record(self, job: SweepJob, payload: Any, seconds: float,
                 pid: int) -> SweepJobResult:

@@ -43,11 +43,22 @@ def unpack_bits(words: np.ndarray, word_bits: int, msb_first: bool = True) -> np
         raise ValueError(
             f"word value {int(flat.max())} does not fit in {word_bits} bits"
         )
-    shifts = np.arange(word_bits, dtype=np.uint64)
-    if msb_first:
-        shifts = shifts[::-1].copy()
-    bits = (flat[:, None] >> shifts[None, :]) & np.uint64(1)
-    return bits.astype(np.uint8)
+    # One C pass through np.unpackbits over a big-endian byte view — roughly
+    # an order of magnitude faster (and 8x less temporary memory) than the
+    # per-bit shift-and-mask loop it replaces.
+    if word_bits <= 8:
+        byte_width, dtype = 1, np.uint8
+    elif word_bits <= 16:
+        byte_width, dtype = 2, np.dtype(">u2")
+    elif word_bits <= 32:
+        byte_width, dtype = 4, np.dtype(">u4")
+    else:
+        byte_width, dtype = 8, np.dtype(">u8")
+    octets = flat.astype(dtype).view(np.uint8).reshape(-1, byte_width)
+    bits = np.unpackbits(octets, axis=1)[:, byte_width * 8 - word_bits:]
+    if not msb_first:
+        bits = bits[:, ::-1]
+    return np.ascontiguousarray(bits)
 
 
 def pack_words_to_bits(words: np.ndarray, word_bits: int, msb_first: bool = True) -> np.ndarray:

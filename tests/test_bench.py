@@ -1,0 +1,137 @@
+"""Tests for the engine benchmark harness (``dnn-life bench``)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA,
+    BenchCase,
+    SyntheticWeightStream,
+    default_bench_cases,
+    render_bench_report,
+    run_aging_bench,
+)
+from repro.cli import main
+from repro.memory.geometry import MemoryGeometry
+
+
+@pytest.fixture(scope="module")
+def smoke_payload():
+    """One smoke-case bench run shared by the structural assertions."""
+    cases = [case for case in default_bench_cases() if case.name == "smoke_mnist_8bit"]
+    return run_aging_bench(cases, repeats=1, verify=True)
+
+
+class TestSyntheticWeightStream:
+    def test_block_structure(self):
+        geometry = MemoryGeometry(capacity_bytes=1024, word_bits=64)
+        stream = SyntheticWeightStream(geometry, num_blocks=6, fifo_depth_tiles=2,
+                                       seed=0)
+        blocks = list(stream.iter_blocks())
+        assert len(blocks) == 6
+        assert all(block.num_words == stream.words_per_block for block in blocks)
+        assert [block.region for block in blocks] == [0, 1, 0, 1, 0, 1]
+        packed = stream.packed_bits()
+        assert packed.bits.shape == (6, stream.words_per_block, 64)
+        assert stream.packed_bits() is packed
+
+    def test_bias_shapes_bit_density(self):
+        geometry = MemoryGeometry(capacity_bytes=4096, word_bits=8)
+        dense = SyntheticWeightStream(geometry, num_blocks=4, seed=0,
+                                      probability_of_one=0.9)
+        sparse = SyntheticWeightStream(geometry, num_blocks=4, seed=0,
+                                       probability_of_one=0.1)
+        assert dense.packed_bits().bits.mean() > sparse.packed_bits().bits.mean()
+
+    def test_rejects_indivisible_fifo(self):
+        geometry = MemoryGeometry(capacity_bytes=1024, word_bits=8)
+        with pytest.raises(ValueError):
+            SyntheticWeightStream(geometry, num_blocks=2, fifo_depth_tiles=3)
+
+
+class TestBenchHarness:
+    def test_payload_structure(self, smoke_payload):
+        assert smoke_payload["schema"] == BENCH_SCHEMA
+        assert len(smoke_payload["cases"]) == 1
+        entry = smoke_payload["cases"][0]
+        assert entry["case"]["name"] == "smoke_mnist_8bit"
+        assert set(entry["policies"]) == {"none", "inversion", "barrel_shifter",
+                                          "dnn_life"}
+        for row in entry["policies"].values():
+            assert row["blockwise_seconds"] > 0
+            assert row["packed_seconds"] > 0
+            assert row["speedup"] > 0
+        assert entry["packed_tensor_bytes"] > 0
+        assert smoke_payload["min_speedup"] > 0
+        assert smoke_payload["geomean_speedup"] > 0
+
+    def test_deterministic_policies_match_exactly(self, smoke_payload):
+        rows = smoke_payload["cases"][0]["policies"]
+        for name in ("none", "inversion", "barrel_shifter"):
+            assert rows[name]["deterministic"] is True
+            assert rows[name]["exact_match"] is True
+        assert rows["dnn_life"]["deterministic"] is False
+        assert rows["dnn_life"]["exact_match"] is None
+
+    def test_explicit_verification(self, smoke_payload):
+        verification = smoke_payload["verification"]
+        assert verification["explicit_match"] is True
+        assert set(verification["policies"]) == {"none", "inversion",
+                                                 "inversion_per_location",
+                                                 "barrel_shifter"}
+        assert all(verification["policies"].values())
+
+    def test_render_contains_cases_and_summary(self, smoke_payload):
+        text = render_bench_report(smoke_payload)
+        assert "smoke_mnist_8bit" in text
+        assert "minimum case speedup" in text
+        assert "explicit-engine cross-check: OK" in text
+
+    def test_payload_is_json_safe(self, smoke_payload):
+        encoded = json.loads(json.dumps(smoke_payload))
+        assert encoded["schema"] == BENCH_SCHEMA
+
+    def test_synthetic_case_runs(self):
+        case = BenchCase(name="tiny_synthetic", description="test",
+                         memory_kb=2, word_bits=16, num_blocks=5,
+                         num_inferences=4, policies=("none", "inversion"))
+        payload = run_aging_bench([case], repeats=1, verify=False)
+        assert "verification" not in payload
+        entry = payload["cases"][0]
+        assert entry["stream"]["network"] == "synthetic"
+        assert entry["policies"]["none"]["exact_match"] is True
+
+    def test_default_cases_include_acceptance_config(self):
+        names = {case.name for case in default_bench_cases()}
+        assert "alexnet_512kb_64bit" in names
+        acceptance = next(case for case in default_bench_cases()
+                          if case.name == "alexnet_512kb_64bit")
+        assert acceptance.memory_kb == 512
+        assert acceptance.word_bits == 64
+
+
+class TestBenchCli:
+    def test_bench_verb_writes_trajectory(self, tmp_path, capsys):
+        output = tmp_path / "BENCH_aging.json"
+        code = main(["bench", "--case", "smoke_mnist_8bit", "--repeats", "1",
+                     "--output", str(output)])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "aging-engine benchmark" in captured.out
+        payload = json.loads(output.read_text())
+        assert payload["schema"] == BENCH_SCHEMA
+        assert payload["cases"][0]["case"]["name"] == "smoke_mnist_8bit"
+
+    def test_bench_min_speedup_gate(self, tmp_path, capsys):
+        code = main(["bench", "--case", "smoke_mnist_8bit", "--repeats", "1",
+                     "--skip-verify", "--output", "-",
+                     "--min-speedup", "1e9"])
+        assert code == 1
+        assert "below the required" in capsys.readouterr().err
+
+    def test_bench_unknown_case_is_usage_error(self, capsys):
+        code = main(["bench", "--case", "nonexistent"])
+        assert code == 2
+        assert "unknown bench case" in capsys.readouterr().err

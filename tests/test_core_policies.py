@@ -60,6 +60,21 @@ class TestPeriodicInversion:
         _, parities = policy.encode_block(_random_words(rng, 4, 8), 1, start_row=4)
         assert parities.tolist() == [0, 0, 0, 0]
 
+    def test_location_counters_grow_and_reset(self, rng):
+        """The vectorized per-row counter array grows on demand and writing a
+        high row range leaves the low rows' counters untouched."""
+        policy = PeriodicInversionPolicy(word_bits=8, granularity="location")
+        words = _random_words(rng, 3, 8)
+        _, high = policy.encode_block(words, 0, start_row=1000)
+        assert high.tolist() == [0, 0, 0]
+        _, high_again = policy.encode_block(words, 1, start_row=1000)
+        assert high_again.tolist() == [1, 1, 1]
+        _, low = policy.encode_block(words, 2, start_row=0)
+        assert low.tolist() == [0, 0, 0]
+        policy.reset()
+        _, after_reset = policy.encode_block(words, 0, start_row=1000)
+        assert after_reset.tolist() == [0, 0, 0]
+
     def test_decode_restores_original(self, rng):
         for granularity in ("write", "location"):
             policy = PeriodicInversionPolicy(word_bits=16, granularity=granularity)

@@ -9,13 +9,31 @@ for the stochastic DNN-Life policy.
 import numpy as np
 import pytest
 
+from repro.accelerator.scheduler import CachedWeightStream, WeightStreamScheduler
 from repro.core.policies import (
     BarrelShifterPolicy,
     DnnLifePolicy,
     NoMitigationPolicy,
     PeriodicInversionPolicy,
 )
-from repro.core.simulation import AgingResult, AgingSimulator, ExplicitAgingSimulator
+from repro.core.simulation import (
+    AgingResult,
+    AgingSimulator,
+    ExplicitAgingSimulator,
+    _duty_from_counts,
+)
+
+DETERMINISTIC_POLICY_FACTORIES = {
+    "none": lambda word_bits: NoMitigationPolicy(),
+    "inversion": lambda word_bits: PeriodicInversionPolicy(word_bits, "write"),
+    "inversion_per_location":
+        lambda word_bits: PeriodicInversionPolicy(word_bits, "location"),
+    "barrel_shifter": lambda word_bits: BarrelShifterPolicy(word_bits),
+}
+
+
+def _deterministic_policy(name, word_bits):
+    return DETERMINISTIC_POLICY_FACTORIES[name](word_bits)
 
 
 def _run_both(scheduler, policy_factory, num_inferences):
@@ -192,3 +210,129 @@ class TestSimulationProperties:
     def test_invalid_inference_count(self, tiny_scheduler):
         with pytest.raises(ValueError):
             AgingSimulator(tiny_scheduler, NoMitigationPolicy(), num_inferences=0)
+
+    def test_unknown_engine_rejected(self, tiny_scheduler):
+        with pytest.raises(ValueError, match="unknown engine"):
+            AgingSimulator(tiny_scheduler, NoMitigationPolicy(), engine="quantum")
+
+
+class TestPackedEngineEquivalence:
+    """The packed whole-tensor kernels against the per-block engines.
+
+    Deterministic policies must be *byte-identical* between the packed and
+    blockwise fast engines, and exactly equal to the explicit write-by-write
+    simulator — including FIFO placement and unpadded final blocks (which
+    only the packed fast engine supports).
+    """
+
+    @pytest.mark.parametrize("policy_name",
+                             sorted(DETERMINISTIC_POLICY_FACTORIES))
+    @pytest.mark.parametrize("num_inferences", [1, 2, 5])
+    def test_packed_byte_identical_to_blockwise(self, tiny_scheduler,
+                                                policy_name, num_inferences):
+        stream = CachedWeightStream(tiny_scheduler)
+        packed = AgingSimulator(stream, _deterministic_policy(policy_name, 8),
+                                num_inferences=num_inferences, seed=0,
+                                engine="packed").run()
+        blockwise = AgingSimulator(stream, _deterministic_policy(policy_name, 8),
+                                   num_inferences=num_inferences, seed=0,
+                                   engine="blockwise").run()
+        assert np.array_equal(packed.duty_cycles, blockwise.duty_cycles)
+
+    @pytest.mark.parametrize("policy_name",
+                             sorted(DETERMINISTIC_POLICY_FACTORIES))
+    def test_packed_byte_identical_on_fifo(self, tiny_fifo_scheduler, policy_name):
+        stream = CachedWeightStream(tiny_fifo_scheduler)
+        packed = AgingSimulator(stream, _deterministic_policy(policy_name, 8),
+                                num_inferences=3, seed=0, engine="packed").run()
+        blockwise = AgingSimulator(stream, _deterministic_policy(policy_name, 8),
+                                   num_inferences=3, seed=0,
+                                   engine="blockwise").run()
+        assert np.array_equal(packed.duty_cycles, blockwise.duty_cycles)
+
+    @pytest.mark.parametrize("fifo_depth_tiles", [1, 4])
+    @pytest.mark.parametrize("policy_name",
+                             sorted(DETERMINISTIC_POLICY_FACTORIES))
+    @pytest.mark.parametrize("num_inferences", [1, 2, 5])
+    def test_packed_matches_explicit_with_unpadded_final_block(
+            self, tiny_network, tiny_scheduler, fifo_depth_tiles, policy_name,
+            num_inferences):
+        scheduler = WeightStreamScheduler(
+            tiny_network, "int8_symmetric", tiny_scheduler.geometry,
+            tiny_scheduler.parallel_filters, fifo_depth_tiles=fifo_depth_tiles,
+            pad_final_block=False)
+        blocks = list(scheduler.iter_blocks())
+        assert blocks[-1].num_words < scheduler.words_per_block
+        stream = CachedWeightStream(scheduler)
+        packed = AgingSimulator(stream, _deterministic_policy(policy_name, 8),
+                                num_inferences=num_inferences, seed=0,
+                                engine="packed").run()
+        explicit = ExplicitAgingSimulator(
+            scheduler, _deterministic_policy(policy_name, 8),
+            num_inferences=num_inferences).run()
+        assert np.array_equal(packed.duty_cycles, explicit.duty_cycles)
+
+    def test_blockwise_engine_rejects_unpadded_blocks(self, tiny_network,
+                                                      tiny_scheduler):
+        scheduler = WeightStreamScheduler(
+            tiny_network, "int8_symmetric", tiny_scheduler.geometry,
+            tiny_scheduler.parallel_filters, pad_final_block=False)
+        simulator = AgingSimulator(scheduler, NoMitigationPolicy(),
+                                   num_inferences=1, engine="blockwise")
+        with pytest.raises(ValueError, match="padded"):
+            simulator.run()
+
+    def test_packed_dnn_life_distribution_matches_explicit(self, tiny_scheduler):
+        fast = AgingSimulator(tiny_scheduler, DnnLifePolicy(8, seed=11),
+                              num_inferences=30, seed=11, engine="packed").run()
+        explicit = ExplicitAgingSimulator(tiny_scheduler, DnnLifePolicy(8, seed=5),
+                                          num_inferences=30).run()
+        fast_dev = np.abs(fast.duty_cycles - 0.5).mean()
+        explicit_dev = np.abs(explicit.duty_cycles - 0.5).mean()
+        assert fast_dev == pytest.approx(explicit_dev, rel=0.1)
+
+    def test_packed_dnn_life_biased_trbg_distribution(self, tiny_scheduler):
+        policy = DnnLifePolicy(8, trbg_bias=0.7, bias_balancing=True, seed=2)
+        fast = AgingSimulator(tiny_scheduler, policy, num_inferences=40,
+                              seed=2, engine="packed").run()
+        reference = ExplicitAgingSimulator(
+            tiny_scheduler, DnnLifePolicy(8, trbg_bias=0.7, bias_balancing=True,
+                                          seed=13),
+            num_inferences=40).run()
+        fast_dev = np.abs(fast.duty_cycles - 0.5).mean()
+        reference_dev = np.abs(reference.duty_cycles - 0.5).mean()
+        assert fast_dev == pytest.approx(reference_dev, rel=0.15)
+
+    def test_packed_tensor_shared_between_policies(self, tiny_scheduler):
+        stream = CachedWeightStream(tiny_scheduler)
+        first = AgingSimulator(stream, NoMitigationPolicy(), num_inferences=2)
+        first.run()
+        second = AgingSimulator(stream, BarrelShifterPolicy(8), num_inferences=2)
+        second.run()
+        assert first._packed() is second._packed()
+
+
+class TestDutyFromCountsGuard:
+    def test_valid_counts_pass(self):
+        ones = np.array([[3.0, 0.0], [2.0, 4.0]])
+        writes = np.array([4, 4])
+        duty = _duty_from_counts(ones, writes)
+        assert np.array_equal(duty, [[0.75, 0.0], [0.5, 1.0]])
+
+    def test_unwritten_rows_are_zero(self):
+        duty = _duty_from_counts(np.array([[1.0], [0.0]]), np.array([2, 0]))
+        assert np.array_equal(duty, [[0.5], [0.0]])
+
+    def test_numerator_overflow_raises(self):
+        # a numerator-accounting bug (more ones than writes) must not be
+        # silently clipped into [0, 1]
+        with pytest.raises(FloatingPointError, match="numerator"):
+            _duty_from_counts(np.array([[5.0]]), np.array([4]))
+
+    def test_negative_numerator_raises(self):
+        with pytest.raises(FloatingPointError, match="numerator"):
+            _duty_from_counts(np.array([[-1.0]]), np.array([4]))
+
+    def test_round_off_within_tolerance_is_clipped(self):
+        duty = _duty_from_counts(np.array([[4.0 + 1e-12]]), np.array([4]))
+        assert duty[0, 0] == 1.0

@@ -101,6 +101,7 @@ class TestFig6:
         results = run_fig6_bit_distributions(networks=["custom_mnist"], quick=True)
         assert set(results["custom_mnist"]) == {"float32", "int8_symmetric", "int8_asymmetric"}
 
+    @pytest.mark.slow
     def test_observations_structure(self):
         observations = fig6_observations(quick=True)
         for per_format in observations.values():
@@ -125,6 +126,7 @@ class TestFig7:
 
 
 class TestFig9AndFig11:
+    @pytest.mark.slow
     def test_fig9_reduced_run_headline_claims(self):
         # A heavily reduced configuration: LeNet-scale network budget keeps
         # this test fast while exercising the whole Fig. 9 pipeline.
@@ -214,3 +216,66 @@ class TestAblations:
     def test_lifetime_improvement(self):
         result = run_lifetime_improvement(network_name="custom_mnist", quick=True)
         assert result["lifetime_improvement_factor"] > 1.0
+
+
+class TestStreamCache:
+    """The process-local workload-stream cache in aging_runner."""
+
+    def _build(self, seed=0, memory_kb=16, reuse=True):
+        from dataclasses import replace
+
+        from repro.accelerator.baseline import BaselineAccelerator
+        from repro.accelerator.config import baseline_config
+        from repro.experiments.aging_runner import build_workload_stream
+        from repro.experiments.common import ExperimentScale
+        from repro.utils.units import KB
+
+        config = replace(baseline_config(), name="cache_test",
+                         weight_memory_bytes=memory_kb * KB)
+        accelerator = BaselineAccelerator(config=config)
+        scale = ExperimentScale(num_inferences=2, max_weights_per_layer=5_000)
+        return build_workload_stream("lenet5", accelerator, "int8_symmetric",
+                                     scale, seed=seed, reuse=reuse)
+
+    def test_identical_workloads_share_one_stream(self):
+        from repro.experiments.aging_runner import clear_stream_cache
+
+        clear_stream_cache()
+        first = self._build()
+        assert self._build() is first
+        # ... including the packed bit tensor hanging off it
+        assert self._build().packed_bits() is first.packed_bits()
+
+    def test_different_workloads_get_distinct_streams(self):
+        from repro.experiments.aging_runner import clear_stream_cache
+
+        clear_stream_cache()
+        first = self._build(seed=0)
+        assert self._build(seed=1) is not first
+        assert self._build(memory_kb=32) is not first
+
+    def test_reuse_false_bypasses_cache(self):
+        from repro.experiments.aging_runner import clear_stream_cache
+
+        clear_stream_cache()
+        first = self._build()
+        assert self._build(reuse=False) is not first
+
+    def test_cache_size_env_bounds_entries(self, monkeypatch):
+        from repro.experiments import aging_runner
+
+        monkeypatch.setenv(aging_runner.STREAM_CACHE_SIZE_ENV, "1")
+        aging_runner.clear_stream_cache()
+        first = self._build(seed=0)
+        self._build(seed=1)  # evicts seed=0 (capacity 1)
+        assert len(aging_runner._STREAM_CACHE) == 1
+        assert self._build(seed=0) is not first
+
+    def test_cache_disabled_via_env(self, monkeypatch):
+        from repro.experiments import aging_runner
+
+        monkeypatch.setenv(aging_runner.STREAM_CACHE_SIZE_ENV, "0")
+        aging_runner.clear_stream_cache()
+        first = self._build()
+        assert self._build() is not first
+        assert len(aging_runner._STREAM_CACHE) == 0

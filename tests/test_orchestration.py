@@ -224,7 +224,13 @@ class TestSweepRunner:
         jobs_b = runner.build_jobs("aging", grid, base_seed=0)
         seeds = [job.params["seed"] for job in jobs_a]
         assert seeds == [job.params["seed"] for job in jobs_b]  # stable
-        assert len(set(seeds)) == len(seeds)  # distinct per grid point
+        # distinct per workload (affinity subset: here the network axis),
+        # shared across the policy axis so policies compare on equal weights
+        by_network = {}
+        for job in jobs_a:
+            by_network.setdefault(job.params["network"], set()).add(job.params["seed"])
+        assert all(len(values) == 1 for values in by_network.values())
+        assert len(set(seeds)) == len(by_network)
         jobs_c = runner.build_jobs("aging", grid, base_seed=1)
         assert seeds != [job.params["seed"] for job in jobs_c]
 
@@ -232,6 +238,7 @@ class TestSweepRunner:
         jobs = SweepRunner().build_jobs("aging", {"seed": [11], "policy": ["none"]})
         assert jobs[0].params["seed"] == 11
 
+    @pytest.mark.slow
     def test_multiprocess_sweep(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")
         report = SweepRunner(cache=cache, max_workers=2).run("fig2", FIG2_GRID)
@@ -239,6 +246,7 @@ class TestSweepRunner:
         serial = SweepRunner(max_workers=1).run("fig2", FIG2_GRID)
         assert [r.payload for r in report.results] == [r.payload for r in serial.results]
 
+    @pytest.mark.slow
     def test_failed_job_does_not_abort_sweep(self, tmp_path):
         """One invalid grid point fails alone; sibling jobs still complete."""
         cache = ResultCache(tmp_path / "cache")
@@ -253,6 +261,76 @@ class TestSweepRunner:
         ok = [r for r in report.results if not r.failed][0]
         assert ok.payload["results"]
         json.dumps(report.summary())  # failures stay JSON-safe
+
+    def test_affinity_batches_group_shared_streams(self):
+        """Jobs sharing the aging experiment's affinity params land in one
+        batch; batches split only to saturate the worker pool."""
+        runner = SweepRunner()
+        jobs = runner.build_jobs("aging", {
+            "network": ["lenet5"],
+            "policy": ["none", "inversion", "barrel_shifter", "dnn_life"],
+            "weight_memory_kb": [16, 32],
+            "num_inferences": [2],
+            "seed": [0],
+        })
+        batches = runner._affinity_batches("aging", jobs, max_workers=2)
+        assert sorted(job.index for batch in batches for job in batch) \
+            == list(range(8))
+        spec = load_all_experiments().get("aging")
+        for batch in batches:
+            keys = {spec.affinity_key(job.params) for job in batch}
+            assert len(keys) == 1  # one workload stream per batch
+
+    def test_auto_seeds_shared_within_affinity_group(self):
+        """Without a pinned seed, grid points differing only in non-affinity
+        axes (policy) must share their derived seed — otherwise their weight
+        streams differ and affinity batching could never hit the cache."""
+        runner = SweepRunner()
+        jobs = runner.build_jobs("aging", {
+            "network": ["lenet5", "custom_mnist"],
+            "policy": ["none", "inversion", "dnn_life"],
+            "num_inferences": [2],
+        })
+        seeds = {}
+        for job in jobs:
+            seeds.setdefault(job.params["network"], set()).add(job.params["seed"])
+        assert all(len(values) == 1 for values in seeds.values())
+        assert seeds["lenet5"] != seeds["custom_mnist"]
+        batches = runner._affinity_batches("aging", jobs, max_workers=2)
+        assert len(batches) == 2
+        for batch in batches:
+            assert len({job.params["network"] for job in batch}) == 1
+
+    def test_affinity_batches_split_to_saturate_pool(self):
+        runner = SweepRunner()
+        jobs = runner.build_jobs("aging", {
+            "network": ["lenet5"],
+            "policy": ["none", "inversion", "barrel_shifter", "dnn_life"],
+            "num_inferences": [2],
+            "seed": [0],
+        })
+        # a single affinity group must still fan out across the pool
+        batches = runner._affinity_batches("aging", jobs, max_workers=4)
+        assert len(batches) == 4
+        assert sorted(job.index for batch in batches for job in batch) \
+            == list(range(4))
+
+    def test_experiment_without_affinity_gets_one_job_per_batch(self):
+        runner = SweepRunner()
+        jobs = runner.build_jobs("fig2", FIG2_GRID)
+        batches = runner._affinity_batches("fig2", jobs, max_workers=2)
+        assert [len(batch) for batch in batches] == [1] * len(jobs)
+
+    @pytest.mark.slow
+    def test_multiprocess_affinity_sweep_matches_serial(self, tmp_path):
+        grid = {"network": ["lenet5"], "weight_memory_kb": [16],
+                "num_inferences": [2], "seed": [0],
+                "policy": ["none", "inversion", "barrel_shifter"]}
+        parallel = SweepRunner(max_workers=2).run("aging", grid)
+        serial = SweepRunner(max_workers=1).run("aging", grid)
+        assert parallel.num_failed == 0
+        assert [r.payload for r in parallel.results] \
+            == [r.payload for r in serial.results]
 
     def test_full_experiments_env_changes_params_and_cache_key(self, monkeypatch):
         from repro.orchestration.runner import resolve_params

@@ -1,0 +1,161 @@
+"""Tests for the packed bit-tensor weight-stream representation."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator.scheduler import (
+    CachedWeightStream,
+    PackedBitTensor,
+    WeightStreamScheduler,
+    as_stride_indexer,
+    block_axis_sum,
+    packed_bit_tensor,
+)
+from repro.quantization.bitops import unpack_bits
+
+
+class TestPackedBitTensor:
+    def test_matches_per_block_unpacking(self, tiny_scheduler):
+        packed = PackedBitTensor.from_stream(tiny_scheduler)
+        blocks = list(tiny_scheduler.iter_blocks())
+        assert packed.num_blocks == len(blocks)
+        assert packed.bits.shape == (len(blocks), tiny_scheduler.words_per_block,
+                                     tiny_scheduler.geometry.word_bits)
+        assert packed.bits.dtype == np.uint8
+        for index, block in enumerate(blocks):
+            expected = unpack_bits(block.words, tiny_scheduler.geometry.word_bits)
+            assert np.array_equal(packed.bits[index], expected)
+            assert packed.regions[index] == block.region
+            assert packed.valid_words[index] == block.num_words
+
+    def test_word_offsets_are_cumulative(self, tiny_scheduler):
+        packed = PackedBitTensor.from_stream(tiny_scheduler)
+        assert packed.word_offsets[0] == 0
+        assert np.array_equal(np.diff(packed.word_offsets),
+                              packed.valid_words[:-1])
+        assert packed.total_words == int(packed.valid_words.sum())
+
+    def test_unpadded_final_block(self, tiny_network, tiny_scheduler):
+        scheduler = WeightStreamScheduler(
+            tiny_network, "int8_symmetric", tiny_scheduler.geometry,
+            tiny_scheduler.parallel_filters, pad_final_block=False)
+        packed = PackedBitTensor.from_stream(scheduler)
+        final = packed.num_blocks - 1
+        assert packed.valid_words[final] < packed.words_per_block
+        # the padding bits are zero and masked out of the valid map
+        mask = packed.valid_mask()
+        assert not mask[final, packed.valid_words[final]:].any()
+        assert not packed.bits[final, packed.valid_words[final]:].any()
+        assert mask[:final].all()
+
+    def test_fifo_regions(self, tiny_fifo_scheduler):
+        packed = PackedBitTensor.from_stream(tiny_fifo_scheduler)
+        assert packed.fifo_depth_tiles == 4
+        expected = np.arange(packed.num_blocks) % 4
+        assert np.array_equal(packed.regions, expected)
+        for region in range(4):
+            assert np.array_equal(packed.region_blocks(region),
+                                  np.flatnonzero(expected == region))
+
+    def test_cached_stream_shares_one_tensor(self, tiny_scheduler):
+        stream = CachedWeightStream(tiny_scheduler)
+        first = stream.packed_bits()
+        assert stream.packed_bits() is first
+        assert packed_bit_tensor(stream) is first
+        # a bare scheduler gets packed on the fly
+        fresh = packed_bit_tensor(tiny_scheduler)
+        assert fresh is not first
+        assert np.array_equal(fresh.bits, first.bits)
+
+    def test_rows_sums_are_cached_and_exact(self, tiny_fifo_scheduler):
+        packed = PackedBitTensor.from_stream(tiny_fifo_scheduler)
+        ones = packed.rows_ones()
+        assert packed.rows_ones() is ones
+        rows = tiny_fifo_scheduler.geometry.rows
+        words = packed.words_per_block
+        expected = np.zeros((rows, packed.word_bits))
+        counts = np.zeros(rows)
+        for index in range(packed.num_blocks):
+            start = packed.regions[index] * words
+            expected[start:start + words] += packed.bits[index]
+            counts[start:start + words] += packed.valid_mask()[index]
+        assert np.array_equal(ones, expected)
+        assert np.array_equal(packed.rows_writes(), counts)
+
+
+class TestReductionHelpers:
+    def test_block_axis_sum_matches_numpy(self, rng):
+        array = rng.integers(0, 2, size=(7, 33, 9), dtype=np.uint8)
+        assert np.array_equal(block_axis_sum(array),
+                              array.sum(axis=0, dtype=np.float64))
+
+    def test_block_axis_sum_weighted(self, rng):
+        array = rng.integers(0, 2, size=(5, 17, 6), dtype=np.uint8)
+        weights = rng.integers(0, 100, size=(5, 17))
+        expected = np.einsum("bwn,bw->wn", array.astype(np.float64),
+                             weights.astype(np.float64))
+        assert np.array_equal(block_axis_sum(array, weights), expected)
+        # float weights take the einsum path and agree
+        assert np.allclose(block_axis_sum(array, weights.astype(np.float64)),
+                           expected)
+
+    def test_block_axis_sum_uint16_needs_declared_bound(self, rng):
+        """Non-binary uint8 data must not take the uint16 fast path blindly:
+        1000 blocks of value 100 would wrap mod 65536."""
+        array = np.full((1000, 4), 100, dtype=np.uint8)
+        assert np.array_equal(block_axis_sum(array), np.full(4, 100_000.0))
+        assert np.array_equal(block_axis_sum(array, max_value=100),
+                              np.full(4, 100_000.0))
+
+    def test_block_axis_sum_weighted_respects_value_bound(self, rng):
+        # values up to 100 with unit weights over 1000 blocks exceed the
+        # uint16 budget; the reduction must stay exact regardless
+        view = np.full((1000, 3, 2), 1, dtype=np.uint8)
+        weights = np.full((1000, 3), 100, dtype=np.int64)
+        assert np.array_equal(block_axis_sum(view, weights, max_value=1),
+                              np.full((3, 2), 100_000.0))
+
+    def test_block_axis_sum_weighted_2d(self, rng):
+        array = rng.integers(0, 50, size=(4, 21)).astype(np.float64)
+        weights = rng.integers(0, 3, size=(4, 21)).astype(np.float64)
+        assert np.array_equal(block_axis_sum(array, weights),
+                              (array * weights).sum(axis=0))
+
+    def test_as_stride_indexer(self):
+        array = np.arange(40).reshape(20, 2)
+        for indices in ([0], [3, 7, 11], [2, 3, 4], [1, 5, 6]):
+            indexer = as_stride_indexer(np.asarray(indices))
+            assert np.array_equal(array[indexer], array[np.asarray(indices)])
+        assert isinstance(as_stride_indexer(np.asarray([3, 7, 11])), slice)
+        assert not isinstance(as_stride_indexer(np.asarray([1, 5, 6])), slice)
+        assert as_stride_indexer(np.asarray([], dtype=np.int64)).size == 0
+
+
+class TestFromStreamValidation:
+    def test_block_count_must_match_declaration(self, tiny_scheduler):
+        class LyingStream:
+            geometry = tiny_scheduler.geometry
+            words_per_block = tiny_scheduler.words_per_block
+            fifo_depth_tiles = 1
+            num_blocks = tiny_scheduler.num_blocks + 3
+
+            def iter_blocks(self):
+                return tiny_scheduler.iter_blocks()
+
+        with pytest.raises(ValueError, match="declared"):
+            PackedBitTensor.from_stream(LyingStream())
+
+    def test_oversized_block_rejected(self, tiny_scheduler):
+        from repro.accelerator.scheduler import WeightBlock
+
+        class OversizedStream:
+            geometry = tiny_scheduler.geometry
+            words_per_block = 4
+            fifo_depth_tiles = 1
+            num_blocks = 1
+
+            def iter_blocks(self):
+                yield WeightBlock(index=0, words=np.zeros(9, dtype=np.uint64))
+
+        with pytest.raises(ValueError, match="at most"):
+            PackedBitTensor.from_stream(OversizedStream())
