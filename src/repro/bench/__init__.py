@@ -11,9 +11,12 @@ from repro.bench.aging_bench import (
     DEFAULT_OUTPUT,
     BenchCase,
     SyntheticWeightStream,
+    bench_leveling,
     default_bench_cases,
+    default_leveling_case,
     render_bench_report,
     run_aging_bench,
+    verify_leveling_against_explicit,
 )
 
 __all__ = [
@@ -21,7 +24,10 @@ __all__ = [
     "DEFAULT_OUTPUT",
     "BenchCase",
     "SyntheticWeightStream",
+    "bench_leveling",
     "default_bench_cases",
+    "default_leveling_case",
     "render_bench_report",
     "run_aging_bench",
+    "verify_leveling_against_explicit",
 ]

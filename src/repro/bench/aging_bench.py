@@ -305,8 +305,124 @@ def verify_against_explicit(seed: int = 0) -> Dict[str, object]:
     }
 
 
+#: Leveling policies timed by the wear-leveling bench entry, with the
+#: constructor options each one is driven with.
+LEVELING_BENCH_POLICIES = (
+    ("rotation", {"period": 8, "step": 1}),
+    ("start_gap", {"interval": 2}),
+    ("wear_swap", {"interval": 5, "swap_fraction": 0.25}),
+)
+
+
+def default_leveling_case() -> BenchCase:
+    """The wear-leveling overhead configuration of ``BENCH_aging.json``.
+
+    A synthetic 64 KB x 4-tile FIFO stream: large enough that the per-span
+    row gathers dominate the leveled run, small enough to keep the bench
+    budget modest.
+    """
+    return BenchCase(
+        name="leveling_64kb_8bit_fifo4",
+        description="wear-leveling overhead on a 64 KB 4-tile FIFO stream",
+        memory_kb=64, word_bits=8, num_blocks=24, fifo_depth_tiles=4,
+        num_inferences=50, policies=("none", "inversion"),
+    )
+
+
+def bench_leveling(case: Optional[BenchCase] = None, repeats: int = 3,
+                   seed: int = 0, verify: bool = True) -> Dict[str, object]:
+    """Time the packed engine with and without each wear-leveling policy.
+
+    Leveling has no blockwise counterpart (the remap composes with the packed
+    closed-form kernels only), so the reference point is the *unleveled*
+    packed run of the same policy: the reported ``overhead`` is the factor a
+    leveling schedule adds on top of it.  Each entry also records the
+    region-imbalance movement so the perf trajectory doubles as a sanity
+    check that the levelers keep doing their job.
+    """
+    from repro.leveling import make_leveler
+    from repro.memory.wear_map import WearMap
+
+    case = case or default_leveling_case()
+    stream = case.build_stream(seed=seed)
+    geometry = stream.geometry
+
+    def run(policy_name: str, leveler_spec=None):
+        leveler = None
+        if leveler_spec is not None:
+            name, options = leveler_spec
+            leveler = make_leveler(name, geometry, case.fifo_depth_tiles, **options)
+        simulator = AgingSimulator(stream, _policy_for(case, policy_name, seed),
+                                   num_inferences=case.num_inferences,
+                                   seed=seed, leveler=leveler)
+        return simulator.run()
+
+    def imbalance(result) -> float:
+        wear = WearMap(result.duty_cycles, num_regions=case.fifo_depth_tiles)
+        return float(wear.summary()["region_imbalance_pp"])
+
+    entries: Dict[str, Dict[str, object]] = {}
+    for policy_name in case.policies:
+        baseline_seconds, baseline_result = _best_of(repeats, run, policy_name)
+        baseline_imbalance = imbalance(baseline_result)
+        for leveler_spec in LEVELING_BENCH_POLICIES:
+            leveled_seconds, leveled_result = _best_of(repeats, run, policy_name,
+                                                       leveler_spec)
+            entries[f"{policy_name}+{leveler_spec[0]}"] = {
+                "baseline_seconds": baseline_seconds,
+                "leveled_seconds": leveled_seconds,
+                "overhead": (leveled_seconds / baseline_seconds
+                             if baseline_seconds else None),
+                "region_imbalance_baseline_pp": baseline_imbalance,
+                "region_imbalance_leveled_pp": imbalance(leveled_result),
+            }
+    payload: Dict[str, object] = {"case": case.describe(), "entries": entries}
+    if verify:
+        payload["verification"] = verify_leveling_against_explicit(seed=seed)
+    return payload
+
+
+def verify_leveling_against_explicit(seed: int = 0) -> Dict[str, object]:
+    """Exact-match check of the packed leveling driver on a small config.
+
+    Every deterministic policy runs under every leveling policy on both the
+    packed closed-form engine and the write-by-write explicit simulator; the
+    physical duty-cycles must agree bit-for-bit.
+    """
+    from repro.leveling import make_leveler
+
+    case = BenchCase(name="verify_leveling_mnist_8bit",
+                     description="leveling explicit-engine cross-check",
+                     memory_kb=4, word_bits=8, fifo_depth_tiles=4,
+                     network="custom_mnist", data_format="int8_symmetric",
+                     num_inferences=6, max_weights_per_layer=10_000)
+    stream = case.build_stream(seed=seed)
+    geometry = stream.geometry
+    checks: Dict[str, bool] = {}
+    for policy_name in _DETERMINISTIC:
+        for leveler_name, options in LEVELING_BENCH_POLICIES:
+            fast = AgingSimulator(
+                stream, _policy_for(case, policy_name, seed),
+                num_inferences=case.num_inferences, seed=seed,
+                leveler=make_leveler(leveler_name, geometry,
+                                     case.fifo_depth_tiles, **options)).run()
+            exact = ExplicitAgingSimulator(
+                stream, _policy_for(case, policy_name, seed),
+                num_inferences=case.num_inferences,
+                leveler=make_leveler(leveler_name, geometry,
+                                     case.fifo_depth_tiles, **options)).run()
+            checks[f"{policy_name}+{leveler_name}"] = bool(
+                np.array_equal(fast.duty_cycles, exact.duty_cycles))
+    return {
+        "case": case.describe(),
+        "policies": checks,
+        "explicit_match": all(checks.values()),
+    }
+
+
 def run_aging_bench(cases: Optional[Sequence[BenchCase]] = None, repeats: int = 3,
-                    seed: int = 0, verify: bool = True) -> Dict[str, object]:
+                    seed: int = 0, verify: bool = True,
+                    leveling: bool = True) -> Dict[str, object]:
     """Run the benchmark suite and return the ``BENCH_aging.json`` payload."""
     cases = list(cases) if cases is not None else default_bench_cases()
     results = [bench_case(case, repeats=repeats, seed=seed) for case in cases]
@@ -326,6 +442,8 @@ def run_aging_bench(cases: Optional[Sequence[BenchCase]] = None, repeats: int = 
         "geomean_speedup": (float(np.exp(np.mean(np.log(speedups))))
                             if speedups else None),
     }
+    if leveling:
+        payload["leveling"] = bench_leveling(repeats=repeats, seed=seed, verify=verify)
     if verify:
         payload["verification"] = verify_against_explicit(seed=seed)
     return payload
@@ -358,6 +476,27 @@ def render_bench_report(payload: Dict[str, object]) -> str:
     lines = [table.render()]
     lines.append(f"minimum case speedup: {payload['min_speedup']:.1f}x, "
                  f"geometric mean: {payload['geomean_speedup']:.1f}x")
+    leveling = payload.get("leveling")
+    if leveling is not None:
+        leveling_table = AsciiTable(
+            ["policy+leveler", "baseline (s)", "leveled (s)", "overhead",
+             "imbalance (pp)"],
+            title=(f"wear-leveling overhead — {leveling['case']['name']} "
+                   f"(packed engine, leveled vs unleveled)"),
+            precision=4,
+        )
+        for label, row in leveling["entries"].items():
+            leveling_table.add_row([
+                label, row["baseline_seconds"], row["leveled_seconds"],
+                f"{row['overhead']:.2f}x" if row["overhead"] is not None else "n/a",
+                f"{row['region_imbalance_baseline_pp']:.3f}"
+                f"->{row['region_imbalance_leveled_pp']:.3f}",
+            ])
+        lines.append(leveling_table.render())
+        leveling_verification = leveling.get("verification")
+        if leveling_verification is not None:
+            status = "OK" if leveling_verification["explicit_match"] else "FAILED"
+            lines.append(f"leveling explicit-engine cross-check: {status}")
     verification = payload.get("verification")
     if verification is not None:
         status = "OK" if verification["explicit_match"] else "FAILED"

@@ -42,6 +42,11 @@ from repro.utils.serialization import save_json, to_jsonable
 from repro.utils.tables import AsciiTable
 
 
+#: Extra verb spellings for registered experiments: ``dnn-life level`` runs
+#: the ``leveling`` experiment (before/after wear maps + region imbalance).
+_COMMAND_ALIASES = {"level": "leveling"}
+
+
 def _add_param_arguments(sub: argparse.ArgumentParser, spec: ExperimentSpec) -> None:
     """Generate one CLI option per declared parameter of ``spec``.
 
@@ -151,9 +156,15 @@ def build_parser() -> argparse.ArgumentParser:
                                    "speedup falls below this factor")
     bench_parser.add_argument("--skip-verify", action="store_true",
                               help="skip the explicit-engine cross-check")
+    bench_parser.add_argument("--skip-leveling", action="store_true",
+                              help="skip the wear-leveling overhead entry "
+                                   "(implied by --case)")
 
     for spec in REGISTRY:
-        sub = subparsers.add_parser(spec.name, help=f"{spec.artifact}: {spec.description}")
+        aliases = [alias for alias, target in _COMMAND_ALIASES.items()
+                   if target == spec.name]
+        sub = subparsers.add_parser(spec.name, aliases=aliases,
+                                    help=f"{spec.artifact}: {spec.description}")
         _add_param_arguments(sub, spec)
     return parser
 
@@ -217,7 +228,7 @@ def _cmd_run(args: argparse.Namespace, cache: Optional[ResultCache]) -> Any:
 
 
 def _cmd_experiment(args: argparse.Namespace, cache: Optional[ResultCache]) -> Any:
-    spec = REGISTRY.get(args.command)
+    spec = REGISTRY.get(_COMMAND_ALIASES.get(args.command, args.command))
     params = {param.name: getattr(args, param.name)
               for param in spec.params if hasattr(args, param.name)}
     # `--full` (quick=False) selects the spec's paper-scale configuration,
@@ -280,8 +291,11 @@ def _cmd_bench(args: argparse.Namespace) -> Tuple[Any, int]:
         # case names are pre-validated by _validate_user_input
         known = {case.name: case for case in cases}
         cases = [known[name] for name in args.cases]
+    # A --case selection bounds the bench to the named cases, so the
+    # (unnamed) leveling entry only runs on full-suite invocations.
+    leveling = not args.skip_leveling and not args.cases
     payload = run_aging_bench(cases, repeats=max(args.repeats, 1), seed=args.seed,
-                              verify=not args.skip_verify)
+                              verify=not args.skip_verify, leveling=leveling)
     print(render_bench_report(payload))
     output = args.output if args.output is not None else DEFAULT_OUTPUT
     if output != "-":
@@ -291,6 +305,11 @@ def _cmd_bench(args: argparse.Namespace) -> Tuple[Any, int]:
     verification = payload.get("verification")
     if verification is not None and not verification["explicit_match"]:
         print("dnn-life bench: explicit-engine cross-check FAILED", file=sys.stderr)
+        exit_code = 1
+    leveling_verification = payload.get("leveling", {}).get("verification")
+    if leveling_verification is not None and not leveling_verification["explicit_match"]:
+        print("dnn-life bench: leveling explicit-engine cross-check FAILED",
+              file=sys.stderr)
         exit_code = 1
     if args.min_speedup is not None and payload["min_speedup"] is not None \
             and payload["min_speedup"] < args.min_speedup:

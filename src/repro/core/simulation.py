@@ -207,15 +207,26 @@ def _snm_model_from_payload(payload: Dict[str, object]) -> SnmDegradationModel:
 # Explicit (exact, slow) engine
 # --------------------------------------------------------------------------- #
 class ExplicitAgingSimulator:
-    """Replays every write of every inference through the policy."""
+    """Replays every write of every inference through the policy.
+
+    An optional :class:`~repro.leveling.remap.WearLeveler` remaps each
+    block's rows from logical to physical before the write lands; the policy
+    keeps encoding the *logical* stream (the remap table sits between the
+    encoder and the array, exactly as the hardware would place it).
+    """
 
     def __init__(self, scheduler: WeightStreamScheduler, policy: MitigationPolicy,
                  num_inferences: int = 100,
-                 snm_model: Optional[SnmDegradationModel] = None):
+                 snm_model: Optional[SnmDegradationModel] = None,
+                 leveler=None):
         self.scheduler = scheduler
         self.policy = policy
         self.num_inferences = check_positive_int(num_inferences, "num_inferences")
         self.snm_model = snm_model or default_snm_model()
+        self.leveler = leveler
+        if leveler is not None and leveler.rows != scheduler.geometry.rows:
+            raise ValueError(f"leveler covers {leveler.rows} rows but the memory "
+                             f"has {scheduler.geometry.rows}")
 
     def run(self) -> AgingResult:
         """Simulate ``num_inferences`` inferences write-by-write."""
@@ -225,7 +236,11 @@ class ExplicitAgingSimulator:
         ones = np.zeros((rows, word_bits), dtype=np.float64)
         writes = np.zeros(rows, dtype=np.int64)
         self.policy.reset()
-        for _ in range(self.num_inferences):
+        leveler = self.leveler
+        if leveler is not None:
+            leveler.reset()
+        for epoch in range(self.num_inferences):
+            remap = None if leveler is None else leveler.permutation(epoch)
             for block in self.scheduler.iter_blocks():
                 start_row = block.region * words_per_block
                 encoded, metadata = self.policy.encode_block(
@@ -238,13 +253,21 @@ class ExplicitAgingSimulator:
                     raise AssertionError(
                         f"policy '{self.policy.name}' failed to decode block {block.index}")
                 bits = unpack_bits(encoded, word_bits)
-                row_slice = slice(start_row, start_row + bits.shape[0])
-                ones[row_slice] += bits
-                writes[row_slice] += 1
+                if remap is None:
+                    target = slice(start_row, start_row + bits.shape[0])
+                else:
+                    target = remap[start_row:start_row + bits.shape[0]]
+                ones[target] += bits
+                writes[target] += 1
+            if leveler is not None and leveler.uses_feedback:
+                from repro.leveling.remap import mean_duty_per_row
+
+                leveler.observe(epoch + 1,
+                                mean_duty_per_row(ones, writes * float(word_bits)))
         duty = _duty_from_counts(ones, writes)
         return AgingResult(
             policy_name=self.policy.name,
-            policy_description=self.policy.describe(),
+            policy_description=_describe_with_leveling(self.policy, leveler),
             duty_cycles=duty,
             num_inferences=self.num_inferences,
             num_blocks=self.scheduler.num_blocks,
@@ -282,7 +305,7 @@ class AgingSimulator:
     def __init__(self, scheduler: WeightStreamScheduler, policy: MitigationPolicy,
                  num_inferences: int = 100, seed: SeedLike = None,
                  snm_model: Optional[SnmDegradationModel] = None,
-                 engine: str = "packed"):
+                 engine: str = "packed", leveler=None):
         self.scheduler = scheduler
         self.policy = policy
         self.num_inferences = check_positive_int(num_inferences, "num_inferences")
@@ -291,7 +314,15 @@ class AgingSimulator:
         if engine not in self.ENGINES:
             raise ValueError(f"unknown engine '{engine}' "
                              f"(expected one of: {', '.join(self.ENGINES)})")
+        if leveler is not None and engine != "packed":
+            raise NotImplementedError(
+                "wear leveling is only composed with the packed engine; the "
+                "legacy blockwise kernels have no remap support")
+        if leveler is not None and leveler.rows != scheduler.geometry.rows:
+            raise ValueError(f"leveler covers {leveler.rows} rows but the memory "
+                             f"has {scheduler.geometry.rows}")
         self.engine = engine
+        self.leveler = leveler
         self._packed_tensor = None
 
     # -- public API ------------------------------------------------------- #
@@ -300,7 +331,7 @@ class AgingSimulator:
         duty = self._simulate_duty()
         return AgingResult(
             policy_name=self.policy.name,
-            policy_description=self.policy.describe(),
+            policy_description=_describe_with_leveling(self.policy, self.leveler),
             duty_cycles=duty,
             num_inferences=self.num_inferences,
             num_blocks=self.scheduler.num_blocks,
@@ -310,22 +341,71 @@ class AgingSimulator:
     # -- dispatch ---------------------------------------------------------- #
     def _simulate_duty(self) -> np.ndarray:
         policy = self.policy
-        packed_engine = self.engine == "packed"
+        if self.engine == "packed":
+            kernel = self._packed_kernel(policy)
+            if self.leveler is None:
+                numerator, writes = kernel(0, self.num_inferences)
+                return _duty_from_counts(numerator, writes)
+            return self._packed_with_leveling(kernel)
         if isinstance(policy, NoMitigationPolicy):
-            return (self._packed_no_mitigation() if packed_engine
-                    else self._blockwise_no_mitigation())
+            return self._blockwise_no_mitigation()
         if isinstance(policy, PeriodicInversionPolicy):
-            return (self._packed_periodic_inversion(policy) if packed_engine
-                    else self._blockwise_periodic_inversion(policy))
+            return self._blockwise_periodic_inversion(policy)
         if isinstance(policy, BarrelShifterPolicy):
-            return (self._packed_barrel_shifter(policy) if packed_engine
-                    else self._blockwise_barrel_shifter(policy))
+            return self._blockwise_barrel_shifter(policy)
         if isinstance(policy, DnnLifePolicy):
-            return (self._packed_dnn_life(policy) if packed_engine
-                    else self._blockwise_dnn_life(policy))
+            return self._blockwise_dnn_life(policy)
         raise NotImplementedError(
             f"no fast path for policy type {type(policy).__name__}; "
             "use ExplicitAgingSimulator instead")
+
+    def _packed_kernel(self, policy: MitigationPolicy):
+        """Resolve the policy's closed-form counts kernel.
+
+        A kernel is a callable ``counts(start_inference, n) -> (numerator,
+        writes)`` returning the per-logical-cell ones numerator and per-row
+        write denominator accumulated over inferences ``[start, start + n)``.
+        The heavy tensor reductions happen once in the factory; each call is
+        a cheap combination, which is what lets the leveling driver evaluate
+        many constant-mapping spans without re-reducing the packed tensor.
+        """
+        if isinstance(policy, NoMitigationPolicy):
+            return self._packed_no_mitigation_kernel()
+        if isinstance(policy, PeriodicInversionPolicy):
+            return self._packed_periodic_inversion_kernel(policy)
+        if isinstance(policy, BarrelShifterPolicy):
+            return self._packed_barrel_shifter_kernel(policy)
+        if isinstance(policy, DnnLifePolicy):
+            return self._packed_dnn_life_kernel(policy)
+        raise NotImplementedError(
+            f"no fast path for policy type {type(policy).__name__}; "
+            "use ExplicitAgingSimulator instead")
+
+    def _packed_with_leveling(self, kernel) -> np.ndarray:
+        """Compose the counts kernel with the leveler's permutation spans.
+
+        Each constant-mapping span contributes its closed-form logical counts,
+        gathered into physical rows through the span's permutation — one fancy
+        row-gather per span, never a per-block Python loop.  Feedback-driven
+        levelers observe the accumulated physical stress at span boundaries.
+        """
+        from repro.leveling.remap import mean_duty_per_row
+
+        packed = self._packed()
+        rows, word_bits = packed.geometry.rows, packed.word_bits
+        leveler = self.leveler
+        leveler.reset()
+        ones = np.zeros((rows, word_bits), dtype=np.float64)
+        writes = np.zeros(rows, dtype=np.float64)
+        for start, length in leveler.spans(self.num_inferences):
+            permutation = leveler.permutation(start)
+            span_ones, span_writes = kernel(start, length)
+            ones[permutation] += span_ones
+            writes[permutation] += span_writes
+            if leveler.uses_feedback:
+                leveler.observe(start + length,
+                                mean_duty_per_row(ones, writes * float(word_bits)))
+        return _duty_from_counts(ones, writes)
 
     def _geometry(self):
         geometry = self.scheduler.geometry
@@ -348,13 +428,18 @@ class AgingSimulator:
             self._packed_tensor = packed
         return self._packed_tensor
 
-    def _packed_no_mitigation(self) -> np.ndarray:
+    def _packed_no_mitigation_kernel(self):
         packed = self._packed()
-        return _duty_from_counts(packed.rows_ones(), packed.rows_writes())
+        ones = packed.rows_ones()
+        writes = packed.rows_writes()
 
-    def _packed_periodic_inversion(self, policy: PeriodicInversionPolicy) -> np.ndarray:
+        def counts(start: int, n: int):
+            return ones * n, writes * n
+
+        return counts
+
+    def _packed_periodic_inversion_kernel(self, policy: PeriodicInversionPolicy):
         packed = self._packed()
-        num_inferences = self.num_inferences
         rows, word_bits = packed.geometry.rows, packed.word_bits
         valid = packed.valid_mask()
         # Inversion parity of write (block b, word w) in inference t is
@@ -428,30 +513,30 @@ class AgingSimulator:
             drift_per_row = writes.astype(np.int64) % 2
             if not drift_per_row.any():
                 drift_per_row = None
-        if drift_per_row is None:
-            numerator = base * num_inferences
-        else:
-            # flipped = (writes - base): every write's stored value inverts.
-            t_keep = (num_inferences + 1) // 2
-            t_flip = num_inferences - t_keep
-            flipped = writes[:, None] - base
-            numerator = np.where(drift_per_row[:, None] == 0,
-                                 base * num_inferences,
-                                 base * t_keep + flipped * t_flip)
-        return _duty_from_counts(numerator, writes * num_inferences)
+        # flipped = (writes - base): every write's stored value inverts.
+        flipped = None if drift_per_row is None else writes[:, None] - base
 
-    def _packed_barrel_shifter(self, policy: BarrelShifterPolicy) -> np.ndarray:
+        def counts(start: int, n: int):
+            if drift_per_row is None:
+                return base * n, writes * n
+            # Inference t adds a parity offset of (t * d_r) mod 2, so a row
+            # with drift sees the flipped pattern on every odd t in
+            # [start, start + n).
+            odd = (start + n) // 2 - start // 2
+            odd_per_row = (drift_per_row * odd)[:, None]
+            numerator = base * (n - odd_per_row) + flipped * odd_per_row
+            return numerator, writes * n
+
+        return counts
+
+    def _packed_barrel_shifter_kernel(self, policy: BarrelShifterPolicy):
         packed = self._packed()
         word_bits = packed.word_bits
         words = packed.words_per_block
-        num_inferences = self.num_inferences
         # The write counter rotates every word by its cumulative index mod n;
         # one inference advances it by the total word count, so inference t
-        # adds an extra rotation of (t * drift) mod n.  Count how many of the
-        # num_inferences land on each extra rotation k:
+        # adds an extra rotation of (t * drift) mod n.
         drift = packed.total_words % word_bits
-        extra = np.bincount((np.arange(num_inferences, dtype=np.int64) * drift)
-                            % word_bits, minlength=word_bits).astype(np.float64)
         # Align each block's bits to its base rotation and accumulate per row.
         # Blocks sharing (region, start-offset mod n) see identical per-word
         # rotations, so they are reduced together; a padded stream whose block
@@ -490,68 +575,75 @@ class AgingSimulator:
                 index = (column[None, :] + offset + word_index[:, None]) % word_bits
                 aligned[row_slice] += np.take_along_axis(class_sum, index, axis=1)
         writes = packed.rows_writes()
-        if drift == 0:
-            # Every inference repeats the same rotations — no correlation.
-            return _duty_from_counts(aligned * num_inferences,
-                                     writes * num_inferences)
-        # Fold the per-inference extra rotations in via a circular correlation
-        # with the rotation histogram.
-        correlation = extra[(column[:, None] - column[None, :]) % word_bits]
-        ones = aligned @ correlation
-        return _duty_from_counts(ones, writes * num_inferences)
 
-    def _packed_dnn_life(self, policy: DnnLifePolicy) -> np.ndarray:
+        def counts(start: int, n: int):
+            if drift == 0:
+                # Every inference repeats the same rotations — no correlation.
+                return aligned * n, writes * n
+            # Count how many of the span's inferences land on each extra
+            # rotation k, then fold them in via a circular correlation with
+            # the rotation histogram.
+            extra = np.bincount(((start + np.arange(n, dtype=np.int64)) * drift)
+                                % word_bits, minlength=word_bits).astype(np.float64)
+            correlation = extra[(column[:, None] - column[None, :]) % word_bits]
+            return aligned @ correlation, writes * n
+
+        return counts
+
+    def _packed_dnn_life_kernel(self, policy: DnnLifePolicy):
         packed = self._packed()
         num_blocks = packed.num_blocks
-        num_inferences = self.num_inferences
         words = packed.words_per_block
         bias = policy.controller.trbg.nominal_bias
         balancer = policy.controller.bias_balancer
-
-        # Deterministic bias-balancing phase of every (inference, block) pair:
-        # the register ticks once per block, its MSB is the inversion phase.
-        if balancer is not None:
-            global_index = (np.arange(num_inferences)[:, None] * num_blocks
-                            + np.arange(num_blocks)[None, :])
-            counts = (global_index + 1) % balancer.period
-            phases = (counts >> (balancer.num_bits - 1)) & 0x1
-            inferences_in_phase_one = phases.sum(axis=0)
-        else:
-            inferences_in_phase_one = np.zeros(num_blocks, dtype=np.int64)
-        t_one = inferences_in_phase_one
-        t_zero = num_inferences - t_one
-
-        # Number of inferences (out of num_inferences) in which each group's
-        # enable bit comes out as 1 — one binomial draw per (block, group).
-        # An unbiased TRBG is phase-independent (B(t0, .5) + B(t1, .5) is
-        # B(T, .5)), and biased ones share t_one across at most one balancer
-        # period of distinct values, so all draws run through numpy's
-        # scalar-n binomial fast path.
         group = policy.words_per_enable
         num_groups = (words + group - 1) // group
-        if bias == 0.5:
-            group_enables = _unbiased_binomial(self.rng, num_inferences,
-                                               (num_blocks, num_groups))
-        else:
-            group_enables = np.empty((num_blocks, num_groups), dtype=np.int64)
-            for phase_count in np.unique(t_one):
-                selected = t_one == phase_count
-                count = (int(selected.sum()), num_groups)
-                group_enables[selected] = (
-                    self.rng.binomial(int(num_inferences - phase_count), bias,
-                                      size=count)
-                    + self.rng.binomial(int(phase_count), 1.0 - bias, size=count))
-        if num_inferences <= 255:
-            group_enables = group_enables.astype(np.uint8, copy=False)
-        word_enables = np.repeat(group_enables, group, axis=1)[:, :words]
-        word_enables = word_enables * packed.valid_mask()
-
+        valid = packed.valid_mask()
         ones = packed.rows_ones()
-        enables_total = packed.rows_sum(word_enables, max_value=num_inferences)
-        crossed = packed.rows_sum(packed.bits, weights=word_enables, max_value=1)
         writes = packed.rows_writes()
-        numerator = (ones * num_inferences + enables_total[:, None] - 2.0 * crossed)
-        return _duty_from_counts(numerator, writes * num_inferences)
+        rng = self.rng
+
+        def counts(start: int, n: int):
+            # Deterministic bias-balancing phase of every (inference, block)
+            # pair in the span: the register ticks once per block, its MSB is
+            # the inversion phase.
+            if balancer is not None:
+                global_index = ((start + np.arange(n))[:, None] * num_blocks
+                                + np.arange(num_blocks)[None, :])
+                register = (global_index + 1) % balancer.period
+                phases = (register >> (balancer.num_bits - 1)) & 0x1
+                inferences_in_phase_one = phases.sum(axis=0)
+            else:
+                inferences_in_phase_one = np.zeros(num_blocks, dtype=np.int64)
+            t_one = inferences_in_phase_one
+
+            # Number of inferences (out of the span's n) in which each group's
+            # enable bit comes out as 1 — one binomial draw per (block, group).
+            # An unbiased TRBG is phase-independent (B(t0, .5) + B(t1, .5) is
+            # B(T, .5)), and biased ones share t_one across at most one
+            # balancer period of distinct values, so all draws run through
+            # numpy's scalar-n binomial fast path.
+            if bias == 0.5:
+                group_enables = _unbiased_binomial(rng, n, (num_blocks, num_groups))
+            else:
+                group_enables = np.empty((num_blocks, num_groups), dtype=np.int64)
+                for phase_count in np.unique(t_one):
+                    selected = t_one == phase_count
+                    count = (int(selected.sum()), num_groups)
+                    group_enables[selected] = (
+                        rng.binomial(int(n - phase_count), bias, size=count)
+                        + rng.binomial(int(phase_count), 1.0 - bias, size=count))
+            if n <= 255:
+                group_enables = group_enables.astype(np.uint8, copy=False)
+            word_enables = np.repeat(group_enables, group, axis=1)[:, :words]
+            word_enables = word_enables * valid
+
+            enables_total = packed.rows_sum(word_enables, max_value=n)
+            crossed = packed.rows_sum(packed.bits, weights=word_enables, max_value=1)
+            numerator = (ones * n + enables_total[:, None] - 2.0 * crossed)
+            return numerator, writes * n
+
+        return counts
 
     # ------------------------------------------------------------------ #
     # Blockwise engine: the legacy per-block streaming kernels
@@ -702,6 +794,14 @@ class AgingSimulator:
             writes[row_slice] += 1
         numerator = (ones * num_inferences + enables_total[:, None] - 2.0 * crossed)
         return _duty_from_counts(numerator, writes * num_inferences)
+
+
+def _describe_with_leveling(policy: MitigationPolicy, leveler) -> Dict[str, object]:
+    """Policy description, extended with the wear leveler's when one is active."""
+    description = dict(policy.describe())
+    if leveler is not None:
+        description["leveling"] = leveler.describe()
+    return description
 
 
 def _unbiased_binomial(rng: np.random.Generator, trials: int, size) -> np.ndarray:

@@ -1,0 +1,229 @@
+"""Wear-leveling design-point experiment — leveling vs (and with) inversion.
+
+The paper's encoding policies balance duty-cycles *within* a word; the
+:mod:`repro.leveling` remap engine balances *where* the stress lands.  This
+driver evaluates one fully-parameterised point of the combined space — a
+network, a quantization format, a mitigation (inversion) policy, a
+wear-leveling policy and a weight-memory geometry — and reports the spatial
+wear picture with and without the leveler under identical weights and seeds::
+
+    dnn-life level --network custom_mnist --leveling wear_swap --fifo-depth-tiles 4
+    dnn-life sweep leveling \
+        --grid policy=none,inversion,dnn_life \
+        --grid leveling=none,rotation,start_gap,wear_swap \
+        --grid fifo_depth_tiles=1,4
+
+The headline metric is ``region_imbalance_pp`` from
+:class:`~repro.memory.wear_map.WearMap`: the spread of mean SNM degradation
+across memory regions, which the wear-map-guided swap attacks directly (its
+hot/cold swaps cross FIFO-tile boundaries) while the rotation policies level
+rows *within* each region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Optional
+
+from repro.accelerator.baseline import BaselineAccelerator
+from repro.accelerator.config import baseline_config
+from repro.core.policies import make_policy
+from repro.core.simulation import AgingSimulator
+from repro.experiments.aging_point import POLICY_CHOICES
+from repro.experiments.aging_runner import build_workload_stream
+from repro.experiments.common import ExperimentScale
+from repro.leveling import LEVELER_CHOICES, WearLeveler, make_leveler
+from repro.memory.wear_map import wear_map_from_result
+from repro.nn.models import MODEL_ZOO
+from repro.orchestration.registry import ParamSpec, register_experiment
+from repro.quantization.formats import get_format
+from repro.utils.units import KB
+
+
+def _wear_regions(rows: int, fifo_depth_tiles: int) -> int:
+    """Analysis regioning of the wear map: FIFO tiles, or coarse row bands."""
+    if fifo_depth_tiles > 1:
+        return fifo_depth_tiles
+    for candidate in (8, 4, 2):
+        if rows % candidate == 0:
+            return candidate
+    return 1
+
+
+def build_point_leveler(leveling: str, geometry, fifo_depth_tiles: int,
+                        leveling_period: int, rotation_step: int,
+                        swap_fraction: float) -> Optional[WearLeveler]:
+    """Resolve this experiment's leveling parameters into a leveler instance.
+
+    ``leveling_period`` is the one scheduling knob all three policies share:
+    the rotation period, the start-gap shift interval and the wear-swap
+    interval respectively.  Returns ``None`` for ``leveling="none"`` so the
+    baseline simulation path is taken verbatim.
+    """
+    if leveling == "none":
+        return None
+    if leveling == "rotation":
+        return make_leveler("rotation", geometry, fifo_depth_tiles,
+                            period=leveling_period, step=rotation_step)
+    if leveling == "start_gap":
+        return make_leveler("start_gap", geometry, fifo_depth_tiles,
+                            interval=leveling_period)
+    return make_leveler("wear_swap", geometry, fifo_depth_tiles,
+                        interval=leveling_period, swap_fraction=swap_fraction)
+
+
+def _panel(result, num_regions: int, max_render_rows: int) -> Dict[str, object]:
+    """Wear-map view of one simulation result (JSON-safe, render precomputed)."""
+    wear = wear_map_from_result(result, num_regions=num_regions)
+    return {
+        "summary": result.summary(),
+        "wear": wear.summary(),
+        "wear_render": wear.render(max_rows=max_render_rows),
+    }
+
+
+def run_leveling_point(network: str = "lenet5",
+                       data_format: str = "int8_symmetric",
+                       policy: str = "none",
+                       leveling: str = "wear_swap",
+                       weight_memory_kb: int = 8,
+                       fifo_depth_tiles: int = 4,
+                       num_inferences: int = 20,
+                       leveling_period: int = 2,
+                       rotation_step: int = 1,
+                       swap_fraction: float = 0.5,
+                       quick: bool = True,
+                       seed: int = 0) -> Dict[str, object]:
+    """Leveling-vs-baseline aging of one design point.
+
+    Runs the configured (network, format, policy, geometry) workload twice on
+    the packed engine — without leveling and with the requested leveler —
+    under identical weights and seeds, and reports both spatial wear
+    summaries plus the resulting ``region_imbalance_pp`` delta.
+
+    Parameters
+    ----------
+    leveling:
+        Wear-leveling policy (see :data:`repro.leveling.LEVELER_CHOICES`).
+    leveling_period:
+        Epochs per leveling step: the rotation period, start-gap shift
+        interval or wear-swap interval.
+    rotation_step:
+        Rows the rotation policy advances per inference.
+    swap_fraction:
+        Fraction of rows the wear-guided swap exchanges per event.
+
+    The remaining parameters match the ``aging`` experiment.
+    """
+    scale = ExperimentScale.from_quick_flag(quick)
+    config = replace(baseline_config(), name="leveling_point",
+                     weight_memory_bytes=int(weight_memory_kb) * KB,
+                     weight_fifo_depth_tiles=fifo_depth_tiles)
+    accelerator = BaselineAccelerator(config=config)
+    stream = build_workload_stream(network, accelerator, data_format, scale, seed=seed)
+    geometry = stream.geometry
+    word_bits = get_format(data_format).word_bits
+    leveler = build_point_leveler(leveling, geometry, fifo_depth_tiles,
+                                  leveling_period, rotation_step, swap_fraction)
+
+    def simulate(active_leveler):
+        resolved = make_policy(policy, word_bits, seed=seed)
+        simulator = AgingSimulator(stream, resolved, num_inferences=num_inferences,
+                                   seed=seed, leveler=active_leveler)
+        return simulator.run()
+
+    num_regions = _wear_regions(geometry.rows, fifo_depth_tiles)
+    max_render_rows = 16
+    baseline = _panel(simulate(None), num_regions, max_render_rows)
+    leveled = _panel(simulate(leveler), num_regions, max_render_rows)
+    baseline_imbalance = baseline["wear"]["region_imbalance_pp"]
+    leveled_imbalance = leveled["wear"]["region_imbalance_pp"]
+    return {
+        "workload": {
+            "network": network,
+            "data_format": data_format,
+            "policy": policy,
+            "leveling": leveling,
+            "weight_memory_kb": int(weight_memory_kb),
+            "fifo_depth_tiles": int(fifo_depth_tiles),
+            "num_inferences": int(num_inferences),
+            "leveling_period": int(leveling_period),
+            "rotation_step": int(rotation_step),
+            "swap_fraction": float(swap_fraction),
+            "quick": bool(quick),
+            "seed": int(seed),
+        },
+        "leveler": (leveler.describe() if leveler is not None
+                    else {"leveler": "none"}),
+        "wear_regions": num_regions,
+        "baseline": baseline,
+        "leveled": leveled,
+        "region_imbalance_pp": {
+            "baseline": baseline_imbalance,
+            "leveled": leveled_imbalance,
+            "reduction": baseline_imbalance - leveled_imbalance,
+        },
+    }
+
+
+def render_leveling_point(payload: Dict[str, object], params: Dict[str, object]) -> str:
+    """Before/after wear maps plus the region-imbalance verdict."""
+    workload = payload["workload"]
+    imbalance = payload["region_imbalance_pp"]
+    sections = [
+        (f"=== leveling — {workload['network']}, {workload['data_format']}, "
+         f"{workload['weight_memory_kb']} KB x {workload['fifo_depth_tiles']} tiles, "
+         f"policy: {workload['policy']}, leveling: {workload['leveling']} ==="),
+        "-- without leveling --",
+        payload["baseline"]["wear_render"],
+        f"-- with leveling ({workload['leveling']}) --",
+        payload["leveled"]["wear_render"],
+        (f"region_imbalance_pp: {imbalance['baseline']:.3f} -> "
+         f"{imbalance['leveled']:.3f} "
+         f"({'-' if imbalance['reduction'] >= 0 else '+'}"
+         f"{abs(imbalance['reduction']):.3f} pp)"),
+        (f"mean SNM degradation: "
+         f"{payload['baseline']['summary']['mean_snm_degradation_percent']:.3f}% -> "
+         f"{payload['leveled']['summary']['mean_snm_degradation_percent']:.3f}%"),
+    ]
+    return "\n\n".join(sections)
+
+
+register_experiment(
+    name="leveling",
+    runner=run_leveling_point,
+    description="Wear-leveling vs no-leveling aging of one (network x format x "
+                "policy x leveler x memory geometry) design point",
+    artifact="wear-leveling scenario axis (extension)",
+    params=(
+        ParamSpec("network", str, "lenet5", choices=tuple(sorted(MODEL_ZOO)),
+                  help="workload network"),
+        ParamSpec("data_format", str, "int8_symmetric", flag="--format",
+                  help="weight data format"),
+        ParamSpec("policy", str, "none", choices=POLICY_CHOICES,
+                  help="mitigation (encoding) policy"),
+        ParamSpec("leveling", str, "wear_swap", choices=LEVELER_CHOICES,
+                  help="wear-leveling policy"),
+        ParamSpec("weight_memory_kb", int, 8, flag="--memory-kb",
+                  help="weight-memory capacity in KB"),
+        ParamSpec("fifo_depth_tiles", int, 4, help="FIFO tiles (1 = monolithic)"),
+        ParamSpec("num_inferences", int, 20, flag="--inferences",
+                  help="inference epochs"),
+        ParamSpec("leveling_period", int, 2,
+                  help="epochs per leveling step (rotation period / shift "
+                       "interval / swap interval)"),
+        ParamSpec("rotation_step", int, 1, help="rows rotated per inference"),
+        ParamSpec("swap_fraction", float, 0.5,
+                  help="fraction of rows the wear-guided swap exchanges"),
+        ParamSpec("quick", bool, True, help="cap per-layer weight counts"),
+        ParamSpec("seed", int, 0, help="weight/policy seed"),
+    ),
+    full_config={"quick": False, "num_inferences": 100},
+    renderer=render_leveling_point,
+    tags=("sweep", "aging", "leveling"),
+    # Jobs agreeing on these parameters stream the same weight blocks; the
+    # sweep runner batches them onto one worker so the process-local stream
+    # cache (and its packed bit tensor) is built once per workload.
+    affinity=("network", "data_format", "weight_memory_kb", "fifo_depth_tiles",
+              "quick", "seed"),
+)

@@ -1,0 +1,29 @@
+"""Wear-leveling remap engine (extension).
+
+DNN-Life's encoding policies balance duty-cycles *within* a word; this
+package balances *where* the stress lands by remapping logical memory rows to
+physical rows over time.  See :mod:`repro.leveling.remap` for the protocol
+and :mod:`repro.leveling.policies` for the rotation / start-gap / wear-guided
+swap implementations; both aging simulation engines accept a leveler and the
+``leveling`` experiment sweeps them against the encoding policies.
+"""
+
+from repro.leveling.policies import (
+    LEVELER_CHOICES,
+    RotationLeveler,
+    StartGapLeveler,
+    WearSwapLeveler,
+    make_leveler,
+)
+from repro.leveling.remap import WearLeveler, check_permutation, mean_duty_per_row
+
+__all__ = [
+    "LEVELER_CHOICES",
+    "RotationLeveler",
+    "StartGapLeveler",
+    "WearSwapLeveler",
+    "WearLeveler",
+    "check_permutation",
+    "make_leveler",
+    "mean_duty_per_row",
+]

@@ -1,0 +1,159 @@
+"""Row-remap machinery shared by every wear-leveling policy.
+
+A *wear leveler* maintains a logical-to-physical row permutation for a weight
+memory: the accelerator's dataflow keeps addressing *logical* rows (block
+``b`` still targets rows ``region * words_per_block ...``), while the leveler
+decides which *physical* rows actually store them.  The mapping is constant
+within one inference epoch and may change between epochs, which is exactly
+the granularity both simulation paths consume it at:
+
+* the fast packed engine (:class:`repro.core.simulation.AgingSimulator`)
+  splits the inference range into :meth:`WearLeveler.spans` of constant
+  mapping, evaluates each span's closed-form duty counts once, and gathers
+  the logical counts into physical rows through the span's permutation;
+* the explicit paths (:class:`repro.core.simulation.ExplicitAgingSimulator`
+  and :meth:`repro.memory.trace.WriteTrace.replay`) query
+  :meth:`WearLeveler.permutation` every epoch and route each block write
+  through it.
+
+Feedback-driven policies (the wear-map-guided swap) additionally receive the
+accumulated per-physical-row stress through :meth:`WearLeveler.observe`; both
+simulation paths report the same quantity (:func:`mean_duty_per_row` over
+exact integral counts), so the permutations they derive are bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.memory.geometry import MemoryGeometry
+from repro.utils.validation import check_positive_int
+
+__all__ = ["WearLeveler", "check_permutation", "mean_duty_per_row"]
+
+
+def check_permutation(permutation: np.ndarray, rows: int) -> np.ndarray:
+    """Validate a logical-to-physical row map: a bijection over ``rows`` rows."""
+    permutation = np.asarray(permutation, dtype=np.int64).reshape(-1)
+    if permutation.size != rows:
+        raise ValueError(f"permutation covers {permutation.size} rows, "
+                         f"expected {rows}")
+    if permutation.size and (permutation.min() < 0 or permutation.max() >= rows):
+        raise ValueError("permutation entries must lie in [0, rows)")
+    if np.unique(permutation).size != rows:
+        raise ValueError("permutation must be a bijection (duplicate targets)")
+    return permutation
+
+
+def mean_duty_per_row(ones: np.ndarray, hold_per_row: np.ndarray) -> np.ndarray:
+    """Per-physical-row mean duty-cycle: the stress signal of guided levelers.
+
+    ``ones`` is the accumulated per-cell ones count/time (``(rows, bits)``)
+    and ``hold_per_row`` the accumulated per-row cell-hold total.  Both
+    simulation paths accumulate exact integers in float64, so the ratio — and
+    therefore any ordering a leveler derives from it — is bit-identical
+    between the packed and explicit engines.  Never-written rows report 0.
+    """
+    ones = np.asarray(ones, dtype=np.float64)
+    hold = np.asarray(hold_per_row, dtype=np.float64).reshape(-1)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.where(hold > 0, ones.sum(axis=1) / hold, 0.0)
+
+
+class WearLeveler:
+    """Base wear leveler: the identity mapping (no leveling).
+
+    Subclasses override :meth:`_offset_at` (pure per-region rotations) or
+    :meth:`permutation` / :meth:`observe` (table-driven policies) and
+    :meth:`change_epochs`.  The mapping contract:
+
+    * :meth:`permutation` returns the logical→physical row map in force for
+      ``epoch``; drivers call it with non-decreasing epochs;
+    * :meth:`observe` feeds the accumulated per-physical-row stress after
+      ``epoch`` epochs (only consulted when :attr:`uses_feedback`);
+    * :meth:`change_epochs` lists every epoch at which the map may differ
+      from the previous epoch's, so the fast engine can batch the constant
+      stretches; :meth:`spans` turns that into ``(start, length)`` segments.
+    """
+
+    #: Registry name of the policy (overridden by subclasses).
+    name = "none"
+    #: Whether :meth:`observe` feedback influences the mapping.
+    uses_feedback = False
+
+    def __init__(self, geometry: MemoryGeometry, fifo_depth_tiles: int = 1):
+        self.geometry = geometry
+        self.fifo_depth_tiles = check_positive_int(fifo_depth_tiles, "fifo_depth_tiles")
+        if geometry.rows % self.fifo_depth_tiles != 0:
+            raise ValueError(f"{geometry.rows} rows cannot be divided into "
+                             f"{fifo_depth_tiles} FIFO tiles")
+        self.rows = geometry.rows
+        #: Rows per FIFO region — the rotation policies remap within regions
+        #: (a per-tile remap table), so a tile's rows stay inside the tile.
+        self.region_rows = geometry.rows // self.fifo_depth_tiles
+        self._identity = np.arange(self.rows, dtype=np.int64)
+        self._rotation_cache: Dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------ #
+    # Mapping interface
+    # ------------------------------------------------------------------ #
+    def reset(self) -> None:
+        """Return to the initial (identity) mapping and drop any feedback."""
+
+    def permutation(self, epoch: int) -> np.ndarray:
+        """The logical→physical row map in force during ``epoch``."""
+        return self._region_rotation(self._offset_at(epoch))
+
+    def observe(self, epoch: int, row_stress: np.ndarray) -> None:
+        """Report per-physical-row stress accumulated over the first ``epoch`` epochs."""
+
+    def change_epochs(self, num_inferences: int) -> np.ndarray:
+        """Epochs in ``[0, num_inferences)`` at which the mapping may change."""
+        if num_inferences <= 1:
+            return np.zeros(1, dtype=np.int64)
+        offsets = self._offset_at(np.arange(num_inferences, dtype=np.int64))
+        offsets = np.broadcast_to(offsets, (num_inferences,))
+        changes = np.flatnonzero(np.diff(offsets)) + 1
+        return np.concatenate([[0], changes]).astype(np.int64)
+
+    def spans(self, num_inferences: int) -> Iterator[Tuple[int, int]]:
+        """Yield ``(start_epoch, length)`` stretches of constant mapping."""
+        check_positive_int(num_inferences, "num_inferences")
+        changes = [int(epoch) for epoch in self.change_epochs(num_inferences)
+                   if 0 <= epoch < num_inferences]
+        if not changes or changes[0] != 0:
+            changes.insert(0, 0)
+        changes.append(num_inferences)
+        for start, stop in zip(changes[:-1], changes[1:]):
+            if stop > start:
+                yield start, stop - start
+
+    # ------------------------------------------------------------------ #
+    # Rotation helpers (shared by the offset-based subclasses)
+    # ------------------------------------------------------------------ #
+    def _offset_at(self, epoch):
+        """Per-region rotation offset in force during ``epoch`` (0 = identity)."""
+        return np.zeros_like(np.asarray(epoch, dtype=np.int64))
+
+    def _region_rotation(self, offset: int) -> np.ndarray:
+        """Permutation rotating every region's rows down by ``offset``."""
+        offset = int(offset) % self.region_rows
+        if offset == 0:
+            return self._identity
+        cached = self._rotation_cache.get(offset)
+        if cached is None:
+            within = (self._identity % self.region_rows + offset) % self.region_rows
+            cached = (self._identity // self.region_rows) * self.region_rows + within
+            self._rotation_cache[offset] = cached
+        return cached
+
+    # ------------------------------------------------------------------ #
+    # Description
+    # ------------------------------------------------------------------ #
+    def describe(self) -> Dict[str, object]:
+        """Machine-readable description (serialised into result payloads)."""
+        return {"leveler": self.name,
+                "fifo_depth_tiles": self.fifo_depth_tiles,
+                "rows": self.rows}

@@ -70,27 +70,51 @@ class SramArray:
         self._total_time[row_indices] += durations[:, None]
         self._last_update[row_indices] = self._now
 
-    def write_rows(self, row_indices: np.ndarray, words: np.ndarray) -> None:
-        """Write ``words`` into the given rows at the current simulation time."""
+    def _check_row_indices(self, row_indices: np.ndarray) -> np.ndarray:
+        """Validate row indices: in ``[0, rows)``, no silent negative wraparound."""
         row_indices = np.asarray(row_indices, dtype=np.int64).reshape(-1)
+        if row_indices.size and (row_indices.min() < 0
+                                 or row_indices.max() >= self.geometry.rows):
+            raise IndexError(
+                f"row index out of range [0, {self.geometry.rows}) — negative "
+                "indices are rejected rather than wrapped around")
+        return row_indices
+
+    def write_rows(self, row_indices: np.ndarray, words: np.ndarray) -> None:
+        """Write ``words`` into the given rows at the current simulation time.
+
+        Every row may appear at most once per call: two writes of the same
+        row at one instant have no defined hold-accounting order, and numpy's
+        fancy ``+=`` would silently drop all but one of the duplicate hold
+        credits.  Split such writes into separate calls instead.
+        """
+        row_indices = self._check_row_indices(row_indices)
         words = np.asarray(words).reshape(-1)
         if row_indices.size != words.size:
             raise ValueError("row_indices and words must have equal length")
         if row_indices.size == 0:
             return
-        if row_indices.min() < 0 or row_indices.max() >= self.geometry.rows:
-            raise IndexError("row index out of range")
+        if np.unique(row_indices).size != row_indices.size:
+            raise ValueError(
+                "duplicate row indices within one write call; fancy-index "
+                "accumulation would drop hold credits — issue separate writes")
         self._account_holds(row_indices)
         self._content[row_indices] = unpack_bits(words, self.geometry.word_bits)
 
     def write_block(self, words: np.ndarray, residency: float = 1.0,
-                    start_row: int = 0) -> None:
+                    start_row: int = 0,
+                    row_map: Optional[np.ndarray] = None) -> None:
         """Write a block starting at ``start_row``, then hold it for ``residency``.
 
         This matches the paper's dataflow assumption: each block occupies the
         memory for an equal amount of time and is fetched once per inference.
         Blocks shorter than the memory only overwrite the rows they cover;
         FIFO-organised memories pass the tile offset as ``start_row``.
+
+        ``row_map`` optionally routes the write through a wear-leveling remap
+        table: a full logical-to-physical row permutation (length ``rows``),
+        so the block's *logical* rows ``start_row ...`` land on the mapped
+        physical rows (see :mod:`repro.leveling`).
         """
         words = np.asarray(words).reshape(-1)
         if start_row < 0 or start_row + words.size > self.geometry.rows:
@@ -98,12 +122,20 @@ class SramArray:
                 f"block of {words.size} words at row {start_row} does not fit in "
                 f"{self.geometry.rows} rows"
             )
-        self.write_rows(np.arange(start_row, start_row + words.size), words)
+        rows_to_write = np.arange(start_row, start_row + words.size)
+        if row_map is not None:
+            row_map = np.asarray(row_map, dtype=np.int64).reshape(-1)
+            if row_map.size != self.geometry.rows:
+                raise ValueError(
+                    f"row_map must map all {self.geometry.rows} rows, "
+                    f"got {row_map.size} entries")
+            rows_to_write = row_map[rows_to_write]
+        self.write_rows(rows_to_write, words)
         self.advance_time(residency)
 
     def read_rows(self, row_indices: np.ndarray) -> np.ndarray:
         """Read back the currently stored words of the given rows."""
-        row_indices = np.asarray(row_indices, dtype=np.int64).reshape(-1)
+        row_indices = self._check_row_indices(row_indices)
         bits = self._content[row_indices].astype(np.uint64)
         shifts = np.arange(self.geometry.word_bits, dtype=np.uint64)[::-1].copy()
         return (bits << shifts[None, :]).sum(axis=1, dtype=np.uint64)
@@ -147,6 +179,11 @@ class SramArray:
     def content(self) -> np.ndarray:
         """Copy of the currently stored bit matrix."""
         return self._content.copy()
+
+    @property
+    def ones_hold_time(self) -> np.ndarray:
+        """Copy of the per-cell accumulated '1'-holding time."""
+        return self._ones_time.copy()
 
     @property
     def total_hold_time(self) -> np.ndarray:

@@ -32,6 +32,19 @@ class WriteRecord:
     metadata: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
+        # Integer fields are validated strictly: silently truncating a float
+        # here used to mask type errors until the value came back wrong from
+        # a saved trace.
+        for name in ("block_index", "start_row"):
+            value = getattr(self, name)
+            if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+                raise TypeError(f"{name} must be an integer, "
+                                f"got {type(value).__name__} ({value!r})")
+            setattr(self, name, int(value))
+        if self.block_index < 0:
+            raise ValueError("block_index must be non-negative")
+        if self.start_row < 0:
+            raise ValueError("start_row must be non-negative")
         self.words = np.asarray(self.words, dtype=np.uint64).reshape(-1)
         if self.metadata is not None:
             self.metadata = np.asarray(self.metadata, dtype=np.uint8).reshape(-1)
@@ -66,16 +79,56 @@ class WriteTrace:
         """Total number of cell writes in the trace."""
         return self.total_words_written * self.word_bits
 
-    def replay(self, array: SramArray) -> SramArray:
-        """Replay the trace into an SRAM array (explicit simulation path)."""
+    def replay(self, array: SramArray, leveler=None,
+               blocks_per_epoch: Optional[int] = None) -> SramArray:
+        """Replay the trace into an SRAM array (explicit simulation path).
+
+        With a :class:`~repro.leveling.remap.WearLeveler`, every record's rows
+        are routed through the leveler's logical-to-physical remap table.
+        ``blocks_per_epoch`` tells the replay where the inference-epoch
+        boundaries fall in the record stream (the schedule's blocks per
+        inference): the mapping is refreshed at each boundary.  Wear-guided
+        levelers observe the same per-write *count*-based stress signal the
+        aging engines report (not the array's residency-weighted holds, which
+        additionally count the time rows spend holding their initial content
+        before the first write), so the swap decisions — and the resulting
+        permutations — are bit-identical to the simulators' on any stream.
+        """
         if array.geometry.word_bits != self.word_bits:
             raise ValueError(
                 f"trace word width {self.word_bits} does not match memory word width "
                 f"{array.geometry.word_bits}"
             )
-        for record in self.records:
+        if leveler is None:
+            for record in self.records:
+                array.write_block(record.words, residency=record.residency,
+                                  start_row=record.start_row)
+            array.finalize()
+            return array
+        if blocks_per_epoch is None or blocks_per_epoch <= 0:
+            raise ValueError("replaying with a leveler requires blocks_per_epoch "
+                             "(the number of records per inference epoch)")
+        from repro.leveling.remap import mean_duty_per_row
+        from repro.quantization.bitops import unpack_bits
+
+        leveler.reset()
+        track_stress = leveler.uses_feedback
+        if track_stress:
+            rows, word_bits = array.geometry.rows, array.geometry.word_bits
+            ones_counts = np.zeros((rows, word_bits), dtype=np.float64)
+            write_counts = np.zeros(rows, dtype=np.float64)
+        for index, record in enumerate(self.records):
+            epoch = index // blocks_per_epoch
+            remap = leveler.permutation(epoch)
             array.write_block(record.words, residency=record.residency,
-                              start_row=record.start_row)
+                              start_row=record.start_row, row_map=remap)
+            if track_stress:
+                target = remap[record.start_row:record.start_row + record.words.size]
+                ones_counts[target] += unpack_bits(record.words, self.word_bits)
+                write_counts[target] += 1
+            if (index + 1) % blocks_per_epoch == 0 and track_stress:
+                leveler.observe(epoch + 1, mean_duty_per_row(
+                    ones_counts, write_counts * float(word_bits)))
         array.finalize()
         return array
 
@@ -83,19 +136,30 @@ class WriteTrace:
     # Persistence
     # ------------------------------------------------------------------ #
     def save(self, path: Union[str, Path]) -> None:
-        """Save the trace to a compressed ``.npz`` file."""
+        """Save the trace to a compressed ``.npz`` file.
+
+        Integer record fields (``block_index``, ``start_row``) are stored as
+        int64 — the earlier float64 ``info`` encoding lost exactness above
+        2**53.  ``load`` still reads files written in the legacy layout.
+        """
         arrays = {"word_bits": np.asarray([self.word_bits])}
         for index, record in enumerate(self.records):
             arrays[f"words_{index}"] = record.words
             arrays[f"meta_{index}"] = (record.metadata if record.metadata is not None
                                        else np.empty(0, dtype=np.uint8))
-            arrays[f"info_{index}"] = np.asarray(
-                [record.block_index, record.residency, record.start_row], dtype=np.float64)
+            arrays[f"info_{index}"] = np.asarray([record.residency], dtype=np.float64)
+            arrays[f"rows_{index}"] = np.asarray(
+                [record.block_index, record.start_row], dtype=np.int64)
         np.savez_compressed(path, **arrays)
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "WriteTrace":
-        """Load a trace previously written with :meth:`save`."""
+        """Load a trace previously written with :meth:`save`.
+
+        Reads both the current layout (int64 ``rows_<i>`` alongside a
+        residency-only ``info_<i>``) and the legacy all-float ``info_<i>``
+        triple of ``[block_index, residency, start_row]``.
+        """
         with np.load(path) as data:
             word_bits = int(data["word_bits"][0])
             trace = cls(word_bits=word_bits)
@@ -103,11 +167,20 @@ class WriteTrace:
             while f"words_{index}" in data:
                 info = data[f"info_{index}"]
                 metadata = data[f"meta_{index}"]
+                if f"rows_{index}" in data:
+                    integers = data[f"rows_{index}"]
+                    block_index = int(integers[0])
+                    start_row = int(integers[1])
+                    residency = float(info[0])
+                else:  # legacy float64 [block_index, residency, start_row]
+                    block_index = int(info[0])
+                    residency = float(info[1])
+                    start_row = int(info[2]) if info.size > 2 else 0
                 trace.append(WriteRecord(
-                    block_index=int(info[0]),
+                    block_index=block_index,
                     words=data[f"words_{index}"],
-                    residency=float(info[1]),
-                    start_row=int(info[2]) if info.size > 2 else 0,
+                    residency=residency,
+                    start_row=start_row,
                     metadata=metadata if metadata.size else None,
                 ))
                 index += 1

@@ -275,6 +275,7 @@ _EXPERIMENT_MODULES = (
     "repro.experiments.table2",
     "repro.experiments.ablations",
     "repro.experiments.aging_point",
+    "repro.experiments.leveling",
     "repro.experiments.workloads",
 )
 

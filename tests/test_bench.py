@@ -97,8 +97,9 @@ class TestBenchHarness:
         case = BenchCase(name="tiny_synthetic", description="test",
                          memory_kb=2, word_bits=16, num_blocks=5,
                          num_inferences=4, policies=("none", "inversion"))
-        payload = run_aging_bench([case], repeats=1, verify=False)
+        payload = run_aging_bench([case], repeats=1, verify=False, leveling=False)
         assert "verification" not in payload
+        assert "leveling" not in payload
         entry = payload["cases"][0]
         assert entry["stream"]["network"] == "synthetic"
         assert entry["policies"]["none"]["exact_match"] is True
@@ -110,6 +111,39 @@ class TestBenchHarness:
                           if case.name == "alexnet_512kb_64bit")
         assert acceptance.memory_kb == 512
         assert acceptance.word_bits == 64
+
+    def test_leveling_entry(self, smoke_payload):
+        """The BENCH_aging.json payload carries the wear-leveling entry."""
+        leveling = smoke_payload["leveling"]
+        assert leveling["case"]["name"] == "leveling_64kb_8bit_fifo4"
+        assert leveling["verification"]["explicit_match"] is True
+        labels = set(leveling["entries"])
+        assert "none+rotation" in labels and "inversion+wear_swap" in labels
+        for row in leveling["entries"].values():
+            assert row["baseline_seconds"] > 0
+            assert row["leveled_seconds"] > 0
+            assert row["overhead"] > 0
+            assert np.isfinite(row["region_imbalance_baseline_pp"])
+            assert np.isfinite(row["region_imbalance_leveled_pp"])
+
+    def test_leveling_small_case_override(self):
+        """bench_leveling accepts a custom (tiny) case for fast checks."""
+        from repro.bench import bench_leveling
+
+        case = BenchCase(name="tiny_leveling", description="test",
+                         memory_kb=2, word_bits=8, num_blocks=4,
+                         fifo_depth_tiles=2, num_inferences=6,
+                         policies=("none",))
+        payload = bench_leveling(case, repeats=1, verify=False)
+        assert payload["case"]["name"] == "tiny_leveling"
+        assert "verification" not in payload
+        assert set(payload["entries"]) == {"none+rotation", "none+start_gap",
+                                           "none+wear_swap"}
+
+    def test_leveling_render(self, smoke_payload):
+        text = render_bench_report(smoke_payload)
+        assert "wear-leveling overhead" in text
+        assert "leveling explicit-engine cross-check: OK" in text
 
 
 class TestBenchCli:

@@ -110,6 +110,50 @@ class TestWearMap:
         with pytest.raises(ValueError):
             WearMap(duty_cycles=np.zeros((10, 8)), num_regions=3)
 
+    def test_nan_duty_does_not_poison_aggregations(self):
+        """duty_cycles(default=None) carries NaN for never-written cells."""
+        duty = np.full((16, 8), 0.5)
+        duty[8:] = np.nan  # half the memory never written
+        wear = WearMap(duty_cycles=duty, num_regions=2)
+        summary = wear.summary()
+        assert summary["coverage"] == pytest.approx(0.5)
+        assert np.isfinite(summary["mean_degradation_percent"])
+        assert np.isfinite(summary["max_degradation_percent"])
+        assert np.isfinite(summary["column_imbalance_pp"])
+        assert np.isfinite(wear.per_bit_column()).all()
+        per_region = wear.per_region()
+        assert np.isfinite(per_region[0]) and np.isnan(per_region[1])
+
+    def test_nan_cells_never_rank_as_worst(self):
+        duty = np.full((16, 8), 0.5)
+        duty[0, 0] = np.nan
+        duty[5, 2] = 1.0
+        worst = WearMap(duty_cycles=duty).worst_cells(1)
+        assert worst["rows"][0] == 5 and worst["bit_columns"][0] == 2
+
+    def test_nan_region_renders_as_question_marks(self):
+        duty = np.full((8, 4), np.nan)
+        duty[:4] = 0.5
+        text = WearMap(duty_cycles=duty).render(max_rows=2)
+        assert "|????|" in text
+
+    def test_render_labels_never_inverted(self):
+        """Small/odd row counts: strictly increasing, gap-free bucket labels."""
+        import re
+
+        for rows in (1, 2, 3, 5, 7, 13, 33):
+            duty = np.full((rows, 4), 0.5)
+            text = WearMap(duty_cycles=duty).render(max_rows=8)
+            spans = [(int(low), int(high)) for low, high in
+                     re.findall(r"rows\s+(\d+)-\s*(\d+)", text)]
+            assert spans, text
+            assert spans[0][0] == 0 and spans[-1][1] == rows - 1
+            previous_end = -1
+            for low, high in spans:
+                assert low <= high  # no inverted "rows X-(X-1)" labels
+                assert low == previous_end + 1  # contiguous, no empty buckets
+                previous_end = high
+
     def test_from_aging_result(self, tiny_fifo_scheduler):
         result = AgingSimulator(tiny_fifo_scheduler, NoMitigationPolicy(),
                                 num_inferences=1).run()

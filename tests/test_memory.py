@@ -126,6 +126,39 @@ class TestSramArray:
         with pytest.raises(IndexError):
             array.write_rows(np.array([small_geometry.rows]), np.array([1]))
 
+    def test_negative_row_index_rejected_not_wrapped(self, small_geometry):
+        """Negative indices must raise instead of wrapping to the last rows."""
+        array = SramArray(small_geometry)
+        with pytest.raises(IndexError):
+            array.write_rows(np.array([-1]), np.array([0xFF], dtype=np.uint64))
+        with pytest.raises(IndexError):
+            array.read_rows(np.array([-1]))
+        with pytest.raises(IndexError):
+            array.read_rows(np.array([small_geometry.rows]))
+
+    def test_duplicate_rows_in_one_write_rejected(self, small_geometry):
+        """Duplicate rows would silently drop hold credits via fancy `+=`."""
+        array = SramArray(small_geometry)
+        with pytest.raises(ValueError):
+            array.write_rows(np.array([3, 3]),
+                             np.array([0x01, 0x02], dtype=np.uint64))
+
+    def test_write_block_row_map_routes_rows(self, small_geometry):
+        array = SramArray(small_geometry)
+        row_map = np.roll(np.arange(small_geometry.rows), -4)
+        words = np.arange(8, dtype=np.uint64)
+        array.write_block(words, residency=1.0, row_map=row_map)
+        array.finalize()
+        assert np.array_equal(array.read_rows(row_map[np.arange(8)]), words)
+        duty = array.duty_cycles(default=0.0)
+        assert duty[row_map[1]].sum() > 0  # word 1 landed on its mapped row
+
+    def test_write_block_row_map_must_cover_all_rows(self, small_geometry):
+        array = SramArray(small_geometry)
+        with pytest.raises(ValueError):
+            array.write_block(np.zeros(4, dtype=np.uint64),
+                              row_map=np.arange(4))
+
     def test_accumulate_block_interface(self, small_geometry):
         array = SramArray(small_geometry)
         shape = (small_geometry.rows, small_geometry.word_bits)
@@ -197,6 +230,41 @@ class TestWriteTrace:
     def test_negative_residency_rejected(self):
         with pytest.raises(ValueError):
             WriteRecord(block_index=0, words=np.array([1]), residency=-1.0)
+
+    def test_large_integer_fields_roundtrip_exactly(self, tmp_path):
+        """int64 storage: values above 2**53 must survive save/load."""
+        big = 2**53 + 1  # not representable in float64
+        trace = WriteTrace(word_bits=8)
+        trace.append(WriteRecord(block_index=big, start_row=big - 2,
+                                 words=np.array([7], dtype=np.uint64)))
+        path = tmp_path / "big.npz"
+        trace.save(path)
+        record = WriteTrace.load(path).records[0]
+        assert record.block_index == big
+        assert record.start_row == big - 2
+
+    def test_legacy_float_info_layout_still_loads(self, tmp_path):
+        """Traces written before the int64 layout keep loading."""
+        path = tmp_path / "legacy.npz"
+        np.savez_compressed(
+            path,
+            word_bits=np.asarray([8]),
+            words_0=np.array([1, 2], dtype=np.uint64),
+            meta_0=np.empty(0, dtype=np.uint8),
+            info_0=np.asarray([5, 2.5, 3], dtype=np.float64),
+        )
+        record = WriteTrace.load(path).records[0]
+        assert record.block_index == 5
+        assert record.residency == 2.5
+        assert record.start_row == 3
+
+    def test_non_integer_fields_rejected(self):
+        with pytest.raises(TypeError):
+            WriteRecord(block_index=1.0, words=np.array([1]))
+        with pytest.raises(TypeError):
+            WriteRecord(block_index=0, start_row=2.5, words=np.array([1]))
+        with pytest.raises(ValueError):
+            WriteRecord(block_index=0, start_row=-1, words=np.array([1]))
 
 
 class TestEnergyModel:
