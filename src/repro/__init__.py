@@ -25,6 +25,8 @@ The main subpackages are:
 * :mod:`repro.hwsynth` — hardware cost models of the mitigation circuits;
 * :mod:`repro.analysis` — bit-distribution and aging statistics;
 * :mod:`repro.experiments` — drivers regenerating every table and figure;
+* :mod:`repro.scenario` — multi-phase lifetime scenarios (model swaps, idle
+  retention, thermal corners) composed from the simulators;
 * :mod:`repro.orchestration` — experiment registry, result cache and
   parallel sweep runner behind ``dnn-life run/sweep/list``.
 """
@@ -41,10 +43,22 @@ from repro.core.policies import (
     make_policy,
 )
 from repro.core.simulation import AgingResult, AgingSimulator, ExplicitAgingSimulator
+from repro.scenario import (
+    ExplicitScenarioSimulator,
+    LifetimeScenario,
+    Phase,
+    ScenarioAgingSimulator,
+    ScenarioResult,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ExplicitScenarioSimulator",
+    "LifetimeScenario",
+    "Phase",
+    "ScenarioAgingSimulator",
+    "ScenarioResult",
     "CachedWeightStream",
     "PackedBitTensor",
     "DnnLife",

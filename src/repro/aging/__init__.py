@@ -11,7 +11,10 @@ duty-cycles into aging metrics:
 * :mod:`repro.aging.probabilistic` — the paper's probabilistic model, Eq. (1)
   and Eq. (2), used for the Fig. 7 analysis;
 * :mod:`repro.aging.lifetime` — lifetime / guard-band estimation built on top
-  of the SNM model (extension).
+  of the SNM model (extension);
+* :mod:`repro.aging.stress` — effective-stress aggregation folding per-phase
+  (duty, years, temperature) timelines into the single (duty, years) pair the
+  SNM models consume (extension, backs :mod:`repro.scenario`).
 """
 
 from repro.aging.lifetime import LifetimeEstimator
@@ -29,8 +32,22 @@ from repro.aging.snm import (
     SnmDegradationModel,
     default_snm_model,
 )
+from repro.aging.stress import (
+    DEFAULT_REFERENCE_TEMPERATURE_C,
+    ArrheniusTimeScaling,
+    PhaseStress,
+    StressTimeline,
+    aggregate_stress,
+    scaling_for_model,
+)
 
 __all__ = [
+    "DEFAULT_REFERENCE_TEMPERATURE_C",
+    "ArrheniusTimeScaling",
+    "PhaseStress",
+    "StressTimeline",
+    "aggregate_stress",
+    "scaling_for_model",
     "LifetimeEstimator",
     "NbtiDeviceModel",
     "ReactionDiffusionSnmModel",

@@ -15,10 +15,17 @@ threshold ``D_max`` after ``T_ref * (D_max / D_ref) ** 6`` years.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.aging.snm import REFERENCE_LIFETIME_YEARS, SnmDegradationModel, default_snm_model
+from repro.aging.stress import (
+    ArrheniusTimeScaling,
+    PhaseStress,
+    aggregate_stress,
+    scaling_for_model,
+)
 from repro.utils.validation import check_positive
 
 
@@ -47,6 +54,33 @@ class LifetimeEstimator:
     def memory_lifetime_years(self, duty_cycles: np.ndarray) -> float:
         """Lifetime of the memory = lifetime of its most-aged cell."""
         lifetimes = self.cell_lifetimes_years(duty_cycles)
+        return float(np.min(lifetimes)) if lifetimes.size else float("inf")
+
+    # ------------------------------------------------------------------ #
+    # Multi-phase (scenario) view: per-phase (duty, years, temperature)
+    # ------------------------------------------------------------------ #
+    def cell_lifetimes_years_phases(self, phases: Sequence[PhaseStress],
+                                    scaling: Optional[ArrheniusTimeScaling] = None
+                                    ) -> np.ndarray:
+        """Wall-clock years of the *scenario mix* until each cell hits the threshold.
+
+        The phase list is treated as a stationary workload mix: the timeline's
+        effective duty-cycle stays what it is, but time advances
+        ``effective_years / wall_years`` times faster than the wall clock
+        (hot phases accelerate damage, cool ones slow it).  A single phase at
+        the reference temperature reproduces :meth:`cell_lifetimes_years`.
+        """
+        scaling = scaling or scaling_for_model(self.snm_model)
+        duty, effective_years = aggregate_stress(phases, scaling)
+        wall_years = float(sum(phase.years for phase in phases))
+        acceleration = effective_years / wall_years
+        return self.cell_lifetimes_years(duty) / acceleration
+
+    def memory_lifetime_years_phases(self, phases: Sequence[PhaseStress],
+                                     scaling: Optional[ArrheniusTimeScaling] = None
+                                     ) -> float:
+        """Scenario-mix lifetime of the memory = lifetime of its most-aged cell."""
+        lifetimes = self.cell_lifetimes_years_phases(phases, scaling)
         return float(np.min(lifetimes)) if lifetimes.size else float("inf")
 
     def lifetime_improvement(self, duty_cycles_baseline: np.ndarray,

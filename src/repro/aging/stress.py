@@ -1,0 +1,198 @@
+"""Effective-stress aggregation across lifetime phases.
+
+The single-stream simulators characterise a memory by *one* duty-cycle per
+cell, implicitly assuming the whole lifetime looks like the simulated stream
+at one temperature.  A :class:`~repro.scenario.phases.LifetimeScenario`
+breaks that assumption: each phase runs a different workload for a different
+fraction of the lifetime at its own thermal corner.  This module provides the
+aggregation that folds such a timeline back into the quantity every
+:class:`~repro.aging.snm.SnmDegradationModel` consumes.
+
+The composition rule follows from the long-term NBTI form used throughout
+the repo, ``dVth = A * exp(-Ea/kT) * (duty * t) ** n``: a phase of ``y``
+years at temperature ``T`` contributes the same damage as
+``y * (arr(T) / arr(T_ref)) ** (1/n)`` years at the reference temperature
+(:meth:`ArrheniusTimeScaling.time_factor`), because the Arrhenius prefactor
+can be absorbed into the ``t ** n`` power.  Stress-time is therefore additive
+in *reference-equivalent* years, and the whole timeline collapses to
+
+* ``effective_years`` — the sum of every phase's equivalent years, and
+* ``effective_duty``  — the equivalent-years-weighted mean of the per-phase
+  duty-cycles (per cell),
+
+which existing models evaluate unchanged via
+``degradation_percent(effective_duty, effective_years)``.  The weighted mean
+commutes with the complement (``1 - effective_duty`` aggregates the
+complementary duties), so the two PMOS transistors of a 6T cell stay
+consistent.  A single phase at the reference temperature degenerates to the
+classic ``(duty, years)`` pair bit-for-bit — the weights are normalised
+before the blend, so the one-phase blend multiplies by exactly ``1.0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.aging.nbti import BOLTZMANN_EV
+from repro.utils.validation import check_positive, check_temperature_celsius
+
+#: Nominal worst-case operating corner the paper's anchors are stated at.
+DEFAULT_REFERENCE_TEMPERATURE_C = 85.0
+
+__all__ = [
+    "ArrheniusTimeScaling",
+    "PhaseStress",
+    "StressTimeline",
+    "DEFAULT_REFERENCE_TEMPERATURE_C",
+    "aggregate_stress",
+    "scaling_for_model",
+]
+
+
+def _celsius_to_kelvin(temperature_c: float) -> float:
+    return check_temperature_celsius(temperature_c) + 273.15
+
+
+@dataclass(frozen=True)
+class ArrheniusTimeScaling:
+    """Maps phase time at temperature ``T`` to reference-equivalent time.
+
+    ``time_factor(T)`` is the factor by which a year at ``T`` counts towards
+    the ``t ** n`` damage power relative to a year at
+    ``reference_temperature_c``: ``(arr(T) / arr(T_ref)) ** (1 / n)`` with
+    ``arr(T) = exp(-Ea / kT)``.  At the reference temperature the factor is
+    exactly ``1.0``, which is what keeps single-phase scenarios bit-identical
+    to the classic single-stream accounting.
+    """
+
+    activation_energy_ev: float = 0.1
+    time_exponent: float = 1.0 / 6.0
+    reference_temperature_c: float = DEFAULT_REFERENCE_TEMPERATURE_C
+
+    def __post_init__(self) -> None:
+        check_positive(self.time_exponent, "time_exponent")
+        _celsius_to_kelvin(self.reference_temperature_c)
+
+    def _arrhenius(self, temperature_c: float) -> float:
+        kelvin = _celsius_to_kelvin(temperature_c)
+        return float(np.exp(-self.activation_energy_ev / (BOLTZMANN_EV * kelvin)))
+
+    def time_factor(self, temperature_c: float) -> float:
+        """Reference-equivalent years contributed by one year at ``temperature_c``."""
+        if float(temperature_c) == self.reference_temperature_c:
+            return 1.0
+        ratio = self._arrhenius(temperature_c) / self._arrhenius(self.reference_temperature_c)
+        return float(ratio ** (1.0 / self.time_exponent))
+
+    def describe(self) -> dict:
+        """Machine-readable description (serialised into scenario payloads)."""
+        return {
+            "activation_energy_ev": self.activation_energy_ev,
+            "time_exponent": self.time_exponent,
+            "reference_temperature_c": self.reference_temperature_c,
+        }
+
+
+@dataclass
+class PhaseStress:
+    """Per-cell stress contribution of one lifetime phase.
+
+    ``duty`` is the per-cell duty-cycle the phase's workload produced (any
+    shape), ``years`` its wall-clock share of the lifetime and
+    ``temperature_c`` the thermal corner it ran at.
+    """
+
+    duty: np.ndarray
+    years: float
+    temperature_c: float = DEFAULT_REFERENCE_TEMPERATURE_C
+    #: Free-form label carried into reports ("phase 2: alexnet/int8").
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        self.duty = np.asarray(self.duty, dtype=np.float64)
+        check_positive(self.years, "years")
+        _celsius_to_kelvin(self.temperature_c)
+
+
+def aggregate_stress(phases: Sequence[PhaseStress],
+                     scaling: Optional[ArrheniusTimeScaling] = None
+                     ) -> Tuple[np.ndarray, float]:
+    """Collapse per-phase ``(duty, years, temperature)`` stress into one pair.
+
+    Returns ``(effective_duty, effective_years)`` such that
+    ``model.degradation_percent(effective_duty, effective_years)`` is the
+    degradation accumulated over the whole timeline, for any model of the
+    ``A * arr(T) * (duty * t) ** n`` family.
+
+    The blend is computed with weights normalised to sum to 1, so a single
+    phase at the reference temperature returns its duty array bit-for-bit
+    (multiplied by exactly ``1.0``) and ``years`` unchanged.
+    """
+    phases = list(phases)
+    if not phases:
+        raise ValueError("aggregate_stress requires at least one phase")
+    scaling = scaling or ArrheniusTimeScaling()
+    shape = phases[0].duty.shape
+    for index, phase in enumerate(phases):
+        if phase.duty.shape != shape:
+            raise ValueError(
+                f"phase {index} duty shape {phase.duty.shape} does not match "
+                f"phase 0 shape {shape}; all phases must cover the same cells")
+    weights = [phase.years * scaling.time_factor(phase.temperature_c)
+               for phase in phases]
+    effective_years = float(sum(weights))
+    if not effective_years > 0:  # also rejects NaN
+        raise ValueError("effective stress-time must be positive")
+    effective_duty = (weights[0] / effective_years) * phases[0].duty
+    for weight, phase in zip(weights[1:], phases[1:]):
+        effective_duty = effective_duty + (weight / effective_years) * phase.duty
+    return effective_duty, effective_years
+
+
+@dataclass
+class StressTimeline:
+    """Accumulates :class:`PhaseStress` entries and aggregates on demand."""
+
+    scaling: ArrheniusTimeScaling = field(default_factory=ArrheniusTimeScaling)
+    phases: List[PhaseStress] = field(default_factory=list)
+
+    def add(self, duty: np.ndarray, years: float,
+            temperature_c: float = DEFAULT_REFERENCE_TEMPERATURE_C,
+            label: str = "") -> PhaseStress:
+        """Append one phase's stress contribution."""
+        phase = PhaseStress(duty=duty, years=years,
+                            temperature_c=temperature_c, label=label)
+        self.phases.append(phase)
+        return phase
+
+    @property
+    def wall_years(self) -> float:
+        """Wall-clock span of the recorded timeline."""
+        return float(sum(phase.years for phase in self.phases))
+
+    def effective(self) -> Tuple[np.ndarray, float]:
+        """``(effective_duty, effective_years)`` of the recorded timeline."""
+        return aggregate_stress(self.phases, self.scaling)
+
+
+def scaling_for_model(snm_model) -> ArrheniusTimeScaling:
+    """Derive the time scaling consistent with an SNM model's device physics.
+
+    A model exposing a ``device`` (the reaction–diffusion backend) contributes
+    its activation energy, time exponent and nominal temperature; otherwise
+    the model's ``time_exponent`` (if any) is honoured and the NBTI defaults
+    fill the rest, so the calibrated power-law model composes identically to
+    the physics-style one.
+    """
+    device = getattr(snm_model, "device", None)
+    if device is not None:
+        return ArrheniusTimeScaling(
+            activation_energy_ev=float(device.activation_energy_ev),
+            time_exponent=float(device.time_exponent),
+            reference_temperature_c=float(device.temperature_kelvin) - 273.15,
+        )
+    return ArrheniusTimeScaling(
+        time_exponent=float(getattr(snm_model, "time_exponent", 1.0 / 6.0)))

@@ -12,11 +12,13 @@ from repro.bench.aging_bench import (
     BenchCase,
     SyntheticWeightStream,
     bench_leveling,
+    bench_scenario,
     default_bench_cases,
     default_leveling_case,
     render_bench_report,
     run_aging_bench,
     verify_leveling_against_explicit,
+    verify_scenario_against_explicit,
 )
 
 __all__ = [
@@ -25,9 +27,11 @@ __all__ = [
     "BenchCase",
     "SyntheticWeightStream",
     "bench_leveling",
+    "bench_scenario",
     "default_bench_cases",
     "default_leveling_case",
     "render_bench_report",
     "run_aging_bench",
     "verify_leveling_against_explicit",
+    "verify_scenario_against_explicit",
 ]

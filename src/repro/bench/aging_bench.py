@@ -420,9 +420,161 @@ def verify_leveling_against_explicit(seed: int = 0) -> Dict[str, object]:
     }
 
 
+# --------------------------------------------------------------------------- #
+# Multi-phase lifetime scenarios
+# --------------------------------------------------------------------------- #
+#: Timeline of the scenario bench entry: a model swap, an idle retention
+#: stretch and two thermal corners across four phases.
+SCENARIO_BENCH_SPEC = ("custom_mnist:int8:inversion:20@85C,idle:10@45C,"
+                       "lenet5:int8:none:20@45C,lenet5:int8:barrel_shifter:10@85C")
+
+#: Leveling policies the scenario cross-check drives across phase boundaries.
+SCENARIO_VERIFY_LEVELERS = (
+    (None, {}),
+    ("rotation", {"period": 3, "step": 1}),
+    ("wear_swap", {"interval": 2, "swap_fraction": 0.25}),
+)
+
+
+def _scenario_bench_factory(memory_kb: int = 8, fifo_depth_tiles: int = 4,
+                            seed: int = 0, max_weights_per_layer: int = 20_000):
+    """Stream factory of the scenario bench/verify configurations."""
+    from dataclasses import replace
+
+    from repro.scenario.driver import scenario_stream_factory
+
+    config = replace(baseline_config(), name="bench_scenario",
+                     weight_memory_bytes=memory_kb * KB,
+                     weight_fifo_depth_tiles=fifo_depth_tiles)
+    scale = ExperimentScale(num_inferences=100,
+                            max_weights_per_layer=max_weights_per_layer)
+    return scenario_stream_factory(BaselineAccelerator(config=config),
+                                   scale=scale, seed=seed)
+
+
+def bench_scenario(repeats: int = 3, seed: int = 0,
+                   verify: bool = True) -> Dict[str, object]:
+    """Time the multi-phase scenario driver against its single-phase parts.
+
+    The reference point is the cost of running every active phase as a
+    standalone packed :class:`~repro.core.simulation.AgingSimulator` — what
+    the scenario driver would cost if phase composition were free.  The
+    reported ``overhead`` is the factor the timeline machinery (per-phase
+    kernels, stress-time aggregation, idle handling) adds on top.
+    """
+    from repro.core.policies import make_policy
+    from repro.scenario.driver import ScenarioAgingSimulator
+    from repro.scenario.phases import LifetimeScenario
+
+    scenario = LifetimeScenario.from_spec(SCENARIO_BENCH_SPEC)
+    factory = _scenario_bench_factory(seed=seed)
+
+    def run_scenario():
+        return ScenarioAgingSimulator(scenario, stream_factory=factory,
+                                      seed=seed).run()
+
+    def run_single_phases():
+        results = []
+        for phase in scenario.active_phases:
+            stream = factory(phase)
+            policy = make_policy(phase.policy, stream.geometry.word_bits, seed=seed)
+            results.append(AgingSimulator(stream, policy,
+                                          num_inferences=phase.duration,
+                                          seed=seed).run())
+        return results
+
+    # Warm the stream cache so neither side is charged the one-time build.
+    run_single_phases()
+    scenario_seconds, scenario_result = _best_of(repeats, run_scenario)
+    single_seconds, _ = _best_of(repeats, run_single_phases)
+    payload: Dict[str, object] = {
+        "spec": SCENARIO_BENCH_SPEC,
+        "num_phases": len(scenario.phases),
+        "active_epochs": scenario.active_epochs,
+        "scenario_seconds": scenario_seconds,
+        "single_phase_seconds": single_seconds,
+        "overhead": (scenario_seconds / single_seconds
+                     if single_seconds else None),
+        "effective_years": scenario_result.effective_years,
+        "wall_years": scenario_result.wall_years,
+    }
+    if verify:
+        payload["verification"] = verify_scenario_against_explicit(seed=seed)
+    return payload
+
+
+def verify_scenario_against_explicit(seed: int = 0) -> Dict[str, object]:
+    """Exact-match check of the packed scenario driver on small timelines.
+
+    Two multi-phase scenarios (a model swap across thermal corners and a
+    duty-cycled timeline with an idle retention stretch) run with and
+    without wear levelers on both the packed driver and the write-by-write
+    phase-replay engine; the per-phase and effective duty-cycles must agree
+    bit-for-bit.  A degenerate single-phase scenario is additionally checked
+    against the classic :class:`~repro.core.simulation.AgingSimulator`.
+    """
+    from repro.core.policies import make_policy
+    from repro.leveling import make_leveler
+    from repro.scenario.driver import (
+        ExplicitScenarioSimulator,
+        ScenarioAgingSimulator,
+    )
+    from repro.scenario.phases import LifetimeScenario
+
+    scenarios = {
+        "model_swap_thermal": ("custom_mnist:int8:inversion:4@85C,"
+                               "lenet5:int8:none:4@45C,"
+                               "lenet5:int8:inversion_per_location:3@85C"),
+        "duty_cycling_idle": ("custom_mnist:int8:barrel_shifter:5@85C,"
+                              "idle:3@45C,custom_mnist:int8:inversion:4@25C"),
+    }
+    factory = _scenario_bench_factory(memory_kb=4, seed=seed,
+                                      max_weights_per_layer=10_000)
+    checks: Dict[str, bool] = {}
+    for scenario_name, spec in scenarios.items():
+        scenario = LifetimeScenario.from_spec(spec)
+        geometry = factory(scenario.active_phases[0]).geometry
+        for leveler_name, options in SCENARIO_VERIFY_LEVELERS:
+            def build_leveler():
+                if leveler_name is None:
+                    return None
+                return make_leveler(leveler_name, geometry, 4, **options)
+
+            fast = ScenarioAgingSimulator(scenario, stream_factory=factory,
+                                          seed=seed, leveler=build_leveler()).run()
+            exact = ExplicitScenarioSimulator(scenario, stream_factory=factory,
+                                              seed=seed, leveler=build_leveler()).run()
+            matches = bool(np.array_equal(fast.effective.duty_cycles,
+                                          exact.effective.duty_cycles))
+            matches = matches and all(
+                np.array_equal(fast_stress.duty, exact_stress.duty)
+                for fast_stress, exact_stress in zip(fast.phase_stress,
+                                                     exact.phase_stress))
+            checks[f"{scenario_name}+{leveler_name or 'none'}"] = matches
+
+    # Degenerate single-phase scenario == the classic single-stream engine.
+    degenerate = LifetimeScenario.from_spec("custom_mnist:int8:inversion:5@85C")
+    scenario_result = ScenarioAgingSimulator(degenerate, stream_factory=factory,
+                                             seed=seed).run()
+    phase = degenerate.phases[0]
+    stream = factory(phase)
+    classic = AgingSimulator(stream,
+                             make_policy(phase.policy, stream.geometry.word_bits,
+                                         seed=seed),
+                             num_inferences=phase.duration, seed=seed).run()
+    checks["degenerate_single_phase"] = bool(
+        np.array_equal(scenario_result.effective.duty_cycles, classic.duty_cycles)
+        and scenario_result.effective_years == degenerate.years)
+    return {
+        "scenarios": {name: spec for name, spec in scenarios.items()},
+        "checks": checks,
+        "explicit_match": all(checks.values()),
+    }
+
+
 def run_aging_bench(cases: Optional[Sequence[BenchCase]] = None, repeats: int = 3,
                     seed: int = 0, verify: bool = True,
-                    leveling: bool = True) -> Dict[str, object]:
+                    leveling: bool = True, scenario: bool = True) -> Dict[str, object]:
     """Run the benchmark suite and return the ``BENCH_aging.json`` payload."""
     cases = list(cases) if cases is not None else default_bench_cases()
     results = [bench_case(case, repeats=repeats, seed=seed) for case in cases]
@@ -444,6 +596,8 @@ def run_aging_bench(cases: Optional[Sequence[BenchCase]] = None, repeats: int = 
     }
     if leveling:
         payload["leveling"] = bench_leveling(repeats=repeats, seed=seed, verify=verify)
+    if scenario:
+        payload["scenario"] = bench_scenario(repeats=repeats, seed=seed, verify=verify)
     if verify:
         payload["verification"] = verify_against_explicit(seed=seed)
     return payload
@@ -497,6 +651,20 @@ def render_bench_report(payload: Dict[str, object]) -> str:
         if leveling_verification is not None:
             status = "OK" if leveling_verification["explicit_match"] else "FAILED"
             lines.append(f"leveling explicit-engine cross-check: {status}")
+    scenario = payload.get("scenario")
+    if scenario is not None:
+        overhead = scenario["overhead"]
+        lines.append(
+            f"scenario timeline ({scenario['num_phases']} phases, "
+            f"{scenario['active_epochs']} active epochs): "
+            f"{scenario['scenario_seconds']:.4f}s vs "
+            f"{scenario['single_phase_seconds']:.4f}s single-phase "
+            f"({overhead:.2f}x overhead)" if overhead is not None else
+            f"scenario timeline: {scenario['scenario_seconds']:.4f}s")
+        scenario_verification = scenario.get("verification")
+        if scenario_verification is not None:
+            status = "OK" if scenario_verification["explicit_match"] else "FAILED"
+            lines.append(f"scenario explicit-engine cross-check: {status}")
     verification = payload.get("verification")
     if verification is not None:
         status = "OK" if verification["explicit_match"] else "FAILED"

@@ -13,6 +13,8 @@ verbs plus one convenience subcommand per registered experiment::
     dnn-life bench                      # engine perf harness -> BENCH_aging.json
     dnn-life fig9 --quick               # per-experiment command (same as run)
     dnn-life compare --network custom_mnist --format int8_symmetric
+    dnn-life scenario \
+        --spec "lenet5:int8:dnn_life:1000@85C,idle:500,alexnet:int8:inversion:1000@45C"
 
 Results are printed as ASCII tables/histograms; ``--json PATH`` additionally
 writes the machine-readable result to a JSON file.  Completed runs are
@@ -159,6 +161,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument("--skip-leveling", action="store_true",
                               help="skip the wear-leveling overhead entry "
                                    "(implied by --case)")
+    bench_parser.add_argument("--skip-scenario", action="store_true",
+                              help="skip the multi-phase scenario overhead "
+                                   "entry (implied by --case)")
 
     for spec in REGISTRY:
         aliases = [alias for alias, target in _COMMAND_ALIASES.items()
@@ -198,6 +203,20 @@ def _print_run(run, no_render: bool = False, footer: bool = True) -> None:
         print(f"\n[{run.experiment} | {source} in {run.seconds:.2f}s | key {key}]")
 
 
+def _subcommand_invocation(args: argparse.Namespace):
+    """Resolve a per-experiment subcommand's (spec, explicit params, full flag).
+
+    Shared by input validation and execution so the two can't diverge.
+    Only flags the user actually typed are in the namespace (defaults are
+    ``SUPPRESS``ed); ``--full`` arrives as ``quick=False``, which selects the
+    spec's paper-scale configuration underneath the explicit flags.
+    """
+    spec = REGISTRY.get(_COMMAND_ALIASES.get(args.command, args.command))
+    params = {param.name: getattr(args, param.name)
+              for param in spec.params if hasattr(args, param.name)}
+    return spec, params, params.get("quick") is False
+
+
 def _parse_grid(args: argparse.Namespace) -> Dict[str, List[Any]]:
     """Parse the repeated ``--grid PARAM=V1,V2,...`` options against the schema.
 
@@ -228,12 +247,7 @@ def _cmd_run(args: argparse.Namespace, cache: Optional[ResultCache]) -> Any:
 
 
 def _cmd_experiment(args: argparse.Namespace, cache: Optional[ResultCache]) -> Any:
-    spec = REGISTRY.get(_COMMAND_ALIASES.get(args.command, args.command))
-    params = {param.name: getattr(args, param.name)
-              for param in spec.params if hasattr(args, param.name)}
-    # `--full` (quick=False) selects the spec's paper-scale configuration,
-    # which explicit flags still override (see _add_param_arguments).
-    full = params.get("quick") is False
+    spec, params, full = _subcommand_invocation(args)
     run = run_experiment(spec.name, params, full=full, cache=cache)
     _print_run(run, footer=False)
     return run.payload
@@ -292,10 +306,13 @@ def _cmd_bench(args: argparse.Namespace) -> Tuple[Any, int]:
         known = {case.name: case for case in cases}
         cases = [known[name] for name in args.cases]
     # A --case selection bounds the bench to the named cases, so the
-    # (unnamed) leveling entry only runs on full-suite invocations.
+    # (unnamed) leveling and scenario entries only run on full-suite
+    # invocations.
     leveling = not args.skip_leveling and not args.cases
+    scenario = not args.skip_scenario and not args.cases
     payload = run_aging_bench(cases, repeats=max(args.repeats, 1), seed=args.seed,
-                              verify=not args.skip_verify, leveling=leveling)
+                              verify=not args.skip_verify, leveling=leveling,
+                              scenario=scenario)
     print(render_bench_report(payload))
     output = args.output if args.output is not None else DEFAULT_OUTPUT
     if output != "-":
@@ -309,6 +326,11 @@ def _cmd_bench(args: argparse.Namespace) -> Tuple[Any, int]:
     leveling_verification = payload.get("leveling", {}).get("verification")
     if leveling_verification is not None and not leveling_verification["explicit_match"]:
         print("dnn-life bench: leveling explicit-engine cross-check FAILED",
+              file=sys.stderr)
+        exit_code = 1
+    scenario_verification = payload.get("scenario", {}).get("verification")
+    if scenario_verification is not None and not scenario_verification["explicit_match"]:
+        print("dnn-life bench: scenario explicit-engine cross-check FAILED",
               file=sys.stderr)
         exit_code = 1
     if args.min_speedup is not None and payload["min_speedup"] is not None \
@@ -340,12 +362,19 @@ def _validate_user_input(args: argparse.Namespace) -> None:
     unknown experiments, unknown parameters or values failing the schema.
     Validation runs *before* any experiment executes, so ``main`` can map
     these to a clean usage error without masking genuine runtime failures.
+    The per-experiment subcommands (``dnn-life aging --inferences -5``,
+    ``dnn-life scenario --spec lenet5:...``) pre-validate through the same
+    schema, so a non-positive duration or an unknown phase token is a
+    one-line usage error there too.
     """
     if args.command == "run":
         spec = REGISTRY.get(args.experiment)
         spec.resolve(dict(args.assignments), full=args.full)
     elif args.command == "sweep":
         _parse_grid(args)
+    elif args.command in REGISTRY or args.command in _COMMAND_ALIASES:
+        spec, params, full = _subcommand_invocation(args)
+        spec.resolve(params, full=full)
     elif args.command == "bench" and args.cases:
         from repro.bench import default_bench_cases
 

@@ -108,13 +108,27 @@ class PolicyComparison:
 
 
 class DnnLife:
-    """End-to-end aging analysis and mitigation for one workload."""
+    """End-to-end aging analysis and mitigation for one workload.
+
+    Beyond the classic single-stream view (one network inferred repeatedly),
+    the framework accepts a :class:`~repro.scenario.phases.LifetimeScenario`:
+    a multi-phase stress timeline (model swaps, idle retention stretches,
+    thermal corners) evaluated by :meth:`simulate_scenario`.  When a scenario
+    is configured at construction time, :meth:`simulate` routes to it and
+    returns the timeline's *effective* aging result.
+
+    A scenario *replaces* the single-workload run-time configuration: its
+    phases name their own model-zoo networks, data formats and mitigation
+    policies, so ``network``, ``data_format`` and ``num_inferences`` then
+    only govern the design-time analysis (:meth:`bit_distribution`) and the
+    classic API — they are not consulted by the scenario engines.
+    """
 
     def __init__(self, network: Network, accelerator=None,
                  data_format: Union[str, DataFormat] = "int8_symmetric",
                  num_inferences: int = 100, seed: SeedLike = 0,
                  snm_model: Optional[SnmDegradationModel] = None,
-                 aging_years: float = 7.0):
+                 aging_years: float = 7.0, scenario=None):
         self.network = network
         self.accelerator = accelerator if accelerator is not None else BaselineAccelerator()
         self.data_format = get_format(data_format) if isinstance(data_format, str) else data_format
@@ -122,6 +136,7 @@ class DnnLife:
         self.seed = seed
         self.snm_model = snm_model or default_snm_model()
         self.aging_years = aging_years
+        self.scenario = scenario
         if not network.has_weights_attached:
             attach_synthetic_weights(network, seed=0 if seed is None else int(np.abs(hash(seed))) % (2**31))
 
@@ -154,7 +169,19 @@ class DnnLife:
         ``policy`` is a :class:`MitigationPolicy`, a policy name accepted by
         :func:`repro.core.policies.make_policy`, or ``None`` for the proposed
         DNN-Life policy with default settings.
+
+        With a scenario configured, the call routes to
+        :meth:`simulate_scenario` and returns the timeline's effective
+        result; the phases carry their own policies, so passing one here is
+        an error.
         """
+        if self.scenario is not None:
+            if policy is not None or policy_kwargs:
+                raise ValueError(
+                    "this DnnLife is configured with a lifetime scenario; its "
+                    "phases carry their own mitigation policies — call "
+                    "simulate_scenario() or drop the policy argument")
+            return self.simulate_scenario().effective
         resolved = self._resolve_policy(policy, **policy_kwargs)
         simulator = AgingSimulator(
             scheduler=self.build_scheduler(),
@@ -169,7 +196,18 @@ class DnnLife:
 
     def compare_policies(self, policies: Optional[Iterable[Union[str, MitigationPolicy]]] = None
                          ) -> PolicyComparison:
-        """Evaluate several policies (defaults to the paper's Fig. 9 suite)."""
+        """Evaluate several policies (defaults to the paper's Fig. 9 suite).
+
+        Policy comparison is a single-workload analysis; a
+        scenario-configured framework is rejected up front (its phases carry
+        their own policies, so there is no one workload to compare on).
+        """
+        if self.scenario is not None:
+            raise ValueError(
+                "policy comparison applies to the single-workload "
+                "configuration; this DnnLife is configured with a lifetime "
+                "scenario whose phases carry their own policies — construct "
+                "a DnnLife without a scenario to compare policies")
         if policies is None:
             policies = default_policy_suite(self.data_format.word_bits, seed=self.seed)
         comparison = PolicyComparison(workload=self.describe())
@@ -178,6 +216,46 @@ class DnnLife:
             result = self.simulate(resolved)
             comparison.add(resolved.display_name, result)
         return comparison
+
+    def simulate_scenario(self, scenario=None, leveler=None,
+                          engine: str = "packed", scale=None):
+        """Evaluate a multi-phase lifetime scenario on this accelerator.
+
+        ``scenario`` defaults to the one configured at construction time.
+        ``engine`` selects the packed closed-form driver (default) or the
+        write-by-write ``"explicit"`` cross-check engine.  ``scale`` is the
+        :class:`~repro.experiments.common.ExperimentScale` the phase
+        workloads are built at — it defaults to the quick scale (per-layer
+        weight cap of 1M), so pass ``ExperimentScale.paper()`` to stream the
+        phase networks in full.  Returns a
+        :class:`~repro.scenario.driver.ScenarioResult`; its ``effective``
+        attribute is an :class:`~repro.core.simulation.AgingResult` every
+        existing consumer (histograms, wear maps, lifetime estimation)
+        accepts unchanged.
+        """
+        from repro.scenario.driver import (
+            ExplicitScenarioSimulator,
+            ScenarioAgingSimulator,
+            _factory_seed,
+            scenario_stream_factory,
+        )
+
+        scenario = scenario if scenario is not None else self.scenario
+        if scenario is None:
+            raise ValueError("no scenario to simulate; pass one or construct "
+                             "DnnLife(..., scenario=...)")
+        engines = {"packed": ScenarioAgingSimulator,
+                   "explicit": ExplicitScenarioSimulator}
+        if engine not in engines:
+            raise ValueError(f"unknown scenario engine '{engine}' "
+                             f"(expected one of: {', '.join(sorted(engines))})")
+        factory = scenario_stream_factory(accelerator=self.accelerator,
+                                          scale=scale,
+                                          seed=_factory_seed(self.seed))
+        simulator = engines[engine](scenario, stream_factory=factory,
+                                    seed=self.seed, snm_model=self.snm_model,
+                                    leveler=leveler)
+        return simulator.run()
 
     def degradation_bins(self, num_bins: int = 8) -> np.ndarray:
         """Histogram bin edges consistent with the configured SNM model."""
@@ -236,7 +314,7 @@ class DnnLife:
 
     def describe(self) -> Dict[str, object]:
         """Machine-readable description of the workload."""
-        return {
+        description = {
             "network": self.network.name,
             "accelerator": getattr(self.accelerator, "config", None).name
             if getattr(self.accelerator, "config", None) else type(self.accelerator).__name__,
@@ -244,3 +322,6 @@ class DnnLife:
             "num_inferences": self.num_inferences,
             "aging_years": self.aging_years,
         }
+        if self.scenario is not None:
+            description["scenario"] = self.scenario.describe()
+        return description

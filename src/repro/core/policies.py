@@ -314,6 +314,12 @@ def _rotate_left_per_word(words: np.ndarray, shifts: np.ndarray, word_bits: int)
     return (left | right).astype(np.uint64)
 
 
+#: Policy names accepted by :func:`make_policy` — the canonical list every
+#: schema (experiments, scenario phase specs) validates against.
+POLICY_NAMES = ("none", "inversion", "inversion_per_location",
+                "barrel_shifter", "dnn_life")
+
+
 def make_policy(name: str, word_bits: int, seed: SeedLike = None, **kwargs) -> MitigationPolicy:
     """Factory: build a policy from its registry name.
 

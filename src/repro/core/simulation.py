@@ -22,6 +22,12 @@ accelerator:
 
 Both produce an :class:`AgingResult` holding per-cell duty-cycles and the
 SNM-degradation statistics derived from them.
+
+Both engines also power the multi-phase scenario layer
+(:mod:`repro.scenario`): the fast engine exposes its closed-form
+``counts(start, n)`` factory through :meth:`AgingSimulator.counts_kernel`,
+and the explicit per-epoch replay is factored into :func:`replay_inference`
+so the scenario cross-check engine shares the exact same write accounting.
 """
 
 from __future__ import annotations
@@ -183,13 +189,28 @@ def _dataclass_fields_payload(obj) -> Dict[str, object]:
                        for spec in dataclasses.fields(obj)}}
 
 
+def _known_snm_payload_classes() -> Dict[str, type]:
+    """Every class an SNM payload may name: all shipped degradation models.
+
+    Discovered by walking ``SnmDegradationModel``'s subclass tree (after
+    importing the shipped model modules) plus the nested device dataclass, so
+    a newly shipped model round-trips without touching this registry.
+    """
+    from repro.aging.nbti import NbtiDeviceModel
+    from repro.aging.snm import SnmDegradationModel
+
+    known: Dict[str, type] = {NbtiDeviceModel.__name__: NbtiDeviceModel}
+    stack = list(SnmDegradationModel.__subclasses__())
+    while stack:
+        cls = stack.pop()
+        known[cls.__name__] = cls
+        stack.extend(cls.__subclasses__())
+    return known
+
+
 def _snm_model_from_payload(payload: Dict[str, object]) -> SnmDegradationModel:
     """Rebuild an SNM model from its class name and field values."""
-    from repro.aging.nbti import NbtiDeviceModel, ReactionDiffusionSnmModel
-    from repro.aging.snm import CalibratedSnmModel
-
-    known = {cls.__name__: cls for cls in
-             (CalibratedSnmModel, ReactionDiffusionSnmModel, NbtiDeviceModel)}
+    known = _known_snm_payload_classes()
     name = payload["class"]
     if name not in known:
         raise ValueError(f"unknown SNM model class '{name}' in payload "
@@ -206,6 +227,39 @@ def _snm_model_from_payload(payload: Dict[str, object]) -> SnmDegradationModel:
 # --------------------------------------------------------------------------- #
 # Explicit (exact, slow) engine
 # --------------------------------------------------------------------------- #
+def replay_inference(stream, policy: MitigationPolicy, ones: np.ndarray,
+                     writes: np.ndarray, remap: Optional[np.ndarray] = None) -> None:
+    """Replay one inference epoch's block writes through ``policy``.
+
+    The shared explicit-path primitive: encodes every block of ``stream``,
+    verifies the decode round-trip (the mitigation hardware must be
+    transparent to the computation), and accumulates the stored bits and
+    write counts into ``ones``/``writes`` — through the optional
+    logical→physical row ``remap`` of a wear leveler.  Both
+    :class:`ExplicitAgingSimulator` and the scenario phase-replay engine
+    (:class:`repro.scenario.driver.ExplicitScenarioSimulator`) are built on
+    this function, so their per-epoch accounting cannot diverge.
+    """
+    word_bits = stream.geometry.word_bits
+    words_per_block = stream.words_per_block
+    for block in stream.iter_blocks():
+        start_row = block.region * words_per_block
+        encoded, metadata = policy.encode_block(
+            block.words, block.index, start_row=start_row)
+        decoded = policy.decode_block(encoded, metadata)
+        if not np.array_equal(decoded, np.asarray(block.words,
+                                                  dtype=np.uint64).reshape(-1)):
+            raise AssertionError(
+                f"policy '{policy.name}' failed to decode block {block.index}")
+        bits = unpack_bits(encoded, word_bits)
+        if remap is None:
+            target = slice(start_row, start_row + bits.shape[0])
+        else:
+            target = remap[start_row:start_row + bits.shape[0]]
+        ones[target] += bits
+        writes[target] += 1
+
+
 class ExplicitAgingSimulator:
     """Replays every write of every inference through the policy.
 
@@ -232,36 +286,17 @@ class ExplicitAgingSimulator:
         """Simulate ``num_inferences`` inferences write-by-write."""
         geometry = self.scheduler.geometry
         rows, word_bits = geometry.rows, geometry.word_bits
-        words_per_block = self.scheduler.words_per_block
         ones = np.zeros((rows, word_bits), dtype=np.float64)
         writes = np.zeros(rows, dtype=np.int64)
         self.policy.reset()
         leveler = self.leveler
         if leveler is not None:
             leveler.reset()
+            from repro.leveling.remap import mean_duty_per_row
         for epoch in range(self.num_inferences):
             remap = None if leveler is None else leveler.permutation(epoch)
-            for block in self.scheduler.iter_blocks():
-                start_row = block.region * words_per_block
-                encoded, metadata = self.policy.encode_block(
-                    block.words, block.index, start_row=start_row)
-                # Decoding must always return the original words — the
-                # mitigation hardware is transparent to the computation.
-                decoded = self.policy.decode_block(encoded, metadata)
-                if not np.array_equal(decoded, np.asarray(block.words,
-                                                          dtype=np.uint64).reshape(-1)):
-                    raise AssertionError(
-                        f"policy '{self.policy.name}' failed to decode block {block.index}")
-                bits = unpack_bits(encoded, word_bits)
-                if remap is None:
-                    target = slice(start_row, start_row + bits.shape[0])
-                else:
-                    target = remap[start_row:start_row + bits.shape[0]]
-                ones[target] += bits
-                writes[target] += 1
+            replay_inference(self.scheduler, self.policy, ones, writes, remap)
             if leveler is not None and leveler.uses_feedback:
-                from repro.leveling.remap import mean_duty_per_row
-
                 leveler.observe(epoch + 1,
                                 mean_duty_per_row(ones, writes * float(word_bits)))
         duty = _duty_from_counts(ones, writes)
@@ -337,6 +372,21 @@ class AgingSimulator:
             num_blocks=self.scheduler.num_blocks,
             snm_model=self.snm_model,
         )
+
+    def counts_kernel(self):
+        """The policy's closed-form counts factory (public driver entry point).
+
+        Returns the callable ``counts(start_inference, n) -> (numerator,
+        writes)`` described in :meth:`_packed_kernel`.  This is what the
+        scenario driver (:class:`repro.scenario.driver.ScenarioAgingSimulator`)
+        evaluates per phase: the heavy tensor reductions run once here, and
+        every phase/leveling span afterwards is a cheap combination.
+        Packed engine only — the blockwise kernels have no span form.
+        """
+        if self.engine != "packed":
+            raise NotImplementedError(
+                "counts_kernel is only available on the packed engine")
+        return self._packed_kernel(self.policy)
 
     # -- dispatch ---------------------------------------------------------- #
     def _simulate_duty(self) -> np.ndarray:

@@ -361,7 +361,7 @@ register_experiment(
                   help="workload network"),
         ParamSpec("data_format", str, "int8_symmetric", flag="--format",
                   help="weight data format"),
-        ParamSpec("num_inferences", int, 10, flag="--inferences",
+        ParamSpec("num_inferences", int, 10, flag="--inferences", positive=True,
                   help="inference epochs"),
         ParamSpec("seed", int, 0, help="weight/policy seed"),
     ),

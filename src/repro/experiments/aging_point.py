@@ -23,7 +23,7 @@ from typing import Dict
 
 from repro.accelerator.baseline import BaselineAccelerator
 from repro.accelerator.config import baseline_config
-from repro.core.policies import make_policy
+from repro.core.policies import POLICY_NAMES, make_policy
 from repro.experiments.aging_runner import (
     build_workload_stream,
     evaluate_policies_on_stream,
@@ -36,8 +36,7 @@ from repro.quantization.formats import get_format
 from repro.utils.units import KB
 
 #: Policy names accepted by :func:`repro.core.policies.make_policy`.
-POLICY_CHOICES = ("none", "inversion", "inversion_per_location",
-                  "barrel_shifter", "dnn_life")
+POLICY_CHOICES = POLICY_NAMES
 
 
 def run_aging_point(network: str = "custom_mnist",
@@ -135,10 +134,11 @@ register_experiment(
         ParamSpec("policy", str, "dnn_life", choices=POLICY_CHOICES,
                   help="mitigation policy"),
         ParamSpec("weight_memory_kb", int, 512, flag="--memory-kb",
-                  help="weight-memory capacity in KB"),
-        ParamSpec("fifo_depth_tiles", int, 1, help="FIFO tiles (1 = monolithic)"),
+                  positive=True, help="weight-memory capacity in KB"),
+        ParamSpec("fifo_depth_tiles", int, 1, positive=True,
+                  help="FIFO tiles (1 = monolithic)"),
         ParamSpec("num_inferences", int, 20, flag="--inferences",
-                  help="inference epochs"),
+                  positive=True, help="inference epochs"),
         ParamSpec("trbg_bias", float, 0.5, help="TRBG bias of the DNN-Life policy"),
         ParamSpec("quick", bool, True, help="cap per-layer weight counts"),
         ParamSpec("seed", int, 0, help="weight/policy seed"),

@@ -104,3 +104,21 @@ def _clone_weight_layer(layer, weights: np.ndarray, keep_filters: Optional[int] 
         raise TypeError(f"cannot reduce layer of type {type(layer).__name__}")
     clone.weights = np.ascontiguousarray(weights, dtype=np.float32)
     return clone
+
+
+# --------------------------------------------------------------------------- #
+# ParamSpec validators shared by the experiment schemas (single-argument
+# wrappers over repro.utils.validation so the bounds live in one place;
+# repro.utils.validation.check_temperature_celsius is usable directly)
+# --------------------------------------------------------------------------- #
+def check_non_negative(value: float) -> None:
+    """Schema validator: zero or positive."""
+    from repro.utils.validation import check_positive
+
+    check_positive(value, "value", strict=False)
+
+
+def check_swap_fraction(value: float) -> None:
+    """Schema validator: the wear-swap exchange fraction, in (0, 0.5]."""
+    if not 0.0 < value <= 0.5:
+        raise ValueError(f"swap_fraction must lie in (0, 0.5], got {value}")

@@ -31,7 +31,11 @@ from repro.core.policies import make_policy
 from repro.core.simulation import AgingSimulator
 from repro.experiments.aging_point import POLICY_CHOICES
 from repro.experiments.aging_runner import build_workload_stream
-from repro.experiments.common import ExperimentScale
+from repro.experiments.common import (
+    ExperimentScale,
+    check_non_negative,
+    check_swap_fraction,
+)
 from repro.leveling import LEVELER_CHOICES, WearLeveler, make_leveler
 from repro.memory.wear_map import wear_map_from_result
 from repro.nn.models import MODEL_ZOO
@@ -205,15 +209,17 @@ register_experiment(
         ParamSpec("leveling", str, "wear_swap", choices=LEVELER_CHOICES,
                   help="wear-leveling policy"),
         ParamSpec("weight_memory_kb", int, 8, flag="--memory-kb",
-                  help="weight-memory capacity in KB"),
-        ParamSpec("fifo_depth_tiles", int, 4, help="FIFO tiles (1 = monolithic)"),
+                  positive=True, help="weight-memory capacity in KB"),
+        ParamSpec("fifo_depth_tiles", int, 4, positive=True,
+                  help="FIFO tiles (1 = monolithic)"),
         ParamSpec("num_inferences", int, 20, flag="--inferences",
-                  help="inference epochs"),
-        ParamSpec("leveling_period", int, 2,
+                  positive=True, help="inference epochs"),
+        ParamSpec("leveling_period", int, 2, positive=True,
                   help="epochs per leveling step (rotation period / shift "
                        "interval / swap interval)"),
-        ParamSpec("rotation_step", int, 1, help="rows rotated per inference"),
-        ParamSpec("swap_fraction", float, 0.5,
+        ParamSpec("rotation_step", int, 1, validator=check_non_negative,
+                  help="rows rotated per inference"),
+        ParamSpec("swap_fraction", float, 0.5, validator=check_swap_fraction,
                   help="fraction of rows the wear-guided swap exchanges"),
         ParamSpec("quick", bool, True, help="cap per-layer weight counts"),
         ParamSpec("seed", int, 0, help="weight/policy seed"),

@@ -1,0 +1,234 @@
+"""Multi-phase lifetime-scenario experiment — the timeline sweep target.
+
+Where the ``aging`` experiment evaluates one endlessly-repeated stream, this
+driver evaluates a whole deployment *timeline*: an ordered list of phases
+(model swaps, idle retention stretches, thermal corners) expressed in the
+phase-spec mini-language and simulated by the
+:class:`~repro.scenario.driver.ScenarioAgingSimulator`.  Combined with
+``dnn-life sweep`` it turns workload diversity into a grid axis::
+
+    dnn-life scenario \
+        --spec "lenet5:int8:dnn_life:1000@85C,idle:500,alexnet:int8:inversion:1000@45C"
+
+    dnn-life sweep scenario \
+        --grid spec=lenet5:int8:none:20,lenet5:int8:inversion:20 \
+        --grid leveling=none,wear_swap
+
+(``--grid`` splits its value list on commas, so only *single-phase* specs can
+ride a grid axis; multi-phase specs — which contain commas themselves — run
+through ``--spec`` / ``--set spec=...`` or the :class:`SweepRunner` API.  An
+escaping convention is a ROADMAP open item.)
+
+The payload reports the per-phase stress timeline, the aggregated effective
+(duty, years) view with its Fig. 9 style histogram, and the scenario-aware
+memory lifetime next to the naive single-corner estimate (what the classic
+lifetime-average-duty accounting would have claimed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict
+
+from repro.accelerator.baseline import BaselineAccelerator
+from repro.accelerator.config import baseline_config
+from repro.aging.lifetime import LifetimeEstimator
+from repro.experiments.common import (
+    ExperimentScale,
+    check_non_negative,
+    check_swap_fraction,
+)
+from repro.utils.validation import check_temperature_celsius
+from repro.experiments.leveling import build_point_leveler
+from repro.leveling import LEVELER_CHOICES
+from repro.orchestration.registry import ParamSpec, register_experiment
+from repro.scenario.driver import ScenarioAgingSimulator, scenario_stream_factory
+from repro.scenario.phases import LifetimeScenario
+from repro.utils.tables import AsciiTable, format_histogram
+from repro.utils.units import KB
+
+#: Default timeline: a model swap with an idle retention stretch at a cool
+#: corner — small enough for the quick lane, rich enough to exercise every
+#: phase kind.
+DEFAULT_SPEC = ("lenet5:int8:dnn_life:10@85C,idle:5@45C,"
+                "custom_mnist:int8:inversion:10@45C")
+
+
+def _check_spec(spec: str) -> None:
+    """Schema validator: parse AND compose the phase mini-language.
+
+    Building the full :class:`LifetimeScenario` (not just the tokens) also
+    rejects scenario-level mistakes — e.g. an idle-first timeline — as
+    one-line usage errors before anything executes.
+    """
+    LifetimeScenario.from_spec(spec)
+
+
+def run_scenario_point(spec: str = DEFAULT_SPEC,
+                       weight_memory_kb: int = 8,
+                       fifo_depth_tiles: int = 1,
+                       leveling: str = "none",
+                       leveling_period: int = 2,
+                       rotation_step: int = 1,
+                       swap_fraction: float = 0.5,
+                       years: float = 7.0,
+                       reference_temperature_c: float = 85.0,
+                       max_degradation_percent: float = 15.0,
+                       quick: bool = True,
+                       seed: int = 0) -> Dict[str, object]:
+    """Aging of one multi-phase lifetime timeline.
+
+    Parameters
+    ----------
+    spec:
+        Comma-separated phase tokens (``NETWORK:FORMAT:POLICY:DURATION[@TEMP]``
+        or ``idle:DURATION[@TEMP]``); see :mod:`repro.scenario.phases`.
+    weight_memory_kb / fifo_depth_tiles:
+        Weight-memory geometry shared by every phase of the timeline.
+    leveling / leveling_period / rotation_step / swap_fraction:
+        Wear-leveling policy whose remap state persists across phase
+        boundaries (same knobs as the ``leveling`` experiment).
+    years:
+        Wall-clock span the whole timeline represents.
+    reference_temperature_c:
+        Temperature at which one phase-year counts as one effective year.
+    max_degradation_percent:
+        SNM-degradation threshold of the lifetime estimate.
+    quick / seed:
+        Scale cap and weight/policy seed, as in the other aging experiments.
+    """
+    scenario = LifetimeScenario.from_spec(
+        spec, years=years, reference_temperature_c=reference_temperature_c)
+    scale = ExperimentScale.from_quick_flag(quick)
+    config = replace(baseline_config(), name="scenario_point",
+                     weight_memory_bytes=int(weight_memory_kb) * KB,
+                     weight_fifo_depth_tiles=fifo_depth_tiles)
+    accelerator = BaselineAccelerator(config=config)
+    factory = scenario_stream_factory(accelerator=accelerator, scale=scale, seed=seed)
+    # Any phase's stream pins the geometry; build through the first active one.
+    geometry = factory(scenario.active_phases[0]).geometry
+    leveler = build_point_leveler(leveling, geometry, fifo_depth_tiles,
+                                  leveling_period, rotation_step, swap_fraction)
+    simulator = ScenarioAgingSimulator(scenario, stream_factory=factory,
+                                       seed=seed, leveler=leveler)
+    result = simulator.run()
+
+    effective = result.effective
+    percentages, edges, labels = effective.histogram()
+    estimator = LifetimeEstimator(snm_model=effective.snm_model,
+                                  max_degradation_percent=max_degradation_percent)
+    lifetime_years = estimator.memory_lifetime_years_phases(
+        result.phase_stress, scaling=result.scaling)
+    # What the classic single-corner accounting would claim: the same
+    # effective duty-cycles aged entirely at the reference temperature.
+    naive_lifetime_years = estimator.memory_lifetime_years(effective.duty_cycles)
+    return {
+        "workload": {
+            "spec": spec,
+            "weight_memory_kb": int(weight_memory_kb),
+            "fifo_depth_tiles": int(fifo_depth_tiles),
+            "leveling": leveling,
+            "leveling_period": int(leveling_period),
+            "rotation_step": int(rotation_step),
+            "swap_fraction": float(swap_fraction),
+            "years": float(years),
+            "reference_temperature_c": float(reference_temperature_c),
+            "max_degradation_percent": float(max_degradation_percent),
+            "quick": bool(quick),
+            "seed": int(seed),
+        },
+        "scenario": result.scenario,
+        "phases": result.phase_rows(),
+        "effective": {
+            "summary": effective.summary(),
+            "years": result.effective_years,
+            "wall_years": result.wall_years,
+            "acceleration": result.effective_years / result.wall_years,
+            "histogram_percent": list(percentages),
+            "histogram_bin_edges": list(edges),
+            "histogram_bin_labels": labels,
+        },
+        "lifetime": {
+            "max_degradation_percent": float(max_degradation_percent),
+            "memory_lifetime_years": lifetime_years,
+            "single_corner_lifetime_years": naive_lifetime_years,
+        },
+        "leveler": (leveler.describe() if leveler is not None
+                    else {"leveler": "none"}),
+    }
+
+
+def render_scenario_point(payload: Dict[str, object], params: Dict[str, object]) -> str:
+    """Phase timeline table + effective histogram + lifetime verdict."""
+    workload = payload["workload"]
+    table = AsciiTable(
+        ["phase", "kind", "years", "temp [C]", "time factor", "mean duty"],
+        title=(f"=== scenario — {workload['weight_memory_kb']} KB x "
+               f"{workload['fifo_depth_tiles']} tiles, leveling: "
+               f"{workload['leveling']}, {len(payload['phases'])} phases ==="),
+        precision=3,
+    )
+    for row in payload["phases"]:
+        table.add_row([row["label"], row["kind"], row["years"],
+                       row["temperature_c"], row["time_factor"], row["mean_duty"]])
+    effective = payload["effective"]
+    lifetime = payload["lifetime"]
+    sections = [
+        table.render(),
+        format_histogram(
+            effective["histogram_bin_labels"], effective["histogram_percent"],
+            title=(f"-- effective stress histogram "
+                   f"(mean SNM deg. "
+                   f"{effective['summary']['mean_snm_degradation_percent']:.2f}% "
+                   f"over {effective['years']:.2f} effective years)")),
+        (f"effective stress-time: {effective['years']:.3f} equivalent years over "
+         f"{effective['wall_years']:.3f} wall-clock years "
+         f"(acceleration {effective['acceleration']:.3f}x)"),
+        (f"memory lifetime to {lifetime['max_degradation_percent']:g}% SNM loss: "
+         f"{lifetime['memory_lifetime_years']:.2f} years under the scenario mix "
+         f"({lifetime['single_corner_lifetime_years']:.2f} at the reference "
+         f"corner)"),
+    ]
+    return "\n\n".join(sections)
+
+
+register_experiment(
+    name="scenario",
+    runner=run_scenario_point,
+    description="Multi-phase lifetime timeline (model swaps, idle retention, "
+                "thermal corners) via the scenario engine",
+    artifact="lifetime-scenario axis (extension)",
+    params=(
+        ParamSpec("spec", str, DEFAULT_SPEC, validator=_check_spec,
+                  help="comma-separated phase tokens "
+                       "(NETWORK:FORMAT:POLICY:DURATION[@TEMP] | "
+                       "idle:DURATION[@TEMP])"),
+        ParamSpec("weight_memory_kb", int, 8, flag="--memory-kb",
+                  positive=True, help="weight-memory capacity in KB"),
+        ParamSpec("fifo_depth_tiles", int, 1, positive=True,
+                  help="FIFO tiles (1 = monolithic)"),
+        ParamSpec("leveling", str, "none", choices=LEVELER_CHOICES,
+                  help="wear-leveling policy (state persists across phases)"),
+        ParamSpec("leveling_period", int, 2, positive=True,
+                  help="epochs per leveling step"),
+        ParamSpec("rotation_step", int, 1, validator=check_non_negative,
+                  help="rows rotated per inference"),
+        ParamSpec("swap_fraction", float, 0.5, validator=check_swap_fraction,
+                  help="fraction of rows the wear-guided swap exchanges"),
+        ParamSpec("years", float, 7.0, positive=True,
+                  help="wall-clock span of the whole timeline"),
+        ParamSpec("reference_temperature_c", float, 85.0, flag="--reference-temp",
+                  validator=check_temperature_celsius,
+                  help="Arrhenius reference corner in Celsius"),
+        ParamSpec("max_degradation_percent", float, 15.0, flag="--max-degradation",
+                  positive=True, help="SNM-loss threshold of the lifetime estimate"),
+        ParamSpec("quick", bool, True, help="cap per-layer weight counts"),
+        ParamSpec("seed", int, 0, help="weight/policy seed"),
+    ),
+    full_config={"quick": False},
+    renderer=render_scenario_point,
+    tags=("sweep", "aging", "scenario"),
+    # Jobs agreeing on these parameters share the per-process stream cache
+    # (one cached stream per distinct phase workload inside the spec).
+    affinity=("weight_memory_kb", "fifo_depth_tiles", "quick", "seed"),
+)

@@ -124,7 +124,7 @@ _WORKLOAD_PARAMS = (
               help="workload network"),
     ParamSpec("data_format", str, "int8_symmetric", flag="--format",
               help="weight data format"),
-    ParamSpec("num_inferences", int, 50, flag="--inferences",
+    ParamSpec("num_inferences", int, 50, flag="--inferences", positive=True,
               help="inference epochs"),
     ParamSpec("seed", int, 0, help="weight/policy seed"),
 )

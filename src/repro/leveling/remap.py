@@ -24,7 +24,7 @@ exact integral counts), so the permutations they derive are bit-identical.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -118,17 +118,24 @@ class WearLeveler:
         changes = np.flatnonzero(np.diff(offsets)) + 1
         return np.concatenate([[0], changes]).astype(np.int64)
 
-    def spans(self, num_inferences: int) -> Iterator[Tuple[int, int]]:
-        """Yield ``(start_epoch, length)`` stretches of constant mapping."""
+    def spans(self, num_inferences: int, start: int = 0,
+              stop: Optional[int] = None) -> Iterator[Tuple[int, int]]:
+        """Yield ``(start_epoch, length)`` stretches of constant mapping.
+
+        ``change_epochs`` is evaluated over the full ``num_inferences``
+        horizon; the optional ``[start, stop)`` window restricts the yielded
+        spans to a sub-range of it — the scenario driver walks one phase's
+        window at a time while the leveler's schedule spans the whole
+        timeline.
+        """
         check_positive_int(num_inferences, "num_inferences")
+        stop = num_inferences if stop is None else stop
         changes = [int(epoch) for epoch in self.change_epochs(num_inferences)
-                   if 0 <= epoch < num_inferences]
-        if not changes or changes[0] != 0:
-            changes.insert(0, 0)
-        changes.append(num_inferences)
-        for start, stop in zip(changes[:-1], changes[1:]):
-            if stop > start:
-                yield start, stop - start
+                   if start < epoch < stop]
+        bounds = [start] + changes + [stop]
+        for low, high in zip(bounds[:-1], bounds[1:]):
+            if high > low:
+                yield low, high - low
 
     # ------------------------------------------------------------------ #
     # Rotation helpers (shared by the offset-based subclasses)

@@ -52,6 +52,15 @@ class ParamSpec:
     flag:
         CLI flag (defaults to ``--<name with _ replaced by ->``); lets the
         runner keyword (e.g. ``data_format``) keep a short flag (``--format``).
+    positive:
+        Require numeric values to be strictly positive.  Enforced at schema
+        validation time, so the CLI rejects e.g. ``--inferences 0`` with a
+        one-line usage error before anything executes.
+    validator:
+        Optional callable run against every validated value; raises
+        ``ValueError`` with a one-line message to reject it (used by the
+        ``scenario`` experiment to parse the phase-spec mini-language at
+        validation time).
     """
 
     name: str
@@ -60,6 +69,8 @@ class ParamSpec:
     choices: Optional[Tuple[Any, ...]] = None
     help: str = ""
     flag: Optional[str] = None
+    positive: bool = False
+    validator: Optional[Callable[[Any], Any]] = None
 
     @property
     def cli_flag(self) -> str:
@@ -92,6 +103,14 @@ class ParamSpec:
         if self.choices is not None and value not in self.choices:
             allowed = ", ".join(repr(choice) for choice in self.choices)
             raise ValueError(f"parameter '{self.name}' must be one of {allowed}, got {value!r}")
+        # `not value > 0` (rather than `value <= 0`) also rejects NaN.
+        if self.positive and isinstance(value, (int, float)) and not value > 0:
+            raise ValueError(f"parameter '{self.name}' must be > 0, got {value}")
+        if self.validator is not None:
+            try:
+                self.validator(value)
+            except ValueError as error:
+                raise ValueError(f"parameter '{self.name}': {error}") from None
         return value
 
 
@@ -276,6 +295,7 @@ _EXPERIMENT_MODULES = (
     "repro.experiments.ablations",
     "repro.experiments.aging_point",
     "repro.experiments.leveling",
+    "repro.experiments.scenario",
     "repro.experiments.workloads",
 )
 

@@ -57,9 +57,16 @@ def _check_bits(num_bits: int) -> int:
 def compute_symmetric_params(values: np.ndarray, num_bits: int = 8) -> LinearQuantParams:
     """Compute per-tensor symmetric quantization parameters."""
     num_bits = _check_bits(num_bits)
-    abs_max = float(np.max(np.abs(values))) if np.asarray(values).size else 0.0
+    array = np.asarray(values, dtype=np.float64)
+    finite = array[np.isfinite(array)]
+    abs_max = float(np.max(np.abs(finite))) if finite.size else 0.0
     qmax = 2 ** (num_bits - 1) - 1
-    scale = abs_max / qmax if abs_max > 0 else 1.0
+    scale = abs_max / qmax
+    # A subnormal abs_max can underflow the division to exactly 0.0; a
+    # non-positive scale would corrupt every level, so such tensors quantize
+    # to 0 with a unit scale.
+    if not scale > 0.0:
+        scale = 1.0
     return LinearQuantParams(scale=scale, zero_point=0, num_bits=num_bits, signed=True)
 
 
@@ -70,20 +77,38 @@ def compute_asymmetric_params(values: np.ndarray, num_bits: int = 8) -> LinearQu
     if array.size == 0:
         return LinearQuantParams(scale=1.0, zero_point=0, num_bits=num_bits, signed=False)
     # The representable range must include zero so that zero-valued weights
-    # (and zero padding) are exactly representable.
-    low = min(float(array.min()), 0.0)
-    high = max(float(array.max()), 0.0)
+    # (and zero padding) are exactly representable.  NaN/inf entries are
+    # excluded from the range so they cannot poison the scale/zero-point of
+    # the finite weights (a +/-inf value saturates to qmin/qmax on its own
+    # when quantized).
+    finite = array[np.isfinite(array)]
+    low = min(float(finite.min()), 0.0) if finite.size else 0.0
+    high = max(float(finite.max()), 0.0) if finite.size else 0.0
     qmax = 2 ** num_bits - 1
     span = high - low
-    scale = span / qmax if span > 0 else 1.0
+    scale = span / qmax
+    # A subnormal span can underflow the division to exactly 0.0, which would
+    # break the zero-point computation; such tensors quantize to 0 with a
+    # unit scale, like empty/all-zero inputs.
+    if not scale > 0.0:
+        scale = 1.0
     zero_point = int(round(-low / scale))
     zero_point = int(np.clip(zero_point, 0, qmax))
     return LinearQuantParams(scale=scale, zero_point=zero_point, num_bits=num_bits, signed=False)
 
 
 def quantize_with_params(values: np.ndarray, params: LinearQuantParams) -> np.ndarray:
-    """Quantize float values to integer levels using precomputed parameters."""
+    """Quantize float values to integer levels using precomputed parameters.
+
+    ``+/-inf`` saturates to the end of the representable range; NaN has no
+    meaningful level and is rejected loudly (a NaN weight means a corrupt
+    source tensor, and silently storing an arbitrary bit pattern would
+    poison every downstream duty-cycle statistic).
+    """
     array = np.asarray(values, dtype=np.float64)
+    if np.isnan(array).any():
+        raise ValueError(f"cannot quantize NaN values "
+                         f"({int(np.isnan(array).sum())} found)")
     levels = np.round(array / params.scale) + params.zero_point
     return np.clip(levels, params.qmin, params.qmax).astype(np.int64)
 

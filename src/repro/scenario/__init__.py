@@ -1,0 +1,53 @@
+"""Multi-phase lifetime scenarios (composable stress timelines).
+
+The single-stream simulators answer "what if the accelerator ran *this*
+network forever at one temperature".  This package composes that primitive
+into whole deployments: a :class:`~repro.scenario.phases.LifetimeScenario`
+is an ordered list of :class:`~repro.scenario.phases.Phase` objects — model
+swaps (OTA updates, multi-tenant time-sharing), idle stretches with retained
+weights, thermal corners — each with its own workload, mitigation policy,
+duration and temperature.
+
+Two engines evaluate a scenario:
+
+* :class:`~repro.scenario.driver.ScenarioAgingSimulator` — the fast driver.
+  Each phase is accounted through its policy's closed-form
+  ``counts(start, n)`` kernel (:meth:`repro.core.simulation.AgingSimulator.counts_kernel`),
+  wear-leveling remap state persists across phase boundaries, and the
+  per-phase duty-cycles are folded into one effective (duty, years) pair via
+  :mod:`repro.aging.stress`.
+* :class:`~repro.scenario.driver.ExplicitScenarioSimulator` — the exact
+  phase-replay cross-check, built on the same
+  :func:`repro.core.simulation.replay_inference` primitive as the classic
+  explicit engine; bit-identical to the fast driver for deterministic
+  policies.
+
+Scenarios are described programmatically or through the phase-spec
+mini-language (``dnn-life scenario --spec ...``)::
+
+    lenet5:int8:dnn_life:1000@85C,idle:500@45C,alexnet:int8:inversion:1000@45C
+"""
+
+from repro.scenario.driver import (
+    ExplicitScenarioSimulator,
+    ScenarioAgingSimulator,
+    ScenarioResult,
+    scenario_stream_factory,
+)
+from repro.scenario.phases import (
+    DEFAULT_PHASE_TEMPERATURE_C,
+    LifetimeScenario,
+    Phase,
+    parse_scenario_spec,
+)
+
+__all__ = [
+    "DEFAULT_PHASE_TEMPERATURE_C",
+    "ExplicitScenarioSimulator",
+    "LifetimeScenario",
+    "Phase",
+    "ScenarioAgingSimulator",
+    "ScenarioResult",
+    "parse_scenario_spec",
+    "scenario_stream_factory",
+]

@@ -1,0 +1,526 @@
+"""Scenario evaluation engines: packed timeline driver + explicit cross-check.
+
+Both engines walk a :class:`~repro.scenario.phases.LifetimeScenario` under
+one shared contract:
+
+* **mitigation policy state resets at every phase boundary** — the encoding
+  policy is part of the per-workload accelerator configuration, and a model
+  swap (OTA update, tenant switch) reloads it;
+* **wear-leveling remap state persists across phase boundaries** — the remap
+  table lives in the memory controller, and its epoch counter advances only
+  during active phases (remap events are write-triggered);
+* **idle phases retain weights**: no writes land, and each cell's retention
+  stress-duty is modelled by the *preceding active phase's* per-cell duty —
+  the expected value of the bit the cell is left holding.  (Exact last-written
+  retention per cell is a ROADMAP follow-up; the expectation model keeps both
+  engines trivially bit-identical.)
+* **temperature weights time, not duty**: each phase contributes
+  ``(duty, years, temperature)`` to the :mod:`repro.aging.stress`
+  aggregation, which folds the timeline into the single effective
+  ``(duty, years)`` pair every SNM model consumes.
+
+The fast driver evaluates each active phase through the policy's closed-form
+``counts(start, n)`` kernel (:meth:`repro.core.simulation.AgingSimulator.counts_kernel`)
+— one kernel build per phase, one cheap combination per leveling span, never
+a per-block Python loop.  The explicit engine replays every phase write by
+write via :func:`repro.core.simulation.replay_inference`; for deterministic
+policies the two agree bit-for-bit, and a degenerate single-phase scenario at
+the reference temperature reproduces :class:`~repro.core.simulation.AgingSimulator`
+exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.aging.snm import SnmDegradationModel, default_snm_model
+from repro.aging.stress import (
+    ArrheniusTimeScaling,
+    PhaseStress,
+    aggregate_stress,
+    scaling_for_model,
+)
+from repro.core.policies import make_policy
+from repro.core.simulation import (
+    AgingResult,
+    AgingSimulator,
+    _duty_from_counts,
+    replay_inference,
+)
+from repro.leveling.remap import mean_duty_per_row
+from repro.scenario.phases import LifetimeScenario, Phase
+from repro.utils.rng import SeedLike, spawn_rngs
+
+__all__ = [
+    "ScenarioResult",
+    "ScenarioAgingSimulator",
+    "ExplicitScenarioSimulator",
+    "scenario_stream_factory",
+]
+
+#: A stream factory maps an active :class:`Phase` to a scheduler-compatible
+#: weight stream (anything exposing ``geometry`` / ``iter_blocks`` / ...).
+StreamFactory = Callable[[Phase], object]
+
+
+def scenario_stream_factory(accelerator=None, scale=None, seed: int = 0,
+                            reuse: bool = True) -> StreamFactory:
+    """The default stream factory: model-zoo networks on one accelerator.
+
+    Streams are built through the experiment layer's process-local stream
+    cache (:func:`repro.experiments.aging_runner.build_workload_stream`), so
+    a scenario that revisits a (network, format) pair — and sweep jobs with
+    stream affinity — quantize and bit-unpack each workload exactly once per
+    process.
+    """
+    from repro.accelerator.baseline import BaselineAccelerator
+
+    accelerator = accelerator if accelerator is not None else BaselineAccelerator()
+
+    def factory(phase: Phase):
+        from repro.experiments.aging_runner import build_workload_stream
+        from repro.experiments.common import ExperimentScale
+
+        resolved_scale = scale or ExperimentScale.quick()
+        return build_workload_stream(phase.network, accelerator,
+                                     phase.data_format, resolved_scale,
+                                     seed=seed, reuse=reuse)
+
+    return factory
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of evaluating one lifetime scenario.
+
+    ``effective`` is an :class:`~repro.core.simulation.AgingResult` whose
+    duty-cycles and ``years`` are the timeline's *effective* stress pair —
+    every downstream consumer (histograms, summaries, wear maps, lifetime
+    estimation) works on it unchanged.  ``phase_stress`` keeps the raw
+    per-phase ``(duty, years, temperature)`` timeline and ``phase_results``
+    the per-phase aging results (``None`` for idle phases).
+    """
+
+    scenario: Dict[str, object]
+    engine: str
+    effective: AgingResult
+    phase_stress: List[PhaseStress]
+    phase_results: List[Optional[AgingResult]]
+    scaling: ArrheniusTimeScaling
+    wall_years: float
+    #: Set when rebuilt from a payload: the original per-phase report rows
+    #: (the per-phase ``AgingResult`` objects are not round-tripped, so the
+    #: kind/num_inferences columns cannot be re-derived from placeholders).
+    _phase_rows_override: Optional[List[Dict[str, object]]] = None
+
+    @property
+    def effective_years(self) -> float:
+        """Reference-temperature-equivalent years of the whole timeline."""
+        return self.effective.years
+
+    def phase_rows(self) -> List[Dict[str, object]]:
+        """One JSON-safe report row per phase of the timeline."""
+        if self._phase_rows_override is not None:
+            return [dict(row) for row in self._phase_rows_override]
+        rows = []
+        for stress, result in zip(self.phase_stress, self.phase_results):
+            duty = stress.duty.reshape(-1)
+            rows.append({
+                "label": stress.label,
+                "kind": "idle" if result is None else "active",
+                "years": stress.years,
+                "temperature_c": stress.temperature_c,
+                "time_factor": self.scaling.time_factor(stress.temperature_c),
+                "num_inferences": None if result is None else result.num_inferences,
+                "mean_duty": float(duty.mean()),
+                "max_abs_deviation_from_half": float(np.abs(duty - 0.5).max()),
+            })
+        return rows
+
+    def summary(self) -> Dict[str, object]:
+        """Headline metrics: the effective view plus the per-phase timeline."""
+        return {
+            "scenario": self.scenario,
+            "engine": self.engine,
+            "wall_years": self.wall_years,
+            "effective_years": self.effective_years,
+            "scaling": self.scaling.describe(),
+            "effective": self.effective.summary(),
+            "phases": self.phase_rows(),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Serialization (orchestration cache / sweep-worker transport)
+    # ------------------------------------------------------------------ #
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-safe representation of the result.
+
+        Carries the effective result in full (via
+        :meth:`AgingResult.to_payload`) plus the exact per-phase stress
+        timeline; per-phase :class:`AgingResult` objects are summarised, not
+        round-tripped.  An idle phase holds the *same* duty array as the
+        phase it retains (by reference), so its entry carries a ``duty_ref``
+        back-reference instead of a duplicate of the (possibly multi-MB)
+        duty list; :meth:`from_payload` restores the alias.
+        """
+        stress_entries: List[Dict[str, object]] = []
+        for index, stress in enumerate(self.phase_stress):
+            entry: Dict[str, object] = {
+                "label": stress.label,
+                "years": stress.years,
+                "temperature_c": stress.temperature_c,
+            }
+            reference = next((j for j in range(index)
+                              if self.phase_stress[j].duty is stress.duty), None)
+            if reference is not None:
+                entry["duty_ref"] = reference
+            else:
+                entry["duty_shape"] = list(stress.duty.shape)
+                entry["duty"] = stress.duty.reshape(-1).tolist()
+            stress_entries.append(entry)
+        return {
+            "scenario": dict(self.scenario),
+            "engine": self.engine,
+            "wall_years": self.wall_years,
+            "scaling": self.scaling.describe(),
+            "effective": self.effective.to_payload(),
+            "phases": self.phase_rows(),
+            "phase_stress": stress_entries,
+            "phase_summaries": [None if result is None else result.summary()
+                                for result in self.phase_results],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "ScenarioResult":
+        """Rebuild a result from :meth:`to_payload` output.
+
+        Per-phase ``AgingResult`` objects are not reconstructed (the payload
+        carries their summaries only); ``phase_results`` aligns with the
+        stress timeline and holds ``None`` placeholders, while
+        :meth:`phase_rows` serves the original report rows verbatim.
+        """
+        stress = []
+        for entry in payload["phase_stress"]:
+            if "duty_ref" in entry:
+                duty = stress[int(entry["duty_ref"])].duty
+            else:
+                duty = np.asarray(entry["duty"], dtype=np.float64)
+                duty = duty.reshape([int(dim) for dim in entry["duty_shape"]])
+            stress.append(PhaseStress(duty=duty, years=float(entry["years"]),
+                                      temperature_c=float(entry["temperature_c"]),
+                                      label=str(entry["label"])))
+        return cls(
+            scenario=dict(payload["scenario"]),
+            engine=str(payload["engine"]),
+            effective=AgingResult.from_payload(payload["effective"]),
+            phase_stress=stress,
+            phase_results=[None] * len(stress),
+            scaling=ArrheniusTimeScaling(**dict(payload["scaling"])),
+            wall_years=float(payload["wall_years"]),
+            _phase_rows_override=[dict(row) for row in payload["phases"]],
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Shared engine plumbing
+# --------------------------------------------------------------------------- #
+class _ScenarioEngineBase:
+    """State shared by the packed and explicit scenario engines."""
+
+    engine_name = "scenario"
+
+    def __init__(self, scenario: LifetimeScenario,
+                 stream_factory: Optional[StreamFactory] = None,
+                 seed: SeedLike = 0,
+                 snm_model: Optional[SnmDegradationModel] = None,
+                 leveler=None,
+                 scaling: Optional[ArrheniusTimeScaling] = None):
+        self.scenario = scenario
+        self.seed = seed
+        self.snm_model = snm_model or default_snm_model()
+        self.leveler = leveler
+        self.scaling = scaling or self._default_scaling()
+        self.stream_factory = stream_factory or scenario_stream_factory(seed=_factory_seed(seed))
+        self._streams: Optional[Dict[Tuple[str, str], object]] = None
+
+    def _default_scaling(self) -> ArrheniusTimeScaling:
+        base = scaling_for_model(self.snm_model)
+        if base.reference_temperature_c != self.scenario.reference_temperature_c:
+            base = ArrheniusTimeScaling(
+                activation_energy_ev=base.activation_energy_ev,
+                time_exponent=base.time_exponent,
+                reference_temperature_c=self.scenario.reference_temperature_c)
+        return base
+
+    # ------------------------------------------------------------------ #
+    # Streams and geometry
+    # ------------------------------------------------------------------ #
+    def streams(self) -> Dict[Tuple[str, str], object]:
+        """One stream per distinct (network, data_format) pair, geometry-checked."""
+        if self._streams is not None:
+            return self._streams
+        streams: Dict[Tuple[str, str], object] = {}
+        reference: Optional[Tuple[str, int, int]] = None
+        for index, phase in enumerate(self.scenario.phases):
+            if phase.is_idle:
+                continue
+            key = (phase.network, phase.data_format)
+            if key not in streams:
+                streams[key] = self.stream_factory(phase)
+            geometry = streams[key].geometry
+            signature = (phase.label(index), geometry.rows, geometry.word_bits)
+            if reference is None:
+                reference = signature
+            elif signature[1:] != reference[1:]:
+                raise ValueError(
+                    f"{signature[0]} maps to {signature[1]} rows x "
+                    f"{signature[2]}-bit words but {reference[0]} established "
+                    f"{reference[1]} rows x {reference[2]}-bit words; all "
+                    "phases of a scenario must share one weight-memory geometry")
+        if self.leveler is not None and self.leveler.rows != reference[1]:
+            raise ValueError(f"leveler covers {self.leveler.rows} rows but the "
+                             f"scenario memory has {reference[1]}")
+        self._streams = streams
+        return streams
+
+    def _geometry(self):
+        streams = self.streams()
+        stream = next(iter(streams.values()))
+        return stream.geometry.rows, stream.geometry.word_bits
+
+    # ------------------------------------------------------------------ #
+    # Packaging
+    # ------------------------------------------------------------------ #
+    def _package(self, phase_stress: List[PhaseStress],
+                 phase_results: List[Optional[AgingResult]]) -> ScenarioResult:
+        effective_duty, effective_years = aggregate_stress(phase_stress, self.scaling)
+        description: Dict[str, object] = {"scenario": self.scenario.describe(),
+                                          "engine": self.engine_name}
+        if self.leveler is not None:
+            description["leveling"] = self.leveler.describe()
+        effective = AgingResult(
+            policy_name="scenario",
+            policy_description=description,
+            duty_cycles=effective_duty,
+            num_inferences=self.scenario.active_epochs,
+            num_blocks=sum(result.num_blocks for result in phase_results
+                           if result is not None),
+            snm_model=self.snm_model,
+            years=effective_years,
+        )
+        return ScenarioResult(
+            scenario=self.scenario.describe(),
+            engine=self.engine_name,
+            effective=effective,
+            phase_stress=phase_stress,
+            phase_results=phase_results,
+            scaling=self.scaling,
+            wall_years=float(self.scenario.years),
+        )
+
+    def _phase_policy(self, phase: Phase, word_bits: int, rng) -> object:
+        return make_policy(phase.policy, word_bits, seed=rng,
+                           **dict(phase.policy_options))
+
+    # ------------------------------------------------------------------ #
+    # Engine hooks (the template method :func:`_run_timeline` drives these)
+    # ------------------------------------------------------------------ #
+    def _prepare(self, total_active: int) -> None:
+        """One-time setup before the timeline walk (after leveler reset)."""
+
+    def _phase_counts(self, stream, policy, phase: Phase, cursor: int, rng,
+                      track_feedback: bool, acc_ones: np.ndarray,
+                      acc_writes: np.ndarray):
+        """Compute one active phase's physical ``(ones, writes)`` counts.
+
+        ``cursor`` is the phase's first global active epoch; implementations
+        must route writes through the (persistent) leveler, and — when
+        ``track_feedback`` — fold the phase's physical counts into
+        ``acc_ones``/``acc_writes`` and feed the accumulated stress to
+        :meth:`WearLeveler.observe`.
+        """
+        raise NotImplementedError
+
+
+def _factory_seed(seed: SeedLike) -> int:
+    """Reduce a seed-like input to the integer the stream factory caches on.
+
+    Integers pass through; a ``SeedSequence`` is reduced deterministically
+    (distinct sequences yield distinct stream seeds without consuming any
+    state).  ``None`` and ``Generator`` inputs fall back to 0 — the stream
+    cache needs a stable hashable key, and a generator's state cannot be
+    read without mutating it — so only the *policy* randomness varies for
+    those inputs.
+    """
+    if seed is None:
+        return 0
+    if isinstance(seed, (int, np.integer)):
+        return int(seed)
+    if isinstance(seed, np.random.SeedSequence):
+        return int(seed.generate_state(1, dtype=np.uint32)[0])
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# The shared timeline walk (template method on the engine base)
+# --------------------------------------------------------------------------- #
+def _run_timeline(engine: "_ScenarioEngineBase") -> ScenarioResult:
+    """Walk the scenario's phases under the shared engine contract.
+
+    Everything that defines the scenario semantics — idle phases holding the
+    preceding duty, per-phase policy construction/reset, the global
+    active-epoch cursor, leveler lifetime, stress packaging — lives here
+    once; the two engines only differ in how one active phase's ``(ones,
+    writes)`` counts are computed (:meth:`_ScenarioEngineBase._phase_counts`).
+    Keeping the contract single-sourced is what makes their bit-for-bit
+    equivalence a property of the count kernels alone.
+    """
+    streams = engine.streams()
+    rows, word_bits = engine._geometry()
+    scenario = engine.scenario
+    leveler = engine.leveler
+    if leveler is not None:
+        leveler.reset()
+    engine._prepare(scenario.active_epochs)
+    # Scenario-cumulative physical counts: the wear-map stress signal
+    # feedback-driven levelers observe (identical between the engines — all
+    # entries are exact integers in float64, so accumulation order cannot
+    # perturb the ratios).  Only maintained when a leveler consumes them.
+    track_feedback = leveler is not None and leveler.uses_feedback
+    acc_ones = np.zeros((rows, word_bits), dtype=np.float64)
+    acc_writes = np.zeros(rows, dtype=np.float64)
+
+    rngs = spawn_rngs(engine.seed, len(scenario.active_phases))
+    phase_years = scenario.phase_years()
+    phase_stress: List[PhaseStress] = []
+    phase_results: List[Optional[AgingResult]] = []
+    previous_duty: Optional[np.ndarray] = None
+    cursor = 0
+    active_index = 0
+    for index, phase in enumerate(scenario.phases):
+        label = phase.label(index)
+        if phase.is_idle:
+            phase_stress.append(PhaseStress(previous_duty, phase_years[index],
+                                            phase.temperature_c, label=label))
+            phase_results.append(None)
+            continue
+        stream = streams[(phase.network, phase.data_format)]
+        policy = engine._phase_policy(phase, word_bits, rngs[active_index])
+        ones, writes = engine._phase_counts(
+            stream, policy, phase, cursor, rngs[active_index],
+            track_feedback, acc_ones, acc_writes)
+        duty = _duty_from_counts(ones, writes)
+        result = AgingResult(
+            policy_name=policy.name,
+            policy_description={**policy.describe(), "phase": label},
+            duty_cycles=duty,
+            num_inferences=phase.duration,
+            num_blocks=stream.num_blocks,
+            snm_model=engine.snm_model,
+            years=phase_years[index],
+        )
+        phase_results.append(result)
+        phase_stress.append(PhaseStress(duty, phase_years[index],
+                                        phase.temperature_c, label=label))
+        previous_duty = duty
+        cursor += phase.duration
+        active_index += 1
+    return engine._package(phase_stress, phase_results)
+
+
+# --------------------------------------------------------------------------- #
+# Fast (packed, closed-form) scenario driver
+# --------------------------------------------------------------------------- #
+class ScenarioAgingSimulator(_ScenarioEngineBase):
+    """Evaluates a lifetime scenario through the packed closed-form kernels.
+
+    Per active phase, one :class:`~repro.core.simulation.AgingSimulator` is
+    built on the phase's (cached) stream and its
+    :meth:`~repro.core.simulation.AgingSimulator.counts_kernel` evaluated —
+    once for the whole phase without a leveler, or once per constant-mapping
+    leveling span with one.  Kernel ``start`` arguments are phase-local
+    (policy state resets at boundaries) while leveler permutations are
+    addressed by the global active-epoch cursor (remap state persists).
+    """
+
+    engine_name = "packed"
+
+    def run(self) -> ScenarioResult:
+        """Evaluate the whole timeline; returns the scenario result."""
+        return _run_timeline(self)
+
+    def _prepare(self, total_active: int) -> None:
+        # The leveler's change schedule spans the whole timeline; per-phase
+        # spans are cut out of it through the (start, stop) window of
+        # :meth:`WearLeveler.spans`.
+        self._total_active = total_active
+
+    def _phase_counts(self, stream, policy, phase: Phase, cursor: int, rng,
+                      track_feedback: bool, acc_ones: np.ndarray,
+                      acc_writes: np.ndarray):
+        simulator = AgingSimulator(stream, policy,
+                                   num_inferences=phase.duration,
+                                   seed=rng, snm_model=self.snm_model)
+        kernel = simulator.counts_kernel()
+        leveler = self.leveler
+        if leveler is None:
+            return kernel(0, phase.duration)
+        rows, word_bits = self._geometry()
+        ones = np.zeros((rows, word_bits), dtype=np.float64)
+        writes = np.zeros(rows, dtype=np.float64)
+        for start, length in leveler.spans(self._total_active, start=cursor,
+                                           stop=cursor + phase.duration):
+            permutation = leveler.permutation(start)
+            span_ones, span_writes = kernel(start - cursor, length)
+            ones[permutation] += span_ones
+            writes[permutation] += span_writes
+            if track_feedback:
+                acc_ones[permutation] += span_ones
+                acc_writes[permutation] += span_writes
+                leveler.observe(start + length, mean_duty_per_row(
+                    acc_ones, acc_writes * float(word_bits)))
+        return ones, writes
+
+
+# --------------------------------------------------------------------------- #
+# Explicit (exact, slow) phase-replay engine
+# --------------------------------------------------------------------------- #
+class ExplicitScenarioSimulator(_ScenarioEngineBase):
+    """Replays every phase write-by-write for bit-exact cross-checks.
+
+    Built on the same :func:`repro.core.simulation.replay_inference`
+    primitive as :class:`~repro.core.simulation.ExplicitAgingSimulator`,
+    under the scenario contract (policy resets per phase, leveler persists,
+    global active-epoch addressing for permutations).  For deterministic
+    policies its duty-cycles — per phase and effective — match
+    :class:`ScenarioAgingSimulator` bit-for-bit.
+    """
+
+    engine_name = "explicit"
+
+    def run(self) -> ScenarioResult:
+        """Replay the whole timeline; returns the scenario result."""
+        return _run_timeline(self)
+
+    def _phase_counts(self, stream, policy, phase: Phase, cursor: int, rng,
+                      track_feedback: bool, acc_ones: np.ndarray,
+                      acc_writes: np.ndarray):
+        rows, word_bits = self._geometry()
+        leveler = self.leveler
+        policy.reset()
+        ones = np.zeros((rows, word_bits), dtype=np.float64)
+        writes = np.zeros(rows, dtype=np.float64)
+        for local_epoch in range(phase.duration):
+            epoch = cursor + local_epoch
+            remap = None if leveler is None else leveler.permutation(epoch)
+            replay_inference(stream, policy, ones, writes, remap)
+            if track_feedback:
+                leveler.observe(epoch + 1, mean_duty_per_row(
+                    acc_ones + ones, (acc_writes + writes) * float(word_bits)))
+        if track_feedback:
+            acc_ones += ones
+            acc_writes += writes
+        return ones, writes

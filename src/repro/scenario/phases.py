@@ -1,0 +1,342 @@
+"""Lifetime phases, scenarios and the phase-spec mini-language.
+
+A :class:`Phase` is one homogeneous stretch of a deployment: either an
+*active* phase (a network inferred under one data format, mitigation policy
+and thermal corner for a number of inference epochs) or an *idle* phase (the
+accelerator powered but not inferring, weights retained).  A
+:class:`LifetimeScenario` is an ordered, validated sequence of phases plus
+the wall-clock span the whole timeline represents.
+
+The CLI addresses scenarios through a compact spec string, one token per
+phase::
+
+    lenet5:int8:dnn_life:1000@85C,idle:500,alexnet:int8:inversion:1000@45C
+
+* active token — ``NETWORK:FORMAT:POLICY:DURATION[@TEMP]``
+* idle token   — ``idle:DURATION[@TEMP]``
+
+``FORMAT`` accepts the registered format names plus the shorthands in
+:data:`FORMAT_ALIASES`; ``TEMP`` is degrees Celsius with an optional ``C``
+suffix and defaults to :data:`DEFAULT_PHASE_TEMPERATURE_C`.  Parse errors are
+single-line ``ValueError`` messages naming the offending token, which the CLI
+surfaces verbatim instead of a traceback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.aging.stress import DEFAULT_REFERENCE_TEMPERATURE_C
+from repro.core.policies import POLICY_NAMES
+from repro.nn.models import MODEL_ZOO
+from repro.quantization.formats import available_formats, get_format
+from repro.utils.validation import (
+    check_positive,
+    check_positive_int,
+    check_temperature_celsius,
+)
+
+__all__ = [
+    "DEFAULT_PHASE_TEMPERATURE_C",
+    "FORMAT_ALIASES",
+    "Phase",
+    "LifetimeScenario",
+    "parse_scenario_spec",
+]
+
+#: Temperature assumed for phases that do not name one (the paper's nominal
+#: worst-case operating corner).
+DEFAULT_PHASE_TEMPERATURE_C = DEFAULT_REFERENCE_TEMPERATURE_C
+
+#: Spec-token shorthands for registered data-format names.
+FORMAT_ALIASES: Dict[str, str] = {
+    "int8": "int8_symmetric",
+    "fp32": "float32",
+}
+
+_ACTIVE_GRAMMAR = "NETWORK:FORMAT:POLICY:DURATION[@TEMP]"
+_IDLE_GRAMMAR = "idle:DURATION[@TEMP]"
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One homogeneous stretch of a lifetime timeline.
+
+    ``network``/``data_format``/``policy`` are ``None`` exactly for idle
+    phases.  ``duration`` counts inference epochs for active phases and
+    epoch-equivalents of wall-clock time for idle ones (the scenario converts
+    both to years through the same epoch→time mapping).
+    ``policy_options`` are extra keyword arguments forwarded to
+    :func:`repro.core.policies.make_policy` (not expressible in the spec
+    mini-language; available to programmatic callers).
+    """
+
+    network: Optional[str]
+    data_format: Optional[str]
+    policy: Optional[str]
+    duration: int
+    temperature_c: float = DEFAULT_PHASE_TEMPERATURE_C
+    policy_options: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.duration, "phase duration")
+        check_temperature_celsius(self.temperature_c, "phase temperature")
+        active_fields = (self.network, self.data_format, self.policy)
+        if any(value is None for value in active_fields) and \
+                any(value is not None for value in active_fields):
+            raise ValueError("network, data_format and policy must either all "
+                             "be set (active phase) or all be None (idle phase)")
+        if self.is_idle and self.policy_options:
+            raise ValueError("idle phases accept no policy options")
+        object.__setattr__(self, "policy_options",
+                           tuple((str(key), value)
+                                 for key, value in tuple(self.policy_options)))
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def active(cls, network: str, data_format: str, policy: str, duration: int,
+               temperature_c: float = DEFAULT_PHASE_TEMPERATURE_C,
+               policy_options: Optional[Mapping[str, object]] = None) -> "Phase":
+        """An inference phase; names are validated against the registries."""
+        if network not in MODEL_ZOO:
+            raise ValueError(f"unknown network '{network}' "
+                             f"(known: {', '.join(sorted(MODEL_ZOO))})")
+        data_format = FORMAT_ALIASES.get(data_format, data_format)
+        if data_format not in available_formats():
+            raise ValueError(f"unknown data format '{data_format}' "
+                             f"(known: {', '.join(available_formats())}"
+                             f"; aliases: {', '.join(sorted(FORMAT_ALIASES))})")
+        if policy not in POLICY_NAMES:
+            raise ValueError(f"unknown policy '{policy}' "
+                             f"(known: {', '.join(POLICY_NAMES)})")
+        return cls(network=network, data_format=data_format, policy=policy,
+                   duration=duration, temperature_c=float(temperature_c),
+                   policy_options=tuple((policy_options or {}).items()))
+
+    @classmethod
+    def idle(cls, duration: int,
+             temperature_c: float = DEFAULT_PHASE_TEMPERATURE_C) -> "Phase":
+        """A retention phase: powered, weights held, no writes."""
+        return cls(network=None, data_format=None, policy=None,
+                   duration=duration, temperature_c=float(temperature_c))
+
+    # ------------------------------------------------------------------ #
+    # Views
+    # ------------------------------------------------------------------ #
+    @property
+    def is_idle(self) -> bool:
+        """Whether this is a retention (no-write) phase."""
+        return self.network is None
+
+    @property
+    def word_bits(self) -> Optional[int]:
+        """Word width of the phase's data format (``None`` for idle phases)."""
+        return None if self.is_idle else get_format(self.data_format).word_bits
+
+    def label(self, index: int) -> str:
+        """Human-readable phase label used in reports and error messages."""
+        if self.is_idle:
+            return f"phase {index}: idle x{self.duration} @{self.temperature_c:g}C"
+        return (f"phase {index}: {self.network}/{self.data_format}/"
+                f"{self.policy} x{self.duration} @{self.temperature_c:g}C")
+
+    def to_token(self) -> str:
+        """The spec mini-language token describing this phase."""
+        if self.is_idle:
+            return f"idle:{self.duration}@{self.temperature_c:g}C"
+        return (f"{self.network}:{self.data_format}:{self.policy}:"
+                f"{self.duration}@{self.temperature_c:g}C")
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-safe description of the phase."""
+        return {
+            "kind": "idle" if self.is_idle else "active",
+            "network": self.network,
+            "data_format": self.data_format,
+            "policy": self.policy,
+            "policy_options": dict(self.policy_options),
+            "duration": self.duration,
+            "temperature_c": self.temperature_c,
+        }
+
+
+def _parse_temperature(text: str, token: str) -> float:
+    """Parse the ``@TEMP`` suffix (``85``, ``85C``, ``85.5c``)."""
+    stripped = text.strip()
+    if stripped.lower().endswith("c"):
+        stripped = stripped[:-1]
+    try:
+        return float(stripped)
+    except ValueError:
+        raise ValueError(f"phase '{token}': invalid temperature '{text}' "
+                         "(expected degrees Celsius, e.g. '85C')") from None
+
+
+def _parse_duration(text: str, token: str) -> int:
+    try:
+        duration = int(text)
+    except ValueError:
+        raise ValueError(f"phase '{token}': invalid duration '{text}' "
+                         "(expected a positive integer of inference epochs)") from None
+    if duration <= 0:
+        raise ValueError(f"phase '{token}': phase duration must be > 0, got {duration}")
+    return duration
+
+
+def _parse_phase_token(token: str) -> Phase:
+    """Parse one comma-separated phase token of the spec mini-language."""
+    head, at_sign, temp_text = token.partition("@")
+    if at_sign and not temp_text.strip():
+        raise ValueError(f"phase '{token}': '@' must be followed by a "
+                         "temperature (e.g. '@85C')")
+    temperature = (_parse_temperature(temp_text, token) if temp_text
+                   else DEFAULT_PHASE_TEMPERATURE_C)
+    fields = [part.strip() for part in head.split(":")]
+    try:
+        if fields and fields[0].lower() == "idle":
+            if len(fields) != 2:
+                raise ValueError(f"expected '{_IDLE_GRAMMAR}'")
+            return Phase.idle(_parse_duration(fields[1], token), temperature)
+        if len(fields) != 4:
+            raise ValueError(f"expected '{_ACTIVE_GRAMMAR}' or '{_IDLE_GRAMMAR}'")
+        network, data_format, policy, duration_text = fields
+        duration = _parse_duration(duration_text, token)
+        return Phase.active(network, data_format, policy, duration, temperature)
+    except ValueError as error:
+        message = str(error)
+        prefix = f"phase '{token}': "
+        if message.startswith(prefix):  # _parse_duration already names the token
+            raise
+        raise ValueError(prefix + message) from None
+
+
+def parse_scenario_spec(spec: str) -> Tuple[Phase, ...]:
+    """Parse a comma-separated phase-spec string into validated phases."""
+    if not isinstance(spec, str) or not spec.strip():
+        raise ValueError("scenario spec is empty; expected comma-separated "
+                         f"'{_ACTIVE_GRAMMAR}' / '{_IDLE_GRAMMAR}' tokens")
+    tokens = [token.strip() for token in spec.split(",") if token.strip()]
+    if not tokens:
+        raise ValueError("scenario spec contains no phases")
+    return tuple(_parse_phase_token(token) for token in tokens)
+
+
+@dataclass
+class LifetimeScenario:
+    """An ordered, validated sequence of lifetime phases.
+
+    ``years`` is the wall-clock span of the whole timeline; each phase's
+    share is proportional to its duration in epochs (one epoch represents
+    the same wall-clock time in every phase, inferring or idle).
+    ``reference_temperature_c`` anchors the Arrhenius equivalent-time
+    composition — at the reference temperature one phase-year counts as
+    exactly one effective year.
+    """
+
+    phases: Tuple[Phase, ...]
+    years: float = 7.0
+    reference_temperature_c: float = DEFAULT_REFERENCE_TEMPERATURE_C
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self.phases = tuple(self.phases)
+        if not self.phases:
+            raise ValueError("a scenario requires at least one phase")
+        if self.phases[0].is_idle:
+            raise ValueError("a scenario cannot start with an idle phase: the "
+                             "retained-weight content is undefined before the "
+                             "first active phase")
+        check_positive(self.years, "years")
+        check_temperature_celsius(self.reference_temperature_c,
+                                  "reference_temperature_c")
+        # The word width of each phase is static in its data format, and the
+        # memory geometry (rows = capacity / word width) is scenario-wide —
+        # mixed widths are caught here as a one-line schema error instead of
+        # a stream-build failure deep inside the engines.
+        widths = {}
+        for index, phase in enumerate(self.phases):
+            if not phase.is_idle:
+                widths.setdefault(phase.word_bits, phase.label(index))
+        if len(widths) > 1:
+            described = "; ".join(f"{bits}-bit words from {label}"
+                                  for bits, label in sorted(widths.items()))
+            raise ValueError(
+                f"all phases of a scenario must share one word width "
+                f"(the weight-memory geometry is scenario-wide), got {described}")
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_spec(cls, spec: str, years: float = 7.0,
+                  reference_temperature_c: float = DEFAULT_REFERENCE_TEMPERATURE_C,
+                  name: str = "") -> "LifetimeScenario":
+        """Build a scenario from a phase-spec mini-language string."""
+        return cls(phases=parse_scenario_spec(spec), years=years,
+                   reference_temperature_c=reference_temperature_c, name=name)
+
+    @classmethod
+    def from_description(cls, payload: Mapping[str, object]) -> "LifetimeScenario":
+        """Rebuild a scenario from :meth:`describe` output (payload transport)."""
+        phases = []
+        for entry in payload["phases"]:  # type: ignore[index]
+            if entry["kind"] == "idle":
+                phases.append(Phase.idle(int(entry["duration"]),
+                                         float(entry["temperature_c"])))
+            else:
+                phases.append(Phase.active(
+                    str(entry["network"]), str(entry["data_format"]),
+                    str(entry["policy"]), int(entry["duration"]),
+                    float(entry["temperature_c"]),
+                    policy_options=dict(entry.get("policy_options") or {})))
+        return cls(phases=tuple(phases), years=float(payload["years"]),
+                   reference_temperature_c=float(payload["reference_temperature_c"]),
+                   name=str(payload.get("name", "")))
+
+    # ------------------------------------------------------------------ #
+    # Views
+    # ------------------------------------------------------------------ #
+    @property
+    def total_epochs(self) -> int:
+        """Epochs across all phases (active and idle)."""
+        return sum(phase.duration for phase in self.phases)
+
+    @property
+    def active_epochs(self) -> int:
+        """Inference epochs across the active phases."""
+        return sum(phase.duration for phase in self.phases if not phase.is_idle)
+
+    @property
+    def active_phases(self) -> List[Phase]:
+        """The active (inference) phases, in order."""
+        return [phase for phase in self.phases if not phase.is_idle]
+
+    def phase_years(self) -> List[float]:
+        """Wall-clock years of each phase (duration-proportional).
+
+        Computed as ``years * (duration / total)`` so a single-phase scenario
+        gets exactly ``years`` (the fraction is exactly ``1.0``), keeping the
+        degenerate case bit-identical to the single-stream accounting.
+        """
+        total = self.total_epochs
+        return [self.years * (phase.duration / total) for phase in self.phases]
+
+    def to_spec(self) -> str:
+        """Canonical spec string (loses programmatic ``policy_options``)."""
+        return ",".join(phase.to_token() for phase in self.phases)
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-safe description of the whole timeline."""
+        return {
+            "name": self.name,
+            "spec": self.to_spec(),
+            "years": self.years,
+            "reference_temperature_c": self.reference_temperature_c,
+            "num_phases": len(self.phases),
+            "total_epochs": self.total_epochs,
+            "active_epochs": self.active_epochs,
+            "phases": [phase.describe() for phase in self.phases],
+        }

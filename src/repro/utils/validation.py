@@ -1,15 +1,22 @@
-"""Argument-validation helpers with consistent error messages."""
+"""Argument-validation helpers with consistent error messages.
+
+The numeric checks are written as negated comparisons (``not value > 0``
+instead of ``value <= 0``) on purpose: NaN fails every ordering comparison,
+so a NaN input is *rejected* rather than slipping through and propagating
+into results.
+"""
 
 from __future__ import annotations
 
+import math
 from typing import Optional
 
 
 def check_positive(value: float, name: str, strict: bool = True) -> float:
-    """Validate that ``value`` is positive (strictly by default)."""
-    if strict and value <= 0:
+    """Validate that ``value`` is positive (strictly by default); NaN is rejected."""
+    if strict and not value > 0:
         raise ValueError(f"{name} must be > 0, got {value}")
-    if not strict and value < 0:
+    if not strict and not value >= 0:
         raise ValueError(f"{name} must be >= 0, got {value}")
     return value
 
@@ -42,6 +49,14 @@ def check_power_of_two(value: int, name: str) -> int:
     if value <= 0 or (value & (value - 1)) != 0:
         raise ValueError(f"{name} must be a positive power of two, got {value}")
     return value
+
+
+def check_temperature_celsius(value: float, name: str = "temperature") -> float:
+    """Validate a finite physical temperature in degrees Celsius (> absolute zero)."""
+    if not math.isfinite(value) or not value > -273.15:
+        raise ValueError(f"{name} must be a finite value above absolute zero "
+                         f"(-273.15C), got {value}")
+    return float(value)
 
 
 def check_positive_int(value: int, name: str) -> int:

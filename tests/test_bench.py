@@ -169,3 +169,40 @@ class TestBenchCli:
         code = main(["bench", "--case", "nonexistent"])
         assert code == 2
         assert "unknown bench case" in capsys.readouterr().err
+
+
+class TestScenarioBench:
+    def test_scenario_entry(self, smoke_payload):
+        entry = smoke_payload["scenario"]
+        assert entry["num_phases"] == 4
+        assert entry["scenario_seconds"] > 0
+        assert entry["single_phase_seconds"] > 0
+        assert entry["overhead"] is not None
+        assert entry["effective_years"] < entry["wall_years"]
+
+    def test_scenario_cross_check_passes(self, smoke_payload):
+        verification = smoke_payload["scenario"]["verification"]
+        assert verification["explicit_match"] is True
+        checks = verification["checks"]
+        # both multi-phase scenarios, with and without levelers, plus the
+        # degenerate single-phase equivalence
+        assert "model_swap_thermal+none" in checks
+        assert "model_swap_thermal+wear_swap" in checks
+        assert "duty_cycling_idle+rotation" in checks
+        assert checks["degenerate_single_phase"] is True
+        assert all(checks.values())
+
+    def test_scenario_render(self, smoke_payload):
+        text = render_bench_report(smoke_payload)
+        assert "scenario timeline" in text
+        assert "scenario explicit-engine cross-check: OK" in text
+
+    def test_case_selection_skips_scenario(self):
+        cases = [case for case in default_bench_cases()
+                 if case.name == "smoke_mnist_8bit"]
+        payload = run_aging_bench(cases, repeats=1, verify=False,
+                                  leveling=False, scenario=False)
+        assert "scenario" not in payload
+
+    def test_payload_with_scenario_is_json_safe(self, smoke_payload):
+        json.dumps(smoke_payload["scenario"])

@@ -57,3 +57,87 @@ class TestCommands:
     def test_energy_command(self, capsys):
         assert main(["energy", "--network", "custom_mnist", "--inferences", "2"]) == 0
         assert "overhead" in capsys.readouterr().out
+
+
+class TestScenarioCommand:
+    SMALL_SPEC = ("custom_mnist:int8:inversion:3@85C,idle:2@45C,"
+                  "custom_mnist:int8:none:3@45C")
+
+    def test_scenario_verb(self, capsys):
+        assert main(["scenario", "--spec", self.SMALL_SPEC,
+                     "--memory-kb", "4", "--fifo-depth-tiles", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "effective stress histogram" in out
+        assert "memory lifetime" in out
+
+    def test_scenario_json_output(self, tmp_path, capsys):
+        path = tmp_path / "scenario.json"
+        assert main(["--json", str(path), "scenario", "--spec", self.SMALL_SPEC,
+                     "--memory-kb", "4", "--fifo-depth-tiles", "4"]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["workload"]["spec"] == self.SMALL_SPEC
+        assert len(payload["phases"]) == 3
+
+    def test_scenario_sweep(self, capsys):
+        assert main(["sweep", "scenario",
+                     "--grid", "spec=custom_mnist:int8:none:3,"
+                               "custom_mnist:int8:inversion:3",
+                     "--grid", "weight_memory_kb=4",
+                     "--workers", "1"]) == 0
+        assert "2 jobs" in capsys.readouterr().out
+
+
+class TestFriendlyValidation:
+    """Invalid durations / phase tokens exit 2 with one-line errors."""
+
+    def _error_line(self, capsys):
+        err = capsys.readouterr().err.strip()
+        assert err.startswith("dnn-life: error:")
+        assert "Traceback" not in err
+        assert "\n" not in err
+        return err
+
+    def test_run_rejects_non_positive_inferences(self, capsys):
+        assert main(["run", "aging", "--set", "num_inferences=-5"]) == 2
+        assert "must be > 0" in self._error_line(capsys)
+
+    def test_subcommand_rejects_non_positive_inferences(self, capsys):
+        assert main(["aging", "--inferences", "0"]) == 2
+        assert "must be > 0" in self._error_line(capsys)
+
+    def test_sweep_rejects_non_positive_inferences(self, capsys):
+        assert main(["sweep", "aging", "--grid", "num_inferences=0"]) == 2
+        assert "must be > 0" in self._error_line(capsys)
+
+    def test_scenario_rejects_unknown_phase_token(self, capsys):
+        assert main(["scenario", "--spec", "bogus:int8:none:5"]) == 2
+        assert "unknown network 'bogus'" in self._error_line(capsys)
+
+    def test_scenario_rejects_non_positive_phase_duration(self, capsys):
+        assert main(["scenario", "--spec", "lenet5:int8:none:0"]) == 2
+        assert "duration must be > 0" in self._error_line(capsys)
+
+    def test_scenario_sweep_rejects_bad_spec(self, capsys):
+        assert main(["sweep", "scenario",
+                     "--grid", "spec=lenet5:int8:bogus:5"]) == 2
+        assert "unknown policy 'bogus'" in self._error_line(capsys)
+
+    def test_leveling_subcommand_rejects_non_positive_period(self, capsys):
+        assert main(["level", "--leveling-period", "0"]) == 2
+        assert "must be > 0" in self._error_line(capsys)
+
+    def test_scenario_rejects_impossible_reference_temperature(self, capsys):
+        assert main(["scenario", "--reference-temp", "-300"]) == 2
+        assert "absolute zero" in self._error_line(capsys)
+
+    def test_scenario_rejects_out_of_range_swap_fraction(self, capsys):
+        assert main(["scenario", "--swap-fraction", "0.7"]) == 2
+        assert "(0, 0.5]" in self._error_line(capsys)
+
+    def test_scenario_rejects_negative_rotation_step(self, capsys):
+        assert main(["scenario", "--rotation-step", "-1"]) == 2
+        assert ">= 0" in self._error_line(capsys)
+
+    def test_level_rejects_out_of_range_swap_fraction(self, capsys):
+        assert main(["level", "--swap-fraction", "0.9"]) == 2
+        assert "(0, 0.5]" in self._error_line(capsys)

@@ -177,3 +177,92 @@ class TestAgingModelProperties:
             assert 0.0 <= value <= 1.0 + 1e-12
             assert value >= previous - 1e-12
             previous = value
+
+
+# --------------------------------------------------------------------------- #
+# AgingResult payload round-trips across every shipped SNM model
+# --------------------------------------------------------------------------- #
+@st.composite
+def snm_model_strategy(draw):
+    """Any shipped SnmDegradationModel, with randomised (valid) parameters."""
+    from repro.aging.nbti import NbtiDeviceModel, ReactionDiffusionSnmModel
+
+    kind = draw(st.sampled_from(["calibrated", "reaction_diffusion"]))
+    if kind == "calibrated":
+        best = draw(st.floats(1.0, 20.0))
+        worst = draw(st.floats(21.0, 60.0))
+        return CalibratedSnmModel(best_percent=best, worst_percent=worst,
+                                  reference_years=draw(st.floats(1.0, 10.0)),
+                                  time_exponent=draw(st.floats(0.1, 0.5)))
+    device = NbtiDeviceModel(
+        activation_energy_ev=draw(st.floats(0.05, 0.2)),
+        time_exponent=draw(st.floats(0.1, 0.5)),
+        temperature_kelvin=draw(st.floats(300.0, 400.0)),
+        reference_dvth_volts=draw(st.floats(0.01, 0.1)))
+    return ReactionDiffusionSnmModel(device=device,
+                                     worst_percent=draw(st.floats(10.0, 40.0)))
+
+
+class TestAgingResultPayloadRoundTrip:
+    """to_payload/from_payload must be lossless for every shipped SNM model."""
+
+    @given(model=snm_model_strategy(),
+           duty=hnp.arrays(dtype=np.float64, shape=st.tuples(
+               st.integers(1, 8), st.integers(1, 8)),
+               elements=st.floats(0, 1)),
+           years=st.floats(0.5, 20.0))
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_through_json(self, model, duty, years):
+        import json
+
+        from repro.core.simulation import AgingResult
+
+        result = AgingResult(policy_name="none",
+                             policy_description={"policy": "none"},
+                             duty_cycles=duty, num_inferences=3, num_blocks=2,
+                             snm_model=model, years=years)
+        payload = json.loads(json.dumps(result.to_payload()))
+        rebuilt = AgingResult.from_payload(payload)
+        assert np.array_equal(rebuilt.duty_cycles, result.duty_cycles)
+        assert rebuilt.duty_cycles.shape == result.duty_cycles.shape
+        assert rebuilt.snm_model == model
+        assert rebuilt.years == years
+        assert np.array_equal(rebuilt.snm_degradation(), result.snm_degradation())
+
+    @given(model=snm_model_strategy())
+    @settings(max_examples=20, deadline=None)
+    def test_round_trip_through_to_jsonable(self, model):
+        from repro.core.simulation import AgingResult
+        from repro.utils.serialization import to_jsonable
+
+        result = AgingResult("none", {}, np.array([[0.25, 0.75]]), 2, 1,
+                             snm_model=model)
+        rebuilt = AgingResult.from_payload(to_jsonable(result.to_payload()))
+        assert rebuilt.snm_model == model
+
+    def test_unknown_model_class_is_rejected_with_known_list(self):
+        from repro.core.simulation import _snm_model_from_payload
+
+        with pytest.raises(ValueError, match="unknown SNM model class"):
+            _snm_model_from_payload({"class": "NoSuchModel", "fields": {}})
+
+    def test_newly_shipped_models_are_discovered(self):
+        """A new SnmDegradationModel subclass round-trips without registry edits."""
+        import dataclasses
+
+        from repro.aging.snm import SnmDegradationModel
+        from repro.core.simulation import AgingResult
+
+        @dataclasses.dataclass(frozen=True)
+        class LinearTestSnmModel(SnmDegradationModel):
+            slope: float = 20.0
+
+            def degradation_percent(self, duty_cycle, years=7.0):
+                duty = np.asarray(duty_cycle, dtype=np.float64)
+                return self.slope * np.maximum(duty, 1.0 - duty)
+
+        result = AgingResult("none", {}, np.array([[0.5]]), 1, 1,
+                             snm_model=LinearTestSnmModel(slope=12.5))
+        rebuilt = AgingResult.from_payload(result.to_payload())
+        assert isinstance(rebuilt.snm_model, LinearTestSnmModel)
+        assert rebuilt.snm_model.slope == 12.5
