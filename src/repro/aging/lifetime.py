@@ -57,7 +57,9 @@ class LifetimeEstimator:
         return float(np.min(lifetimes)) if lifetimes.size else float("inf")
 
     # ------------------------------------------------------------------ #
-    # Multi-phase (scenario) view: per-phase (duty, years, temperature)
+    # Multi-phase (scenario) view: per-phase (duty, years, temperature,
+    # voltage) — each phase's DVFS operating point rides in through
+    # PhaseStress.voltage_v and the scaling's voltage-acceleration term.
     # ------------------------------------------------------------------ #
     def cell_lifetimes_years_phases(self, phases: Sequence[PhaseStress],
                                     scaling: Optional[ArrheniusTimeScaling] = None
@@ -67,8 +69,9 @@ class LifetimeEstimator:
         The phase list is treated as a stationary workload mix: the timeline's
         effective duty-cycle stays what it is, but time advances
         ``effective_years / wall_years`` times faster than the wall clock
-        (hot phases accelerate damage, cool ones slow it).  A single phase at
-        the reference temperature reproduces :meth:`cell_lifetimes_years`.
+        (hot or overdriven phases accelerate damage, cool or undervolted
+        ones slow it).  A single phase at the reference operating point
+        reproduces :meth:`cell_lifetimes_years`.
         """
         scaling = scaling or scaling_for_model(self.snm_model)
         duty, effective_years = aggregate_stress(phases, scaling)

@@ -27,6 +27,16 @@ complementary duties), so the two PMOS transistors of a 6T cell stay
 consistent.  A single phase at the reference temperature degenerates to the
 classic ``(duty, years)`` pair bit-for-bit — the weights are normalised
 before the blend, so the one-phase blend multiplies by exactly ``1.0``.
+
+**Voltage (DVFS) composition.**  The same absorption argument extends to the
+supply voltage: long-term NBTI carries an exponential voltage-acceleration
+prefactor, ``dVth = A * exp(gamma * V) * exp(-Ea/kT) * (duty * t) ** n``, so
+a phase running at ``V`` contributes ``(exp(gamma * (V - V_ref))) ** (1/n)``
+reference-equivalent years per wall-clock year on top of the thermal factor.
+Both factors are exactly ``1.0`` at the reference corner, which keeps every
+pre-DVFS scenario bit-identical.  Phases carry their voltage in
+:attr:`PhaseStress.voltage_v`; callers that never set it get the reference
+corner and the exact legacy weights.
 """
 
 from __future__ import annotations
@@ -37,16 +47,33 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.aging.nbti import BOLTZMANN_EV
-from repro.utils.validation import check_positive, check_temperature_celsius
+from repro.utils.validation import (
+    check_positive,
+    check_positive_finite,
+    check_temperature_celsius,
+)
 
 #: Nominal worst-case operating corner the paper's anchors are stated at.
 DEFAULT_REFERENCE_TEMPERATURE_C = 85.0
+
+#: Nominal supply voltage the paper's anchors are stated at (volts).
+DEFAULT_REFERENCE_VOLTAGE_V = 0.9
+
+#: Nominal clock the epoch→wall-clock mapping is stated at (GHz).
+DEFAULT_REFERENCE_FREQUENCY_GHZ = 1.0
+
+#: Default NBTI voltage-acceleration exponent ``gamma`` (1/V): damage scales
+#: as ``exp(gamma * (V - V_ref))`` before the ``t ** n`` absorption.
+DEFAULT_VOLTAGE_ACCELERATION_PER_V = 6.0
 
 __all__ = [
     "ArrheniusTimeScaling",
     "PhaseStress",
     "StressTimeline",
     "DEFAULT_REFERENCE_TEMPERATURE_C",
+    "DEFAULT_REFERENCE_VOLTAGE_V",
+    "DEFAULT_REFERENCE_FREQUENCY_GHZ",
+    "DEFAULT_VOLTAGE_ACCELERATION_PER_V",
     "aggregate_stress",
     "scaling_for_model",
 ]
@@ -60,32 +87,59 @@ def _celsius_to_kelvin(temperature_c: float) -> float:
 class ArrheniusTimeScaling:
     """Maps phase time at temperature ``T`` to reference-equivalent time.
 
-    ``time_factor(T)`` is the factor by which a year at ``T`` counts towards
-    the ``t ** n`` damage power relative to a year at
-    ``reference_temperature_c``: ``(arr(T) / arr(T_ref)) ** (1 / n)`` with
-    ``arr(T) = exp(-Ea / kT)``.  At the reference temperature the factor is
-    exactly ``1.0``, which is what keeps single-phase scenarios bit-identical
-    to the classic single-stream accounting.
+    ``time_factor(T, V)`` is the factor by which a year at ``(T, V)`` counts
+    towards the ``t ** n`` damage power relative to a year at the reference
+    corner: ``(arr(T) / arr(T_ref)) ** (1 / n)`` with ``arr(T) = exp(-Ea /
+    kT)``, times the voltage acceleration ``exp(gamma * (V - V_ref)) ** (1 /
+    n)``.  Each factor is exactly ``1.0`` at its reference value (the
+    computation is skipped entirely, not merely close to one), which is what
+    keeps single-phase and pre-DVFS scenarios bit-identical to the classic
+    single-stream accounting.
     """
 
     activation_energy_ev: float = 0.1
     time_exponent: float = 1.0 / 6.0
     reference_temperature_c: float = DEFAULT_REFERENCE_TEMPERATURE_C
+    voltage_acceleration_per_v: float = DEFAULT_VOLTAGE_ACCELERATION_PER_V
+    reference_voltage_v: float = DEFAULT_REFERENCE_VOLTAGE_V
 
     def __post_init__(self) -> None:
         check_positive(self.time_exponent, "time_exponent")
         _celsius_to_kelvin(self.reference_temperature_c)
+        check_positive(self.reference_voltage_v, "reference_voltage_v")
+        if not np.isfinite(self.voltage_acceleration_per_v):
+            raise ValueError("voltage_acceleration_per_v must be finite")
 
     def _arrhenius(self, temperature_c: float) -> float:
         kelvin = _celsius_to_kelvin(temperature_c)
         return float(np.exp(-self.activation_energy_ev / (BOLTZMANN_EV * kelvin)))
 
-    def time_factor(self, temperature_c: float) -> float:
-        """Reference-equivalent years contributed by one year at ``temperature_c``."""
-        if float(temperature_c) == self.reference_temperature_c:
+    def voltage_factor(self, voltage_v: float) -> float:
+        """Reference-equivalent years per year at supply ``voltage_v``."""
+        voltage = check_positive_finite(voltage_v, "voltage")
+        if voltage == self.reference_voltage_v:
             return 1.0
-        ratio = self._arrhenius(temperature_c) / self._arrhenius(self.reference_temperature_c)
-        return float(ratio ** (1.0 / self.time_exponent))
+        acceleration = np.exp(self.voltage_acceleration_per_v
+                              * (voltage - self.reference_voltage_v))
+        return float(acceleration ** (1.0 / self.time_exponent))
+
+    def time_factor(self, temperature_c: float,
+                    voltage_v: Optional[float] = None) -> float:
+        """Reference-equivalent years contributed by one year at the corner.
+
+        ``voltage_v=None`` (or the reference voltage) contributes no voltage
+        term at all, so legacy thermal-only callers get bitwise-unchanged
+        factors.
+        """
+        if float(temperature_c) == self.reference_temperature_c:
+            factor = 1.0
+        else:
+            ratio = (self._arrhenius(temperature_c)
+                     / self._arrhenius(self.reference_temperature_c))
+            factor = float(ratio ** (1.0 / self.time_exponent))
+        if voltage_v is not None and float(voltage_v) != self.reference_voltage_v:
+            factor *= self.voltage_factor(voltage_v)
+        return factor
 
     def describe(self) -> dict:
         """Machine-readable description (serialised into scenario payloads)."""
@@ -93,6 +147,8 @@ class ArrheniusTimeScaling:
             "activation_energy_ev": self.activation_energy_ev,
             "time_exponent": self.time_exponent,
             "reference_temperature_c": self.reference_temperature_c,
+            "voltage_acceleration_per_v": self.voltage_acceleration_per_v,
+            "reference_voltage_v": self.reference_voltage_v,
         }
 
 
@@ -101,8 +157,10 @@ class PhaseStress:
     """Per-cell stress contribution of one lifetime phase.
 
     ``duty`` is the per-cell duty-cycle the phase's workload produced (any
-    shape), ``years`` its wall-clock share of the lifetime and
-    ``temperature_c`` the thermal corner it ran at.
+    shape), ``years`` its wall-clock share of the lifetime,
+    ``temperature_c`` the thermal corner it ran at and ``voltage_v`` its
+    supply voltage (the reference voltage unless the phase names a DVFS
+    operating point).
     """
 
     duty: np.ndarray
@@ -110,11 +168,13 @@ class PhaseStress:
     temperature_c: float = DEFAULT_REFERENCE_TEMPERATURE_C
     #: Free-form label carried into reports ("phase 2: alexnet/int8").
     label: str = ""
+    voltage_v: float = DEFAULT_REFERENCE_VOLTAGE_V
 
     def __post_init__(self) -> None:
         self.duty = np.asarray(self.duty, dtype=np.float64)
         check_positive(self.years, "years")
         _celsius_to_kelvin(self.temperature_c)
+        check_positive_finite(self.voltage_v, "voltage_v")
 
 
 def aggregate_stress(phases: Sequence[PhaseStress],
@@ -125,10 +185,11 @@ def aggregate_stress(phases: Sequence[PhaseStress],
     Returns ``(effective_duty, effective_years)`` such that
     ``model.degradation_percent(effective_duty, effective_years)`` is the
     degradation accumulated over the whole timeline, for any model of the
-    ``A * arr(T) * (duty * t) ** n`` family.
+    ``A * exp(gamma * V) * arr(T) * (duty * t) ** n`` family (each phase's
+    voltage enters through :meth:`ArrheniusTimeScaling.time_factor`).
 
     The blend is computed with weights normalised to sum to 1, so a single
-    phase at the reference temperature returns its duty array bit-for-bit
+    phase at the reference operating point returns its duty array bit-for-bit
     (multiplied by exactly ``1.0``) and ``years`` unchanged.
     """
     phases = list(phases)
@@ -141,7 +202,8 @@ def aggregate_stress(phases: Sequence[PhaseStress],
             raise ValueError(
                 f"phase {index} duty shape {phase.duty.shape} does not match "
                 f"phase 0 shape {shape}; all phases must cover the same cells")
-    weights = [phase.years * scaling.time_factor(phase.temperature_c)
+    weights = [phase.years * scaling.time_factor(phase.temperature_c,
+                                                 phase.voltage_v)
                for phase in phases]
     effective_years = float(sum(weights))
     if not effective_years > 0:  # also rejects NaN
@@ -161,10 +223,12 @@ class StressTimeline:
 
     def add(self, duty: np.ndarray, years: float,
             temperature_c: float = DEFAULT_REFERENCE_TEMPERATURE_C,
-            label: str = "") -> PhaseStress:
+            label: str = "",
+            voltage_v: float = DEFAULT_REFERENCE_VOLTAGE_V) -> PhaseStress:
         """Append one phase's stress contribution."""
         phase = PhaseStress(duty=duty, years=years,
-                            temperature_c=temperature_c, label=label)
+                            temperature_c=temperature_c, label=label,
+                            voltage_v=voltage_v)
         self.phases.append(phase)
         return phase
 

@@ -9,8 +9,10 @@ instead of anecdotes.
 from repro.bench.aging_bench import (
     BENCH_SCHEMA,
     DEFAULT_OUTPUT,
+    DVFS_BENCH_SPEC,
     BenchCase,
     SyntheticWeightStream,
+    bench_dvfs,
     bench_leveling,
     bench_scenario,
     default_bench_cases,
@@ -24,8 +26,10 @@ from repro.bench.aging_bench import (
 __all__ = [
     "BENCH_SCHEMA",
     "DEFAULT_OUTPUT",
+    "DVFS_BENCH_SPEC",
     "BenchCase",
     "SyntheticWeightStream",
+    "bench_dvfs",
     "bench_leveling",
     "bench_scenario",
     "default_bench_cases",

@@ -506,12 +506,15 @@ def bench_scenario(repeats: int = 3, seed: int = 0,
 def verify_scenario_against_explicit(seed: int = 0) -> Dict[str, object]:
     """Exact-match check of the packed scenario driver on small timelines.
 
-    Two multi-phase scenarios (a model swap across thermal corners and a
-    duty-cycled timeline with an idle retention stretch) run with and
-    without wear levelers on both the packed driver and the write-by-write
-    phase-replay engine; the per-phase and effective duty-cycles must agree
-    bit-for-bit.  A degenerate single-phase scenario is additionally checked
-    against the classic :class:`~repro.core.simulation.AgingSimulator`.
+    Three multi-phase scenarios (a model swap across thermal corners, a
+    duty-cycled timeline with an idle retention stretch, and a DVFS
+    timeline with per-phase operating points and a low-voltage idle corner)
+    run with and without wear levelers on both the packed driver and the
+    write-by-write phase-replay engine; the per-phase and effective
+    duty-cycles — and the idle retention reports, built from the exact
+    last-written value of every cell — must agree bit-for-bit.  A
+    degenerate single-phase scenario is additionally checked against the
+    classic :class:`~repro.core.simulation.AgingSimulator`.
     """
     from repro.core.policies import make_policy
     from repro.leveling import make_leveler
@@ -527,6 +530,9 @@ def verify_scenario_against_explicit(seed: int = 0) -> Dict[str, object]:
                                "lenet5:int8:inversion_per_location:3@85C"),
         "duty_cycling_idle": ("custom_mnist:int8:barrel_shifter:5@85C,"
                               "idle:3@45C,custom_mnist:int8:inversion:4@25C"),
+        "dvfs_retention": ("custom_mnist:int8:inversion:4@85C@0.8V:0.5GHz,"
+                           "idle:3@45C@0.62V:0.1GHz,"
+                           "lenet5:int8:barrel_shifter:4@45C@0.95V:1.2GHz"),
     }
     factory = _scenario_bench_factory(memory_kb=4, seed=seed,
                                       max_weights_per_layer=10_000)
@@ -550,6 +556,7 @@ def verify_scenario_against_explicit(seed: int = 0) -> Dict[str, object]:
                 np.array_equal(fast_stress.duty, exact_stress.duty)
                 for fast_stress, exact_stress in zip(fast.phase_stress,
                                                      exact.phase_stress))
+            matches = matches and fast.phase_retention == exact.phase_retention
             checks[f"{scenario_name}+{leveler_name or 'none'}"] = matches
 
     # Degenerate single-phase scenario == the classic single-stream engine.
@@ -572,9 +579,64 @@ def verify_scenario_against_explicit(seed: int = 0) -> Dict[str, object]:
     }
 
 
+#: Timeline of the DVFS bench entry: every phase at its own operating point,
+#: with a low-voltage idle corner exercising the retention tracking.
+DVFS_BENCH_SPEC = ("custom_mnist:int8:inversion:20@85C@0.95V:1.2GHz,"
+                   "idle:10@45C@0.62V:0.1GHz,"
+                   "lenet5:int8:none:20@45C@0.8V:0.5GHz,"
+                   "lenet5:int8:barrel_shifter:10@85C@0.72V:0.8GHz")
+
+
+def bench_dvfs(repeats: int = 3, seed: int = 0) -> Dict[str, object]:
+    """Time a multi-operating-point scenario against its single-point twin.
+
+    The reference point is the same timeline pinned entirely to the
+    reference corner (what PR 4 could express); the reported ``overhead``
+    is the factor the operating-point machinery — per-phase voltage/
+    frequency weighting, closed-form last-written-value tracking, the idle
+    retention report — adds on top of the plain scenario walk.
+    """
+    from repro.scenario.driver import ScenarioAgingSimulator
+    from repro.scenario.phases import LifetimeScenario
+    from dataclasses import replace as _replace
+
+    factory = _scenario_bench_factory(seed=seed)
+    multi_point = LifetimeScenario.from_spec(DVFS_BENCH_SPEC)
+    # The single-point twin: identical phases, operating points stripped.
+    single_point = LifetimeScenario(
+        phases=tuple(_replace(phase, voltage_v=None, frequency_ghz=None)
+                     for phase in multi_point.phases),
+        years=multi_point.years,
+        reference_temperature_c=multi_point.reference_temperature_c)
+
+    def run(scenario):
+        return ScenarioAgingSimulator(scenario, stream_factory=factory,
+                                      seed=seed).run()
+
+    run(single_point)  # warm the stream cache for both sides
+    dvfs_seconds, dvfs_result = _best_of(repeats, run, multi_point)
+    single_seconds, single_result = _best_of(repeats, run, single_point)
+    retention = [entry for entry in (dvfs_result.phase_retention or [])
+                 if entry is not None]
+    return {
+        "spec": DVFS_BENCH_SPEC,
+        "num_phases": len(multi_point.phases),
+        "num_operating_points": sum(phase.has_explicit_point
+                                    for phase in multi_point.phases),
+        "dvfs_seconds": dvfs_seconds,
+        "single_point_seconds": single_seconds,
+        "overhead": (dvfs_seconds / single_seconds if single_seconds else None),
+        "effective_years_dvfs": dvfs_result.effective_years,
+        "effective_years_single_point": single_result.effective_years,
+        "idle_retention_mean": (retention[0]["failure_probability_mean"]
+                                if retention else None),
+    }
+
+
 def run_aging_bench(cases: Optional[Sequence[BenchCase]] = None, repeats: int = 3,
                     seed: int = 0, verify: bool = True,
-                    leveling: bool = True, scenario: bool = True) -> Dict[str, object]:
+                    leveling: bool = True, scenario: bool = True,
+                    dvfs: bool = True) -> Dict[str, object]:
     """Run the benchmark suite and return the ``BENCH_aging.json`` payload."""
     cases = list(cases) if cases is not None else default_bench_cases()
     results = [bench_case(case, repeats=repeats, seed=seed) for case in cases]
@@ -598,6 +660,8 @@ def run_aging_bench(cases: Optional[Sequence[BenchCase]] = None, repeats: int = 
         payload["leveling"] = bench_leveling(repeats=repeats, seed=seed, verify=verify)
     if scenario:
         payload["scenario"] = bench_scenario(repeats=repeats, seed=seed, verify=verify)
+    if dvfs:
+        payload["dvfs"] = bench_dvfs(repeats=repeats, seed=seed)
     if verify:
         payload["verification"] = verify_against_explicit(seed=seed)
     return payload
@@ -665,6 +729,18 @@ def render_bench_report(payload: Dict[str, object]) -> str:
         if scenario_verification is not None:
             status = "OK" if scenario_verification["explicit_match"] else "FAILED"
             lines.append(f"scenario explicit-engine cross-check: {status}")
+    dvfs = payload.get("dvfs")
+    if dvfs is not None:
+        overhead = dvfs["overhead"]
+        overhead_text = (f"{overhead:.2f}x overhead" if overhead is not None
+                         else "overhead n/a")
+        lines.append(
+            f"dvfs timeline ({dvfs['num_operating_points']} operating points "
+            f"over {dvfs['num_phases']} phases): {dvfs['dvfs_seconds']:.4f}s vs "
+            f"{dvfs['single_point_seconds']:.4f}s single-point "
+            f"({overhead_text}; effective years "
+            f"{dvfs['effective_years_dvfs']:.2f} vs "
+            f"{dvfs['effective_years_single_point']:.2f})")
     verification = payload.get("verification")
     if verification is not None:
         status = "OK" if verification["explicit_match"] else "FAILED"

@@ -39,6 +39,7 @@ from repro.orchestration import (
     load_all_experiments,
     render_experiment,
     run_experiment,
+    split_grid_values,
 )
 from repro.utils.serialization import save_json, to_jsonable
 from repro.utils.tables import AsciiTable
@@ -124,7 +125,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--grid", dest="grid", action="append", default=[],
                               metavar="PARAM=V1,V2,...", type=_parse_assignment,
                               help="one grid axis (repeatable); single-value axes pin "
-                                   "a parameter")
+                                   "a parameter; start the value list with ';', '|' "
+                                   "or '/' to use that character as the separator "
+                                   "instead of ',' (for values containing commas, "
+                                   "e.g. multi-phase scenario specs)")
     sweep_parser.add_argument("--workers", type=int, default=None,
                               help="worker processes (default: CPU-based, "
                                    "$DNN_LIFE_MAX_WORKERS overrides; 1 = serial)")
@@ -164,6 +168,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument("--skip-scenario", action="store_true",
                               help="skip the multi-phase scenario overhead "
                                    "entry (implied by --case)")
+    bench_parser.add_argument("--skip-dvfs", action="store_true",
+                              help="skip the DVFS multi-operating-point "
+                                   "overhead entry (implied by --case)")
 
     for spec in REGISTRY:
         aliases = [alias for alias, target in _COMMAND_ALIASES.items()
@@ -220,16 +227,24 @@ def _subcommand_invocation(args: argparse.Namespace):
 def _parse_grid(args: argparse.Namespace) -> Dict[str, List[Any]]:
     """Parse the repeated ``--grid PARAM=V1,V2,...`` options against the schema.
 
-    Shared by input validation and execution so the two can't diverge.
-    Raises ``ValueError`` on an empty or duplicated axis.
+    Value lists split on commas by default; a list opening with ``;``, ``|``
+    or ``/`` uses that character as the axis separator instead
+    (:func:`repro.orchestration.sweep.split_grid_values`), so multi-phase
+    scenario specs — which contain commas — can ride a grid axis.  Shared by
+    input validation and execution so the two can't diverge.  Raises
+    ``ValueError`` (a one-line exit-2 usage error) on an empty or duplicated
+    axis.
     """
     spec = REGISTRY.get(args.experiment)
     grid: Dict[str, List[Any]] = {}
     for name, values in args.grid:
         param = spec.get_param(name)
-        parsed = [param.parse(value) for value in values.split(",") if value != ""]
+        parsed = [param.parse(value) for value in split_grid_values(values)]
         if not parsed:
-            raise ValueError(f"grid axis '{name}' has no values")
+            raise ValueError(
+                f"grid axis '{name}' has no values (separate values with "
+                "',', or open the list with ';', '|' or '/' to choose that "
+                "separator)")
         if name in grid:
             combined = ",".join(str(value) for value in grid[name] + parsed)
             raise ValueError(
@@ -306,13 +321,14 @@ def _cmd_bench(args: argparse.Namespace) -> Tuple[Any, int]:
         known = {case.name: case for case in cases}
         cases = [known[name] for name in args.cases]
     # A --case selection bounds the bench to the named cases, so the
-    # (unnamed) leveling and scenario entries only run on full-suite
+    # (unnamed) leveling, scenario and dvfs entries only run on full-suite
     # invocations.
     leveling = not args.skip_leveling and not args.cases
     scenario = not args.skip_scenario and not args.cases
+    dvfs = not args.skip_dvfs and not args.cases
     payload = run_aging_bench(cases, repeats=max(args.repeats, 1), seed=args.seed,
                               verify=not args.skip_verify, leveling=leveling,
-                              scenario=scenario)
+                              scenario=scenario, dvfs=dvfs)
     print(render_bench_report(payload))
     output = args.output if args.output is not None else DEFAULT_OUTPUT
     if output != "-":

@@ -218,7 +218,8 @@ class DnnLife:
         return comparison
 
     def simulate_scenario(self, scenario=None, leveler=None,
-                          engine: str = "packed", scale=None):
+                          engine: str = "packed", scale=None,
+                          retention_model=None):
         """Evaluate a multi-phase lifetime scenario on this accelerator.
 
         ``scenario`` defaults to the one configured at construction time.
@@ -227,11 +228,14 @@ class DnnLife:
         :class:`~repro.experiments.common.ExperimentScale` the phase
         workloads are built at — it defaults to the quick scale (per-layer
         weight cap of 1M), so pass ``ExperimentScale.paper()`` to stream the
-        phase networks in full.  Returns a
-        :class:`~repro.scenario.driver.ScenarioResult`; its ``effective``
-        attribute is an :class:`~repro.core.simulation.AgingResult` every
-        existing consumer (histograms, wear maps, lifetime estimation)
-        accepts unchanged.
+        phase networks in full.  ``retention_model`` overrides the
+        :class:`~repro.scenario.operating_point.RetentionModel` the idle
+        phases report data-retention failure probabilities with (each
+        phase's DVFS operating point rides in the scenario itself).
+        Returns a :class:`~repro.scenario.driver.ScenarioResult`; its
+        ``effective`` attribute is an
+        :class:`~repro.core.simulation.AgingResult` every existing consumer
+        (histograms, wear maps, lifetime estimation) accepts unchanged.
         """
         from repro.scenario.driver import (
             ExplicitScenarioSimulator,
@@ -254,7 +258,8 @@ class DnnLife:
                                           seed=_factory_seed(self.seed))
         simulator = engines[engine](scenario, stream_factory=factory,
                                     seed=self.seed, snm_model=self.snm_model,
-                                    leveler=leveler)
+                                    leveler=leveler,
+                                    retention_model=retention_model)
         return simulator.run()
 
     def degradation_bins(self, num_bins: int = 8) -> np.ndarray:

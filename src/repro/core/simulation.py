@@ -228,14 +228,19 @@ def _snm_model_from_payload(payload: Dict[str, object]) -> SnmDegradationModel:
 # Explicit (exact, slow) engine
 # --------------------------------------------------------------------------- #
 def replay_inference(stream, policy: MitigationPolicy, ones: np.ndarray,
-                     writes: np.ndarray, remap: Optional[np.ndarray] = None) -> None:
+                     writes: np.ndarray, remap: Optional[np.ndarray] = None,
+                     stored: Optional[np.ndarray] = None) -> None:
     """Replay one inference epoch's block writes through ``policy``.
 
     The shared explicit-path primitive: encodes every block of ``stream``,
     verifies the decode round-trip (the mitigation hardware must be
     transparent to the computation), and accumulates the stored bits and
     write counts into ``ones``/``writes`` — through the optional
-    logical→physical row ``remap`` of a wear leveler.  Both
+    logical→physical row ``remap`` of a wear leveler.  When ``stored`` is
+    given (a ``(rows, word_bits)`` float array), every write additionally
+    overwrites the target rows with the bits it leaves behind, so after the
+    final epoch ``stored`` holds the exact last-written value of every
+    physical cell (the retention-phase input).  Both
     :class:`ExplicitAgingSimulator` and the scenario phase-replay engine
     (:class:`repro.scenario.driver.ExplicitScenarioSimulator`) are built on
     this function, so their per-epoch accounting cannot diverge.
@@ -258,6 +263,8 @@ def replay_inference(stream, policy: MitigationPolicy, ones: np.ndarray,
             target = remap[start_row:start_row + bits.shape[0]]
         ones[target] += bits
         writes[target] += 1
+        if stored is not None:
+            stored[target] = bits
 
 
 class ExplicitAgingSimulator:
@@ -387,6 +394,102 @@ class AgingSimulator:
             raise NotImplementedError(
                 "counts_kernel is only available on the packed engine")
         return self._packed_kernel(self.policy)
+
+    def last_bits_kernel(self):
+        """Closed-form "value left behind" factory (packed engine only).
+
+        Returns ``(last_bits, written_rows)``.  ``written_rows`` is the
+        boolean per-row mask of rows the stream writes at all, and
+        ``last_bits(t)`` yields the ``(rows, word_bits)`` float64 matrix of
+        the bits the *final* write of inference ``t`` (0-based since policy
+        reset) leaves in each written logical row; unwritten rows hold NaN.
+        For the deterministic policies the values are exact 0.0/1.0 and
+        match the explicit write-by-write replay bit for bit; for the
+        stochastic DNN-Life policy the matrix holds the per-cell
+        *expectation* of the stored bit (the TRBG enable is marginalised),
+        so the engines agree in distribution only.  This is the retention
+        input of the scenario layer: idle phases hold exactly what the
+        preceding phase's last epoch wrote.
+        """
+        if self.engine != "packed":
+            raise NotImplementedError(
+                "last_bits_kernel is only available on the packed engine")
+        packed = self._packed()
+        rows, word_bits = packed.geometry.rows, packed.word_bits
+        words_per_block = packed.words_per_block
+        word_in_block = np.arange(rows, dtype=np.int64) % words_per_block
+        # Per row: the last block (in stream order) covering it, i.e. the
+        # write whose stored value the row still holds at the epoch's end.
+        last_block = np.full(rows, -1, dtype=np.int64)
+        for region in range(packed.fifo_depth_tiles):
+            blocks = packed.region_blocks(region)
+            if not blocks.size:
+                continue
+            row_slice = slice(region * words_per_block,
+                              (region + 1) * words_per_block)
+            coverage = (packed.valid_words[blocks][:, None]
+                        > np.arange(words_per_block)[None, :])
+            position = np.where(coverage,
+                                np.arange(blocks.size)[:, None], -1).max(axis=0)
+            covered = position >= 0
+            last_block[row_slice][covered] = blocks[position[covered]]
+        written = last_block >= 0
+        last_raw = np.full((rows, word_bits), np.nan, dtype=np.float64)
+        last_raw[written] = packed.bits[last_block[written],
+                                        word_in_block[written], :]
+        # Write-counter index of the row's final write within one inference.
+        last_offset = np.zeros(rows, dtype=np.int64)
+        last_offset[written] = (packed.word_offsets[last_block[written]]
+                                + word_in_block[written])
+        policy = self.policy
+        total_words = packed.total_words
+
+        if isinstance(policy, NoMitigationPolicy):
+            def last_bits(t: int) -> np.ndarray:
+                return last_raw.copy()
+        elif isinstance(policy, PeriodicInversionPolicy):
+            if policy.granularity == "write":
+                # Words written before the final write since policy reset:
+                # t whole inferences plus the in-inference counter index.
+                def parity_of(t: int) -> np.ndarray:
+                    return (last_offset + t * total_words) % 2
+            else:
+                writes_per_row = packed.rows_writes().astype(np.int64)
+
+                def parity_of(t: int) -> np.ndarray:
+                    prior = t * writes_per_row + (writes_per_row - 1)
+                    return prior % 2
+
+            def last_bits(t: int) -> np.ndarray:
+                parity = parity_of(t)[:, None]
+                return np.where(parity == 1, 1.0 - last_raw, last_raw)
+        elif isinstance(policy, BarrelShifterPolicy):
+            column = np.arange(word_bits, dtype=np.int64)
+
+            def last_bits(t: int) -> np.ndarray:
+                shift = np.where(written,
+                                 (last_offset + t * total_words) % word_bits, 0)
+                index = (column[None, :] + shift[:, None]) % word_bits
+                return np.take_along_axis(last_raw, index, axis=1)
+        elif isinstance(policy, DnnLifePolicy):
+            bias = policy.controller.trbg.nominal_bias
+            balancer = policy.controller.bias_balancer
+            num_blocks = packed.num_blocks
+
+            def last_bits(t: int) -> np.ndarray:
+                if balancer is None:
+                    inverted = np.full(rows, bias)
+                else:
+                    register = (t * num_blocks + last_block + 1) % balancer.period
+                    phase_one = (register >> (balancer.num_bits - 1)) & 0x1
+                    inverted = np.where(phase_one == 1, 1.0 - bias, bias)
+                inverted = inverted[:, None]
+                return last_raw * (1.0 - inverted) + (1.0 - last_raw) * inverted
+        else:
+            raise NotImplementedError(
+                f"no last-bits fast path for policy type {type(policy).__name__}; "
+                "use ExplicitAgingSimulator instead")
+        return last_bits, written
 
     # -- dispatch ---------------------------------------------------------- #
     def _simulate_duty(self) -> np.ndarray:

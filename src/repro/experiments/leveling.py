@@ -37,21 +37,11 @@ from repro.experiments.common import (
     check_swap_fraction,
 )
 from repro.leveling import LEVELER_CHOICES, WearLeveler, make_leveler
-from repro.memory.wear_map import wear_map_from_result
+from repro.memory.wear_map import default_wear_regions, wear_map_from_result
 from repro.nn.models import MODEL_ZOO
 from repro.orchestration.registry import ParamSpec, register_experiment
 from repro.quantization.formats import get_format
 from repro.utils.units import KB
-
-
-def _wear_regions(rows: int, fifo_depth_tiles: int) -> int:
-    """Analysis regioning of the wear map: FIFO tiles, or coarse row bands."""
-    if fifo_depth_tiles > 1:
-        return fifo_depth_tiles
-    for candidate in (8, 4, 2):
-        if rows % candidate == 0:
-            return candidate
-    return 1
 
 
 def build_point_leveler(leveling: str, geometry, fifo_depth_tiles: int,
@@ -136,7 +126,7 @@ def run_leveling_point(network: str = "lenet5",
                                    seed=seed, leveler=active_leveler)
         return simulator.run()
 
-    num_regions = _wear_regions(geometry.rows, fifo_depth_tiles)
+    num_regions = default_wear_regions(geometry.rows, fifo_depth_tiles)
     max_render_rows = 16
     baseline = _panel(simulate(None), num_regions, max_render_rows)
     leveled = _panel(simulate(leveler), num_regions, max_render_rows)

@@ -5,24 +5,30 @@ driver evaluates a whole deployment *timeline*: an ordered list of phases
 (model swaps, idle retention stretches, thermal corners) expressed in the
 phase-spec mini-language and simulated by the
 :class:`~repro.scenario.driver.ScenarioAgingSimulator`.  Combined with
-``dnn-life sweep`` it turns workload diversity into a grid axis::
+``dnn-life sweep`` it turns workload diversity — and, through the
+``voltage_v``/``frequency_ghz`` default-operating-point parameters, the DVFS
+corner — into a grid axis::
 
     dnn-life scenario \
-        --spec "lenet5:int8:dnn_life:1000@85C,idle:500,alexnet:int8:inversion:1000@45C"
+        --spec "lenet5:int8:dnn_life:1000@85C@0.72V:0.5GHz,idle:500@45C@0.6V:0.1GHz"
 
     dnn-life sweep scenario \
-        --grid spec=lenet5:int8:none:20,lenet5:int8:inversion:20 \
-        --grid leveling=none,wear_swap
+        --grid "spec=;lenet5:int8:none:20,idle:10;lenet5:int8:inversion:20" \
+        --grid leveling=none,wear_swap \
+        --grid voltage_v=0.72,0.8,0.9
 
-(``--grid`` splits its value list on commas, so only *single-phase* specs can
-ride a grid axis; multi-phase specs — which contain commas themselves — run
-through ``--spec`` / ``--set spec=...`` or the :class:`SweepRunner` API.  An
-escaping convention is a ROADMAP open item.)
+(``--grid`` splits its value list on commas by default; multi-phase specs —
+which contain commas themselves — ride a grid axis through the alternate-
+separator convention: start the value list with ``;``, ``|`` or ``/`` and
+that character becomes the axis separator, as in the example above.)
 
-The payload reports the per-phase stress timeline, the aggregated effective
-(duty, years) view with its Fig. 9 style histogram, and the scenario-aware
-memory lifetime next to the naive single-corner estimate (what the classic
-lifetime-average-duty accounting would have claimed).
+The payload reports the per-phase stress timeline, per-phase wear maps with
+a compact region-imbalance timeline (*when* stress concentrated, not only
+where), idle-phase retention-failure probabilities at their operating
+points, the aggregated effective (duty, years) view with its Fig. 9 style
+histogram, and the scenario-aware memory lifetime next to the naive
+single-corner estimate (what the classic lifetime-average-duty accounting
+would have claimed).
 """
 
 from __future__ import annotations
@@ -33,6 +39,10 @@ from typing import Dict
 from repro.accelerator.baseline import BaselineAccelerator
 from repro.accelerator.config import baseline_config
 from repro.aging.lifetime import LifetimeEstimator
+from repro.aging.stress import (
+    DEFAULT_REFERENCE_FREQUENCY_GHZ,
+    DEFAULT_REFERENCE_VOLTAGE_V,
+)
 from repro.experiments.common import (
     ExperimentScale,
     check_non_negative,
@@ -41,6 +51,7 @@ from repro.experiments.common import (
 from repro.utils.validation import check_temperature_celsius
 from repro.experiments.leveling import build_point_leveler
 from repro.leveling import LEVELER_CHOICES
+from repro.memory.wear_map import default_wear_regions, wear_map_from_result
 from repro.orchestration.registry import ParamSpec, register_experiment
 from repro.scenario.driver import ScenarioAgingSimulator, scenario_stream_factory
 from repro.scenario.phases import LifetimeScenario
@@ -73,6 +84,8 @@ def run_scenario_point(spec: str = DEFAULT_SPEC,
                        swap_fraction: float = 0.5,
                        years: float = 7.0,
                        reference_temperature_c: float = 85.0,
+                       voltage_v: float = DEFAULT_REFERENCE_VOLTAGE_V,
+                       frequency_ghz: float = DEFAULT_REFERENCE_FREQUENCY_GHZ,
                        max_degradation_percent: float = 15.0,
                        quick: bool = True,
                        seed: int = 0) -> Dict[str, object]:
@@ -81,8 +94,9 @@ def run_scenario_point(spec: str = DEFAULT_SPEC,
     Parameters
     ----------
     spec:
-        Comma-separated phase tokens (``NETWORK:FORMAT:POLICY:DURATION[@TEMP]``
-        or ``idle:DURATION[@TEMP]``); see :mod:`repro.scenario.phases`.
+        Comma-separated phase tokens
+        (``NETWORK:FORMAT:POLICY:DURATION[@TEMP][@V:F]`` or
+        ``idle:DURATION[@TEMP][@V:F]``); see :mod:`repro.scenario.phases`.
     weight_memory_kb / fifo_depth_tiles:
         Weight-memory geometry shared by every phase of the timeline.
     leveling / leveling_period / rotation_step / swap_fraction:
@@ -92,6 +106,11 @@ def run_scenario_point(spec: str = DEFAULT_SPEC,
         Wall-clock span the whole timeline represents.
     reference_temperature_c:
         Temperature at which one phase-year counts as one effective year.
+    voltage_v / frequency_ghz:
+        Default DVFS operating point applied to phases that do not pin
+        their own ``@V:F`` suffix — the sweepable whole-timeline corner.
+        Phases with explicit points keep them; the defaults are the
+        reference corner (a no-op).
     max_degradation_percent:
         SNM-degradation threshold of the lifetime estimate.
     quick / seed:
@@ -99,6 +118,7 @@ def run_scenario_point(spec: str = DEFAULT_SPEC,
     """
     scenario = LifetimeScenario.from_spec(
         spec, years=years, reference_temperature_c=reference_temperature_c)
+    scenario = scenario.with_default_operating_point(voltage_v, frequency_ghz)
     scale = ExperimentScale.from_quick_flag(quick)
     config = replace(baseline_config(), name="scenario_point",
                      weight_memory_bytes=int(weight_memory_kb) * KB,
@@ -122,6 +142,7 @@ def run_scenario_point(spec: str = DEFAULT_SPEC,
     # What the classic single-corner accounting would claim: the same
     # effective duty-cycles aged entirely at the reference temperature.
     naive_lifetime_years = estimator.memory_lifetime_years(effective.duty_cycles)
+    num_regions = default_wear_regions(geometry.rows, fifo_depth_tiles)
     return {
         "workload": {
             "spec": spec,
@@ -133,12 +154,15 @@ def run_scenario_point(spec: str = DEFAULT_SPEC,
             "swap_fraction": float(swap_fraction),
             "years": float(years),
             "reference_temperature_c": float(reference_temperature_c),
+            "voltage_v": float(voltage_v),
+            "frequency_ghz": float(frequency_ghz),
             "max_degradation_percent": float(max_degradation_percent),
             "quick": bool(quick),
             "seed": int(seed),
         },
         "scenario": result.scenario,
         "phases": result.phase_rows(),
+        "wear": _scenario_wear_section(result, num_regions),
         "effective": {
             "summary": effective.summary(),
             "years": result.effective_years,
@@ -158,11 +182,76 @@ def run_scenario_point(spec: str = DEFAULT_SPEC,
     }
 
 
+def _scenario_wear_section(result, num_regions: int) -> Dict[str, object]:
+    """Per-phase wear maps plus a compact timeline of region imbalance.
+
+    The per-phase maps show *where* each phase concentrated stress; the
+    timeline shows *when* the imbalance built up across the deployment
+    (idle phases hold the preceding picture and report no imbalance of
+    their own).
+    """
+    per_phase = []
+    timeline = []
+    for row, phase_result in zip(result.phase_rows(), result.phase_results):
+        if phase_result is None:
+            per_phase.append(None)
+            timeline.append({"label": row["label"], "kind": "idle",
+                             "region_imbalance_pp": None, "worst_region": None})
+            continue
+        wear = wear_map_from_result(phase_result, num_regions=num_regions)
+        summary = wear.summary()
+        per_phase.append({
+            "label": row["label"],
+            "summary": summary,
+            "render": wear.render(max_rows=8),
+        })
+        timeline.append({"label": row["label"], "kind": "active",
+                         "region_imbalance_pp": summary["region_imbalance_pp"],
+                         "worst_region": summary["worst_region"]})
+    return {"num_regions": num_regions, "per_phase": per_phase,
+            "timeline": timeline}
+
+
+def _render_wear_timeline(wear: Dict[str, object], width: int = 24) -> str:
+    """ASCII bar chart of per-phase region imbalance over the timeline."""
+    lines = [f"-- region imbalance timeline ({wear['num_regions']} regions)"]
+    scale = max((entry["region_imbalance_pp"] or 0.0)
+                for entry in wear["timeline"]) or 1.0
+    for entry in wear["timeline"]:
+        if entry["kind"] == "idle":
+            lines.append(f"{entry['label']:<52} (idle — holds previous wear)")
+            continue
+        imbalance = entry["region_imbalance_pp"]
+        bar = "#" * max(int(round(width * imbalance / scale)),
+                        1 if imbalance > 0 else 0)
+        lines.append(f"{entry['label']:<52} |{bar:<{width}}| "
+                     f"{imbalance:.3f}pp (worst region {entry['worst_region']})")
+    return "\n".join(lines)
+
+
+def _render_retention_lines(phases) -> list:
+    """One report line per idle phase carrying a retention verdict."""
+    lines = []
+    for row in phases:
+        retention = row.get("retention")
+        if retention is None:
+            continue
+        point = retention["operating_point"]
+        lines.append(
+            f"{row['label']}: retention @{point['voltage_v']:g}V/"
+            f"{point['temperature_c']:g}C — mean failure probability "
+            f"{retention['failure_probability_mean']:.3g}, max "
+            f"{retention['failure_probability_max']:.3g}, expected bit flips "
+            f"{retention['expected_bit_flips']:.1f} of "
+            f"{retention['cells_tracked']} held cells")
+    return lines
+
+
 def render_scenario_point(payload: Dict[str, object], params: Dict[str, object]) -> str:
-    """Phase timeline table + effective histogram + lifetime verdict."""
+    """Phase timeline table + wear timeline + effective histogram + verdicts."""
     workload = payload["workload"]
     table = AsciiTable(
-        ["phase", "kind", "years", "temp [C]", "time factor", "mean duty"],
+        ["phase", "kind", "years", "temp [C]", "V", "time factor", "mean duty"],
         title=(f"=== scenario — {workload['weight_memory_kb']} KB x "
                f"{workload['fifo_depth_tiles']} tiles, leveling: "
                f"{workload['leveling']}, {len(payload['phases'])} phases ==="),
@@ -170,11 +259,19 @@ def render_scenario_point(payload: Dict[str, object], params: Dict[str, object])
     )
     for row in payload["phases"]:
         table.add_row([row["label"], row["kind"], row["years"],
-                       row["temperature_c"], row["time_factor"], row["mean_duty"]])
+                       row["temperature_c"], row.get("voltage_v", "-"),
+                       row["time_factor"], row["mean_duty"]])
     effective = payload["effective"]
     lifetime = payload["lifetime"]
     sections = [
         table.render(),
+        _render_wear_timeline(payload["wear"]),
+    ]
+    for entry in payload["wear"]["per_phase"]:
+        if entry is not None:
+            sections.append(f"-- {entry['label']}\n{entry['render']}")
+    sections.extend(_render_retention_lines(payload["phases"]))
+    sections += [
         format_histogram(
             effective["histogram_bin_labels"], effective["histogram_percent"],
             title=(f"-- effective stress histogram "
@@ -196,13 +293,14 @@ register_experiment(
     name="scenario",
     runner=run_scenario_point,
     description="Multi-phase lifetime timeline (model swaps, idle retention, "
-                "thermal corners) via the scenario engine",
+                "thermal corners, DVFS operating points) via the scenario "
+                "engine",
     artifact="lifetime-scenario axis (extension)",
     params=(
         ParamSpec("spec", str, DEFAULT_SPEC, validator=_check_spec,
                   help="comma-separated phase tokens "
-                       "(NETWORK:FORMAT:POLICY:DURATION[@TEMP] | "
-                       "idle:DURATION[@TEMP])"),
+                       "(NETWORK:FORMAT:POLICY:DURATION[@TEMP][@V:F] | "
+                       "idle:DURATION[@TEMP][@V:F])"),
         ParamSpec("weight_memory_kb", int, 8, flag="--memory-kb",
                   positive=True, help="weight-memory capacity in KB"),
         ParamSpec("fifo_depth_tiles", int, 1, positive=True,
@@ -220,6 +318,14 @@ register_experiment(
         ParamSpec("reference_temperature_c", float, 85.0, flag="--reference-temp",
                   validator=check_temperature_celsius,
                   help="Arrhenius reference corner in Celsius"),
+        ParamSpec("voltage_v", float, DEFAULT_REFERENCE_VOLTAGE_V,
+                  flag="--voltage", positive=True,
+                  help="default supply (V) for phases without an explicit "
+                       "@V:F point — the sweepable DVFS corner"),
+        ParamSpec("frequency_ghz", float, DEFAULT_REFERENCE_FREQUENCY_GHZ,
+                  flag="--frequency", positive=True,
+                  help="default clock (GHz) for phases without an explicit "
+                       "@V:F point — scales each epoch's wall-clock share"),
         ParamSpec("max_degradation_percent", float, 15.0, flag="--max-degradation",
                   positive=True, help="SNM-loss threshold of the lifetime estimate"),
         ParamSpec("quick", bool, True, help="cap per-layer weight counts"),

@@ -167,6 +167,23 @@ class WearMap:
         return "\n".join(lines)
 
 
+def default_wear_regions(rows: int, fifo_depth_tiles: int) -> int:
+    """Analysis regioning of a wear map: FIFO tiles, or coarse row bands.
+
+    FIFO-organised memories are regioned by their tiles (the physically
+    meaningful boundary); monolithic memories fall back to the largest of
+    8/4/2 row bands that divides the row count, so region-imbalance numbers
+    stay comparable across geometries.  Shared by the ``leveling`` and
+    ``scenario`` experiment reports.
+    """
+    if fifo_depth_tiles > 1:
+        return fifo_depth_tiles
+    for candidate in (8, 4, 2):
+        if rows % candidate == 0:
+            return candidate
+    return 1
+
+
 def wear_map_from_result(result, num_regions: int = 1) -> WearMap:
     """Build a :class:`WearMap` from an :class:`~repro.core.simulation.AgingResult`."""
     return WearMap(duty_cycles=result.duty_cycles, num_regions=num_regions,

@@ -39,6 +39,7 @@ from repro.orchestration.sweep import (
     SweepReport,
     SweepRunner,
     expand_grid,
+    split_grid_values,
 )
 
 __all__ = [
@@ -60,4 +61,5 @@ __all__ = [
     "SweepReport",
     "SweepRunner",
     "expand_grid",
+    "split_grid_values",
 ]

@@ -25,10 +25,41 @@ from repro.orchestration.registry import ExperimentRegistry, load_all_experiment
 from repro.utils.rng import deterministic_hash_seed
 from repro.utils.serialization import canonical_json
 
-__all__ = ["expand_grid", "SweepJob", "SweepJobResult", "SweepReport", "SweepRunner"]
+__all__ = ["expand_grid", "split_grid_values", "SweepJob", "SweepJobResult",
+           "SweepReport", "SweepRunner"]
 
 #: Environment variable overriding the default worker count.
 MAX_WORKERS_ENV = "DNN_LIFE_MAX_WORKERS"
+
+#: Characters a ``--grid`` value list may open with to declare an alternate
+#: axis separator (sed-style), so values containing commas — multi-phase
+#: scenario specs, ``@V:F`` operating-point suffixes — can ride a grid axis.
+GRID_AXIS_SEPARATORS = (";", "|", "/")
+
+
+def split_grid_values(text: str) -> List[str]:
+    """Split one ``--grid PARAM=V1,V2,...`` value list into raw value strings.
+
+    The default separator is the comma.  When the list's *first* character is
+    one of :data:`GRID_AXIS_SEPARATORS`, that character is consumed as the
+    axis separator instead (the sed ``s|…|…|`` convention), letting values
+    that legitimately contain commas ride a grid axis::
+
+        --grid policy=none,inversion                       # plain commas
+        --grid "spec=;lenet5:int8:none:5,idle:3;lenet5:int8:inversion:5"
+                                                           # ';' separates two
+                                                           # multi-phase specs
+
+    Empty values are dropped; a list that declares a separator but carries
+    no values splits to ``[]``, which the CLI reports as a one-line usage
+    error (exit 2).
+    """
+    if text[:1] in GRID_AXIS_SEPARATORS:
+        separator = text[0]
+        parts = text[1:].split(separator)
+    else:
+        parts = text.split(",")
+    return [part for part in (piece.strip() for piece in parts) if part]
 
 
 def expand_grid(grid: Mapping[str, Sequence[Any]]) -> List[Dict[str, Any]]:

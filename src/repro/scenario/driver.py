@@ -11,13 +11,19 @@ one shared contract:
   during active phases (remap events are write-triggered);
 * **idle phases retain weights**: no writes land, and each cell's retention
   stress-duty is modelled by the *preceding active phase's* per-cell duty —
-  the expected value of the bit the cell is left holding.  (Exact last-written
-  retention per cell is a ROADMAP follow-up; the expectation model keeps both
-  engines trivially bit-identical.)
-* **temperature weights time, not duty**: each phase contributes
-  ``(duty, years, temperature)`` to the :mod:`repro.aging.stress`
+  the expected value of the bit the cell is left holding.  Additionally both
+  engines track the **exact last-written value** of every physical cell
+  (closed-form per policy via
+  :meth:`repro.core.simulation.AgingSimulator.last_bits_kernel` on the
+  packed side, write-by-write on the explicit side), so idle phases report a
+  per-cell data-retention failure probability at their operating point —
+  low-voltage idle corners are where retention margins collapse;
+* **operating points weight time, not duty**: each phase contributes
+  ``(duty, years, temperature, voltage)`` to the :mod:`repro.aging.stress`
   aggregation, which folds the timeline into the single effective
-  ``(duty, years)`` pair every SNM model consumes.
+  ``(duty, years)`` pair every SNM model consumes; the phase's clock
+  frequency already entered through the wall-clock share
+  (:meth:`~repro.scenario.phases.LifetimeScenario.phase_years`).
 
 The fast driver evaluates each active phase through the policy's closed-form
 ``counts(start, n)`` kernel (:meth:`repro.core.simulation.AgingSimulator.counts_kernel`)
@@ -38,6 +44,7 @@ import numpy as np
 
 from repro.aging.snm import SnmDegradationModel, default_snm_model
 from repro.aging.stress import (
+    DEFAULT_REFERENCE_VOLTAGE_V,
     ArrheniusTimeScaling,
     PhaseStress,
     aggregate_stress,
@@ -51,6 +58,7 @@ from repro.core.simulation import (
     replay_inference,
 )
 from repro.leveling.remap import mean_duty_per_row
+from repro.scenario.operating_point import RetentionModel
 from repro.scenario.phases import LifetimeScenario, Phase
 from repro.utils.rng import SeedLike, spawn_rngs
 
@@ -111,6 +119,9 @@ class ScenarioResult:
     phase_results: List[Optional[AgingResult]]
     scaling: ArrheniusTimeScaling
     wall_years: float
+    #: Per-phase retention report (``None`` for active phases and for idle
+    #: phases with nothing held), aligned with ``phase_stress``.
+    phase_retention: Optional[List[Optional[Dict[str, object]]]] = None
     #: Set when rebuilt from a payload: the original per-phase report rows
     #: (the per-phase ``AgingResult`` objects are not round-tripped, so the
     #: kind/num_inferences columns cannot be re-derived from placeholders).
@@ -126,18 +137,25 @@ class ScenarioResult:
         if self._phase_rows_override is not None:
             return [dict(row) for row in self._phase_rows_override]
         rows = []
-        for stress, result in zip(self.phase_stress, self.phase_results):
+        retention = self.phase_retention or [None] * len(self.phase_stress)
+        for stress, result, held in zip(self.phase_stress, self.phase_results,
+                                        retention):
             duty = stress.duty.reshape(-1)
-            rows.append({
+            row = {
                 "label": stress.label,
                 "kind": "idle" if result is None else "active",
                 "years": stress.years,
                 "temperature_c": stress.temperature_c,
-                "time_factor": self.scaling.time_factor(stress.temperature_c),
+                "voltage_v": stress.voltage_v,
+                "time_factor": self.scaling.time_factor(stress.temperature_c,
+                                                        stress.voltage_v),
                 "num_inferences": None if result is None else result.num_inferences,
                 "mean_duty": float(duty.mean()),
                 "max_abs_deviation_from_half": float(np.abs(duty - 0.5).max()),
-            })
+            }
+            if held is not None:
+                row["retention"] = dict(held)
+            rows.append(row)
         return rows
 
     def summary(self) -> Dict[str, object]:
@@ -172,6 +190,7 @@ class ScenarioResult:
                 "label": stress.label,
                 "years": stress.years,
                 "temperature_c": stress.temperature_c,
+                "voltage_v": stress.voltage_v,
             }
             reference = next((j for j in range(index)
                               if self.phase_stress[j].duty is stress.duty), None)
@@ -189,6 +208,9 @@ class ScenarioResult:
             "effective": self.effective.to_payload(),
             "phases": self.phase_rows(),
             "phase_stress": stress_entries,
+            "phase_retention": (None if self.phase_retention is None else
+                                [None if entry is None else dict(entry)
+                                 for entry in self.phase_retention]),
             "phase_summaries": [None if result is None else result.summary()
                                 for result in self.phase_results],
         }
@@ -209,9 +231,12 @@ class ScenarioResult:
             else:
                 duty = np.asarray(entry["duty"], dtype=np.float64)
                 duty = duty.reshape([int(dim) for dim in entry["duty_shape"]])
+            voltage = entry.get("voltage_v", DEFAULT_REFERENCE_VOLTAGE_V)
             stress.append(PhaseStress(duty=duty, years=float(entry["years"]),
                                       temperature_c=float(entry["temperature_c"]),
-                                      label=str(entry["label"])))
+                                      label=str(entry["label"]),
+                                      voltage_v=float(voltage)))
+        retention = payload.get("phase_retention")
         return cls(
             scenario=dict(payload["scenario"]),
             engine=str(payload["engine"]),
@@ -220,6 +245,9 @@ class ScenarioResult:
             phase_results=[None] * len(stress),
             scaling=ArrheniusTimeScaling(**dict(payload["scaling"])),
             wall_years=float(payload["wall_years"]),
+            phase_retention=(None if retention is None else
+                             [None if entry is None else dict(entry)
+                              for entry in retention]),
             _phase_rows_override=[dict(row) for row in payload["phases"]],
         )
 
@@ -237,14 +265,21 @@ class _ScenarioEngineBase:
                  seed: SeedLike = 0,
                  snm_model: Optional[SnmDegradationModel] = None,
                  leveler=None,
-                 scaling: Optional[ArrheniusTimeScaling] = None):
+                 scaling: Optional[ArrheniusTimeScaling] = None,
+                 retention_model: Optional[RetentionModel] = None):
         self.scenario = scenario
         self.seed = seed
         self.snm_model = snm_model or default_snm_model()
         self.leveler = leveler
         self.scaling = scaling or self._default_scaling()
+        self.retention_model = retention_model or RetentionModel()
         self.stream_factory = stream_factory or scenario_stream_factory(seed=_factory_seed(seed))
         self._streams: Optional[Dict[Tuple[str, str], object]] = None
+        #: Exact last-written value of every physical cell (NaN = never
+        #: written); allocated by :func:`_run_timeline` only for timelines
+        #: with idle phases (the retention reports' sole consumer), updated
+        #: per active phase.
+        self._held: Optional[np.ndarray] = None
 
     def _default_scaling(self) -> ArrheniusTimeScaling:
         base = scaling_for_model(self.snm_model)
@@ -295,7 +330,9 @@ class _ScenarioEngineBase:
     # Packaging
     # ------------------------------------------------------------------ #
     def _package(self, phase_stress: List[PhaseStress],
-                 phase_results: List[Optional[AgingResult]]) -> ScenarioResult:
+                 phase_results: List[Optional[AgingResult]],
+                 phase_retention: Optional[List[Optional[Dict[str, object]]]] = None
+                 ) -> ScenarioResult:
         effective_duty, effective_years = aggregate_stress(phase_stress, self.scaling)
         description: Dict[str, object] = {"scenario": self.scenario.describe(),
                                           "engine": self.engine_name}
@@ -319,11 +356,45 @@ class _ScenarioEngineBase:
             phase_results=phase_results,
             scaling=self.scaling,
             wall_years=float(self.scenario.years),
+            phase_retention=phase_retention,
         )
 
     def _phase_policy(self, phase: Phase, word_bits: int, rng) -> object:
         return make_policy(phase.policy, word_bits, seed=rng,
                            **dict(phase.policy_options))
+
+    def _retention_report(self, phase: Phase, idle_years: float,
+                          stress_so_far: List[PhaseStress],
+                          label: str) -> Optional[Dict[str, object]]:
+        """Retention-failure report of one idle phase (``None`` if nothing held).
+
+        The cells' margin is evaluated at the stress they have accumulated by
+        the *end* of the idle window (conservative), at the idle phase's
+        operating point, against the exact last-written value each physical
+        cell holds.  For deterministic policies the report is bit-identical
+        between the engines; for the stochastic DNN-Life policy the packed
+        engine holds expectations where the explicit engine holds samples.
+        """
+        held = self._held
+        if held is None or not np.any(np.isfinite(held)):
+            return None
+        point = phase.operating_point
+        duty, effective_years = aggregate_stress(stress_so_far, self.scaling)
+        probability = self.retention_model.failure_probability(
+            held, duty, self.snm_model, effective_years,
+            point.voltage_v, point.temperature_c, idle_years)
+        finite = probability[np.isfinite(probability)]
+        return {
+            "label": label,
+            "operating_point": point.describe(),
+            "model": self.retention_model.describe(),
+            "idle_years": float(idle_years),
+            "cells_tracked": int(np.isfinite(held).sum()),
+            "failure_probability_mean": float(finite.mean()),
+            "failure_probability_max": float(finite.max()),
+            "expected_bit_flips": float(np.nansum(probability)),
+            "cells_at_risk_fraction": float((finite > 1e-6).mean()),
+        }
 
     # ------------------------------------------------------------------ #
     # Engine hooks (the template method :func:`_run_timeline` drives these)
@@ -384,6 +455,16 @@ def _run_timeline(engine: "_ScenarioEngineBase") -> ScenarioResult:
     leveler = engine.leveler
     if leveler is not None:
         leveler.reset()
+    # Last-written values only feed the idle retention reports; tracking is
+    # skipped entirely for timelines without idle phases and dropped once
+    # the last idle phase has been reported (phases after it would compute
+    # held values nothing ever reads) — pre-DVFS scenarios pay nothing for
+    # the new layer, and mixed timelines only pay up to their last idle.
+    last_idle_index = max((position
+                           for position, phase in enumerate(scenario.phases)
+                           if phase.is_idle), default=-1)
+    engine._held = (np.full((rows, word_bits), np.nan, dtype=np.float64)
+                    if last_idle_index >= 0 else None)
     engine._prepare(scenario.active_epochs)
     # Scenario-cumulative physical counts: the wear-map stress signal
     # feedback-driven levelers observe (identical between the engines — all
@@ -397,15 +478,22 @@ def _run_timeline(engine: "_ScenarioEngineBase") -> ScenarioResult:
     phase_years = scenario.phase_years()
     phase_stress: List[PhaseStress] = []
     phase_results: List[Optional[AgingResult]] = []
+    phase_retention: List[Optional[Dict[str, object]]] = []
     previous_duty: Optional[np.ndarray] = None
     cursor = 0
     active_index = 0
     for index, phase in enumerate(scenario.phases):
+        if index > last_idle_index:
+            engine._held = None
         label = phase.label(index)
+        voltage = phase.operating_point.voltage_v
         if phase.is_idle:
             phase_stress.append(PhaseStress(previous_duty, phase_years[index],
-                                            phase.temperature_c, label=label))
+                                            phase.temperature_c, label=label,
+                                            voltage_v=voltage))
             phase_results.append(None)
+            phase_retention.append(engine._retention_report(
+                phase, phase_years[index], phase_stress, label))
             continue
         stream = streams[(phase.network, phase.data_format)]
         policy = engine._phase_policy(phase, word_bits, rngs[active_index])
@@ -424,11 +512,13 @@ def _run_timeline(engine: "_ScenarioEngineBase") -> ScenarioResult:
         )
         phase_results.append(result)
         phase_stress.append(PhaseStress(duty, phase_years[index],
-                                        phase.temperature_c, label=label))
+                                        phase.temperature_c, label=label,
+                                        voltage_v=voltage))
+        phase_retention.append(None)
         previous_duty = duty
         cursor += phase.duration
         active_index += 1
-    return engine._package(phase_stress, phase_results)
+    return engine._package(phase_stress, phase_results, phase_retention)
 
 
 # --------------------------------------------------------------------------- #
@@ -465,8 +555,15 @@ class ScenarioAgingSimulator(_ScenarioEngineBase):
                                    num_inferences=phase.duration,
                                    seed=rng, snm_model=self.snm_model)
         kernel = simulator.counts_kernel()
+        track_held = self._held is not None
+        if track_held:
+            last_bits, written = simulator.last_bits_kernel()
         leveler = self.leveler
         if leveler is None:
+            if track_held:
+                # The value each written row holds after the phase is
+                # whatever its final write of the final epoch stored.
+                self._held[written] = last_bits(phase.duration - 1)[written]
             return kernel(0, phase.duration)
         rows, word_bits = self._geometry()
         ones = np.zeros((rows, word_bits), dtype=np.float64)
@@ -477,6 +574,13 @@ class ScenarioAgingSimulator(_ScenarioEngineBase):
             span_ones, span_writes = kernel(start - cursor, length)
             ones[permutation] += span_ones
             writes[permutation] += span_writes
+            if track_held:
+                # Within a constant-mapping span every written row's last
+                # write is in the span's final epoch; later spans overwrite
+                # earlier ones in stream order, so after the loop each
+                # physical cell holds exactly its last-written value.
+                stored = last_bits(start - cursor + length - 1)
+                self._held[permutation[written]] = stored[written]
             if track_feedback:
                 acc_ones[permutation] += span_ones
                 acc_writes[permutation] += span_writes
@@ -516,7 +620,8 @@ class ExplicitScenarioSimulator(_ScenarioEngineBase):
         for local_epoch in range(phase.duration):
             epoch = cursor + local_epoch
             remap = None if leveler is None else leveler.permutation(epoch)
-            replay_inference(stream, policy, ones, writes, remap)
+            replay_inference(stream, policy, ones, writes, remap,
+                             stored=self._held)
             if track_feedback:
                 leveler.observe(epoch + 1, mean_duty_per_row(
                     acc_ones + ones, (acc_writes + writes) * float(word_bits)))

@@ -10,16 +10,20 @@ the wall-clock span the whole timeline represents.
 The CLI addresses scenarios through a compact spec string, one token per
 phase::
 
-    lenet5:int8:dnn_life:1000@85C,idle:500,alexnet:int8:inversion:1000@45C
+    lenet5:int8:dnn_life:1000@85C@0.72V:0.5GHz,idle:500@45C@0.6V:0.1GHz
 
-* active token — ``NETWORK:FORMAT:POLICY:DURATION[@TEMP]``
-* idle token   — ``idle:DURATION[@TEMP]``
+* active token — ``NETWORK:FORMAT:POLICY:DURATION[@TEMP][@V:F]``
+* idle token   — ``idle:DURATION[@TEMP][@V:F]``
 
 ``FORMAT`` accepts the registered format names plus the shorthands in
 :data:`FORMAT_ALIASES`; ``TEMP`` is degrees Celsius with an optional ``C``
-suffix and defaults to :data:`DEFAULT_PHASE_TEMPERATURE_C`.  Parse errors are
-single-line ``ValueError`` messages naming the offending token, which the CLI
-surfaces verbatim instead of a traceback.
+suffix and defaults to :data:`DEFAULT_PHASE_TEMPERATURE_C`; ``V:F`` is a
+DVFS operating point (volts / GHz, see
+:mod:`repro.scenario.operating_point`) and defaults to the reference corner.
+The two ``@`` suffixes are recognised by shape (an operating point contains
+a colon), so either order parses.  Parse errors are single-line
+``ValueError`` messages naming the offending token, which the CLI surfaces
+verbatim instead of a traceback.
 """
 
 from __future__ import annotations
@@ -27,10 +31,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
-from repro.aging.stress import DEFAULT_REFERENCE_TEMPERATURE_C
+from repro.aging.stress import (
+    DEFAULT_REFERENCE_FREQUENCY_GHZ,
+    DEFAULT_REFERENCE_TEMPERATURE_C,
+    DEFAULT_REFERENCE_VOLTAGE_V,
+)
 from repro.core.policies import POLICY_NAMES
 from repro.nn.models import MODEL_ZOO
 from repro.quantization.formats import available_formats, get_format
+from repro.scenario.operating_point import (
+    OperatingPoint,
+    format_point_suffix,
+    parse_point_suffix,
+)
 from repro.utils.validation import (
     check_positive,
     check_positive_int,
@@ -55,8 +68,8 @@ FORMAT_ALIASES: Dict[str, str] = {
     "fp32": "float32",
 }
 
-_ACTIVE_GRAMMAR = "NETWORK:FORMAT:POLICY:DURATION[@TEMP]"
-_IDLE_GRAMMAR = "idle:DURATION[@TEMP]"
+_ACTIVE_GRAMMAR = "NETWORK:FORMAT:POLICY:DURATION[@TEMP][@V:F]"
+_IDLE_GRAMMAR = "idle:DURATION[@TEMP][@V:F]"
 
 
 @dataclass(frozen=True)
@@ -66,7 +79,11 @@ class Phase:
     ``network``/``data_format``/``policy`` are ``None`` exactly for idle
     phases.  ``duration`` counts inference epochs for active phases and
     epoch-equivalents of wall-clock time for idle ones (the scenario converts
-    both to years through the same epoch→time mapping).
+    both to years through the same epoch→time mapping, scaled by the phase's
+    clock frequency).  ``voltage_v``/``frequency_ghz`` pin the phase's DVFS
+    operating point; ``None`` (the default) resolves to the reference corner,
+    and naming either pins both (the omitted one at its reference value) so
+    a phase's point is always a complete corner.
     ``policy_options`` are extra keyword arguments forwarded to
     :func:`repro.core.policies.make_policy` (not expressible in the spec
     mini-language; available to programmatic callers).
@@ -78,6 +95,8 @@ class Phase:
     duration: int
     temperature_c: float = DEFAULT_PHASE_TEMPERATURE_C
     policy_options: Tuple[Tuple[str, object], ...] = ()
+    voltage_v: Optional[float] = None
+    frequency_ghz: Optional[float] = None
 
     def __post_init__(self) -> None:
         check_positive_int(self.duration, "phase duration")
@@ -92,6 +111,14 @@ class Phase:
         object.__setattr__(self, "policy_options",
                            tuple((str(key), value)
                                  for key, value in tuple(self.policy_options)))
+        if self.voltage_v is not None or self.frequency_ghz is not None:
+            if self.voltage_v is None:
+                object.__setattr__(self, "voltage_v", DEFAULT_REFERENCE_VOLTAGE_V)
+            if self.frequency_ghz is None:
+                object.__setattr__(self, "frequency_ghz",
+                                   DEFAULT_REFERENCE_FREQUENCY_GHZ)
+            # OperatingPoint validates voltage/frequency (positive, finite).
+            self.operating_point
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -99,7 +126,9 @@ class Phase:
     @classmethod
     def active(cls, network: str, data_format: str, policy: str, duration: int,
                temperature_c: float = DEFAULT_PHASE_TEMPERATURE_C,
-               policy_options: Optional[Mapping[str, object]] = None) -> "Phase":
+               policy_options: Optional[Mapping[str, object]] = None,
+               voltage_v: Optional[float] = None,
+               frequency_ghz: Optional[float] = None) -> "Phase":
         """An inference phase; names are validated against the registries."""
         if network not in MODEL_ZOO:
             raise ValueError(f"unknown network '{network}' "
@@ -114,14 +143,18 @@ class Phase:
                              f"(known: {', '.join(POLICY_NAMES)})")
         return cls(network=network, data_format=data_format, policy=policy,
                    duration=duration, temperature_c=float(temperature_c),
-                   policy_options=tuple((policy_options or {}).items()))
+                   policy_options=tuple((policy_options or {}).items()),
+                   voltage_v=voltage_v, frequency_ghz=frequency_ghz)
 
     @classmethod
     def idle(cls, duration: int,
-             temperature_c: float = DEFAULT_PHASE_TEMPERATURE_C) -> "Phase":
+             temperature_c: float = DEFAULT_PHASE_TEMPERATURE_C,
+             voltage_v: Optional[float] = None,
+             frequency_ghz: Optional[float] = None) -> "Phase":
         """A retention phase: powered, weights held, no writes."""
         return cls(network=None, data_format=None, policy=None,
-                   duration=duration, temperature_c=float(temperature_c))
+                   duration=duration, temperature_c=float(temperature_c),
+                   voltage_v=voltage_v, frequency_ghz=frequency_ghz)
 
     # ------------------------------------------------------------------ #
     # Views
@@ -132,27 +165,59 @@ class Phase:
         return self.network is None
 
     @property
+    def has_explicit_point(self) -> bool:
+        """Whether the phase names its own DVFS point (vs. the reference)."""
+        return self.voltage_v is not None
+
+    @property
+    def operating_point(self) -> OperatingPoint:
+        """The phase's resolved DVFS corner (reference values where omitted)."""
+        return OperatingPoint(
+            voltage_v=(DEFAULT_REFERENCE_VOLTAGE_V if self.voltage_v is None
+                       else self.voltage_v),
+            frequency_ghz=(DEFAULT_REFERENCE_FREQUENCY_GHZ
+                           if self.frequency_ghz is None else self.frequency_ghz),
+            temperature_c=self.temperature_c)
+
+    @property
     def word_bits(self) -> Optional[int]:
         """Word width of the phase's data format (``None`` for idle phases)."""
         return None if self.is_idle else get_format(self.data_format).word_bits
 
+    def _point_suffix(self) -> str:
+        """The ``@V:F`` token suffix (empty at the implicit reference point)."""
+        if not self.has_explicit_point:
+            return ""
+        return format_point_suffix(self.voltage_v, self.frequency_ghz)
+
     def label(self, index: int) -> str:
         """Human-readable phase label used in reports and error messages."""
+        suffix = self._point_suffix()
         if self.is_idle:
-            return f"phase {index}: idle x{self.duration} @{self.temperature_c:g}C"
+            return (f"phase {index}: idle x{self.duration} "
+                    f"@{self.temperature_c:g}C{suffix}")
         return (f"phase {index}: {self.network}/{self.data_format}/"
-                f"{self.policy} x{self.duration} @{self.temperature_c:g}C")
+                f"{self.policy} x{self.duration} @{self.temperature_c:g}C{suffix}")
 
     def to_token(self) -> str:
         """The spec mini-language token describing this phase."""
         if self.is_idle:
-            return f"idle:{self.duration}@{self.temperature_c:g}C"
-        return (f"{self.network}:{self.data_format}:{self.policy}:"
-                f"{self.duration}@{self.temperature_c:g}C")
+            head = f"idle:{self.duration}"
+        else:
+            head = (f"{self.network}:{self.data_format}:{self.policy}:"
+                    f"{self.duration}")
+        return f"{head}@{self.temperature_c:g}C{self._point_suffix()}"
 
     def describe(self) -> Dict[str, object]:
-        """JSON-safe description of the phase."""
-        return {
+        """JSON-safe description of the phase.
+
+        The operating-point keys appear only when the phase pins an explicit
+        ``@V:F`` point: omitted points resolve to the reference corner, and
+        omitting the keys keeps reference-corner descriptions — and hence the
+        ``AgingResult`` payloads embedding them — byte-identical to their
+        pre-DVFS form.
+        """
+        description: Dict[str, object] = {
             "kind": "idle" if self.is_idle else "active",
             "network": self.network,
             "data_format": self.data_format,
@@ -161,6 +226,10 @@ class Phase:
             "duration": self.duration,
             "temperature_c": self.temperature_c,
         }
+        if self.has_explicit_point:
+            description["voltage_v"] = self.voltage_v
+            description["frequency_ghz"] = self.frequency_ghz
+        return description
 
 
 def _parse_temperature(text: str, token: str) -> float:
@@ -186,25 +255,52 @@ def _parse_duration(text: str, token: str) -> int:
     return duration
 
 
+def _parse_phase_suffixes(token: str):
+    """Split a token into its head and the ``@TEMP`` / ``@V:F`` suffixes.
+
+    Suffixes are classified by shape — an operating point contains a colon —
+    so either order is accepted; duplicates of a kind are rejected.
+    """
+    head, *suffixes = token.split("@")
+    temperature: Optional[float] = None
+    point: Optional[Tuple[float, float]] = None
+    for suffix in suffixes:
+        if not suffix.strip():
+            raise ValueError(f"phase '{token}': '@' must be followed by a "
+                             "temperature (e.g. '@85C') or an operating "
+                             "point (e.g. '@0.72V:0.5GHz')")
+        if ":" in suffix:
+            if point is not None:
+                raise ValueError(f"phase '{token}': multiple operating-point "
+                                 "suffixes (at most one '@V:F' is allowed)")
+            point = parse_point_suffix(suffix, token)
+        else:
+            if temperature is not None:
+                raise ValueError(f"phase '{token}': multiple temperature "
+                                 "suffixes (at most one '@TEMP' is allowed)")
+            temperature = _parse_temperature(suffix, token)
+    if temperature is None:
+        temperature = DEFAULT_PHASE_TEMPERATURE_C
+    voltage, frequency = point if point is not None else (None, None)
+    return head, temperature, voltage, frequency
+
+
 def _parse_phase_token(token: str) -> Phase:
-    """Parse one comma-separated phase token of the spec mini-language."""
-    head, at_sign, temp_text = token.partition("@")
-    if at_sign and not temp_text.strip():
-        raise ValueError(f"phase '{token}': '@' must be followed by a "
-                         "temperature (e.g. '@85C')")
-    temperature = (_parse_temperature(temp_text, token) if temp_text
-                   else DEFAULT_PHASE_TEMPERATURE_C)
+    """Parse one phase token of the spec mini-language."""
+    head, temperature, voltage, frequency = _parse_phase_suffixes(token)
     fields = [part.strip() for part in head.split(":")]
     try:
         if fields and fields[0].lower() == "idle":
             if len(fields) != 2:
                 raise ValueError(f"expected '{_IDLE_GRAMMAR}'")
-            return Phase.idle(_parse_duration(fields[1], token), temperature)
+            return Phase.idle(_parse_duration(fields[1], token), temperature,
+                              voltage_v=voltage, frequency_ghz=frequency)
         if len(fields) != 4:
             raise ValueError(f"expected '{_ACTIVE_GRAMMAR}' or '{_IDLE_GRAMMAR}'")
         network, data_format, policy, duration_text = fields
         duration = _parse_duration(duration_text, token)
-        return Phase.active(network, data_format, policy, duration, temperature)
+        return Phase.active(network, data_format, policy, duration, temperature,
+                            voltage_v=voltage, frequency_ghz=frequency)
     except ValueError as error:
         message = str(error)
         prefix = f"phase '{token}': "
@@ -229,11 +325,14 @@ class LifetimeScenario:
     """An ordered, validated sequence of lifetime phases.
 
     ``years`` is the wall-clock span of the whole timeline; each phase's
-    share is proportional to its duration in epochs (one epoch represents
-    the same wall-clock time in every phase, inferring or idle).
-    ``reference_temperature_c`` anchors the Arrhenius equivalent-time
-    composition — at the reference temperature one phase-year counts as
-    exactly one effective year.
+    share is proportional to its duration in epochs *divided by its relative
+    clock frequency* — epochs/year is a per-phase quantity, so a phase
+    throttled to half the reference clock spans twice the wall-clock time
+    per epoch (inferring or idle).  With every phase at the reference
+    frequency this degenerates to plain duration-proportional shares,
+    bit-for-bit.  ``reference_temperature_c`` anchors the Arrhenius
+    equivalent-time composition — at the reference corner one phase-year
+    counts as exactly one effective year.
     """
 
     phases: Tuple[Phase, ...]
@@ -283,15 +382,21 @@ class LifetimeScenario:
         """Rebuild a scenario from :meth:`describe` output (payload transport)."""
         phases = []
         for entry in payload["phases"]:  # type: ignore[index]
+            voltage = entry.get("voltage_v")
+            frequency = entry.get("frequency_ghz")
+            point = {"voltage_v": None if voltage is None else float(voltage),
+                     "frequency_ghz": (None if frequency is None
+                                       else float(frequency))}
             if entry["kind"] == "idle":
                 phases.append(Phase.idle(int(entry["duration"]),
-                                         float(entry["temperature_c"])))
+                                         float(entry["temperature_c"]), **point))
             else:
                 phases.append(Phase.active(
                     str(entry["network"]), str(entry["data_format"]),
                     str(entry["policy"]), int(entry["duration"]),
                     float(entry["temperature_c"]),
-                    policy_options=dict(entry.get("policy_options") or {})))
+                    policy_options=dict(entry.get("policy_options") or {}),
+                    **point))
         return cls(phases=tuple(phases), years=float(payload["years"]),
                    reference_temperature_c=float(payload["reference_temperature_c"]),
                    name=str(payload.get("name", "")))
@@ -314,23 +419,66 @@ class LifetimeScenario:
         """The active (inference) phases, in order."""
         return [phase for phase in self.phases if not phase.is_idle]
 
-    def phase_years(self) -> List[float]:
-        """Wall-clock years of each phase (duration-proportional).
+    @property
+    def has_dvfs(self) -> bool:
+        """Whether any phase pins an explicit (non-reference) operating point."""
+        return any(phase.has_explicit_point for phase in self.phases)
 
-        Computed as ``years * (duration / total)`` so a single-phase scenario
-        gets exactly ``years`` (the fraction is exactly ``1.0``), keeping the
-        degenerate case bit-identical to the single-stream accounting.
+    def phase_years(self) -> List[float]:
+        """Wall-clock years of each phase.
+
+        Each phase's share is ``duration / relative_frequency`` (its
+        wall-clock extent in reference epoch-times), normalised over the
+        timeline.  With every phase at the reference frequency the weights
+        are the plain durations — ``duration / 1.0`` is exact — and a
+        single-phase scenario gets exactly ``years`` (the fraction is
+        exactly ``1.0``), keeping the degenerate cases bit-identical to the
+        pre-DVFS accounting.
         """
-        total = self.total_epochs
-        return [self.years * (phase.duration / total) for phase in self.phases]
+        weights = [phase.duration / phase.operating_point.relative_frequency
+                   for phase in self.phases]
+        total = sum(weights)
+        return [self.years * (weight / total) for weight in weights]
+
+    def with_default_operating_point(
+            self, voltage_v: float = DEFAULT_REFERENCE_VOLTAGE_V,
+            frequency_ghz: float = DEFAULT_REFERENCE_FREQUENCY_GHZ
+    ) -> "LifetimeScenario":
+        """Re-pin phases that omit ``@V:F`` to the given default corner.
+
+        Phases carrying an explicit operating point keep it; a default equal
+        to the reference corner returns ``self`` unchanged (preserving the
+        omitted-point representation and spec round-trips exactly).  This is
+        what makes voltage/frequency sweepable axes of the ``scenario``
+        experiment: the grid varies the default corner while the spec stays
+        one cacheable string.
+        """
+        voltage_v, frequency_ghz = float(voltage_v), float(frequency_ghz)
+        if (voltage_v == DEFAULT_REFERENCE_VOLTAGE_V
+                and frequency_ghz == DEFAULT_REFERENCE_FREQUENCY_GHZ):
+            return self
+        from dataclasses import replace as _replace
+
+        phases = tuple(phase if phase.has_explicit_point
+                       else _replace(phase, voltage_v=voltage_v,
+                                     frequency_ghz=frequency_ghz)
+                       for phase in self.phases)
+        return LifetimeScenario(phases=phases, years=self.years,
+                                reference_temperature_c=self.reference_temperature_c,
+                                name=self.name)
 
     def to_spec(self) -> str:
         """Canonical spec string (loses programmatic ``policy_options``)."""
         return ",".join(phase.to_token() for phase in self.phases)
 
     def describe(self) -> Dict[str, object]:
-        """JSON-safe description of the whole timeline."""
-        return {
+        """JSON-safe description of the whole timeline.
+
+        As with :meth:`Phase.describe`, the ``has_dvfs`` marker appears only
+        on timelines that actually pin operating points, so reference-corner
+        descriptions stay byte-identical to their pre-DVFS form.
+        """
+        description: Dict[str, object] = {
             "name": self.name,
             "spec": self.to_spec(),
             "years": self.years,
@@ -340,3 +488,6 @@ class LifetimeScenario:
             "active_epochs": self.active_epochs,
             "phases": [phase.describe() for phase in self.phases],
         }
+        if self.has_dvfs:
+            description["has_dvfs"] = True
+        return description

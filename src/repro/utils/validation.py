@@ -21,6 +21,19 @@ def check_positive(value: float, name: str, strict: bool = True) -> float:
     return value
 
 
+def check_positive_finite(value: float, name: str) -> float:
+    """Validate that ``value`` is strictly positive *and* finite.
+
+    The single source of the positive-and-finite rule physical quantities
+    (supply voltage, clock frequency) share; NaN and infinities are rejected
+    alongside non-positive values with one consistent message.
+    """
+    value = float(value)
+    if not math.isfinite(value) or not value > 0:
+        raise ValueError(f"{name} must be positive and finite, got {value!r}")
+    return value
+
+
 def check_probability(value: float, name: str) -> float:
     """Validate that ``value`` is a probability in [0, 1]."""
     if not 0.0 <= value <= 1.0:

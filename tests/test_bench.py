@@ -206,3 +206,49 @@ class TestScenarioBench:
 
     def test_payload_with_scenario_is_json_safe(self, smoke_payload):
         json.dumps(smoke_payload["scenario"])
+
+
+class TestDvfsBench:
+    def test_dvfs_entry(self, smoke_payload):
+        entry = smoke_payload["dvfs"]
+        assert entry["num_phases"] == 4
+        assert entry["num_operating_points"] == 4
+        assert entry["dvfs_seconds"] > 0
+        assert entry["single_point_seconds"] > 0
+        assert entry["overhead"] is not None
+        # the multi-point timeline and its reference-pinned twin must age
+        # differently (that is the whole point of the layer)
+        assert (entry["effective_years_dvfs"]
+                != entry["effective_years_single_point"])
+        # the 0.62V idle corner must flag retention risk
+        assert entry["idle_retention_mean"] > 0.5
+
+    def test_dvfs_scenarios_cross_check(self, smoke_payload):
+        checks = smoke_payload["scenario"]["verification"]["checks"]
+        assert "dvfs_retention+none" in checks
+        assert "dvfs_retention+rotation" in checks
+        assert "dvfs_retention+wear_swap" in checks
+        assert all(checks.values())
+
+    def test_dvfs_render(self, smoke_payload):
+        text = render_bench_report(smoke_payload)
+        assert "dvfs timeline" in text
+        assert "operating points" in text
+
+    def test_case_selection_skips_dvfs(self):
+        cases = [case for case in default_bench_cases()
+                 if case.name == "smoke_mnist_8bit"]
+        payload = run_aging_bench(cases, repeats=1, verify=False,
+                                  leveling=False, scenario=False, dvfs=False)
+        assert "dvfs" not in payload
+
+    def test_skip_dvfs_flag(self, tmp_path, capsys):
+        output = tmp_path / "bench.json"
+        assert main(["bench", "--output", str(output), "--repeats", "1",
+                     "--skip-verify", "--skip-leveling", "--skip-scenario",
+                     "--skip-dvfs", "--case", "smoke_mnist_8bit"]) == 0
+        payload = json.loads(output.read_text())
+        assert "dvfs" not in payload
+
+    def test_payload_with_dvfs_is_json_safe(self, smoke_payload):
+        json.dumps(smoke_payload["dvfs"])
