@@ -141,6 +141,34 @@ class ArrheniusTimeScaling:
             factor *= self.voltage_factor(voltage_v)
         return factor
 
+    def time_factor_array(self, temperature_c: np.ndarray,
+                          voltage_v: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`time_factor` over arrays of corners.
+
+        Broadcasts ``temperature_c`` against ``voltage_v`` and evaluates both
+        acceleration terms elementwise — the fleet engine's whole
+        ``(device, phase)`` corner grid in one call.  Entries exactly at a
+        reference value are pinned to exactly ``1.0`` (``np.where``, not
+        merely a computation that lands close), preserving the scalar
+        method's bit-identity guarantee for reference-corner devices.
+        """
+        temperature = np.asarray(temperature_c, dtype=np.float64)
+        voltage = np.asarray(voltage_v, dtype=np.float64)
+        if not np.all(voltage > 0):  # matches check_positive_finite, arrays
+            raise ValueError("voltage must be positive and finite")
+        kelvin = temperature + 273.15
+        if not np.all(kelvin > 0):
+            raise ValueError("temperature must be above absolute zero")
+        ratio = (np.exp(-self.activation_energy_ev / (BOLTZMANN_EV * kelvin))
+                 / self._arrhenius(self.reference_temperature_c))
+        thermal = np.where(temperature == self.reference_temperature_c, 1.0,
+                           ratio ** (1.0 / self.time_exponent))
+        acceleration = np.exp(self.voltage_acceleration_per_v
+                              * (voltage - self.reference_voltage_v))
+        voltage_term = np.where(voltage == self.reference_voltage_v, 1.0,
+                                acceleration ** (1.0 / self.time_exponent))
+        return thermal * voltage_term
+
     def describe(self) -> dict:
         """Machine-readable description (serialised into scenario payloads)."""
         return {

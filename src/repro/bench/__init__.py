@@ -10,9 +10,11 @@ from repro.bench.aging_bench import (
     BENCH_SCHEMA,
     DEFAULT_OUTPUT,
     DVFS_BENCH_SPEC,
+    FLEET_BENCH_MIX,
     BenchCase,
     SyntheticWeightStream,
     bench_dvfs,
+    bench_fleet,
     bench_leveling,
     bench_scenario,
     default_bench_cases,
@@ -27,9 +29,11 @@ __all__ = [
     "BENCH_SCHEMA",
     "DEFAULT_OUTPUT",
     "DVFS_BENCH_SPEC",
+    "FLEET_BENCH_MIX",
     "BenchCase",
     "SyntheticWeightStream",
     "bench_dvfs",
+    "bench_fleet",
     "bench_leveling",
     "bench_scenario",
     "default_bench_cases",

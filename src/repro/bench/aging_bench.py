@@ -633,10 +633,110 @@ def bench_dvfs(repeats: int = 3, seed: int = 0) -> Dict[str, object]:
     }
 
 
+#: Population of the fleet bench entry: a deployment/idle-retention mix and a
+#: retirement-corner workload, shipped at two DVFS corners with device spread.
+FLEET_BENCH_MIX = ("0.6*custom_mnist:int8:inversion:40@85C,idle:10@45C@0.7V:0.2GHz|"
+                   "0.4*lenet5:int8:none:40@45C")
+FLEET_BENCH_CORNERS = ((0.9, 1.0), (0.8, 0.5))
+
+
+def bench_fleet(repeats: int = 3, seed: int = 0, devices: int = 1000,
+                verify: bool = True) -> Dict[str, object]:
+    """Time the cohort-vectorized fleet engine against a per-device loop.
+
+    The fleet engine evaluates the whole population through a handful of
+    cohort-shared packed scenario runs plus closed-form per-device math; the
+    reference point is what the naive approach would cost — one full
+    :class:`~repro.scenario.driver.ScenarioAgingSimulator` run per device —
+    measured on a small subsample and extrapolated to the population.  The
+    subsample doubles as an equivalence check: the per-device loop must
+    reproduce the fleet's failure times through the shared
+    :func:`~repro.fleet.simulator.failure_times_from_scenario_result`
+    composition.
+    """
+    from repro.fleet import (
+        FleetSimulator,
+        FleetSpec,
+        failure_times_from_scenario_result,
+        parse_mix_spec,
+    )
+    from repro.scenario.driver import ScenarioAgingSimulator
+
+    scenarios, weights = parse_mix_spec(FLEET_BENCH_MIX)
+    spec = FleetSpec(num_devices=devices, scenarios=scenarios,
+                     scenario_weights=weights, corners=FLEET_BENCH_CORNERS,
+                     usage_sigma=0.3, thermal_sigma_c=5.0, seed_groups=2,
+                     seed=seed)
+    factory = _scenario_bench_factory(memory_kb=4, seed=seed,
+                                      max_weights_per_layer=10_000)
+    simulator = FleetSimulator(spec, stream_factory=factory)
+
+    simulator.run()  # warm the stream cache; charge neither side the build
+    fleet_seconds, result = _best_of(repeats, simulator.run)
+
+    sample = result.sample
+    subsample = min(8, devices)
+
+    def run_per_device_loop():
+        references = []
+        for device in range(subsample):
+            run = ScenarioAgingSimulator(
+                simulator.device_scenario(sample, device),
+                stream_factory=factory,
+                seed=simulator.device_seed(sample, device)).run()
+            references.append(failure_times_from_scenario_result(
+                run, usage=float(sample.usage[device]),
+                max_degradation_percent=simulator.max_degradation_percent,
+                reference_years=simulator.reference_years))
+        return references
+
+    run_per_device_loop()  # warm the per-device streams too
+    loop_seconds, references = _best_of(repeats, run_per_device_loop)
+    per_device_seconds = loop_seconds / subsample
+    estimated_loop_seconds = per_device_seconds * devices
+
+    payload: Dict[str, object] = {
+        "mix": FLEET_BENCH_MIX,
+        "corners": [list(corner) for corner in FLEET_BENCH_CORNERS],
+        "devices": devices,
+        "num_cohorts": len(result.cohorts),
+        "fleet_seconds": fleet_seconds,
+        "devices_per_second": devices / fleet_seconds if fleet_seconds else None,
+        "per_device_scenario_seconds": per_device_seconds,
+        "estimated_loop_seconds": estimated_loop_seconds,
+        "speedup": (estimated_loop_seconds / fleet_seconds
+                    if fleet_seconds else None),
+        "modes": result.mode_summary(),
+    }
+    if verify:
+        def close(a: float, b: float) -> bool:
+            if np.isinf(a) and np.isinf(b):
+                return True
+            return bool(np.isclose(a, b, rtol=1e-9, atol=0.0))
+
+        checks = [
+            close(float(result.snm_years[device]), ref["snm_years"])
+            and close(float(result.retention_years[device]),
+                      ref["retention_years"])
+            and str(result.modes[device]) == ref["mode"]
+            for device, ref in enumerate(references)
+        ]
+        payload["verification"] = {
+            "subsample_devices": subsample,
+            "per_device_match": checks,
+            "loop_match": all(checks),
+        }
+        if not all(checks):
+            raise AssertionError(
+                "fleet engine disagrees with the per-device scenario loop on "
+                f"devices {[i for i, ok in enumerate(checks) if not ok]}")
+    return payload
+
+
 def run_aging_bench(cases: Optional[Sequence[BenchCase]] = None, repeats: int = 3,
                     seed: int = 0, verify: bool = True,
                     leveling: bool = True, scenario: bool = True,
-                    dvfs: bool = True) -> Dict[str, object]:
+                    dvfs: bool = True, fleet: bool = True) -> Dict[str, object]:
     """Run the benchmark suite and return the ``BENCH_aging.json`` payload."""
     cases = list(cases) if cases is not None else default_bench_cases()
     results = [bench_case(case, repeats=repeats, seed=seed) for case in cases]
@@ -662,6 +762,8 @@ def run_aging_bench(cases: Optional[Sequence[BenchCase]] = None, repeats: int = 
         payload["scenario"] = bench_scenario(repeats=repeats, seed=seed, verify=verify)
     if dvfs:
         payload["dvfs"] = bench_dvfs(repeats=repeats, seed=seed)
+    if fleet:
+        payload["fleet"] = bench_fleet(repeats=repeats, seed=seed, verify=verify)
     if verify:
         payload["verification"] = verify_against_explicit(seed=seed)
     return payload
@@ -741,6 +843,22 @@ def render_bench_report(payload: Dict[str, object]) -> str:
             f"({overhead_text}; effective years "
             f"{dvfs['effective_years_dvfs']:.2f} vs "
             f"{dvfs['effective_years_single_point']:.2f})")
+    fleet = payload.get("fleet")
+    if fleet is not None:
+        speedup = fleet["speedup"]
+        speedup_text = (f"{speedup:.1f}x over the per-device loop"
+                        if speedup is not None else "loop reference n/a")
+        lines.append(
+            f"fleet population ({fleet['devices']} devices, "
+            f"{fleet['num_cohorts']} cohorts): {fleet['fleet_seconds']:.4f}s "
+            f"({fleet['devices_per_second']:.0f} devices/s; {speedup_text}, "
+            f"per-device scenario {fleet['per_device_scenario_seconds']:.4f}s)")
+        fleet_verification = fleet.get("verification")
+        if fleet_verification is not None:
+            status = "OK" if fleet_verification["loop_match"] else "FAILED"
+            lines.append(
+                f"fleet per-device-loop cross-check: {status} "
+                f"({fleet_verification['subsample_devices']} devices)")
     verification = payload.get("verification")
     if verification is not None:
         status = "OK" if verification["explicit_match"] else "FAILED"

@@ -171,6 +171,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument("--skip-dvfs", action="store_true",
                               help="skip the DVFS multi-operating-point "
                                    "overhead entry (implied by --case)")
+    bench_parser.add_argument("--skip-fleet", action="store_true",
+                              help="skip the fleet-scale population entry "
+                                   "(implied by --case)")
 
     for spec in REGISTRY:
         aliases = [alias for alias, target in _COMMAND_ALIASES.items()
@@ -326,9 +329,10 @@ def _cmd_bench(args: argparse.Namespace) -> Tuple[Any, int]:
     leveling = not args.skip_leveling and not args.cases
     scenario = not args.skip_scenario and not args.cases
     dvfs = not args.skip_dvfs and not args.cases
+    fleet = not args.skip_fleet and not args.cases
     payload = run_aging_bench(cases, repeats=max(args.repeats, 1), seed=args.seed,
                               verify=not args.skip_verify, leveling=leveling,
-                              scenario=scenario, dvfs=dvfs)
+                              scenario=scenario, dvfs=dvfs, fleet=fleet)
     print(render_bench_report(payload))
     output = args.output if args.output is not None else DEFAULT_OUTPUT
     if output != "-":

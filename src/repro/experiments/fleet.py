@@ -1,0 +1,292 @@
+"""Fleet-scale Monte Carlo lifetime experiment — the population sweep target.
+
+Where ``dnn-life scenario`` asks "when does *this* device die", ``dnn-life
+fleet`` asks the deployment question: across a population of devices drawn
+from per-device distributions (scenario mix, DVFS shipping corner, usage
+intensity, thermal environment), what fraction survives to year ``t``, where
+do the failure-time quantiles sit, and which mechanism — SNM wear-out or
+idle retention — kills each device first::
+
+    dnn-life fleet --devices 256 \
+        --mix "0.7*lenet5:int8:dnn_life:10@85C,idle:5@45C@0.7V:0.2GHz|0.3*custom_mnist:int8:inversion:10@45C" \
+        --corners "0.5*0.9V:1GHz,0.5*0.8V:0.5GHz" \
+        --usage-sigma 0.3 --thermal-sigma 5
+
+    dnn-life sweep fleet \
+        --grid corners=";0.9V:1GHz;0.8V:0.5GHz;0.72V:0.5GHz" \
+        --grid leveling=none,wear_swap
+
+(as with scenario specs, mixes containing commas ride a sweep axis through
+the alternate-separator convention: start the ``--grid`` value list with
+``;``, ``|`` or ``/``.)
+
+Devices sharing (scenario, seed group) form a cohort evaluated by ONE packed
+scenario run — see :mod:`repro.fleet.simulator` for the closed-form device
+axis — so a thousand-device population costs a handful of kernel
+evaluations, and sweep jobs agreeing on the geometry/seed affinity keys ride
+the per-process stream cache across fleet points.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+from typing import Dict
+
+from repro.accelerator.baseline import BaselineAccelerator
+from repro.accelerator.config import baseline_config
+from repro.experiments.common import (
+    ExperimentScale,
+    check_non_negative,
+    check_swap_fraction,
+)
+from repro.experiments.leveling import build_point_leveler
+from repro.fleet import FleetSimulator, FleetSpec, parse_corner_spec, parse_mix_spec
+from repro.leveling import LEVELER_CHOICES
+from repro.orchestration.registry import ParamSpec, register_experiment
+from repro.scenario.driver import scenario_stream_factory
+from repro.scenario.phases import LifetimeScenario
+from repro.utils.tables import AsciiTable
+from repro.utils.validation import check_temperature_celsius
+from repro.utils.units import KB
+
+#: Default population: a deployment/retirement mix with a cool idle
+#: retention stretch, shipped at two DVFS corners.
+DEFAULT_MIX = ("0.6*lenet5:int8:dnn_life:10@85C,idle:5@45C@0.7V:0.2GHz|"
+               "0.4*custom_mnist:int8:inversion:10@45C")
+DEFAULT_CORNERS = "0.5*0.9V:1GHz,0.5*0.8V:0.5GHz"
+
+
+def _check_mix(mix: str) -> None:
+    """Schema validator: parse the weighted scenario mix, incl. each spec."""
+    parse_mix_spec(mix)
+
+
+def _check_corners(corners: str) -> None:
+    """Schema validator: parse the weighted DVFS corner set."""
+    parse_corner_spec(corners)
+
+
+def run_fleet_point(devices: int = 64,
+                    mix: str = DEFAULT_MIX,
+                    corners: str = DEFAULT_CORNERS,
+                    usage_sigma: float = 0.3,
+                    thermal_sigma_c: float = 5.0,
+                    seed_groups: int = 2,
+                    weight_memory_kb: int = 8,
+                    fifo_depth_tiles: int = 1,
+                    leveling: str = "none",
+                    leveling_period: int = 2,
+                    rotation_step: int = 1,
+                    swap_fraction: float = 0.5,
+                    years: float = 7.0,
+                    reference_temperature_c: float = 85.0,
+                    max_degradation_percent: float = 15.0,
+                    quick: bool = True,
+                    seed: int = 0) -> Dict[str, object]:
+    """Population lifetime of a device fleet.
+
+    Parameters
+    ----------
+    devices:
+        Population size (number of sampled devices).
+    mix:
+        ``|``-separated weighted scenario mix, each entry
+        ``[WEIGHT*]PHASE-SPEC``; weights default to uniform and must sum
+        to 1 when given.
+    corners:
+        ``,``-separated weighted DVFS shipping corners ``[WEIGHT*]V:F``,
+        applied as each device's default operating point (phases pinning
+        their own ``@V:F`` keep it).
+    usage_sigma / thermal_sigma_c:
+        Device-to-device spread: lognormal sigma of the mean-1 usage
+        intensity and normal sigma (Celsius) of the thermal offset.
+    seed_groups:
+        Number of distinct policy/stream seeds across the population;
+        devices sharing (scenario, seed group) form one cohort.
+    weight_memory_kb / fifo_depth_tiles / leveling...:
+        Geometry and wear-leveling policy, as in the scenario experiment.
+    years / reference_temperature_c / max_degradation_percent:
+        Wall-clock span per timeline pass, Arrhenius anchor and
+        SNM-degradation failure threshold.
+    quick / seed:
+        Scale cap and the fleet's base sampling/policy seed.
+    """
+    scenarios, scenario_weights = parse_mix_spec(mix)
+    corner_points, corner_weights = parse_corner_spec(corners)
+    spec = FleetSpec(num_devices=devices,
+                     scenarios=scenarios,
+                     scenario_weights=scenario_weights,
+                     years=years,
+                     reference_temperature_c=reference_temperature_c,
+                     corners=corner_points,
+                     corner_weights=corner_weights,
+                     usage_sigma=usage_sigma,
+                     thermal_sigma_c=thermal_sigma_c,
+                     seed_groups=seed_groups,
+                     seed=seed)
+    scale = ExperimentScale.from_quick_flag(quick)
+    config = replace(baseline_config(), name="fleet_point",
+                     weight_memory_bytes=int(weight_memory_kb) * KB,
+                     weight_fifo_depth_tiles=fifo_depth_tiles)
+    accelerator = BaselineAccelerator(config=config)
+    factory = scenario_stream_factory(accelerator=accelerator, scale=scale,
+                                      seed=seed)
+    first = LifetimeScenario.from_spec(scenarios[0])
+    geometry = factory(first.active_phases[0]).geometry
+    leveler = build_point_leveler(leveling, geometry, fifo_depth_tiles,
+                                  leveling_period, rotation_step, swap_fraction)
+    simulator = FleetSimulator(spec, stream_factory=factory, leveler=leveler,
+                               max_degradation_percent=max_degradation_percent)
+    result = simulator.run()
+
+    summary = result.summary()
+    # Strict-JSON safety: quantiles of a population where some devices never
+    # fail can be infinite; encode those as null, as FleetResult.to_payload
+    # does for the per-device arrays.
+    quantiles = {label: (value if math.isfinite(value) else None)
+                 for label, value in summary["quantiles_years"].items()}
+    return {
+        "workload": {
+            "devices": int(devices),
+            "mix": mix,
+            "corners": corners,
+            "usage_sigma": float(usage_sigma),
+            "thermal_sigma_c": float(thermal_sigma_c),
+            "seed_groups": int(seed_groups),
+            "weight_memory_kb": int(weight_memory_kb),
+            "fifo_depth_tiles": int(fifo_depth_tiles),
+            "leveling": leveling,
+            "leveling_period": int(leveling_period),
+            "rotation_step": int(rotation_step),
+            "swap_fraction": float(swap_fraction),
+            "years": float(years),
+            "reference_temperature_c": float(reference_temperature_c),
+            "max_degradation_percent": float(max_degradation_percent),
+            "quick": bool(quick),
+            "seed": int(seed),
+        },
+        "population": spec.describe(),
+        "quantiles_years": quantiles,
+        "survival": {
+            "times_years": summary["survival_times_years"],
+            "fraction": summary["survival_fraction"],
+        },
+        "modes": summary["modes"],
+        "failure": {
+            "median_snm_years": summary["median_snm_years"],
+            "fraction_retention_limited": summary["fraction_retention_limited"],
+            "never_failing": int(sum(value is None
+                                     for value in result.to_payload()["failure_years"])),
+        },
+        "cohorts": [{
+            "scenario_index": entry["scenario_index"],
+            "seed_group": entry["seed_group"],
+            "seed": entry["seed"],
+            "num_devices": entry["num_devices"],
+            "spec": entry["spec"],
+        } for entry in result.cohorts],
+        "leveler": (leveler.describe() if leveler is not None
+                    else {"leveler": "none"}),
+    }
+
+
+def _render_survival(times, fraction, width: int = 40) -> str:
+    """ASCII survival curve: population fraction alive over wall-clock years."""
+    lines = ["-- population survival"]
+    for t, s in zip(times[:: max(1, len(times) // 16)],
+                    fraction[:: max(1, len(times) // 16)]):
+        bar = "#" * int(round(width * s))
+        lines.append(f"{t:8.2f}y |{bar:<{width}}| {100 * s:5.1f}% alive")
+    return "\n".join(lines)
+
+
+def render_fleet_point(payload: Dict[str, object], params: Dict[str, object]) -> str:
+    """Quantile table + survival sketch + failure-mode split + cohort map."""
+    workload = payload["workload"]
+    quantiles = payload["quantiles_years"]
+    table = AsciiTable(
+        ["quantile", "failure year"],
+        title=(f"=== fleet — {workload['devices']} devices, "
+               f"{len(payload['cohorts'])} cohorts, leveling: "
+               f"{workload['leveling']} ==="),
+        precision=3,
+    )
+    for label, value in quantiles.items():
+        table.add_row([label, "never" if value is None else value])
+    cohort_table = AsciiTable(
+        ["scenario", "seed group", "devices", "spec"],
+        title="-- cohorts (one packed run each)")
+    for entry in payload["cohorts"]:
+        spec_text = entry["spec"]
+        if len(spec_text) > 48:
+            spec_text = spec_text[:45] + "..."
+        cohort_table.add_row([entry["scenario_index"], entry["seed_group"],
+                              entry["num_devices"], spec_text])
+    modes = payload["modes"]
+    failure = payload["failure"]
+    mode_line = ", ".join(f"{name}: {count}" for name, count in sorted(modes.items()))
+    survival = payload["survival"]
+    return "\n\n".join([
+        table.render(),
+        _render_survival(survival["times_years"], survival["fraction"]),
+        (f"failure modes — {mode_line} "
+         f"({100 * failure['fraction_retention_limited']:.1f}% retention-limited, "
+         f"{failure['never_failing']} devices never fail)"),
+        cohort_table.render(),
+    ])
+
+
+register_experiment(
+    name="fleet",
+    runner=run_fleet_point,
+    description="Fleet-scale Monte Carlo lifetime: population survival curves, "
+                "failure-time quantiles and SNM-vs-retention attribution via "
+                "cohort-shared scenario kernels",
+    artifact="population-lifetime axis (extension)",
+    params=(
+        ParamSpec("devices", int, 64, positive=True,
+                  help="population size (number of sampled devices)"),
+        ParamSpec("mix", str, DEFAULT_MIX, validator=_check_mix,
+                  help="|-separated weighted scenario mix "
+                       "([WEIGHT*]PHASE-SPEC|...); weights must sum to 1"),
+        ParamSpec("corners", str, DEFAULT_CORNERS, validator=_check_corners,
+                  help=",-separated weighted DVFS shipping corners "
+                       "([WEIGHT*]V:F,...); weights must sum to 1"),
+        ParamSpec("usage_sigma", float, 0.3, flag="--usage-sigma",
+                  validator=check_non_negative,
+                  help="lognormal sigma of the mean-1 usage intensity"),
+        ParamSpec("thermal_sigma_c", float, 5.0, flag="--thermal-sigma",
+                  validator=check_non_negative,
+                  help="normal sigma (C) of the per-device thermal offset"),
+        ParamSpec("seed_groups", int, 2, positive=True,
+                  help="distinct policy/stream seeds across the population"),
+        ParamSpec("weight_memory_kb", int, 8, flag="--memory-kb",
+                  positive=True, help="weight-memory capacity in KB"),
+        ParamSpec("fifo_depth_tiles", int, 1, positive=True,
+                  help="FIFO tiles (1 = monolithic)"),
+        ParamSpec("leveling", str, "none", choices=LEVELER_CHOICES,
+                  help="wear-leveling policy (shared by every cohort)"),
+        ParamSpec("leveling_period", int, 2, positive=True,
+                  help="epochs per leveling step"),
+        ParamSpec("rotation_step", int, 1, validator=check_non_negative,
+                  help="rows rotated per inference"),
+        ParamSpec("swap_fraction", float, 0.5, validator=check_swap_fraction,
+                  help="fraction of rows the wear-guided swap exchanges"),
+        ParamSpec("years", float, 7.0, positive=True,
+                  help="wall-clock span of one timeline pass"),
+        ParamSpec("reference_temperature_c", float, 85.0, flag="--reference-temp",
+                  validator=check_temperature_celsius,
+                  help="Arrhenius reference corner in Celsius"),
+        ParamSpec("max_degradation_percent", float, 15.0, flag="--max-degradation",
+                  positive=True, help="SNM-loss threshold of the failure model"),
+        ParamSpec("quick", bool, True, help="cap per-layer weight counts"),
+        ParamSpec("seed", int, 0, help="fleet sampling / policy base seed"),
+    ),
+    full_config={"quick": False, "devices": 1024},
+    renderer=render_fleet_point,
+    tags=("sweep", "aging", "scenario", "fleet"),
+    # Jobs agreeing on these parameters share the per-process stream cache
+    # (one cached stream per distinct phase workload across the mix).
+    affinity=("weight_memory_kb", "fifo_depth_tiles", "quick", "seed"),
+)

@@ -1,0 +1,37 @@
+"""Fleet-scale Monte Carlo lifetime modelling.
+
+:mod:`repro.fleet.spec` declares *populations* — per-device distributions
+over scenario mix, DVFS corner, usage intensity and thermal environment,
+with seeded, serializable sampling; :mod:`repro.fleet.simulator` evaluates
+them through cohort-shared scenario kernels, closed-form on the device
+axis, and pins itself to the single-device engines through
+:func:`~repro.fleet.simulator.failure_times_from_scenario_result`.
+"""
+
+from repro.fleet.spec import (
+    FleetSample,
+    FleetSpec,
+    format_corner_spec,
+    format_mix_spec,
+    parse_corner_spec,
+    parse_mix_spec,
+)
+from repro.fleet.simulator import (
+    DEFAULT_QUANTILES,
+    FleetResult,
+    FleetSimulator,
+    failure_times_from_scenario_result,
+)
+
+__all__ = [
+    "DEFAULT_QUANTILES",
+    "FleetResult",
+    "FleetSample",
+    "FleetSimulator",
+    "FleetSpec",
+    "failure_times_from_scenario_result",
+    "format_corner_spec",
+    "format_mix_spec",
+    "parse_corner_spec",
+    "parse_mix_spec",
+]

@@ -1,0 +1,609 @@
+"""Fleet-scale Monte Carlo lifetime engine (cohort-vectorized, closed-form).
+
+The single-device stack answers "when does *this* memory die"; this module
+answers the population question — "which fraction of a fleet of devices is
+still alive at year ``t``, and what kills them first" — without simulating
+any device individually.  The key observation is a factorisation of the
+scenario engine's math:
+
+* the per-cell **duty arrays** of a timeline depend only on (scenario,
+  policy seed, leveler) — the cohort axis.  One packed
+  :class:`~repro.scenario.driver.ScenarioAgingSimulator` run per cohort
+  (evaluating each active phase with one ``counts_kernel`` call) produces
+  the duty arrays, the exact last-written values entering each idle phase
+  and the cohort's effective :class:`~repro.core.simulation.AgingResult`;
+* everything a *device* adds — its default DVFS corner (via
+  :meth:`~repro.scenario.phases.LifetimeScenario.with_default_operating_point`
+  semantics), its thermal offset, its usage intensity — enters only through
+  the scalar **stress weights** of :func:`repro.aging.stress.aggregate_stress`
+  (phase years x Arrhenius/voltage time factor) and through the idle
+  retention model's scalar corner arguments.
+
+:class:`FleetSimulator` therefore groups the sampled devices of a
+:class:`~repro.fleet.spec.FleetSpec` into ``(scenario, seed-group)``
+cohorts sharing one base run and one process-wide packed stream cache, and
+vectorizes the device axis of the stress aggregation: per-phase
+``(device, phase)`` grids of temperatures, voltages and wall-clock shares
+collapse through :meth:`~repro.aging.stress.ArrheniusTimeScaling.time_factor_array`
+into per-device effective ``(duty, years)`` pairs, evaluated chunk-wise
+against the SNM model.  Every reduction that feeds a comparison against the
+single-device engine accumulates **sequentially over phases in the same
+association order** as the scalar code, so a device sampled at the
+reference corner with zero offsets reproduces the scenario engine's numbers
+bit for bit — the property the equivalence test battery pins.
+
+Failure-time composition (shared with the per-device reference path through
+:func:`failure_times_from_scenario_result`):
+
+* **SNM wear-out** — the scenario-mix lifetime of
+  :meth:`repro.aging.lifetime.LifetimeEstimator.memory_lifetime_years_phases`
+  (most-aged cell reaches the degradation threshold, wall-clock accelerated
+  by ``effective_years / wall_years``), divided by the device's usage
+  intensity;
+* **idle retention** — each recorded idle phase contributes its expected
+  bit-flip count at the device's corner; flips are treated as a Poisson
+  process over timeline passes, so the expected time to the first flip is
+  ``wall_years / (flips_per_pass * usage)`` (infinite when no cell is at
+  risk, e.g. at the nominal idle supply).
+
+A device fails at the earlier of the two; the earlier mechanism is its
+failure-mode attribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as _dc_replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.aging.lifetime import LifetimeEstimator
+from repro.aging.nbti import BOLTZMANN_EV
+from repro.aging.snm import (
+    REFERENCE_LIFETIME_YEARS,
+    CalibratedSnmModel,
+    SnmDegradationModel,
+    default_snm_model,
+)
+from repro.aging.stress import (
+    DEFAULT_REFERENCE_FREQUENCY_GHZ,
+    ArrheniusTimeScaling,
+    scaling_for_model,
+)
+from repro.fleet.spec import FleetSample, FleetSpec
+from repro.scenario.driver import (
+    ScenarioAgingSimulator,
+    ScenarioResult,
+    StreamFactory,
+    _factory_seed,
+    scenario_stream_factory,
+)
+from repro.scenario.operating_point import RetentionModel
+from repro.scenario.phases import LifetimeScenario, Phase
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = [
+    "FleetResult",
+    "FleetSimulator",
+    "failure_times_from_scenario_result",
+]
+
+#: Quantile levels reported by default (p1 ... p99 of the failure times).
+DEFAULT_QUANTILES = (0.01, 0.05, 0.25, 0.5, 0.75, 0.95, 0.99)
+
+
+class _RecordingScenarioSimulator(ScenarioAgingSimulator):
+    """The packed scenario driver, recording idle-phase retention inputs.
+
+    The base engine reduces each idle phase to a summary report; the fleet
+    needs the raw inputs (the exact last-written cell values and the phase's
+    position in the stress timeline) to re-evaluate retention at every
+    *device's* corner.  The override snapshots them and then delegates, so
+    the cohort result itself stays byte-identical to a plain scenario run.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        #: ``(position_in_phase_stress, held_copy)`` per reported idle phase.
+        self.recorded_idles: List[Tuple[int, np.ndarray]] = []
+
+    def _retention_report(self, phase: Phase, idle_years: float,
+                          stress_so_far, label: str):
+        held = self._held
+        if held is not None and np.any(np.isfinite(held)):
+            self.recorded_idles.append((len(stress_so_far) - 1, held.copy()))
+        return super()._retention_report(phase, idle_years, stress_so_far, label)
+
+
+def failure_times_from_scenario_result(
+        result: ScenarioResult, usage: float = 1.0,
+        max_degradation_percent: float = 15.0,
+        reference_years: float = REFERENCE_LIFETIME_YEARS) -> Dict[str, object]:
+    """Failure-time composition of one device from its scenario result.
+
+    This is the single-device reference path of the fleet engine — the
+    equivalence tests and the bench's per-device loop both run a plain
+    :class:`~repro.scenario.driver.ScenarioAgingSimulator` per device and
+    compose failure times through this function, so "fleet == N independent
+    scenario runs" is a statement about one shared formula.
+    """
+    check_positive(usage, "usage")
+    estimator = LifetimeEstimator(snm_model=result.effective.snm_model,
+                                  max_degradation_percent=max_degradation_percent,
+                                  reference_years=reference_years)
+    snm_years = estimator.memory_lifetime_years_phases(
+        result.phase_stress, scaling=result.scaling) / usage
+    flips = 0.0
+    for entry in (result.phase_retention or []):
+        if entry is not None:
+            flips = flips + float(entry["expected_bit_flips"])
+    retention_years = (result.wall_years / (flips * usage) if flips > 0
+                       else float("inf"))
+    failure_years = min(snm_years, retention_years)
+    return {
+        "snm_years": float(snm_years),
+        "retention_years": float(retention_years),
+        "failure_years": float(failure_years),
+        "mode": "retention" if retention_years < snm_years else "snm",
+    }
+
+
+def _finite_to_payload(values: np.ndarray) -> List[Optional[float]]:
+    """JSON-safe float list: non-finite entries (never-failing devices) -> None."""
+    return [float(value) if np.isfinite(value) else None for value in values]
+
+
+def _finite_from_payload(values: Sequence[Optional[float]]) -> np.ndarray:
+    return np.asarray([np.inf if value is None else float(value)
+                       for value in values], dtype=np.float64)
+
+
+@dataclass
+class FleetResult:
+    """Population outcome of one fleet simulation.
+
+    Device-indexed arrays (aligned with ``sample``): ``snm_years`` /
+    ``retention_years`` / ``failure_years`` are wall-clock years until each
+    failure mechanism (``inf`` = never), ``modes`` the per-device
+    attribution (``"snm"`` or ``"retention"``).  ``cohorts`` carries one
+    entry per ``(scenario, seed-group)`` cohort including the base run's
+    full effective :class:`~repro.core.simulation.AgingResult` payload —
+    the byte-level anchor of the single-device equivalence tests.
+    """
+
+    spec: FleetSpec
+    sample: FleetSample
+    cohorts: List[Dict[str, object]]
+    snm_years: np.ndarray
+    retention_years: np.ndarray
+    failure_years: np.ndarray
+    modes: np.ndarray
+    scaling: ArrheniusTimeScaling
+    max_degradation_percent: float
+    reference_years: float
+
+    @property
+    def num_devices(self) -> int:
+        """Number of simulated devices."""
+        return int(self.failure_years.size)
+
+    # ------------------------------------------------------------------ #
+    # Population statistics
+    # ------------------------------------------------------------------ #
+    def failure_quantiles(self, quantiles: Sequence[float] = DEFAULT_QUANTILES
+                          ) -> Dict[str, float]:
+        """Failure-time quantiles (years); permutation-invariant, monotone in q."""
+        values = np.quantile(self.failure_years, np.asarray(quantiles))
+        return {f"p{100 * q:g}": float(value)
+                for q, value in zip(quantiles, values)}
+
+    def survival_curve(self, max_years: Optional[float] = None,
+                       points: int = 33) -> Tuple[np.ndarray, np.ndarray]:
+        """``(times, surviving_fraction)`` of the population.
+
+        ``surviving_fraction[i]`` is the fraction of devices whose failure
+        time strictly exceeds ``times[i]``.  The grid spans ``[0,
+        max_years]`` (default: the latest finite failure, or the spec's
+        wall-clock years when no device fails).
+        """
+        check_positive_int(points, "points")
+        if max_years is None:
+            finite = self.failure_years[np.isfinite(self.failure_years)]
+            max_years = float(finite.max()) if finite.size else self.spec.years
+        times = np.linspace(0.0, float(max_years), points)
+        surviving = (self.failure_years[None, :] > times[:, None]).mean(axis=1)
+        return times, surviving
+
+    def mode_summary(self) -> Dict[str, int]:
+        """Device counts per failure-mode attribution."""
+        labels, counts = np.unique(self.modes, return_counts=True)
+        return {str(label): int(count) for label, count in zip(labels, counts)}
+
+    def summary(self) -> Dict[str, object]:
+        """Headline population metrics."""
+        times, surviving = self.survival_curve()
+        return {
+            "num_devices": self.num_devices,
+            "num_cohorts": len(self.cohorts),
+            "quantiles_years": self.failure_quantiles(),
+            "modes": self.mode_summary(),
+            "median_snm_years": float(np.median(self.snm_years)),
+            "fraction_retention_limited": float(
+                np.mean(self.retention_years < self.snm_years)),
+            "survival_times_years": times.tolist(),
+            "survival_fraction": surviving.tolist(),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-safe representation (``inf`` failure times become ``null``)."""
+        return {
+            "spec": self.spec.to_payload(),
+            "sample": self.sample.to_payload(),
+            "cohorts": [dict(entry) for entry in self.cohorts],
+            "snm_years": _finite_to_payload(self.snm_years),
+            "retention_years": _finite_to_payload(self.retention_years),
+            "failure_years": _finite_to_payload(self.failure_years),
+            "modes": [str(mode) for mode in self.modes],
+            "scaling": self.scaling.describe(),
+            "max_degradation_percent": self.max_degradation_percent,
+            "reference_years": self.reference_years,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, object]) -> "FleetResult":
+        """Rebuild a result from :meth:`to_payload` output."""
+        return cls(
+            spec=FleetSpec.from_payload(payload["spec"]),
+            sample=FleetSample.from_payload(payload["sample"]),
+            cohorts=[dict(entry) for entry in payload["cohorts"]],
+            snm_years=_finite_from_payload(payload["snm_years"]),
+            retention_years=_finite_from_payload(payload["retention_years"]),
+            failure_years=_finite_from_payload(payload["failure_years"]),
+            modes=np.asarray([str(mode) for mode in payload["modes"]]),
+            scaling=ArrheniusTimeScaling(**dict(payload["scaling"])),
+            max_degradation_percent=float(payload["max_degradation_percent"]),
+            reference_years=float(payload["reference_years"]),
+        )
+
+
+class FleetSimulator:
+    """Evaluates a :class:`FleetSpec` population through cohort-shared kernels.
+
+    Devices agreeing on ``(scenario, seed group)`` form a cohort: one packed
+    scenario run (kernel evaluations, leveler walk, last-written-value
+    tracking) serves all of them, and the per-device physics — DVFS corner,
+    thermal offset, usage intensity — is applied analytically on top (see
+    the module docstring for the factorisation).  All cohorts share one
+    ``stream_factory``, so distinct cohorts of the same workload ride the
+    process-wide stream cache, and sweep jobs with stream affinity reuse it
+    across fleet points.
+    """
+
+    def __init__(self, spec: FleetSpec,
+                 stream_factory: Optional[StreamFactory] = None,
+                 snm_model: Optional[SnmDegradationModel] = None,
+                 leveler=None,
+                 scaling: Optional[ArrheniusTimeScaling] = None,
+                 retention_model: Optional[RetentionModel] = None,
+                 max_degradation_percent: float = 15.0,
+                 reference_years: float = REFERENCE_LIFETIME_YEARS,
+                 device_chunk: int = 64):
+        self.spec = spec
+        self.snm_model = snm_model or default_snm_model()
+        self.leveler = leveler
+        self.retention_model = retention_model or RetentionModel()
+        self.scaling = scaling or self._default_scaling()
+        self.stream_factory = (stream_factory or
+                               scenario_stream_factory(seed=_factory_seed(spec.seed)))
+        self.max_degradation_percent = check_positive(
+            float(max_degradation_percent), "max_degradation_percent")
+        self.reference_years = check_positive(float(reference_years),
+                                              "reference_years")
+        self.device_chunk = check_positive_int(device_chunk, "device_chunk")
+        self.scenarios = spec.build_scenarios()
+
+    def _default_scaling(self) -> ArrheniusTimeScaling:
+        # Mirrors _ScenarioEngineBase._default_scaling so a cohort run inside
+        # the fleet uses the exact scaling a standalone scenario run would.
+        base = scaling_for_model(self.snm_model)
+        if base.reference_temperature_c != self.spec.reference_temperature_c:
+            base = ArrheniusTimeScaling(
+                activation_energy_ev=base.activation_energy_ev,
+                time_exponent=base.time_exponent,
+                reference_temperature_c=self.spec.reference_temperature_c)
+        return base
+
+    # ------------------------------------------------------------------ #
+    # Single-device reference view (used by the equivalence tests / bench)
+    # ------------------------------------------------------------------ #
+    def device_scenario(self, sample: FleetSample, device: int) -> LifetimeScenario:
+        """The exact scenario one sampled device runs, as a standalone object.
+
+        Applies the device's default corner through
+        :meth:`LifetimeScenario.with_default_operating_point` (phases with
+        explicit ``@V:F`` points keep them) and shifts every phase
+        temperature by the device's thermal offset — the timeline a plain
+        :class:`ScenarioAgingSimulator` must be given to reproduce this
+        device individually.
+        """
+        scenario = self.scenarios[int(sample.scenario_index[device])]
+        voltage, frequency = self.spec.corners[int(sample.corner_index[device])]
+        scenario = scenario.with_default_operating_point(voltage, frequency)
+        offset = float(sample.temperature_offset_c[device])
+        if offset != 0.0:
+            scenario = LifetimeScenario(
+                phases=tuple(_dc_replace(phase,
+                                         temperature_c=phase.temperature_c + offset)
+                             for phase in scenario.phases),
+                years=scenario.years,
+                reference_temperature_c=scenario.reference_temperature_c,
+                name=scenario.name)
+        return scenario
+
+    def device_seed(self, sample: FleetSample, device: int) -> int:
+        """The policy/stream seed of one sampled device (its seed group's)."""
+        return self.spec.group_seed(int(sample.seed_group[device]))
+
+    # ------------------------------------------------------------------ #
+    # Population evaluation
+    # ------------------------------------------------------------------ #
+    def run(self) -> FleetResult:
+        """Sample the population and evaluate every cohort; returns the result."""
+        sample = self.spec.sample()
+        devices = sample.num_devices
+        snm_years = np.full(devices, np.nan)
+        retention_years = np.full(devices, np.nan)
+
+        cohort_keys = sorted(set(zip(sample.scenario_index.tolist(),
+                                     sample.seed_group.tolist())))
+        cohorts: List[Dict[str, object]] = []
+        for scenario_index, group in cohort_keys:
+            scenario = self.scenarios[scenario_index]
+            seed = self.spec.group_seed(group)
+            engine = _RecordingScenarioSimulator(
+                scenario, stream_factory=self.stream_factory, seed=seed,
+                snm_model=self.snm_model, leveler=self.leveler,
+                scaling=self.scaling, retention_model=self.retention_model)
+            result = engine.run()
+            members = np.nonzero((sample.scenario_index == scenario_index)
+                                 & (sample.seed_group == group))[0]
+            cohort_snm, cohort_retention = self._evaluate_cohort(
+                scenario, result, engine.recorded_idles, sample, members)
+            snm_years[members] = cohort_snm
+            retention_years[members] = cohort_retention
+            cohorts.append({
+                "scenario_index": int(scenario_index),
+                "seed_group": int(group),
+                "seed": int(seed),
+                "num_devices": int(members.size),
+                "spec": self.spec.scenarios[scenario_index],
+                "effective": result.effective.to_payload(),
+            })
+
+        failure_years = np.minimum(snm_years, retention_years)
+        modes = np.where(retention_years < snm_years, "retention", "snm")
+        return FleetResult(
+            spec=self.spec,
+            sample=sample,
+            cohorts=cohorts,
+            snm_years=snm_years,
+            retention_years=retention_years,
+            failure_years=failure_years,
+            modes=modes,
+            scaling=self.scaling,
+            max_degradation_percent=self.max_degradation_percent,
+            reference_years=self.reference_years,
+        )
+
+    # ------------------------------------------------------------------ #
+    # The vectorized device axis of one cohort
+    # ------------------------------------------------------------------ #
+    def _evaluate_cohort(self, scenario: LifetimeScenario,
+                         result: ScenarioResult,
+                         recorded_idles: List[Tuple[int, np.ndarray]],
+                         sample: FleetSample,
+                         members: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-device (snm_years, retention_years) of one cohort's members.
+
+        Builds the ``(device, phase)`` corner grid, folds it through the
+        vectorized time scaling into per-device stress weights, and blends
+        the cohort's shared duty arrays into per-device effective stress —
+        accumulating over phases in exactly
+        :func:`repro.aging.stress.aggregate_stress`'s association order, so
+        a reference-corner device reproduces the scalar path bit for bit.
+        """
+        spec = self.spec
+        phases = scenario.phases
+        num_phases = len(phases)
+        count = members.size
+        corner = np.asarray(spec.corners, dtype=np.float64)[sample.corner_index[members]]
+        offset = sample.temperature_offset_c[members]
+        usage = sample.usage[members]
+
+        # (device, phase) grids: explicit @V:F points override the corner.
+        voltage = np.empty((count, num_phases))
+        frequency = np.empty((count, num_phases))
+        temperature = np.empty((count, num_phases))
+        durations = np.empty(num_phases)
+        for index, phase in enumerate(phases):
+            point = phase.operating_point
+            if phase.has_explicit_point:
+                voltage[:, index] = point.voltage_v
+                frequency[:, index] = point.frequency_ghz
+            else:
+                voltage[:, index] = corner[:, 0]
+                frequency[:, index] = corner[:, 1]
+            temperature[:, index] = phase.temperature_c + offset
+            durations[index] = phase.duration
+
+        # Wall-clock shares (LifetimeScenario.phase_years, device axis):
+        # duration / relative-frequency, normalised over the timeline.
+        relative = np.where(frequency == DEFAULT_REFERENCE_FREQUENCY_GHZ, 1.0,
+                            frequency / DEFAULT_REFERENCE_FREQUENCY_GHZ)
+        shares = durations[None, :] / relative
+        total = shares[:, 0].copy()
+        for index in range(1, num_phases):
+            total = total + shares[:, index]
+        years = spec.years * (shares / total[:, None])
+
+        # Stress weights (aggregate_stress, device axis): phase years times
+        # the Arrhenius/voltage time factor at the device's corner.
+        factors = self.scaling.time_factor_array(temperature, voltage)
+        weights = years * factors
+        effective_years = weights[:, 0].copy()
+        wall_years = years[:, 0].copy()
+        for index in range(1, num_phases):
+            effective_years = effective_years + weights[:, index]
+            wall_years = wall_years + years[:, index]
+        acceleration = effective_years / wall_years
+
+        duties = [stress.duty.reshape(-1) for stress in result.phase_stress]
+        time_exponent = float(getattr(self.snm_model, "time_exponent", 1.0 / 6.0))
+
+        snm_years = np.empty(count)
+        for start in range(0, count, self.device_chunk):
+            chunk = slice(start, min(start + self.device_chunk, count))
+            blend = self._blend(duties, weights[chunk], effective_years[chunk],
+                                num_phases)
+            # The memory's lifetime is its most-aged cell's; degradation is
+            # monotone in the stress fraction max(d, 1-d), so only each
+            # device's max-stress cell needs the power law (clip commutes
+            # with max, and the retained cell evaluates through the exact
+            # per-cell ops of LifetimeEstimator.cell_lifetimes_years).
+            stress_max = np.maximum(blend, 1.0 - blend).max(axis=1)
+            worst = self.snm_model.degradation_percent(stress_max,
+                                                       self.reference_years)
+            with np.errstate(divide="ignore"):
+                ratio = self.max_degradation_percent / worst
+                base = self.reference_years * np.power(ratio, 1.0 / time_exponent)
+            snm_years[chunk] = base / acceleration[chunk] / usage[chunk]
+
+        retention_years = self._retention_years(
+            scenario, result, recorded_idles, sample, members,
+            voltage, temperature, years, weights, usage)
+        return snm_years, retention_years
+
+    def _blend(self, duties: List[np.ndarray], weights: np.ndarray,
+               effective_years: np.ndarray, num_phases: int) -> np.ndarray:
+        """Per-device effective duty over the first ``num_phases`` phases.
+
+        The sequential accumulation mirrors ``aggregate_stress`` exactly:
+        ``eff = (w0/W) * d0`` then ``eff = eff + (wi/W) * di``.
+        """
+        coefficient = weights[:, 0] / effective_years
+        blend = coefficient[:, None] * duties[0][None, :]
+        for index in range(1, num_phases):
+            coefficient = weights[:, index] / effective_years
+            blend = blend + coefficient[:, None] * duties[index][None, :]
+        return blend
+
+    def _retention_years(self, scenario: LifetimeScenario,
+                         result: ScenarioResult,
+                         recorded_idles: List[Tuple[int, np.ndarray]],
+                         sample: FleetSample, members: np.ndarray,
+                         voltage: np.ndarray, temperature: np.ndarray,
+                         years: np.ndarray, weights: np.ndarray,
+                         usage: np.ndarray) -> np.ndarray:
+        """Expected wall-clock years to the first retention flip, per device.
+
+        Each recorded idle phase is re-evaluated at every device's corner:
+        the stress accumulated through the end of the idle window (the
+        prefix of the weight matrix) and the phase's per-device idle span
+        feed :meth:`_batched_flips` — a device-batched transliteration of
+        :meth:`RetentionModel.failure_probability` — so a reference-corner
+        device reproduces the scenario's ``expected_bit_flips`` bit for bit.
+        """
+        count = members.size
+        flips = np.zeros(count)
+        if recorded_idles:
+            duties = [stress.duty for stress in result.phase_stress]
+            for position, held in recorded_idles:
+                prefix = position + 1
+                stressed = weights[:, 0].copy()
+                for index in range(1, prefix):
+                    stressed = stressed + weights[:, index]
+                flat = [duty.reshape(-1) for duty in duties[:prefix]]
+                for start in range(0, count, self.device_chunk):
+                    chunk = slice(start, min(start + self.device_chunk, count))
+                    blend = self._blend(flat, weights[chunk], stressed[chunk],
+                                        prefix)
+                    flips[chunk] = flips[chunk] + self._batched_flips(
+                        held.reshape(-1), blend, stressed[chunk],
+                        voltage[chunk, position], temperature[chunk, position],
+                        years[chunk, position])
+        with np.errstate(divide="ignore"):
+            return np.where(flips > 0, result.wall_years / (flips * usage), np.inf)
+
+    def _batched_flips(self, held: np.ndarray, blend: np.ndarray,
+                       stressed: np.ndarray, voltage: np.ndarray,
+                       temperature: np.ndarray,
+                       idle_years: np.ndarray) -> np.ndarray:
+        """Expected bit flips of one idle phase for a chunk of devices.
+
+        A device-batched transliteration of
+        :meth:`RetentionModel.failure_probability` followed by the scenario
+        report's ``nansum``: the per-cell elementwise operations run in the
+        same sequence over ``(device, cell)`` grids (IEEE elementwise ops
+        broadcast bit-identically), the per-device scalars (one-sided
+        degradation anchors, thermal factor) are computed through the exact
+        scalar calls, and cells whose hold-probability is *exactly* 0 on a
+        side are skipped — their term is an exact IEEE ``0 * finite = 0``,
+        the additive identity — which for deterministic policies (held
+        values 0/1) halves the transcendental work.  Cells never written
+        (NaN held value) contribute NaN in the scalar path, which ``nansum``
+        ignores; here they are simply excluded from both sides.
+        """
+        model = self.retention_model
+        count = blend.shape[0]
+        if isinstance(self.snm_model, CalibratedSnmModel):
+            # Vectorized one-sided anchors: worst_case_percent(y) is exactly
+            # worst_percent * (y/ref)**te (np.power(1.0, gamma) == 1.0), and
+            # best_case_percent shares the time scale — same elementwise ops
+            # as the scalar methods, without their per-call array plumbing.
+            snm = self.snm_model
+            time_scale = np.power(stressed / snm.reference_years,
+                                  snm.time_exponent)
+            worst = snm.worst_percent * time_scale
+            best = (snm.worst_percent * np.power(0.5, snm.gamma)) * time_scale
+        else:
+            worst = np.empty(count)
+            best = np.empty(count)
+            for index in range(count):
+                worst[index] = self.snm_model.worst_case_percent(
+                    float(stressed[index]))
+                best[index] = self.snm_model.best_case_percent(
+                    float(stressed[index]))
+        # RetentionModel._thermal_factor, device axis.
+        kelvin = temperature + 273.15
+        reference_kelvin = model.reference_temperature_c + 273.15
+        thermal = np.exp((model.activation_energy_ev / BOLTZMANN_EV)
+                         * (1.0 / reference_kelvin - 1.0 / kelvin))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            gamma = np.where(worst > best, np.log2(worst / best), 1.0)
+        margin_offset = voltage - model.retention_voltage_v
+        finite = np.isfinite(held)
+        probability = np.zeros_like(blend)
+        for value_probability, side_stress in ((held, blend),
+                                               ((1.0 - held), 1.0 - blend)):
+            columns = np.nonzero(finite & (value_probability != 0.0))[0]
+            if not columns.size:
+                continue
+            stress = side_stress[:, columns]
+            with np.errstate(invalid="ignore"):
+                degradation = worst[:, None] * np.power(
+                    np.clip(stress, 0.0, 1.0), gamma[:, None])
+            margin = margin_offset[:, None] - (model.margin_loss_v_per_percent
+                                               * degradation)
+            with np.errstate(over="ignore", invalid="ignore"):
+                rate = model.attempts_per_year * np.exp(-margin
+                                                        / model.voltage_scale_v)
+                rate = rate * thermal[:, None]
+                probability[:, columns] += value_probability[None, columns] * (
+                    1.0 - np.exp(-rate * idle_years[:, None]))
+        # The scalar path clips the summed sides and nansums the full cell
+        # array; zeros standing in for the NaN (never-written) cells sum
+        # identically to the NaNs nansum would discard.
+        return np.nansum(np.clip(probability, 0.0, 1.0), axis=1)

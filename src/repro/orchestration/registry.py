@@ -295,6 +295,7 @@ _EXPERIMENT_MODULES = (
     "repro.experiments.ablations",
     "repro.experiments.aging_point",
     "repro.experiments.leveling",
+    "repro.experiments.fleet",
     "repro.experiments.scenario",
     "repro.experiments.workloads",
 )

@@ -9,6 +9,7 @@ from repro.bench import (
     BENCH_SCHEMA,
     BenchCase,
     SyntheticWeightStream,
+    bench_fleet,
     default_bench_cases,
     render_bench_report,
     run_aging_bench,
@@ -201,7 +202,7 @@ class TestScenarioBench:
         cases = [case for case in default_bench_cases()
                  if case.name == "smoke_mnist_8bit"]
         payload = run_aging_bench(cases, repeats=1, verify=False,
-                                  leveling=False, scenario=False)
+                                  leveling=False, scenario=False, fleet=False)
         assert "scenario" not in payload
 
     def test_payload_with_scenario_is_json_safe(self, smoke_payload):
@@ -239,7 +240,8 @@ class TestDvfsBench:
         cases = [case for case in default_bench_cases()
                  if case.name == "smoke_mnist_8bit"]
         payload = run_aging_bench(cases, repeats=1, verify=False,
-                                  leveling=False, scenario=False, dvfs=False)
+                                  leveling=False, scenario=False, dvfs=False,
+                                  fleet=False)
         assert "dvfs" not in payload
 
     def test_skip_dvfs_flag(self, tmp_path, capsys):
@@ -252,3 +254,50 @@ class TestDvfsBench:
 
     def test_payload_with_dvfs_is_json_safe(self, smoke_payload):
         json.dumps(smoke_payload["dvfs"])
+
+    def test_fleet_entry(self, smoke_payload):
+        entry = smoke_payload["fleet"]
+        assert entry["devices"] == 1000
+        assert entry["num_cohorts"] >= 2
+        assert entry["fleet_seconds"] > 0
+        assert entry["devices_per_second"] > 0
+        assert entry["per_device_scenario_seconds"] > 0
+        # The cohort-shared engine must beat the extrapolated per-device loop.
+        assert entry["speedup"] > 1.0
+        assert sum(entry["modes"].values()) == entry["devices"]
+
+    def test_fleet_cross_check_passes(self, smoke_payload):
+        verification = smoke_payload["fleet"]["verification"]
+        assert verification["loop_match"] is True
+        assert (len(verification["per_device_match"])
+                == verification["subsample_devices"])
+
+    def test_fleet_small_population(self):
+        payload = bench_fleet(repeats=1, devices=24)
+        assert payload["devices"] == 24
+        assert payload["verification"]["loop_match"] is True
+
+    def test_fleet_render(self, smoke_payload):
+        text = render_bench_report(smoke_payload)
+        assert "fleet population" in text
+        assert "fleet per-device-loop cross-check: OK" in text
+
+    def test_case_selection_skips_fleet(self):
+        cases = [case for case in default_bench_cases()
+                 if case.name == "smoke_mnist_8bit"]
+        payload = run_aging_bench(cases, repeats=1, verify=False,
+                                  leveling=False, scenario=False, dvfs=False,
+                                  fleet=False)
+        assert "fleet" not in payload
+
+    def test_skip_fleet_flag(self, tmp_path, capsys):
+        output = tmp_path / "bench.json"
+        assert main(["bench", "--output", str(output), "--repeats", "1",
+                     "--skip-verify", "--skip-leveling", "--skip-scenario",
+                     "--skip-dvfs", "--skip-fleet",
+                     "--case", "smoke_mnist_8bit"]) == 0
+        payload = json.loads(output.read_text())
+        assert "fleet" not in payload
+
+    def test_payload_with_fleet_is_json_safe(self, smoke_payload):
+        json.dumps(smoke_payload["fleet"])

@@ -87,6 +87,40 @@ class TestScenarioCommand:
         assert "2 jobs" in capsys.readouterr().out
 
 
+class TestFleetCommand:
+    SMALL_MIX = ("0.5*custom_mnist:int8:inversion:3@85C,idle:2@45C@0.7V:0.2GHz|"
+                 "0.5*lenet5:int8:none:3@45C")
+
+    def test_fleet_verb(self, capsys):
+        assert main(["fleet", "--devices", "8", "--mix", self.SMALL_MIX,
+                     "--memory-kb", "4", "--fifo-depth-tiles", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "=== fleet" in out
+        assert "population survival" in out
+        assert "cohorts" in out
+
+    def test_fleet_json_output(self, tmp_path, capsys):
+        path = tmp_path / "fleet.json"
+        assert main(["--json", str(path), "fleet", "--devices", "6",
+                     "--mix", self.SMALL_MIX, "--memory-kb", "4",
+                     "--fifo-depth-tiles", "4"]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["workload"]["devices"] == 6
+        assert sum(payload["modes"].values()) == 6
+        assert (len(payload["survival"]["times_years"])
+                == len(payload["survival"]["fraction"]))
+        assert payload["population"]["mix_spec"]
+        assert sum(entry["num_devices"] for entry in payload["cohorts"]) == 6
+
+    def test_fleet_sweep(self, capsys):
+        assert main(["sweep", "fleet",
+                     "--grid", "mix=;custom_mnist:int8:none:3@85C",
+                     "--grid", "devices=4,6",
+                     "--grid", "weight_memory_kb=4",
+                     "--workers", "1"]) == 0
+        assert "2 jobs" in capsys.readouterr().out
+
+
 class TestFriendlyValidation:
     """Invalid durations / phase tokens exit 2 with one-line errors."""
 
@@ -141,3 +175,23 @@ class TestFriendlyValidation:
     def test_level_rejects_out_of_range_swap_fraction(self, capsys):
         assert main(["level", "--swap-fraction", "0.9"]) == 2
         assert "(0, 0.5]" in self._error_line(capsys)
+
+    def test_fleet_rejects_non_positive_devices(self, capsys):
+        assert main(["fleet", "--devices", "0"]) == 2
+        assert "must be > 0" in self._error_line(capsys)
+
+    def test_fleet_rejects_mix_weights_not_summing_to_one(self, capsys):
+        assert main(["fleet", "--mix", "0.8*custom_mnist:int8:none:3|"
+                                       "0.6*lenet5:int8:none:3"]) == 2
+        err = self._error_line(capsys)
+        assert "mix" in err
+        assert "sum to 1" in err
+
+    def test_fleet_rejects_bad_corner(self, capsys):
+        assert main(["fleet", "--corners", "0.9V"]) == 2
+        assert "corners" in self._error_line(capsys)
+
+    def test_fleet_sweep_rejects_unknown_network_in_mix(self, capsys):
+        assert main(["sweep", "fleet",
+                     "--grid", "mix=bogus:int8:none:3"]) == 2
+        assert "mix" in self._error_line(capsys)
