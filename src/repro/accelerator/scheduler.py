@@ -22,15 +22,19 @@ makes naive aging mitigation ineffective for DNN workloads.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.accelerator.dataflow import iter_block_slices
+from repro.accelerator.dataflow import BlockSlice, iter_block_slices
 from repro.memory.geometry import MemoryGeometry
+from repro.nn.layers import Layer
 from repro.nn.network import Network
 from repro.quantization.formats import DataFormat, get_format
 from repro.utils.validation import check_positive_int
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.memory.trace import WriteTrace
 
 
 def _storage_dtype(word_bits: int) -> np.dtype:
@@ -188,7 +192,8 @@ class WeightStreamScheduler:
         }
 
 
-def _extract_block_words(layer, layer_words: np.ndarray, block) -> np.ndarray:
+def _extract_block_words(layer: Layer, layer_words: np.ndarray,
+                         block: BlockSlice) -> np.ndarray:
     """Extract the words of one dataflow block from the quantized layer words."""
     # The flat word array is viewed as (num_filters, CH, R, C) — for
     # fully-connected layers CH is the input dimension and R = C = 1 —
@@ -276,7 +281,7 @@ def block_axis_sum(view: np.ndarray, weights: Optional[np.ndarray] = None,
     return out
 
 
-def as_stride_indexer(indices: np.ndarray):
+def as_stride_indexer(indices: np.ndarray) -> Union[np.ndarray, slice]:
     """Compress sorted block indices into a slice when they form a stride.
 
     Slicing keeps the subsequent reduction a zero-copy view; the fancy-index
@@ -292,6 +297,25 @@ def as_stride_indexer(indices: np.ndarray):
         step = int(steps[0])
         return slice(int(indices[0]), int(indices[-1]) + 1, step)
     return indices
+
+
+def _freeze(array: np.ndarray) -> np.ndarray:
+    """Mark an array read-only: the runtime guard behind lint rule DL004.
+
+    Cached packed-stream tensors are shared by every policy evaluation (and,
+    with sweep stream affinity, by every job a worker process serves); a
+    frozen buffer turns an accidental in-place write into an immediate
+    ``ValueError`` at the mutation site instead of silently corrupting all
+    later consumers.
+    """
+    array.setflags(write=False)
+    return array
+
+
+#: Anything exposing the scheduler streaming surface the simulators consume:
+#: ``geometry``, ``words_per_block``, ``fifo_depth_tiles``, ``num_blocks``
+#: and ``iter_blocks()``.
+StreamLike = Union[WeightStreamScheduler, "CachedWeightStream"]
 
 
 class PackedBitTensor:
@@ -341,13 +365,21 @@ class PackedBitTensor:
         self.fifo_depth_tiles = int(fifo_depth_tiles)
         self.word_offsets = np.concatenate(
             [[0], np.cumsum(self.valid_words)[:-1]]).astype(np.int64)
+        # The tensor is shared across policy evaluations, scenario phases and
+        # sweep jobs with stream affinity; freezing every long-lived array
+        # turns any aliasing bug the DL004 lint rule misses into an immediate
+        # "assignment destination is read-only" instead of a cross-job
+        # heisenbug.  Consumers that need scratch space take a .copy().
+        for array in (self.bits, self.regions, self.valid_words,
+                      self.word_offsets):
+            _freeze(array)
         self._valid_mask: Optional[np.ndarray] = None
         self._rows_ones: Optional[np.ndarray] = None
         self._rows_writes: Optional[np.ndarray] = None
 
     # -- construction ---------------------------------------------------- #
     @classmethod
-    def from_stream(cls, stream) -> "PackedBitTensor":
+    def from_stream(cls, stream: "StreamLike") -> "PackedBitTensor":
         """Build the tensor from anything exposing the scheduler interface."""
         from repro.quantization.bitops import unpack_bits
 
@@ -405,17 +437,22 @@ class PackedBitTensor:
         return int(self.bits.nbytes)
 
     def valid_mask(self) -> np.ndarray:
-        """Boolean ``(num_blocks, words_per_block)`` mask of genuine words."""
+        """Boolean ``(num_blocks, words_per_block)`` mask of genuine words.
+
+        The returned array is cached, shared and read-only; ``.copy()`` it
+        for scratch use.
+        """
         if self._valid_mask is None:
             word_index = np.arange(self.words_per_block, dtype=np.int64)
-            self._valid_mask = word_index[None, :] < self.valid_words[:, None]
+            self._valid_mask = _freeze(
+                word_index[None, :] < self.valid_words[:, None])
         return self._valid_mask
 
     def region_blocks(self, region: int) -> np.ndarray:
         """Indices (in stream order) of the blocks written to ``region``."""
         return np.flatnonzero(self.regions == region)
 
-    def region_indexers(self):
+    def region_indexers(self) -> Iterator[Tuple[slice, Union[np.ndarray, slice]]]:
         """Yield ``(row_slice, block indexer)`` for every memory region.
 
         The indexer selects a region's blocks (in stream order) out of any
@@ -455,16 +492,18 @@ class PackedBitTensor:
         """Per-cell count of '1' bits written in one inference (cached).
 
         Policy-independent, so every kernel evaluating the same stream —
-        a policy suite, a sweep batch — shares one reduction pass.
+        a policy suite, a sweep batch — shares one reduction pass.  The
+        returned array is read-only; ``.copy()`` it for scratch use.
         """
         if self._rows_ones is None:
-            self._rows_ones = self.rows_sum(self.bits, max_value=1)
+            self._rows_ones = _freeze(self.rows_sum(self.bits, max_value=1))
         return self._rows_ones
 
     def rows_writes(self) -> np.ndarray:
-        """Per-row count of genuine writes in one inference (cached)."""
+        """Per-row count of genuine writes in one inference (cached,
+        read-only)."""
         if self._rows_writes is None:
-            self._rows_writes = self.rows_sum(self.valid_mask())
+            self._rows_writes = _freeze(self.rows_sum(self.valid_mask()))
         return self._rows_writes
 
 
@@ -481,6 +520,12 @@ class CachedWeightStream:
     def __init__(self, scheduler: WeightStreamScheduler):
         self._scheduler = scheduler
         self._blocks = list(scheduler.iter_blocks())
+        # The block list is replayed by every policy evaluation sharing this
+        # stream (and by the explicit cross-check engines); freeze the word
+        # arrays so an encoder that mutated its input would fail fast
+        # instead of corrupting the next evaluation's stream.
+        for block in self._blocks:
+            _freeze(block.words)
         self._packed: Optional[PackedBitTensor] = None
 
     @property
@@ -503,7 +548,7 @@ class CachedWeightStream:
         """Number of blocks per inference."""
         return len(self._blocks)
 
-    def iter_blocks(self):
+    def iter_blocks(self) -> Iterator[WeightBlock]:
         """Yield the cached blocks in order."""
         return iter(self._blocks)
 
@@ -518,7 +563,7 @@ class CachedWeightStream:
         return self._scheduler.describe()
 
 
-def packed_bit_tensor(stream) -> PackedBitTensor:
+def packed_bit_tensor(stream: Union["StreamLike", PackedBitTensor]) -> PackedBitTensor:
     """Resolve the packed form of ``stream``, reusing its cache when it has one.
 
     :class:`CachedWeightStream` (and any stream exposing ``packed_bits()``)
@@ -533,7 +578,7 @@ def packed_bit_tensor(stream) -> PackedBitTensor:
 
 
 def stream_to_trace(scheduler: WeightStreamScheduler, num_inferences: int = 1,
-                    residency: float = 1.0):
+                    residency: float = 1.0) -> "WriteTrace":
     """Record ``num_inferences`` repetitions of the stream as a WriteTrace.
 
     Only intended for small networks / memories (explicit simulation and

@@ -270,7 +270,7 @@ class StressTimeline:
         return aggregate_stress(self.phases, self.scaling)
 
 
-def scaling_for_model(snm_model) -> ArrheniusTimeScaling:
+def scaling_for_model(snm_model: object) -> ArrheniusTimeScaling:
     """Derive the time scaling consistent with an SNM model's device physics.
 
     A model exposing a ``device`` (the reaction–diffusion backend) contributes

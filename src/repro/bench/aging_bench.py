@@ -743,7 +743,9 @@ def run_aging_bench(cases: Optional[Sequence[BenchCase]] = None, repeats: int = 
     speedups = [entry["speedup"] for entry in results if entry["speedup"]]
     payload: Dict[str, object] = {
         "schema": BENCH_SCHEMA,
-        "created_unix": time.time(),
+        # deliberate wall-clock: the trajectory file records *when* each
+        # perf measurement was taken, it never feeds seeds or comparisons
+        "created_unix": time.time(),  # dnn-lint: disable=DL002
         "repeats": repeats,
         "seed": seed,
         "environment": {

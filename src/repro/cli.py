@@ -175,6 +175,23 @@ def build_parser() -> argparse.ArgumentParser:
                               help="skip the fleet-scale population entry "
                                    "(implied by --case)")
 
+    lint_parser = subparsers.add_parser(
+        "lint", help="run the repo's determinism/aliasing static analysis "
+                     "(rules DL001-DL006) over the shipped sources")
+    lint_parser.add_argument("paths", nargs="*", metavar="PATH",
+                             help="files or directories to lint (default: the "
+                                  "installed repro package)")
+    lint_parser.add_argument("--format", dest="format", default="text",
+                             choices=("text", "json"),
+                             help="report format (default: text)")
+    lint_parser.add_argument("--root", type=str, default=None,
+                             help="directory findings are reported relative to "
+                                  "(default: the directory containing the "
+                                  "repro package; rule allowlists match "
+                                  "against these relative paths)")
+    lint_parser.add_argument("--list", dest="list_rules", action="store_true",
+                             help="print the rule catalog and exit")
+
     for spec in REGISTRY:
         aliases = [alias for alias, target in _COMMAND_ALIASES.items()
                    if target == spec.name]
@@ -361,6 +378,28 @@ def _cmd_bench(args: argparse.Namespace) -> Tuple[Any, int]:
     return payload, exit_code
 
 
+def _cmd_lint(args: argparse.Namespace) -> Tuple[Any, int]:
+    """Run the static-analysis suite; returns (payload, exit code).
+
+    Exit codes follow the usage-error convention: 0 when the tree is clean,
+    2 when any rule fires (or a file fails to parse), so CI lanes and
+    pre-commit hooks can gate on the result directly.
+    """
+    from repro.devtools.lint import ALL_RULES, render_report, run_lint
+
+    if args.list_rules:
+        table = AsciiTable(["code", "rule", "contract"],
+                           title=f"dnn-lint rules ({len(ALL_RULES)})")
+        for rule in ALL_RULES:
+            table.add_row([rule.code, rule.name, rule.summary])
+        print(table.render())
+        return [{"code": rule.code, "name": rule.name, "summary": rule.summary}
+                for rule in ALL_RULES], 0
+    report = run_lint(paths=args.paths or None, root=args.root)
+    print(render_report(report, args.format))
+    return report.to_payload(), 0 if report.clean else 2
+
+
 def _cmd_cache(args: argparse.Namespace, cache: Optional[ResultCache]) -> Any:
     if cache is None:
         print("cache disabled (--no-cache)")
@@ -432,6 +471,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 exit_code = 1  # partial results are reported/saved, but CI must notice
         elif args.command == "bench":
             result, exit_code = _cmd_bench(args)
+        elif args.command == "lint":
+            result, exit_code = _cmd_lint(args)
         elif args.command == "cache":
             result = _cmd_cache(args, cache)
         else:

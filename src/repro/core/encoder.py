@@ -62,7 +62,7 @@ class WriteDataEncoder:
         inverted = invert_words(flat, self.word_bits)
         encoded = np.where(enable_bits.astype(bool), inverted, flat)
         self._words_encoded += flat.size
-        self._words_inverted += int(enable_bits.sum())
+        self._words_inverted += int(enable_bits.sum(dtype=np.int64))
         return encoded
 
     @property

@@ -22,7 +22,7 @@ Example
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Union
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Union
 
 import numpy as np
 
@@ -41,6 +41,19 @@ from repro.quantization.formats import DataFormat, get_format
 from repro.utils.rng import SeedLike
 from repro.utils.tables import AsciiTable
 from repro.utils.validation import check_positive_int
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards, typing only
+    from repro.accelerator.scheduler import WeightStreamScheduler
+    from repro.accelerator.tpu import TpuLikeNpu
+    from repro.experiments.common import ExperimentScale
+    from repro.leveling.remap import WearLeveler
+    from repro.scenario.driver import ScenarioResult
+    from repro.scenario.operating_point import RetentionModel
+    from repro.scenario.phases import LifetimeScenario
+
+    #: The accelerators sharing the ``build_scheduler`` /
+    #: ``weight_memory_energy_model`` duck-typed surface.
+    AnyAccelerator = Union[BaselineAccelerator, TpuLikeNpu]
 
 
 @dataclass
@@ -124,11 +137,12 @@ class DnnLife:
     classic API — they are not consulted by the scenario engines.
     """
 
-    def __init__(self, network: Network, accelerator=None,
+    def __init__(self, network: Network, accelerator: Optional["AnyAccelerator"] = None,
                  data_format: Union[str, DataFormat] = "int8_symmetric",
                  num_inferences: int = 100, seed: SeedLike = 0,
                  snm_model: Optional[SnmDegradationModel] = None,
-                 aging_years: float = 7.0, scenario=None):
+                 aging_years: float = 7.0,
+                 scenario: Optional["LifetimeScenario"] = None):
         self.network = network
         self.accelerator = accelerator if accelerator is not None else BaselineAccelerator()
         self.data_format = get_format(data_format) if isinstance(data_format, str) else data_format
@@ -158,7 +172,7 @@ class DnnLife:
     # ------------------------------------------------------------------ #
     # Run-time simulation (Sec. V)
     # ------------------------------------------------------------------ #
-    def build_scheduler(self):
+    def build_scheduler(self) -> "WeightStreamScheduler":
         """Weight-stream scheduler of the configured accelerator/workload."""
         return self.accelerator.build_scheduler(self.network, self.data_format)
 
@@ -217,9 +231,12 @@ class DnnLife:
             comparison.add(resolved.display_name, result)
         return comparison
 
-    def simulate_scenario(self, scenario=None, leveler=None,
-                          engine: str = "packed", scale=None,
-                          retention_model=None):
+    def simulate_scenario(self, scenario: Optional["LifetimeScenario"] = None,
+                          leveler: Optional["WearLeveler"] = None,
+                          engine: str = "packed",
+                          scale: Optional["ExperimentScale"] = None,
+                          retention_model: Optional["RetentionModel"] = None
+                          ) -> "ScenarioResult":
         """Evaluate a multi-phase lifetime scenario on this accelerator.
 
         ``scenario`` defaults to the one configured at construction time.

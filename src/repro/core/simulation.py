@@ -33,11 +33,21 @@ so the scenario cross-check engine shares the exact same write accounting.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
 
 import numpy as np
 
 from repro.accelerator.scheduler import (
+    PackedBitTensor,
+    WeightBlock,
     WeightStreamScheduler,
     as_stride_indexer,
     block_axis_sum,
@@ -59,6 +69,18 @@ from repro.core.policies import (
 from repro.quantization.bitops import unpack_bits
 from repro.utils.rng import SeedLike, as_rng
 from repro.utils.validation import check_positive_int
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.leveling.remap import WearLeveler
+
+#: Closed-form counts factory: ``counts(start_inference, n)`` returns the
+#: per-logical-cell ones numerator and the per-row write denominator
+#: accumulated over inferences ``[start, start + n)``.
+CountsKernel = Callable[[int, int], Tuple[np.ndarray, np.ndarray]]
+
+#: ``last_bits(t)`` — the ``(rows, word_bits)`` matrix of bits the final
+#: write of inference ``t`` leaves behind (NaN on unwritten rows).
+LastBitsKernel = Callable[[int], np.ndarray]
 
 
 # --------------------------------------------------------------------------- #
@@ -88,7 +110,8 @@ class AgingResult:
         """Per-cell SNM degradation (percent) after ``years`` years."""
         return self.snm_model.degradation_percent(self.duty_cycles.reshape(-1), self.years)
 
-    def histogram(self, bin_edges: Optional[np.ndarray] = None):
+    def histogram(self, bin_edges: Optional[np.ndarray] = None
+                  ) -> Tuple[np.ndarray, np.ndarray, List[str]]:
         """Fig. 9 / Fig. 11 style histogram: % of cells per degradation bin."""
         edges = (np.asarray(bin_edges, dtype=np.float64) if bin_edges is not None
                  else default_degradation_bins(self.snm_model))
@@ -181,7 +204,7 @@ def _snm_model_to_payload(model: SnmDegradationModel) -> Dict[str, object]:
     return {"class": type(model).__name__, "fields": fields}
 
 
-def _dataclass_fields_payload(obj) -> Dict[str, object]:
+def _dataclass_fields_payload(obj: object) -> Dict[str, object]:
     import dataclasses
 
     return {"class": type(obj).__name__,
@@ -227,7 +250,8 @@ def _snm_model_from_payload(payload: Dict[str, object]) -> SnmDegradationModel:
 # --------------------------------------------------------------------------- #
 # Explicit (exact, slow) engine
 # --------------------------------------------------------------------------- #
-def replay_inference(stream, policy: MitigationPolicy, ones: np.ndarray,
+def replay_inference(stream: WeightStreamScheduler, policy: MitigationPolicy,
+                     ones: np.ndarray,
                      writes: np.ndarray, remap: Optional[np.ndarray] = None,
                      stored: Optional[np.ndarray] = None) -> None:
     """Replay one inference epoch's block writes through ``policy``.
@@ -279,7 +303,7 @@ class ExplicitAgingSimulator:
     def __init__(self, scheduler: WeightStreamScheduler, policy: MitigationPolicy,
                  num_inferences: int = 100,
                  snm_model: Optional[SnmDegradationModel] = None,
-                 leveler=None):
+                 leveler: Optional["WearLeveler"] = None):
         self.scheduler = scheduler
         self.policy = policy
         self.num_inferences = check_positive_int(num_inferences, "num_inferences")
@@ -347,7 +371,7 @@ class AgingSimulator:
     def __init__(self, scheduler: WeightStreamScheduler, policy: MitigationPolicy,
                  num_inferences: int = 100, seed: SeedLike = None,
                  snm_model: Optional[SnmDegradationModel] = None,
-                 engine: str = "packed", leveler=None):
+                 engine: str = "packed", leveler: Optional["WearLeveler"] = None):
         self.scheduler = scheduler
         self.policy = policy
         self.num_inferences = check_positive_int(num_inferences, "num_inferences")
@@ -365,7 +389,7 @@ class AgingSimulator:
                              f"has {scheduler.geometry.rows}")
         self.engine = engine
         self.leveler = leveler
-        self._packed_tensor = None
+        self._packed_tensor: Optional[PackedBitTensor] = None
 
     # -- public API ------------------------------------------------------- #
     def run(self) -> AgingResult:
@@ -380,7 +404,7 @@ class AgingSimulator:
             snm_model=self.snm_model,
         )
 
-    def counts_kernel(self):
+    def counts_kernel(self) -> CountsKernel:
         """The policy's closed-form counts factory (public driver entry point).
 
         Returns the callable ``counts(start_inference, n) -> (numerator,
@@ -395,7 +419,7 @@ class AgingSimulator:
                 "counts_kernel is only available on the packed engine")
         return self._packed_kernel(self.policy)
 
-    def last_bits_kernel(self):
+    def last_bits_kernel(self) -> Tuple[LastBitsKernel, np.ndarray]:
         """Closed-form "value left behind" factory (packed engine only).
 
         Returns ``(last_bits, written_rows)``.  ``written_rows`` is the
@@ -512,7 +536,7 @@ class AgingSimulator:
             f"no fast path for policy type {type(policy).__name__}; "
             "use ExplicitAgingSimulator instead")
 
-    def _packed_kernel(self, policy: MitigationPolicy):
+    def _packed_kernel(self, policy: MitigationPolicy) -> CountsKernel:
         """Resolve the policy's closed-form counts kernel.
 
         A kernel is a callable ``counts(start_inference, n) -> (numerator,
@@ -534,7 +558,7 @@ class AgingSimulator:
             f"no fast path for policy type {type(policy).__name__}; "
             "use ExplicitAgingSimulator instead")
 
-    def _packed_with_leveling(self, kernel) -> np.ndarray:
+    def _packed_with_leveling(self, kernel: CountsKernel) -> np.ndarray:
         """Compose the counts kernel with the leveler's permutation spans.
 
         Each constant-mapping span contributes its closed-form logical counts,
@@ -560,14 +584,14 @@ class AgingSimulator:
                                 mean_duty_per_row(ones, writes * float(word_bits)))
         return _duty_from_counts(ones, writes)
 
-    def _geometry(self):
+    def _geometry(self) -> Tuple[int, int, int]:
         geometry = self.scheduler.geometry
         return geometry.rows, geometry.word_bits, self.scheduler.words_per_block
 
     # ------------------------------------------------------------------ #
     # Packed engine: whole-tensor kernels over the PackedBitTensor
     # ------------------------------------------------------------------ #
-    def _packed(self):
+    def _packed(self) -> PackedBitTensor:
         """The stream's packed bit tensor (shared via the stream's cache)."""
         if self._packed_tensor is None:
             from repro.accelerator.scheduler import packed_bit_tensor
@@ -581,17 +605,18 @@ class AgingSimulator:
             self._packed_tensor = packed
         return self._packed_tensor
 
-    def _packed_no_mitigation_kernel(self):
+    def _packed_no_mitigation_kernel(self) -> CountsKernel:
         packed = self._packed()
         ones = packed.rows_ones()
         writes = packed.rows_writes()
 
-        def counts(start: int, n: int):
+        def counts(start: int, n: int) -> Tuple[np.ndarray, np.ndarray]:
             return ones * n, writes * n
 
         return counts
 
-    def _packed_periodic_inversion_kernel(self, policy: PeriodicInversionPolicy):
+    def _packed_periodic_inversion_kernel(
+            self, policy: PeriodicInversionPolicy) -> CountsKernel:
         packed = self._packed()
         rows, word_bits = packed.geometry.rows, packed.word_bits
         valid = packed.valid_mask()
@@ -669,7 +694,7 @@ class AgingSimulator:
         # flipped = (writes - base): every write's stored value inverts.
         flipped = None if drift_per_row is None else writes[:, None] - base
 
-        def counts(start: int, n: int):
+        def counts(start: int, n: int) -> Tuple[np.ndarray, np.ndarray]:
             if drift_per_row is None:
                 return base * n, writes * n
             # Inference t adds a parity offset of (t * d_r) mod 2, so a row
@@ -682,7 +707,8 @@ class AgingSimulator:
 
         return counts
 
-    def _packed_barrel_shifter_kernel(self, policy: BarrelShifterPolicy):
+    def _packed_barrel_shifter_kernel(
+            self, policy: BarrelShifterPolicy) -> CountsKernel:
         packed = self._packed()
         word_bits = packed.word_bits
         words = packed.words_per_block
@@ -729,7 +755,7 @@ class AgingSimulator:
                 aligned[row_slice] += np.take_along_axis(class_sum, index, axis=1)
         writes = packed.rows_writes()
 
-        def counts(start: int, n: int):
+        def counts(start: int, n: int) -> Tuple[np.ndarray, np.ndarray]:
             if drift == 0:
                 # Every inference repeats the same rotations — no correlation.
                 return aligned * n, writes * n
@@ -743,7 +769,7 @@ class AgingSimulator:
 
         return counts
 
-    def _packed_dnn_life_kernel(self, policy: DnnLifePolicy):
+    def _packed_dnn_life_kernel(self, policy: DnnLifePolicy) -> CountsKernel:
         packed = self._packed()
         num_blocks = packed.num_blocks
         words = packed.words_per_block
@@ -756,7 +782,7 @@ class AgingSimulator:
         writes = packed.rows_writes()
         rng = self.rng
 
-        def counts(start: int, n: int):
+        def counts(start: int, n: int) -> Tuple[np.ndarray, np.ndarray]:
             # Deterministic bias-balancing phase of every (inference, block)
             # pair in the span: the register ticks once per block, its MSB is
             # the inversion phase.
@@ -801,7 +827,7 @@ class AgingSimulator:
     # ------------------------------------------------------------------ #
     # Blockwise engine: the legacy per-block streaming kernels
     # ------------------------------------------------------------------ #
-    def _iter_block_bits(self):
+    def _iter_block_bits(self) -> Iterator[Tuple[WeightBlock, np.ndarray, slice]]:
         """Yield (block, bit matrix, row slice) for one inference."""
         rows, word_bits, words_per_block = self._geometry()
         for block in self.scheduler.iter_blocks():
@@ -949,7 +975,8 @@ class AgingSimulator:
         return _duty_from_counts(numerator, writes * num_inferences)
 
 
-def _describe_with_leveling(policy: MitigationPolicy, leveler) -> Dict[str, object]:
+def _describe_with_leveling(policy: MitigationPolicy,
+                            leveler: Optional["WearLeveler"]) -> Dict[str, object]:
     """Policy description, extended with the wear leveler's when one is active."""
     description = dict(policy.describe())
     if leveler is not None:
@@ -957,7 +984,8 @@ def _describe_with_leveling(policy: MitigationPolicy, leveler) -> Dict[str, obje
     return description
 
 
-def _unbiased_binomial(rng: np.random.Generator, trials: int, size) -> np.ndarray:
+def _unbiased_binomial(rng: np.random.Generator, trials: int,
+                       size: Tuple[int, ...]) -> np.ndarray:
     """Draw Binomial(trials, 0.5) samples through the fastest available path.
 
     For p = 1/2 a binomial sample is exactly the popcount of ``trials``

@@ -1,0 +1,6 @@
+"""Developer tooling shipped with the package (static analysis, CI helpers).
+
+Nothing in :mod:`repro.devtools` is imported by the simulation stack; the
+subpackages are entered through the CLI (``dnn-life lint``) or the test
+suite only, so the runtime layers never pay for them.
+"""

@@ -1,0 +1,35 @@
+"""Custom AST static analysis enforcing the repo's determinism contracts.
+
+Surfaced as ``dnn-life lint`` and as a dedicated CI lane; see
+``docs/ARCHITECTURE.md`` ("Determinism & aliasing contracts") for the rule
+catalog.  Public entry points:
+
+* :func:`run_lint` — lint the shipped sources (or explicit paths);
+* :class:`LintEngine` / :data:`ALL_RULES` — the engine and rule registry;
+* :func:`render_report` — ``text`` / ``json`` rendering of a report.
+"""
+
+from repro.devtools.lint.engine import (
+    JSON_SCHEMA_VERSION,
+    LintEngine,
+    LintReport,
+    default_lint_root,
+    render_report,
+    run_lint,
+    suppressed_codes,
+)
+from repro.devtools.lint.rules import ALL_RULES, RULES_BY_CODE, Finding, Rule
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "JSON_SCHEMA_VERSION",
+    "LintEngine",
+    "LintReport",
+    "Rule",
+    "RULES_BY_CODE",
+    "default_lint_root",
+    "render_report",
+    "run_lint",
+    "suppressed_codes",
+]

@@ -1,0 +1,191 @@
+"""Lint driver: file walking, suppression handling, reports and formats.
+
+The engine parses every ``*.py`` file under the lint root with :mod:`ast`,
+runs each registered rule over the module (sharing one provenance pass), and
+filters findings through per-line suppression comments::
+
+    created = time.time()  # dnn-lint: disable=DL002  (bench metadata)
+
+``disable=all`` silences every rule on that line; multiple codes separate
+with commas.  Suppressions are per-physical-line by design — a suppression
+that drifts away from the construct it excuses stops working, loudly.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.devtools.lint.rules import ALL_RULES, Finding, ModuleContext, Rule
+
+#: Schema version of the ``--format json`` report.
+JSON_SCHEMA_VERSION = 1
+
+_SUPPRESSION = re.compile(r"#\s*dnn-lint:\s*disable=([A-Za-z0-9_,\s]+|all)")
+
+
+def suppressed_codes(line: str) -> Optional[frozenset]:
+    """Codes suppressed on one source line; ``None`` when nothing is.
+
+    Returns the sentinel ``frozenset({"all"})`` for ``disable=all``.
+    """
+    match = _SUPPRESSION.search(line)
+    if match is None:
+        return None
+    raw = match.group(1).strip()
+    if raw == "all":
+        return frozenset({"all"})
+    return frozenset(code.strip().upper() for code in raw.split(",") if code.strip())
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run: findings plus coverage accounting."""
+
+    root: str
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.errors
+
+    def counts_by_code(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.code] = counts.get(finding.code, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_payload(self) -> dict:
+        """The stable ``--format json`` schema."""
+        return {
+            "version": JSON_SCHEMA_VERSION,
+            "root": self.root,
+            "files_checked": self.files_checked,
+            "clean": self.clean,
+            "suppressed": self.suppressed,
+            "counts": self.counts_by_code(),
+            "findings": [finding.to_payload() for finding in self.findings],
+            "errors": list(self.errors),
+        }
+
+    def render_text(self) -> str:
+        """Human-readable report: one diagnostic per line plus a footer."""
+        lines = [finding.render() for finding in self.findings]
+        lines.extend(f"error: {message}" for message in self.errors)
+        status = "clean" if self.clean else f"{len(self.findings)} finding(s)"
+        suppressed = (f", {self.suppressed} suppressed" if self.suppressed else "")
+        lines.append(f"dnn-life lint: {status} across {self.files_checked} "
+                     f"file(s){suppressed}")
+        return "\n".join(lines)
+
+
+class LintEngine:
+    """Run a rule set over files or directory trees of Python sources."""
+
+    def __init__(self, rules: Optional[Sequence[Rule]] = None):
+        self.rules: List[Rule] = list(rules if rules is not None else ALL_RULES)
+
+    # -- single file ------------------------------------------------------ #
+    def lint_source(self, source: str, path: str = "<string>",
+                    rel: Optional[str] = None) -> List[Finding]:
+        """Lint one source string; raises ``SyntaxError`` on unparsable input."""
+        tree = ast.parse(source, filename=path)
+        lines = source.splitlines()
+        ctx = ModuleContext(path=path, rel=rel if rel is not None else path,
+                            tree=tree, source_lines=lines)
+        findings: List[Finding] = []
+        for rule in self.rules:
+            findings.extend(rule.check(ctx))
+        findings.sort(key=lambda f: (f.line, f.col, f.code))
+        return findings
+
+    def _split_suppressed(self, findings: List[Finding],
+                          lines: Sequence[str]) -> tuple:
+        kept: List[Finding] = []
+        dropped = 0
+        for finding in findings:
+            line = lines[finding.line - 1] if 0 < finding.line <= len(lines) else ""
+            codes = suppressed_codes(line)
+            if codes is not None and ("all" in codes or finding.code in codes):
+                dropped += 1
+            else:
+                kept.append(finding)
+        return kept, dropped
+
+    # -- trees ------------------------------------------------------------ #
+    def lint_paths(self, paths: Sequence[Path], root: Path) -> LintReport:
+        """Lint files/directories, reporting paths relative to ``root``."""
+        root = root.resolve()
+        report = LintReport(root=str(root))
+        for file_path in self._collect_files(paths):
+            try:
+                source = file_path.read_text(encoding="utf-8")
+            except OSError as error:
+                report.errors.append(f"{file_path}: unreadable ({error})")
+                continue
+            try:
+                rel = file_path.resolve().relative_to(root).as_posix()
+            except ValueError:
+                rel = file_path.as_posix()
+            try:
+                findings = self.lint_source(source, path=rel, rel=rel)
+            except SyntaxError as error:
+                report.errors.append(f"{rel}:{error.lineno}: syntax error: "
+                                     f"{error.msg}")
+                continue
+            kept, dropped = self._split_suppressed(findings, source.splitlines())
+            report.findings.extend(kept)
+            report.suppressed += dropped
+            report.files_checked += 1
+        report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+        return report
+
+    @staticmethod
+    def _collect_files(paths: Sequence[Path]) -> List[Path]:
+        files: List[Path] = []
+        for path in paths:
+            if path.is_dir():
+                files.extend(sorted(
+                    p for p in path.rglob("*.py")
+                    if "__pycache__" not in p.parts))
+            elif path.suffix == ".py":
+                files.append(path)
+        return files
+
+
+def default_lint_root() -> Path:
+    """The shipped source tree: the directory *containing* the repro package.
+
+    Relative paths under this root read ``repro/...``, which is the identity
+    the rule allowlists are written against, both in a repo checkout
+    (``src/``) and for an installed package (``site-packages/``).
+    """
+    import repro
+
+    return Path(repro.__file__).resolve().parent.parent
+
+
+def run_lint(paths: Optional[Sequence[str]] = None,
+             root: Optional[str] = None,
+             rules: Optional[Sequence[Rule]] = None) -> LintReport:
+    """Lint the shipped sources (or explicit paths) and return the report."""
+    base = Path(root).resolve() if root else default_lint_root()
+    targets = ([Path(p) for p in paths] if paths
+               else [base / "repro"])
+    return LintEngine(rules).lint_paths(targets, base)
+
+
+def render_report(report: LintReport, fmt: str = "text") -> str:
+    """Render a report in ``text`` or ``json`` format."""
+    if fmt == "json":
+        return json.dumps(report.to_payload(), indent=2, sort_keys=True)
+    if fmt == "text":
+        return report.render_text()
+    raise ValueError(f"unknown lint format '{fmt}' (expected: text, json)")

@@ -53,7 +53,7 @@ failure-mode attribution.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace as _dc_replace
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -68,6 +68,7 @@ from repro.aging.snm import (
 from repro.aging.stress import (
     DEFAULT_REFERENCE_FREQUENCY_GHZ,
     ArrheniusTimeScaling,
+    PhaseStress,
     scaling_for_model,
 )
 from repro.fleet.spec import FleetSample, FleetSpec
@@ -81,6 +82,9 @@ from repro.scenario.driver import (
 from repro.scenario.operating_point import RetentionModel
 from repro.scenario.phases import LifetimeScenario, Phase
 from repro.utils.validation import check_positive, check_positive_int
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.leveling.remap import WearLeveler
 
 __all__ = [
     "FleetResult",
@@ -108,7 +112,8 @@ class _RecordingScenarioSimulator(ScenarioAgingSimulator):
         self.recorded_idles: List[Tuple[int, np.ndarray]] = []
 
     def _retention_report(self, phase: Phase, idle_years: float,
-                          stress_so_far, label: str):
+                          stress_so_far: List[PhaseStress],
+                          label: str) -> Optional[Dict[str, object]]:
         held = self._held
         if held is not None and np.any(np.isfinite(held)):
             self.recorded_idles.append((len(stress_so_far) - 1, held.copy()))
@@ -285,7 +290,7 @@ class FleetSimulator:
     def __init__(self, spec: FleetSpec,
                  stream_factory: Optional[StreamFactory] = None,
                  snm_model: Optional[SnmDegradationModel] = None,
-                 leveler=None,
+                 leveler: Optional["WearLeveler"] = None,
                  scaling: Optional[ArrheniusTimeScaling] = None,
                  retention_model: Optional[RetentionModel] = None,
                  max_degradation_percent: float = 15.0,

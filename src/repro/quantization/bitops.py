@@ -115,7 +115,7 @@ def bit_probabilities(words: np.ndarray, word_bits: int, msb_first: bool = False
 
 def hamming_weight(words: np.ndarray, word_bits: int) -> np.ndarray:
     """Number of '1' bits in each word."""
-    return unpack_bits(words, word_bits).sum(axis=1).astype(np.int64)
+    return unpack_bits(words, word_bits).sum(axis=1, dtype=np.int64)
 
 
 def invert_words(words: np.ndarray, word_bits: int) -> np.ndarray:

@@ -58,7 +58,7 @@ def mse_symmetric_params(values: np.ndarray, num_bits: int = 8,
     if array.size == 0:
         return LinearQuantParams(scale=1.0, zero_point=0, num_bits=num_bits, signed=True)
     abs_max = float(np.abs(array).max())
-    if abs_max == 0:
+    if abs_max == 0:  # dnn-lint: disable=DL006  (exact-zero degenerate guard)
         return LinearQuantParams(scale=1.0, zero_point=0, num_bits=num_bits, signed=True)
     qmax = 2 ** (num_bits - 1) - 1
     best_params = None

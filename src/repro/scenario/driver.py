@@ -38,7 +38,7 @@ exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -50,7 +50,7 @@ from repro.aging.stress import (
     aggregate_stress,
     scaling_for_model,
 )
-from repro.core.policies import make_policy
+from repro.core.policies import MitigationPolicy, make_policy
 from repro.core.simulation import (
     AgingResult,
     AgingSimulator,
@@ -61,6 +61,10 @@ from repro.leveling.remap import mean_duty_per_row
 from repro.scenario.operating_point import RetentionModel
 from repro.scenario.phases import LifetimeScenario, Phase
 from repro.utils.rng import SeedLike, spawn_rngs
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards, typing only
+    from repro.experiments.common import ExperimentScale
+    from repro.leveling.remap import WearLeveler
 
 __all__ = [
     "ScenarioResult",
@@ -74,7 +78,9 @@ __all__ = [
 StreamFactory = Callable[[Phase], object]
 
 
-def scenario_stream_factory(accelerator=None, scale=None, seed: int = 0,
+def scenario_stream_factory(accelerator: Optional[object] = None,
+                            scale: Optional["ExperimentScale"] = None,
+                            seed: int = 0,
                             reuse: bool = True) -> StreamFactory:
     """The default stream factory: model-zoo networks on one accelerator.
 
@@ -88,7 +94,7 @@ def scenario_stream_factory(accelerator=None, scale=None, seed: int = 0,
 
     accelerator = accelerator if accelerator is not None else BaselineAccelerator()
 
-    def factory(phase: Phase):
+    def factory(phase: Phase) -> object:
         from repro.experiments.aging_runner import build_workload_stream
         from repro.experiments.common import ExperimentScale
 
@@ -264,7 +270,7 @@ class _ScenarioEngineBase:
                  stream_factory: Optional[StreamFactory] = None,
                  seed: SeedLike = 0,
                  snm_model: Optional[SnmDegradationModel] = None,
-                 leveler=None,
+                 leveler: Optional["WearLeveler"] = None,
                  scaling: Optional[ArrheniusTimeScaling] = None,
                  retention_model: Optional[RetentionModel] = None):
         self.scenario = scenario
@@ -321,7 +327,7 @@ class _ScenarioEngineBase:
         self._streams = streams
         return streams
 
-    def _geometry(self):
+    def _geometry(self) -> Tuple[int, int]:
         streams = self.streams()
         stream = next(iter(streams.values()))
         return stream.geometry.rows, stream.geometry.word_bits
@@ -359,7 +365,8 @@ class _ScenarioEngineBase:
             phase_retention=phase_retention,
         )
 
-    def _phase_policy(self, phase: Phase, word_bits: int, rng) -> object:
+    def _phase_policy(self, phase: Phase, word_bits: int,
+                      rng: np.random.Generator) -> MitigationPolicy:
         return make_policy(phase.policy, word_bits, seed=rng,
                            **dict(phase.policy_options))
 
@@ -402,9 +409,10 @@ class _ScenarioEngineBase:
     def _prepare(self, total_active: int) -> None:
         """One-time setup before the timeline walk (after leveler reset)."""
 
-    def _phase_counts(self, stream, policy, phase: Phase, cursor: int, rng,
+    def _phase_counts(self, stream: object, policy: MitigationPolicy,
+                      phase: Phase, cursor: int, rng: np.random.Generator,
                       track_feedback: bool, acc_ones: np.ndarray,
-                      acc_writes: np.ndarray):
+                      acc_writes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Compute one active phase's physical ``(ones, writes)`` counts.
 
         ``cursor`` is the phase's first global active epoch; implementations
@@ -548,9 +556,10 @@ class ScenarioAgingSimulator(_ScenarioEngineBase):
         # :meth:`WearLeveler.spans`.
         self._total_active = total_active
 
-    def _phase_counts(self, stream, policy, phase: Phase, cursor: int, rng,
+    def _phase_counts(self, stream: object, policy: MitigationPolicy,
+                      phase: Phase, cursor: int, rng: np.random.Generator,
                       track_feedback: bool, acc_ones: np.ndarray,
-                      acc_writes: np.ndarray):
+                      acc_writes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         simulator = AgingSimulator(stream, policy,
                                    num_inferences=phase.duration,
                                    seed=rng, snm_model=self.snm_model)
@@ -609,9 +618,10 @@ class ExplicitScenarioSimulator(_ScenarioEngineBase):
         """Replay the whole timeline; returns the scenario result."""
         return _run_timeline(self)
 
-    def _phase_counts(self, stream, policy, phase: Phase, cursor: int, rng,
+    def _phase_counts(self, stream: object, policy: MitigationPolicy,
+                      phase: Phase, cursor: int, rng: np.random.Generator,
                       track_feedback: bool, acc_ones: np.ndarray,
-                      acc_writes: np.ndarray):
+                      acc_writes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         rows, word_bits = self._geometry()
         leveler = self.leveler
         policy.reset()

@@ -31,7 +31,7 @@ their PR-4 results bit for bit.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Tuple
+from typing import TYPE_CHECKING, Dict, Mapping, Tuple
 
 import numpy as np
 
@@ -46,6 +46,9 @@ from repro.utils.validation import (
     check_positive_finite,
     check_temperature_celsius,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.aging.snm import SnmDegradationModel
 
 __all__ = [
     "OperatingPoint",
@@ -224,7 +227,8 @@ class RetentionModel:
                             * (1.0 / reference - 1.0 / kelvin)))
 
     @staticmethod
-    def _side_degradation(snm_model, stress_fraction: np.ndarray,
+    def _side_degradation(snm_model: "SnmDegradationModel",
+                          stress_fraction: np.ndarray,
                           years: float) -> np.ndarray:
         """One-sided SNM degradation of the inverter stressed at ``stress_fraction``.
 
@@ -254,7 +258,8 @@ class RetentionModel:
         return rate * self._thermal_factor(temperature_c)
 
     def failure_probability(self, held_one_probability: np.ndarray,
-                            duty: np.ndarray, snm_model, stressed_years: float,
+                            duty: np.ndarray, snm_model: "SnmDegradationModel",
+                            stressed_years: float,
                             voltage_v: float, temperature_c: float,
                             idle_years: float) -> np.ndarray:
         """Per-cell probability of losing the held value during the idle phase.

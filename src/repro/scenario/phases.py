@@ -255,7 +255,8 @@ def _parse_duration(text: str, token: str) -> int:
     return duration
 
 
-def _parse_phase_suffixes(token: str):
+def _parse_phase_suffixes(
+        token: str) -> Tuple[str, float, Optional[float], Optional[float]]:
     """Split a token into its head and the ``@TEMP`` / ``@V:F`` suffixes.
 
     Suffixes are classified by shape — an operating point contains a colon —

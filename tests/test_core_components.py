@@ -229,3 +229,17 @@ class TestWriteDataEncoder:
     def test_invalid_width_rejected(self):
         with pytest.raises(ValueError):
             WriteDataEncoder(65)
+
+
+class TestEncoderCounterWidth:
+    """The inversion counter must accumulate wide (DL003 regression)."""
+
+    def test_words_inverted_exact_past_255(self):
+        from repro.core.encoder import WriteDataEncoder
+
+        encoder = WriteDataEncoder(word_bits=8)
+        words = np.zeros(300, dtype=np.uint64)
+        enable = np.ones(300, dtype=np.uint64)
+        encoder.encode(words, enable)
+        assert encoder.words_inverted == 300  # would wrap at 255 in uint8
+        assert encoder.inversion_rate == pytest.approx(1.0)

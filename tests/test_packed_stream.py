@@ -159,3 +159,49 @@ class TestFromStreamValidation:
 
         with pytest.raises(ValueError, match="at most"):
             PackedBitTensor.from_stream(OversizedStream())
+
+
+class TestReadOnlySharedBuffers:
+    """The cached packed buffers are frozen: mutation raises, it never lands.
+
+    This is the runtime half of lint rule DL004 — the tensors are shared
+    across policy evaluations (and, with stream affinity, across sweep
+    jobs), so an in-place write must fail at the write site.
+    """
+
+    def test_packed_arrays_are_read_only(self, tiny_scheduler):
+        packed = PackedBitTensor.from_stream(tiny_scheduler)
+        for array in (packed.bits, packed.regions, packed.valid_words,
+                      packed.word_offsets):
+            assert not array.flags.writeable
+            with pytest.raises(ValueError, match="read-only"):
+                array[0] = 0
+
+    def test_cached_reductions_are_read_only(self, tiny_scheduler):
+        packed = PackedBitTensor.from_stream(tiny_scheduler)
+        for array in (packed.rows_ones(), packed.rows_writes(),
+                      packed.valid_mask()):
+            assert not array.flags.writeable
+            with pytest.raises(ValueError, match="read-only"):
+                array[...] = 0
+
+    def test_in_place_operator_raises(self, tiny_scheduler):
+        packed = PackedBitTensor.from_stream(tiny_scheduler)
+        ones = packed.rows_ones()
+        with pytest.raises(ValueError, match="read-only"):
+            ones += 1.0
+        # the shared tensor is untouched by the failed attempt
+        assert np.array_equal(ones, packed.rows_ones())
+
+    def test_cached_stream_block_words_are_read_only(self, tiny_scheduler):
+        stream = CachedWeightStream(tiny_scheduler)
+        block = next(iter(stream.iter_blocks()))
+        assert not block.words.flags.writeable
+        with pytest.raises(ValueError, match="read-only"):
+            block.words[0] = 0
+
+    def test_copies_stay_writable(self, tiny_scheduler):
+        packed = PackedBitTensor.from_stream(tiny_scheduler)
+        scratch = packed.rows_ones().copy()
+        scratch += 1.0  # the sanctioned pattern: mutate a private copy
+        assert scratch.flags.writeable

@@ -112,3 +112,27 @@ class TestWordManipulation:
         words = rng.integers(0, 2**8, size=64, dtype=np.uint64)
         rotated = rotate_words(words, 8, 3)
         assert np.array_equal(hamming_weight(words, 8), hamming_weight(rotated, 8))
+
+
+class TestNarrowAccumulatorRegressions:
+    """Overflow-shaped regressions behind lint rule DL003.
+
+    ``unpack_bits`` yields uint8; any reduction over more than 255 set bits
+    wraps if the accumulator stays 8 bits wide, and numpy's platform-default
+    accumulator is only 32 bits on some targets.  The fixed call sites
+    declare ``dtype=np.int64`` — these tests pin the exact wide results on
+    inputs past the uint8 ceiling.
+    """
+
+    def test_hamming_weight_is_wide_and_exact_past_255_words(self):
+        words = np.full(300, 0xFF, dtype=np.uint64)
+        weights = hamming_weight(words, word_bits=8)
+        assert weights.dtype == np.int64
+        assert int(weights.sum()) == 300 * 8  # > 255: wraps in a uint8 accumulator
+
+    def test_unpacked_bits_sum_with_declared_dtype(self):
+        bits = unpack_bits(np.full(40, 0xFF, dtype=np.uint64), word_bits=8)
+        assert bits.dtype == np.uint8
+        total = bits.sum(dtype=np.int64)
+        assert total.dtype == np.int64
+        assert int(total) == 320  # 40 words x 8 ones, one step past the ceiling
