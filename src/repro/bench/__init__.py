@@ -11,12 +11,15 @@ from repro.bench.aging_bench import (
     DEFAULT_OUTPUT,
     DVFS_BENCH_SPEC,
     FLEET_BENCH_MIX,
+    LEVELING_OVERHEAD_LIMIT,
+    WEAR_SWAP_OVERHEAD_LIMIT,
     BenchCase,
     SyntheticWeightStream,
     bench_dvfs,
     bench_fleet,
     bench_leveling,
     bench_scenario,
+    check_leveling_overheads,
     default_bench_cases,
     default_leveling_case,
     render_bench_report,
@@ -30,12 +33,15 @@ __all__ = [
     "DEFAULT_OUTPUT",
     "DVFS_BENCH_SPEC",
     "FLEET_BENCH_MIX",
+    "LEVELING_OVERHEAD_LIMIT",
+    "WEAR_SWAP_OVERHEAD_LIMIT",
     "BenchCase",
     "SyntheticWeightStream",
     "bench_dvfs",
     "bench_fleet",
     "bench_leveling",
     "bench_scenario",
+    "check_leveling_overheads",
     "default_bench_cases",
     "default_leveling_case",
     "render_bench_report",

@@ -314,6 +314,49 @@ LEVELING_BENCH_POLICIES = (
 )
 
 
+#: Leveled-run overhead budget for the schedule-driven levelers (rotation,
+#: start-gap): their whole window composes through the fused roll/window
+#: path, so a leveled packed run must stay within this factor of the
+#: unleveled one.
+LEVELING_OVERHEAD_LIMIT = 5.0
+
+#: Separate budget for the feedback-driven wear-swap leveler.  Its mapping is
+#: re-derived from observed wear at every swap interval, which serialises the
+#: run into one stable ``argsort`` per interval — a cost the batched
+#: composition cannot amortise without changing the swap decisions.  The
+#: measured floor on the 64 KB case is ~12x; the budget leaves headroom for
+#: machine noise while still catching a regression to the pre-batching 48x.
+WEAR_SWAP_OVERHEAD_LIMIT = 20.0
+
+
+def leveling_overhead_limit(leveler_name: str) -> float:
+    """The leveled-overhead budget for one leveling policy."""
+    return (WEAR_SWAP_OVERHEAD_LIMIT if leveler_name == "wear_swap"
+            else LEVELING_OVERHEAD_LIMIT)
+
+
+def check_leveling_overheads(leveling_payload: Dict[str, object]) -> List[str]:
+    """Budget violations in a ``bench_leveling`` payload (empty = in budget).
+
+    Each ``policy+leveler`` entry's measured overhead is compared against
+    :func:`leveling_overhead_limit`; the returned strings are human-readable
+    violation reports for the CLI/CI gate.
+    """
+    violations: List[str] = []
+    entries = leveling_payload.get("entries", {})
+    for key, entry in entries.items():
+        overhead = entry.get("overhead")
+        if overhead is None:
+            continue
+        leveler_name = key.rsplit("+", 1)[-1]
+        limit = leveling_overhead_limit(leveler_name)
+        if float(overhead) > limit:
+            violations.append(
+                f"{key}: leveled overhead {float(overhead):.2f}x exceeds "
+                f"the {limit:g}x budget")
+    return violations
+
+
 def default_leveling_case() -> BenchCase:
     """The wear-leveling overhead configuration of ``BENCH_aging.json``.
 

@@ -365,6 +365,12 @@ def _cmd_bench(args: argparse.Namespace) -> Tuple[Any, int]:
         print("dnn-life bench: leveling explicit-engine cross-check FAILED",
               file=sys.stderr)
         exit_code = 1
+    if payload.get("leveling") is not None:
+        from repro.bench import check_leveling_overheads
+
+        for violation in check_leveling_overheads(payload["leveling"]):
+            print(f"dnn-life bench: {violation}", file=sys.stderr)
+            exit_code = 1
     scenario_verification = payload.get("scenario", {}).get("verification")
     if scenario_verification is not None and not scenario_verification["explicit_match"]:
         print("dnn-life bench: scenario explicit-engine cross-check FAILED",

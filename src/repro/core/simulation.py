@@ -66,6 +66,7 @@ from repro.core.policies import (
     NoMitigationPolicy,
     PeriodicInversionPolicy,
 )
+from repro.core.span_compose import BatchedCounts, SpanComposer
 from repro.quantization.bitops import unpack_bits
 from repro.utils.rng import SeedLike, as_rng
 from repro.utils.validation import check_positive_int
@@ -81,6 +82,49 @@ CountsKernel = Callable[[int, int], Tuple[np.ndarray, np.ndarray]]
 #: ``last_bits(t)`` — the ``(rows, word_bits)`` matrix of bits the final
 #: write of inference ``t`` leaves behind (NaN on unwritten rows).
 LastBitsKernel = Callable[[int], np.ndarray]
+
+#: Batched counts factory: ``batch(starts, lengths)`` returns the
+#: :class:`~repro.core.span_compose.BatchedCounts` decomposition of the
+#: per-span counts over a whole span table at once.
+BatchedCountsBuilder = Callable[[np.ndarray, np.ndarray], BatchedCounts]
+
+
+class PackedSpanKernel:
+    """A policy's closed-form counts kernel, with an optional batched form.
+
+    Instances are callable exactly like the legacy ``counts(start, n)``
+    closures (:data:`CountsKernel`), which is how the scenario driver and the
+    cross-check tests keep consuming them.  Kernels whose span counts
+    decompose into fixed basis matrices with per-span scalar coefficients
+    additionally expose :meth:`counts_batch`, the entry point of the fused
+    leveling composition (:class:`~repro.core.span_compose.SpanComposer`);
+    stochastic kernels (DNN-Life's TRBG draws fresh randomness per span, in
+    call order) have no batched form and keep the per-span loop.
+    """
+
+    def __init__(self, counts: CountsKernel,
+                 batch: Optional[BatchedCountsBuilder] = None):
+        self._counts = counts
+        self._batch = batch
+
+    def __call__(self, start: int, n: int) -> Tuple[np.ndarray, np.ndarray]:
+        return self._counts(start, n)
+
+    @property
+    def supports_batch(self) -> bool:
+        """Whether :meth:`counts_batch` is available for this kernel."""
+        return self._batch is not None
+
+    def counts_batch(self, starts: np.ndarray,
+                     lengths: np.ndarray) -> BatchedCounts:
+        """Per-span counts decomposition over a whole span table."""
+        if self._batch is None:
+            raise NotImplementedError(
+                "this kernel has no batched form (stochastic per-span "
+                "draws); evaluate counts(start, n) per span instead")
+        starts = np.asarray(starts, dtype=np.int64).reshape(-1)
+        lengths = np.asarray(lengths, dtype=np.int64).reshape(-1)
+        return self._batch(starts, lengths)
 
 
 # --------------------------------------------------------------------------- #
@@ -404,14 +448,16 @@ class AgingSimulator:
             snm_model=self.snm_model,
         )
 
-    def counts_kernel(self) -> CountsKernel:
+    def counts_kernel(self) -> PackedSpanKernel:
         """The policy's closed-form counts factory (public driver entry point).
 
-        Returns the callable ``counts(start_inference, n) -> (numerator,
-        writes)`` described in :meth:`_packed_kernel`.  This is what the
-        scenario driver (:class:`repro.scenario.driver.ScenarioAgingSimulator`)
-        evaluates per phase: the heavy tensor reductions run once here, and
-        every phase/leveling span afterwards is a cheap combination.
+        Returns the :class:`PackedSpanKernel` described in
+        :meth:`_packed_kernel` — callable as ``counts(start_inference, n) ->
+        (numerator, writes)``, with :meth:`PackedSpanKernel.counts_batch` on
+        top for span-table batches.  This is what the scenario driver
+        (:class:`repro.scenario.driver.ScenarioAgingSimulator`) evaluates per
+        phase: the heavy tensor reductions run once here, and every
+        phase/leveling span afterwards is a cheap combination.
         Packed engine only — the blockwise kernels have no span form.
         """
         if self.engine != "packed":
@@ -536,15 +582,19 @@ class AgingSimulator:
             f"no fast path for policy type {type(policy).__name__}; "
             "use ExplicitAgingSimulator instead")
 
-    def _packed_kernel(self, policy: MitigationPolicy) -> CountsKernel:
+    def _packed_kernel(self, policy: MitigationPolicy) -> PackedSpanKernel:
         """Resolve the policy's closed-form counts kernel.
 
-        A kernel is a callable ``counts(start_inference, n) -> (numerator,
-        writes)`` returning the per-logical-cell ones numerator and per-row
-        write denominator accumulated over inferences ``[start, start + n)``.
-        The heavy tensor reductions happen once in the factory; each call is
-        a cheap combination, which is what lets the leveling driver evaluate
-        many constant-mapping spans without re-reducing the packed tensor.
+        A kernel is a :class:`PackedSpanKernel`: callable as
+        ``counts(start_inference, n) -> (numerator, writes)`` returning the
+        per-logical-cell ones numerator and per-row write denominator
+        accumulated over inferences ``[start, start + n)``, and (for the
+        deterministic policies) exposing the batched
+        :meth:`PackedSpanKernel.counts_batch` decomposition over whole span
+        tables.  The heavy tensor reductions happen once in the factory; each
+        call is a cheap combination, which is what lets the leveling driver
+        evaluate many constant-mapping spans without re-reducing the packed
+        tensor.
         """
         if isinstance(policy, NoMitigationPolicy):
             return self._packed_no_mitigation_kernel()
@@ -558,13 +608,51 @@ class AgingSimulator:
             f"no fast path for policy type {type(policy).__name__}; "
             "use ExplicitAgingSimulator instead")
 
-    def _packed_with_leveling(self, kernel: CountsKernel) -> np.ndarray:
+    def _packed_with_leveling(self, kernel: PackedSpanKernel) -> np.ndarray:
         """Compose the counts kernel with the leveler's permutation spans.
+
+        The batched fast path: the leveler's :meth:`~repro.leveling.remap.WearLeveler.span_tables`
+        chunks feed a :class:`~repro.core.span_compose.SpanComposer`, which
+        collapses the whole composition — per-region rotation spans and
+        explicit permutation chunks alike — into a constant number of NumPy
+        passes, bit-identically to the iterative span walk.  Feedback-driven
+        levelers observe the accumulated physical stress between chunks, from
+        the composer's ``(rows,)`` running totals.  Kernels without a batched
+        form (the stochastic DNN-Life policy) keep the legacy per-span loop.
+        """
+        from repro.leveling.remap import mean_duty_from_row_counts
+
+        if not kernel.supports_batch:
+            return self._packed_with_leveling_loop(kernel)
+        packed = self._packed()
+        rows, word_bits = packed.geometry.rows, packed.word_bits
+        leveler = self.leveler
+        leveler.reset()
+        composer = SpanComposer(rows, word_bits, leveler.region_rows,
+                                track_feedback=leveler.uses_feedback)
+        for table in leveler.span_tables(self.num_inferences):
+            if not table.num_spans:
+                continue
+            composer.add_table(
+                table, kernel.counts_batch(table.starts, table.lengths))
+            if leveler.uses_feedback:
+                row_ones, row_writes = composer.row_totals()
+                leveler.observe(
+                    int(table.starts[-1] + table.lengths[-1]),
+                    mean_duty_from_row_counts(row_ones,
+                                              row_writes * float(word_bits)))
+        ones, writes = composer.finalize()
+        return _duty_from_counts(ones, writes)
+
+    def _packed_with_leveling_loop(self, kernel: PackedSpanKernel) -> np.ndarray:
+        """Per-span reference composition (and the stochastic-kernel path).
 
         Each constant-mapping span contributes its closed-form logical counts,
         gathered into physical rows through the span's permutation — one fancy
         row-gather per span, never a per-block Python loop.  Feedback-driven
         levelers observe the accumulated physical stress at span boundaries.
+        Kept verbatim as the RNG-draw-order-preserving path for DNN-Life and
+        as the cross-check reference for the batched composition.
         """
         from repro.leveling.remap import mean_duty_per_row
 
@@ -605,7 +693,7 @@ class AgingSimulator:
             self._packed_tensor = packed
         return self._packed_tensor
 
-    def _packed_no_mitigation_kernel(self) -> CountsKernel:
+    def _packed_no_mitigation_kernel(self) -> PackedSpanKernel:
         packed = self._packed()
         ones = packed.rows_ones()
         writes = packed.rows_writes()
@@ -613,10 +701,19 @@ class AgingSimulator:
         def counts(start: int, n: int) -> Tuple[np.ndarray, np.ndarray]:
             return ones * n, writes * n
 
-        return counts
+        # Batched form: one channel, coefficient = span length.
+        bases = [np.ascontiguousarray(ones, dtype=np.float64)]
+        row_bases = [bases[0].sum(axis=1)]
+        writes_base = np.ascontiguousarray(writes, dtype=np.float64)
+
+        def batch(starts: np.ndarray, lengths: np.ndarray) -> BatchedCounts:
+            return BatchedCounts(bases, lengths.astype(np.float64)[None, :],
+                                 writes_base, row_bases)
+
+        return PackedSpanKernel(counts, batch)
 
     def _packed_periodic_inversion_kernel(
-            self, policy: PeriodicInversionPolicy) -> CountsKernel:
+            self, policy: PeriodicInversionPolicy) -> PackedSpanKernel:
         packed = self._packed()
         rows, word_bits = packed.geometry.rows, packed.word_bits
         valid = packed.valid_mask()
@@ -705,10 +802,31 @@ class AgingSimulator:
             numerator = base * (n - odd_per_row) + flipped * odd_per_row
             return numerator, writes * n
 
-        return counts
+        # Batched form.  Rewriting the span counts as
+        #   base * (n - d_r * odd) + flipped * (d_r * odd)
+        #     = n * base + odd * [(flipped - base) * d_r]
+        # exposes two fixed channels with per-span scalar coefficients
+        # (n, odd); every term is an exact integer in float64, so the
+        # regrouping is bitwise-neutral.
+        bases = [np.ascontiguousarray(base, dtype=np.float64)]
+        if drift_per_row is not None:
+            drifted = (flipped - base) * drift_per_row[:, None].astype(np.float64)
+            bases.append(np.ascontiguousarray(drifted, dtype=np.float64))
+        row_bases = [channel.sum(axis=1) for channel in bases]
+        writes_base = np.ascontiguousarray(writes, dtype=np.float64)
+
+        def batch(starts: np.ndarray, lengths: np.ndarray) -> BatchedCounts:
+            coeff_rows = [lengths.astype(np.float64)]
+            if drift_per_row is not None:
+                odd = (starts + lengths) // 2 - starts // 2
+                coeff_rows.append(odd.astype(np.float64))
+            return BatchedCounts(bases, np.stack(coeff_rows), writes_base,
+                                 row_bases)
+
+        return PackedSpanKernel(counts, batch)
 
     def _packed_barrel_shifter_kernel(
-            self, policy: BarrelShifterPolicy) -> CountsKernel:
+            self, policy: BarrelShifterPolicy) -> PackedSpanKernel:
         packed = self._packed()
         word_bits = packed.word_bits
         words = packed.words_per_block
@@ -767,9 +885,47 @@ class AgingSimulator:
             correlation = extra[(column[:, None] - column[None, :]) % word_bits]
             return aligned @ correlation, writes * n
 
-        return counts
+        # Batched form.  The correlation fold is a weighted sum of the
+        # word_bits column-rolls of ``aligned``: one channel per extra
+        # rotation j, with coefficient |{t in span : (t * drift) % word_bits
+        # == j}|.  The per-rotation counts are closed-form over the schedule's
+        # period word_bits/gcd(drift, word_bits) via a prefix-count table, so
+        # no per-inference work remains; integer exactness again makes the
+        # regrouping (rolls vs matmul) bitwise-neutral.
+        writes_base = np.ascontiguousarray(writes, dtype=np.float64)
+        if drift == 0:
+            bases = [np.ascontiguousarray(aligned)]
+            row_bases = [bases[0].sum(axis=1)]
 
-    def _packed_dnn_life_kernel(self, policy: DnnLifePolicy) -> CountsKernel:
+            def batch(starts: np.ndarray, lengths: np.ndarray) -> BatchedCounts:
+                return BatchedCounts(bases, lengths.astype(np.float64)[None, :],
+                                     writes_base, row_bases)
+        else:
+            period = word_bits // int(np.gcd(drift, word_bits))
+            hits = np.zeros((period, word_bits), dtype=np.int64)
+            hits[np.arange(period),
+                 (np.arange(period, dtype=np.int64) * drift) % word_bits] = 1
+            prefix = np.zeros((period + 1, word_bits), dtype=np.int64)
+            np.cumsum(hits, axis=0, out=prefix[1:])
+            rotations = np.flatnonzero(prefix[period])
+            bases = [np.ascontiguousarray(np.roll(aligned, -int(j), axis=1))
+                     for j in rotations]
+            row_bases = [channel.sum(axis=1) for channel in bases]
+
+            def rotation_counts(epochs: np.ndarray) -> np.ndarray:
+                # F[t, j]: rotations j seen by inferences [0, t).
+                full = (epochs // period)[:, None] * prefix[period][None, :]
+                return full + prefix[epochs % period]
+
+            def batch(starts: np.ndarray, lengths: np.ndarray) -> BatchedCounts:
+                spans = (rotation_counts(starts + lengths)
+                         - rotation_counts(starts))[:, rotations]
+                return BatchedCounts(bases, spans.T.astype(np.float64),
+                                     writes_base, row_bases)
+
+        return PackedSpanKernel(counts, batch)
+
+    def _packed_dnn_life_kernel(self, policy: DnnLifePolicy) -> PackedSpanKernel:
         packed = self._packed()
         num_blocks = packed.num_blocks
         words = packed.words_per_block
@@ -822,7 +978,11 @@ class AgingSimulator:
             numerator = (ones * n + enables_total[:, None] - 2.0 * crossed)
             return numerator, writes * n
 
-        return counts
+        # No batched form: the TRBG draws fresh randomness per span, in call
+        # order, so the leveled composition keeps the per-span loop (which
+        # preserves the RNG draw sequence the blockwise/packed cross-checks
+        # and golden results pin down).
+        return PackedSpanKernel(counts)
 
     # ------------------------------------------------------------------ #
     # Blockwise engine: the legacy per-block streaming kernels

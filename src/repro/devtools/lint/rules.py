@@ -54,6 +54,10 @@ FLOAT_EQUALITY_ALLOWED_MODULES: FrozenSet[str] = frozenset({
     # temperature must contribute a factor of exactly 1.0 so reference
     # scenarios stay byte-identical across releases
     "repro/aging/stress.py",
+    # fused span composition: every coefficient/weight is an exact integer in
+    # float64, and the zero/one fast-path dispatch must be exact to keep the
+    # composed counts bit-identical to the iterative span walk
+    "repro/core/span_compose.py",
 })
 
 #: ndarray methods that mutate the receiver in place.

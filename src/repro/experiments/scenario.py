@@ -33,8 +33,9 @@ would have claimed).
 
 from __future__ import annotations
 
+import math
 from dataclasses import replace
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.accelerator.baseline import BaselineAccelerator
 from repro.accelerator.config import baseline_config
@@ -50,6 +51,7 @@ from repro.experiments.common import (
 )
 from repro.utils.validation import check_temperature_celsius
 from repro.experiments.leveling import build_point_leveler
+from repro.fleet.simulator import failure_times_from_scenario_result
 from repro.leveling import LEVELER_CHOICES
 from repro.memory.wear_map import default_wear_regions, wear_map_from_result
 from repro.orchestration.registry import ParamSpec, register_experiment
@@ -142,6 +144,12 @@ def run_scenario_point(spec: str = DEFAULT_SPEC,
     # What the classic single-corner accounting would claim: the same
     # effective duty-cycles aged entirely at the reference temperature.
     naive_lifetime_years = estimator.memory_lifetime_years(effective.duty_cycles)
+    # SNM-vs-retention failure composition: the same formula the fleet layer
+    # applies per device (one shared verdict, not a probability printed
+    # alongside).  Infinite retention horizons (no idle flips expected)
+    # serialise as None to keep the payload JSON-safe.
+    failure = failure_times_from_scenario_result(
+        result, max_degradation_percent=max_degradation_percent)
     num_regions = default_wear_regions(geometry.rows, fifo_depth_tiles)
     return {
         "workload": {
@@ -176,6 +184,13 @@ def run_scenario_point(spec: str = DEFAULT_SPEC,
             "max_degradation_percent": float(max_degradation_percent),
             "memory_lifetime_years": lifetime_years,
             "single_corner_lifetime_years": naive_lifetime_years,
+            "retention_limited_years": (
+                float(failure["retention_years"])
+                if math.isfinite(failure["retention_years"]) else None),
+            "failure_years": (
+                float(failure["failure_years"])
+                if math.isfinite(failure["failure_years"]) else None),
+            "failure_mode": str(failure["mode"]),
         },
         "leveler": (leveler.describe() if leveler is not None
                     else {"leveler": "none"}),
@@ -286,7 +301,27 @@ def render_scenario_point(payload: Dict[str, object], params: Dict[str, object])
          f"({lifetime['single_corner_lifetime_years']:.2f} at the reference "
          f"corner)"),
     ]
+    verdict = _render_lifetime_verdict(lifetime)
+    if verdict is not None:
+        sections.append(verdict)
     return "\n\n".join(sections)
+
+
+def _render_lifetime_verdict(lifetime: Dict[str, object]) -> Optional[str]:
+    """SNM-vs-retention composed verdict (absent on pre-composition payloads)."""
+    mode = lifetime.get("failure_mode")
+    if mode is None:
+        return None
+    retention_years = lifetime.get("retention_limited_years")
+    retention_text = ("no retention flip expected over the timeline"
+                      if retention_years is None
+                      else f"retention-limited at {retention_years:.3g} years")
+    failure_years = lifetime.get("failure_years")
+    failure_text = ("unbounded" if failure_years is None
+                    else f"{failure_years:.3g} years")
+    return (f"lifetime verdict: {failure_text} to first expected failure, "
+            f"{mode}-limited (SNM wear-out at "
+            f"{lifetime['memory_lifetime_years']:.2f} years; {retention_text})")
 
 
 register_experiment(

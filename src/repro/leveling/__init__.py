@@ -15,15 +15,27 @@ from repro.leveling.policies import (
     WearSwapLeveler,
     make_leveler,
 )
-from repro.leveling.remap import WearLeveler, check_permutation, mean_duty_per_row
+from repro.leveling.remap import (
+    SpanTable,
+    WearLeveler,
+    check_permutation,
+    mean_duty_from_row_counts,
+    mean_duty_per_row,
+    set_span_validation,
+    span_validation_enabled,
+)
 
 __all__ = [
     "LEVELER_CHOICES",
     "RotationLeveler",
+    "SpanTable",
     "StartGapLeveler",
     "WearSwapLeveler",
     "WearLeveler",
     "check_permutation",
     "make_leveler",
+    "mean_duty_from_row_counts",
     "mean_duty_per_row",
+    "set_span_validation",
+    "span_validation_enabled",
 ]

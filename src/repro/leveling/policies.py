@@ -26,11 +26,11 @@ CLI resolve the ``leveling`` parameter through.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Iterator, Optional
 
 import numpy as np
 
-from repro.leveling.remap import WearLeveler
+from repro.leveling.remap import SpanTable, WearLeveler
 from repro.memory.geometry import MemoryGeometry
 from repro.utils.validation import check_positive_int
 
@@ -146,6 +146,23 @@ class WearSwapLeveler(WearLeveler):
 
     def change_epochs(self, num_inferences: int) -> np.ndarray:
         return np.arange(0, num_inferences, self.interval, dtype=np.int64)
+
+    def span_tables(self, num_inferences: int, start: int = 0,
+                    stop: Optional[int] = None) -> Iterator[SpanTable]:
+        """One single-span chunk per swap interval.
+
+        Each chunk's permutation is resolved only when the driver pulls it —
+        i.e. after the driver has composed the previous chunk and fed the
+        accumulated stress through :meth:`observe` — so the chunked walk
+        makes exactly the same swap decisions as the iterative
+        :meth:`~repro.leveling.remap.WearLeveler.spans` loop.
+        """
+        starts, lengths = self._span_bounds(num_inferences, start, stop)
+        for span_start, length in zip(starts, lengths):
+            permutation = self.permutation(int(span_start))
+            yield SpanTable(self, starts=np.asarray([span_start]),
+                            lengths=np.asarray([length]),
+                            permutations=permutation[None, :])
 
     def _apply_swaps(self) -> None:
         """Exchange the logical occupants of the hottest/coldest row pairs."""

@@ -24,6 +24,7 @@ exact integral counts), so the permutations they derive are bit-identical.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
@@ -31,7 +32,51 @@ import numpy as np
 from repro.memory.geometry import MemoryGeometry
 from repro.utils.validation import check_positive_int
 
-__all__ = ["WearLeveler", "check_permutation", "mean_duty_per_row"]
+__all__ = ["SpanTable", "WearLeveler", "check_permutation",
+           "mean_duty_from_row_counts", "mean_duty_per_row",
+           "set_span_validation", "span_validation_enabled"]
+
+#: Debug switch for the span window contract (gaps/overlap detection).  Off by
+#: default — the check costs one pass over the span table per call — and
+#: enabled either through :func:`set_span_validation` or by exporting
+#: ``DNN_LIFE_CHECK_SPANS=1`` before the interpreter starts.
+_VALIDATE_SPANS = os.environ.get("DNN_LIFE_CHECK_SPANS", "") not in ("", "0")
+
+
+def set_span_validation(enabled: bool) -> bool:
+    """Toggle span window-contract validation; returns the previous setting."""
+    global _VALIDATE_SPANS
+    previous = _VALIDATE_SPANS
+    _VALIDATE_SPANS = bool(enabled)
+    return previous
+
+
+def span_validation_enabled() -> bool:
+    """Whether :meth:`WearLeveler.spans` validates its window contract."""
+    return _VALIDATE_SPANS
+
+
+def _check_span_tiling(starts: np.ndarray, lengths: np.ndarray,
+                       start: int, stop: int, leveler_name: str) -> None:
+    """Assert that spans tile ``[start, stop)`` exactly: no gaps, no overlap."""
+    if stop <= start:
+        if starts.size:
+            raise AssertionError(
+                f"leveler '{leveler_name}' emitted {starts.size} spans for the "
+                f"empty window [{start}, {stop})")
+        return
+    if not starts.size:
+        raise AssertionError(
+            f"leveler '{leveler_name}' emitted no spans for [{start}, {stop})")
+    if np.any(lengths <= 0):
+        raise AssertionError(
+            f"leveler '{leveler_name}' emitted a non-positive span length")
+    ends = starts + lengths
+    if int(starts[0]) != start or int(ends[-1]) != stop \
+            or np.any(starts[1:] != ends[:-1]):
+        raise AssertionError(
+            f"leveler '{leveler_name}' spans do not tile [{start}, {stop}) "
+            f"exactly: starts={starts.tolist()}, lengths={lengths.tolist()}")
 
 
 def check_permutation(permutation: np.ndarray, rows: int) -> np.ndarray:
@@ -60,6 +105,76 @@ def mean_duty_per_row(ones: np.ndarray, hold_per_row: np.ndarray) -> np.ndarray:
     hold = np.asarray(hold_per_row, dtype=np.float64).reshape(-1)
     with np.errstate(invalid="ignore", divide="ignore"):
         return np.where(hold > 0, ones.sum(axis=1) / hold, 0.0)
+
+
+def mean_duty_from_row_counts(row_ones: np.ndarray,
+                              hold_per_row: np.ndarray) -> np.ndarray:
+    """:func:`mean_duty_per_row` when the per-row ones sum is already reduced.
+
+    The batched span composition keeps physical wear as ``(rows,)`` running
+    totals instead of re-reducing a ``(rows, bits)`` matrix at every feedback
+    boundary.  Both inputs are exact integers in float64, so the ratio is
+    bit-identical to the matrix form for the same accumulated counts.
+    """
+    row_ones = np.asarray(row_ones, dtype=np.float64).reshape(-1)
+    hold = np.asarray(hold_per_row, dtype=np.float64).reshape(-1)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.where(hold > 0, row_ones / hold, 0.0)
+
+
+class SpanTable:
+    """A batch of constant-mapping leveling spans.
+
+    The vectorized counterpart of :meth:`WearLeveler.spans`: ``starts`` and
+    ``lengths`` are ``(num_spans,)`` int64 arrays tiling the requested epoch
+    window.  The mapping of each span comes in one of two forms:
+
+    * ``offsets`` — ``(num_spans,)`` per-region rotation offsets, for levelers
+      whose permutations are pure region rolls (the closed-form schedule
+      family: identity, rotation, start-gap).  Offset form is what enables the
+      fused roll/window composition in the packed engine.
+    * an explicit ``(num_spans, rows)`` permutation matrix, for table-driven
+      levelers (wear-swap chunks).  :meth:`permutations` materialises this
+      form for either flavour.
+    """
+
+    def __init__(self, leveler: "WearLeveler", starts: np.ndarray,
+                 lengths: np.ndarray, offsets: Optional[np.ndarray] = None,
+                 permutations: Optional[np.ndarray] = None):
+        self.leveler = leveler
+        self.starts = np.asarray(starts, dtype=np.int64).reshape(-1)
+        self.lengths = np.asarray(lengths, dtype=np.int64).reshape(-1)
+        if self.starts.shape != self.lengths.shape:
+            raise ValueError("starts and lengths must have matching shapes")
+        if (offsets is None) == (permutations is None):
+            raise ValueError("exactly one of offsets/permutations is required")
+        self.offsets = (None if offsets is None
+                        else np.asarray(offsets, dtype=np.int64).reshape(-1)
+                        % leveler.region_rows)
+        self._permutations = permutations
+
+    @property
+    def num_spans(self) -> int:
+        return int(self.starts.size)
+
+    def iter_spans(self) -> Iterator[Tuple[int, int]]:
+        """Yield the table's ``(start, length)`` pairs as Python ints."""
+        for start, length in zip(self.starts, self.lengths):
+            yield int(start), int(length)
+
+    def permutation(self, index: int) -> np.ndarray:
+        """The logical→physical row map of span ``index``."""
+        if self._permutations is not None:
+            return self._permutations[index]
+        return self.leveler._region_rotation(int(self.offsets[index]))
+
+    def permutations(self) -> np.ndarray:
+        """Materialise the full ``(num_spans, rows)`` permutation matrix."""
+        if self._permutations is not None:
+            return self._permutations
+        if not self.num_spans:
+            return np.empty((0, self.leveler.rows), dtype=np.int64)
+        return np.stack([self.permutation(k) for k in range(self.num_spans)])
 
 
 class WearLeveler:
@@ -128,14 +243,66 @@ class WearLeveler:
         window at a time while the leveler's schedule spans the whole
         timeline.
         """
+        starts, lengths = self._span_bounds(num_inferences, start, stop)
+        for span_start, length in zip(starts, lengths):
+            yield int(span_start), int(length)
+
+    def _span_bounds(self, num_inferences: int, start: int = 0,
+                     stop: Optional[int] = None
+                     ) -> Tuple[np.ndarray, np.ndarray]:
+        """Cut ``change_epochs`` down to the ``[start, stop)`` window."""
         check_positive_int(num_inferences, "num_inferences")
-        stop = num_inferences if stop is None else stop
-        changes = [int(epoch) for epoch in self.change_epochs(num_inferences)
-                   if start < epoch < stop]
-        bounds = [start] + changes + [stop]
-        for low, high in zip(bounds[:-1], bounds[1:]):
-            if high > low:
-                yield low, high - low
+        start = int(start)
+        stop = num_inferences if stop is None else int(stop)
+        changes = np.asarray(self.change_epochs(num_inferences), dtype=np.int64)
+        inner = changes[(changes > start) & (changes < stop)]
+        if stop > start:
+            starts = np.concatenate([np.asarray([start], dtype=np.int64), inner])
+            ends = np.concatenate([inner, np.asarray([stop], dtype=np.int64)])
+            keep = ends > starts
+            starts, lengths = starts[keep], (ends - starts)[keep]
+        else:
+            starts = np.empty(0, dtype=np.int64)
+            lengths = np.empty(0, dtype=np.int64)
+        if _VALIDATE_SPANS:
+            _check_span_tiling(starts, lengths, start, stop, self.name)
+        return starts, lengths
+
+    def span_table(self, num_inferences: int, start: int = 0,
+                   stop: Optional[int] = None) -> SpanTable:
+        """Vectorized :meth:`spans`: the window's full table in one shot.
+
+        Returns a :class:`SpanTable` whose spans tile ``[start, stop)``
+        exactly, carrying the per-span region-rotation ``offsets`` closed
+        form (evaluated through :meth:`_offset_at` over the span starts).
+        Schedule-driven levelers — everything whose mapping is a function of
+        the epoch alone — emit the whole window at once; feedback-driven
+        levelers cannot (their mapping depends on observed wear) and raise
+        here: drivers walk :meth:`span_tables` instead, which chunks the
+        window at ``observe()`` boundaries.
+        """
+        if self.uses_feedback:
+            raise NotImplementedError(
+                f"leveler '{self.name}' is feedback-driven: its span table "
+                "depends on observed wear; iterate span_tables() instead")
+        starts, lengths = self._span_bounds(num_inferences, start, stop)
+        offsets = np.broadcast_to(
+            np.asarray(self._offset_at(starts), dtype=np.int64), starts.shape)
+        return SpanTable(self, starts, lengths, offsets=offsets)
+
+    def span_tables(self, num_inferences: int, start: int = 0,
+                    stop: Optional[int] = None) -> Iterator[SpanTable]:
+        """Yield the window's span tables, chunked at feedback boundaries.
+
+        The driver contract of the batched composition path: compose every
+        yielded table, then (for :attr:`uses_feedback` levelers) call
+        :meth:`observe` with the accumulated physical stress *before* pulling
+        the next chunk — the generator resolves the next chunk's mapping only
+        after control returns, so feedback-driven tables see exactly the
+        stress the iterative :meth:`spans` walk would have shown them.
+        Schedule-driven levelers yield the whole window as a single table.
+        """
+        yield self.span_table(num_inferences, start=start, stop=stop)
 
     # ------------------------------------------------------------------ #
     # Rotation helpers (shared by the offset-based subclasses)

@@ -57,14 +57,15 @@ from repro.core.simulation import (
     _duty_from_counts,
     replay_inference,
 )
-from repro.leveling.remap import mean_duty_per_row
+from repro.core.span_compose import SpanComposer
+from repro.leveling.remap import mean_duty_from_row_counts, mean_duty_per_row
 from repro.scenario.operating_point import RetentionModel
 from repro.scenario.phases import LifetimeScenario, Phase
 from repro.utils.rng import SeedLike, spawn_rngs
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guards, typing only
     from repro.experiments.common import ExperimentScale
-    from repro.leveling.remap import WearLeveler
+    from repro.leveling.remap import SpanTable, WearLeveler
 
 __all__ = [
     "ScenarioResult",
@@ -407,18 +408,29 @@ class _ScenarioEngineBase:
     # Engine hooks (the template method :func:`_run_timeline` drives these)
     # ------------------------------------------------------------------ #
     def _prepare(self, total_active: int) -> None:
-        """One-time setup before the timeline walk (after leveler reset)."""
+        """One-time setup before the timeline walk (after leveler reset).
+
+        The base hook records the timeline horizon (the leveler's change
+        schedule spans all active epochs) and whether the leveler consumes
+        the scenario-cumulative wear feedback; engines allocate their own
+        feedback accumulators on top — the packed engine keeps ``(rows,)``
+        physical row totals, the explicit engine full count matrices.  Both
+        accumulate exact integers in float64, so the stress ratios they feed
+        to :meth:`WearLeveler.observe` are bit-identical.
+        """
+        self._total_active = total_active
+        self._track_feedback = (self.leveler is not None
+                                and self.leveler.uses_feedback)
 
     def _phase_counts(self, stream: object, policy: MitigationPolicy,
-                      phase: Phase, cursor: int, rng: np.random.Generator,
-                      track_feedback: bool, acc_ones: np.ndarray,
-                      acc_writes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+                      phase: Phase, cursor: int, rng: np.random.Generator
+                      ) -> Tuple[np.ndarray, np.ndarray]:
         """Compute one active phase's physical ``(ones, writes)`` counts.
 
         ``cursor`` is the phase's first global active epoch; implementations
-        must route writes through the (persistent) leveler, and — when
-        ``track_feedback`` — fold the phase's physical counts into
-        ``acc_ones``/``acc_writes`` and feed the accumulated stress to
+        must route writes through the (persistent) leveler, and — for
+        feedback-driven levelers — maintain their scenario-cumulative
+        physical wear accumulators and feed the accumulated stress to
         :meth:`WearLeveler.observe`.
         """
         raise NotImplementedError
@@ -474,14 +486,6 @@ def _run_timeline(engine: "_ScenarioEngineBase") -> ScenarioResult:
     engine._held = (np.full((rows, word_bits), np.nan, dtype=np.float64)
                     if last_idle_index >= 0 else None)
     engine._prepare(scenario.active_epochs)
-    # Scenario-cumulative physical counts: the wear-map stress signal
-    # feedback-driven levelers observe (identical between the engines — all
-    # entries are exact integers in float64, so accumulation order cannot
-    # perturb the ratios).  Only maintained when a leveler consumes them.
-    track_feedback = leveler is not None and leveler.uses_feedback
-    acc_ones = np.zeros((rows, word_bits), dtype=np.float64)
-    acc_writes = np.zeros(rows, dtype=np.float64)
-
     rngs = spawn_rngs(engine.seed, len(scenario.active_phases))
     phase_years = scenario.phase_years()
     phase_stress: List[PhaseStress] = []
@@ -506,8 +510,7 @@ def _run_timeline(engine: "_ScenarioEngineBase") -> ScenarioResult:
         stream = streams[(phase.network, phase.data_format)]
         policy = engine._phase_policy(phase, word_bits, rngs[active_index])
         ones, writes = engine._phase_counts(
-            stream, policy, phase, cursor, rngs[active_index],
-            track_feedback, acc_ones, acc_writes)
+            stream, policy, phase, cursor, rngs[active_index])
         duty = _duty_from_counts(ones, writes)
         result = AgingResult(
             policy_name=policy.name,
@@ -552,14 +555,18 @@ class ScenarioAgingSimulator(_ScenarioEngineBase):
 
     def _prepare(self, total_active: int) -> None:
         # The leveler's change schedule spans the whole timeline; per-phase
-        # spans are cut out of it through the (start, stop) window of
-        # :meth:`WearLeveler.spans`.
-        self._total_active = total_active
+        # span tables are cut out of it through the (start, stop) window of
+        # :meth:`WearLeveler.span_tables`.  Feedback runs on (rows,) physical
+        # row totals persisted across phases.
+        super()._prepare(total_active)
+        if self._track_feedback:
+            rows, _ = self._geometry()
+            self._row_acc_ones = np.zeros(rows, dtype=np.float64)
+            self._row_acc_writes = np.zeros(rows, dtype=np.float64)
 
     def _phase_counts(self, stream: object, policy: MitigationPolicy,
-                      phase: Phase, cursor: int, rng: np.random.Generator,
-                      track_feedback: bool, acc_ones: np.ndarray,
-                      acc_writes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+                      phase: Phase, cursor: int, rng: np.random.Generator
+                      ) -> Tuple[np.ndarray, np.ndarray]:
         simulator = AgingSimulator(stream, policy,
                                    num_inferences=phase.duration,
                                    seed=rng, snm_model=self.snm_model)
@@ -574,6 +581,90 @@ class ScenarioAgingSimulator(_ScenarioEngineBase):
                 # whatever its final write of the final epoch stored.
                 self._held[written] = last_bits(phase.duration - 1)[written]
             return kernel(0, phase.duration)
+        if not kernel.supports_batch:
+            return self._phase_counts_loop(kernel, phase, cursor,
+                                           last_bits if track_held else None,
+                                           written if track_held else None)
+        rows, word_bits = self._geometry()
+        track_feedback = self._track_feedback
+        composer = SpanComposer(rows, word_bits, leveler.region_rows,
+                                track_feedback=track_feedback)
+        tables: List["SpanTable"] = []
+        for table in leveler.span_tables(self._total_active, start=cursor,
+                                         stop=cursor + phase.duration):
+            if not table.num_spans:
+                continue
+            # Kernel starts are phase-local (policy state resets at phase
+            # boundaries); the table's global starts keep addressing the
+            # persistent leveler schedule.
+            composer.add_table(
+                table, kernel.counts_batch(table.starts - cursor,
+                                           table.lengths))
+            tables.append(table)
+            if track_feedback:
+                row_ones, row_writes = composer.row_totals()
+                leveler.observe(
+                    int(table.starts[-1] + table.lengths[-1]),
+                    mean_duty_from_row_counts(
+                        self._row_acc_ones + row_ones,
+                        (self._row_acc_writes + row_writes)
+                        * float(word_bits)))
+        if track_held:
+            self._scatter_held(tables, cursor, last_bits, written)
+        ones, writes = composer.finalize()
+        if track_feedback:
+            row_ones, row_writes = composer.row_totals()
+            self._row_acc_ones += row_ones
+            self._row_acc_writes += row_writes
+        return ones, writes
+
+    def _scatter_held(self, tables: List["SpanTable"], cursor: int,
+                      last_bits: Callable[[int], np.ndarray],
+                      written: np.ndarray) -> None:
+        """Batched ``last_bits`` scatter over a phase's span tables.
+
+        The iterative walk overwrites each physical cell span after span, so
+        the final state only keeps the *newest* span covering each cell.
+        Walking the spans newest-first and filling each physical row at most
+        once reproduces that state while evaluating the (expensive)
+        ``last_bits`` closed form only for spans that still contribute —
+        one call in the common case where the newest span covers every
+        written row.
+        """
+        logical = np.flatnonzero(written)
+        if not logical.size:
+            return
+        filled = np.zeros(self._held.shape[0], dtype=bool)
+        remaining = int(filled.size)
+        for table in reversed(tables):
+            for index in range(table.num_spans - 1, -1, -1):
+                permutation = table.permutation(index)
+                targets = permutation[logical]
+                need = ~filled[targets]
+                if need.any():
+                    local_end = int(table.starts[index] - cursor
+                                    + table.lengths[index] - 1)
+                    stored = last_bits(local_end)
+                    self._held[targets[need]] = stored[logical[need]]
+                    filled[targets[need]] = True
+                    remaining -= int(np.count_nonzero(need))
+                if remaining <= 0:
+                    return
+
+    def _phase_counts_loop(self, kernel: Callable, phase: Phase, cursor: int,
+                           last_bits: Optional[Callable[[int], np.ndarray]],
+                           written: Optional[np.ndarray]
+                           ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-span reference walk for kernels without a batched form.
+
+        The stochastic DNN-Life kernel draws fresh randomness per span in
+        call order, so its leveled composition keeps the original span loop
+        (the batched path would reorder the draws).  Feedback still runs on
+        the persistent ``(rows,)`` physical totals — the row reduction of a
+        span's exact-integer counts commutes with the permutation scatter, so
+        the observed stress is unchanged bit for bit.
+        """
+        leveler = self.leveler
         rows, word_bits = self._geometry()
         ones = np.zeros((rows, word_bits), dtype=np.float64)
         writes = np.zeros(rows, dtype=np.float64)
@@ -583,18 +674,19 @@ class ScenarioAgingSimulator(_ScenarioEngineBase):
             span_ones, span_writes = kernel(start - cursor, length)
             ones[permutation] += span_ones
             writes[permutation] += span_writes
-            if track_held:
+            if last_bits is not None:
                 # Within a constant-mapping span every written row's last
                 # write is in the span's final epoch; later spans overwrite
                 # earlier ones in stream order, so after the loop each
                 # physical cell holds exactly its last-written value.
                 stored = last_bits(start - cursor + length - 1)
                 self._held[permutation[written]] = stored[written]
-            if track_feedback:
-                acc_ones[permutation] += span_ones
-                acc_writes[permutation] += span_writes
-                leveler.observe(start + length, mean_duty_per_row(
-                    acc_ones, acc_writes * float(word_bits)))
+            if self._track_feedback:
+                self._row_acc_ones[permutation] += span_ones.sum(axis=1)
+                self._row_acc_writes[permutation] += span_writes
+                leveler.observe(start + length, mean_duty_from_row_counts(
+                    self._row_acc_ones,
+                    self._row_acc_writes * float(word_bits)))
         return ones, writes
 
 
@@ -618,12 +710,24 @@ class ExplicitScenarioSimulator(_ScenarioEngineBase):
         """Replay the whole timeline; returns the scenario result."""
         return _run_timeline(self)
 
+    def _prepare(self, total_active: int) -> None:
+        # Scenario-cumulative physical count matrices: the wear-map stress
+        # signal feedback-driven levelers observe.  The packed engine keeps
+        # only the (rows,) reductions of the same exact-integer counts, so
+        # the observed ratios — and every swap decision derived from them —
+        # are bit-identical between the engines.
+        super()._prepare(total_active)
+        if self._track_feedback:
+            rows, word_bits = self._geometry()
+            self._acc_ones = np.zeros((rows, word_bits), dtype=np.float64)
+            self._acc_writes = np.zeros(rows, dtype=np.float64)
+
     def _phase_counts(self, stream: object, policy: MitigationPolicy,
-                      phase: Phase, cursor: int, rng: np.random.Generator,
-                      track_feedback: bool, acc_ones: np.ndarray,
-                      acc_writes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+                      phase: Phase, cursor: int, rng: np.random.Generator
+                      ) -> Tuple[np.ndarray, np.ndarray]:
         rows, word_bits = self._geometry()
         leveler = self.leveler
+        track_feedback = self._track_feedback
         policy.reset()
         ones = np.zeros((rows, word_bits), dtype=np.float64)
         writes = np.zeros(rows, dtype=np.float64)
@@ -634,8 +738,9 @@ class ExplicitScenarioSimulator(_ScenarioEngineBase):
                              stored=self._held)
             if track_feedback:
                 leveler.observe(epoch + 1, mean_duty_per_row(
-                    acc_ones + ones, (acc_writes + writes) * float(word_bits)))
+                    self._acc_ones + ones,
+                    (self._acc_writes + writes) * float(word_bits)))
         if track_feedback:
-            acc_ones += ones
-            acc_writes += writes
+            self._acc_ones += ones
+            self._acc_writes += writes
         return ones, writes

@@ -141,6 +141,36 @@ class TestBenchHarness:
         assert set(payload["entries"]) == {"none+rotation", "none+start_gap",
                                            "none+wear_swap"}
 
+    def test_leveling_overhead_gate(self):
+        """The overhead budget flags schedule-driven and wear-swap breaches."""
+        from repro.bench import (
+            LEVELING_OVERHEAD_LIMIT,
+            WEAR_SWAP_OVERHEAD_LIMIT,
+            check_leveling_overheads,
+        )
+
+        assert WEAR_SWAP_OVERHEAD_LIMIT > LEVELING_OVERHEAD_LIMIT
+        payload = {"entries": {
+            "none+rotation": {"overhead": LEVELING_OVERHEAD_LIMIT - 0.5},
+            "none+start_gap": {"overhead": LEVELING_OVERHEAD_LIMIT + 1.0},
+            # within the wear-swap budget, above the schedule-driven one:
+            # must NOT be flagged
+            "none+wear_swap": {"overhead": WEAR_SWAP_OVERHEAD_LIMIT - 1.0},
+            "inversion+wear_swap": {"overhead": WEAR_SWAP_OVERHEAD_LIMIT + 2.0},
+            "inversion+rotation": {"overhead": None},
+        }}
+        violations = check_leveling_overheads(payload)
+        assert len(violations) == 2
+        assert any(v.startswith("none+start_gap:") for v in violations)
+        assert any(v.startswith("inversion+wear_swap:") for v in violations)
+        assert check_leveling_overheads({"entries": {}}) == []
+
+    def test_leveling_smoke_case_within_budget(self, smoke_payload):
+        """The bench's own leveling entries respect the CI overhead gate."""
+        from repro.bench import check_leveling_overheads
+
+        assert check_leveling_overheads(smoke_payload["leveling"]) == []
+
     def test_leveling_render(self, smoke_payload):
         text = render_bench_report(smoke_payload)
         assert "wear-leveling overhead" in text

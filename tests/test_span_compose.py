@@ -1,0 +1,331 @@
+"""Batched-span leveling fast path: contract, property, and golden tests.
+
+Three layers of protection for the fused remap composition
+(:mod:`repro.core.span_compose`):
+
+* property tests that :meth:`WearLeveler.span_table` /
+  :meth:`WearLeveler.span_tables` agree span-for-span with the iterative
+  :meth:`WearLeveler.spans` walk for every shipped leveler across sampled
+  schedules and ``[start, stop)`` windows;
+* unit tests of the span window-contract validator and its debug flag;
+* byte-identity regressions pinning the batched engine's ``AgingResult``
+  payloads to SHAs captured on the pre-refactor per-span loop, including a
+  >255-span schedule that would expose any narrow-dtype shortcut in the
+  composition, plus live batched-vs-loop and scipy-vs-numpy cross-checks.
+"""
+
+import hashlib
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.core.span_compose as span_compose
+from repro.bench.aging_bench import BenchCase, _policy_for
+from repro.core.simulation import AgingSimulator, PackedSpanKernel
+from repro.leveling import (
+    make_leveler,
+    set_span_validation,
+    span_validation_enabled,
+)
+from repro.leveling.remap import _check_span_tiling
+from repro.memory.geometry import MemoryGeometry
+from repro.utils.units import KB
+
+# --------------------------------------------------------------------------- #
+# Shared strategies / fixtures
+# --------------------------------------------------------------------------- #
+
+#: Every shipped leveler, with a sampling of its constructor schedules.
+LEVELER_SPECS = st.one_of(
+    st.just(("none", {})),
+    st.builds(lambda p, s: ("rotation", {"period": p, "step": s}),
+              st.integers(min_value=1, max_value=9),
+              st.integers(min_value=1, max_value=5)),
+    st.builds(lambda i: ("start_gap", {"interval": i}),
+              st.integers(min_value=1, max_value=7)),
+    st.builds(lambda i, f: ("wear_swap", {"interval": i, "swap_fraction": f}),
+              st.integers(min_value=1, max_value=6),
+              st.sampled_from([0.1, 0.25, 0.5])),
+)
+
+
+@st.composite
+def leveler_and_window(draw):
+    """A leveler spec plus a ``[start, stop)`` window inside its horizon."""
+    spec = draw(LEVELER_SPECS)
+    num_inferences = draw(st.integers(min_value=1, max_value=40))
+    start = draw(st.integers(min_value=0, max_value=num_inferences))
+    stop = draw(st.integers(min_value=start, max_value=num_inferences))
+    return spec, num_inferences, start, stop
+
+
+def _build_leveler(spec, fifo_depth_tiles=4, capacity_bytes=64):
+    name, options = spec
+    geometry = MemoryGeometry(capacity_bytes=capacity_bytes, word_bits=8)
+    return make_leveler(name, geometry, fifo_depth_tiles, **options)
+
+
+class TestSpanTableProperties:
+    """`span_table(s)` must reproduce the iterative `spans()` walk exactly."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(leveler_and_window())
+    def test_tables_concatenate_to_iterative_spans(self, case):
+        spec, num_inferences, start, stop = case
+        leveler = _build_leveler(spec)
+        expected = list(leveler.spans(num_inferences, start=start, stop=stop))
+        tables = list(_build_leveler(spec).span_tables(
+            num_inferences, start=start, stop=stop))
+        got = [pair for table in tables for pair in table.iter_spans()]
+        assert got == expected
+
+    @settings(max_examples=200, deadline=None)
+    @given(leveler_and_window())
+    def test_table_permutations_match_epoch_walk(self, case):
+        """Each span's table mapping equals `permutation(epoch)` at its start.
+
+        The reference leveler walks epochs through the legacy interface; the
+        tables come from an independent instance so feedback-free schedules
+        cannot leak state between the two paths.
+        """
+        spec, num_inferences, start, stop = case
+        reference = _build_leveler(spec)
+        tables = _build_leveler(spec).span_tables(
+            num_inferences, start=start, stop=stop)
+        for table in tables:
+            for index, (span_start, _) in enumerate(table.iter_spans()):
+                np.testing.assert_array_equal(
+                    table.permutation(index), reference.permutation(span_start))
+
+    @settings(max_examples=150, deadline=None)
+    @given(leveler_and_window())
+    def test_window_split_is_seamless(self, case):
+        """Walking a window in two pieces covers the same epochs with the
+        same mapping as one piece — the scenario driver's phase contract."""
+        spec, num_inferences, start, stop = case
+        mid = (start + stop) // 2
+        whole = _build_leveler(spec)
+        split = _build_leveler(spec)
+        mapping_whole = {}
+        for table in whole.span_tables(num_inferences, start=start, stop=stop):
+            for index, (span_start, length) in enumerate(table.iter_spans()):
+                perm = table.permutation(index)
+                for epoch in range(span_start, span_start + length):
+                    mapping_whole[epoch] = perm
+        mapping_split = {}
+        for lo, hi in ((start, mid), (mid, stop)):
+            for table in split.span_tables(num_inferences, start=lo, stop=hi):
+                for index, (span_start, length) in enumerate(table.iter_spans()):
+                    perm = table.permutation(index)
+                    for epoch in range(span_start, span_start + length):
+                        mapping_split[epoch] = perm
+        assert set(mapping_whole) == set(mapping_split) == set(
+            range(start, stop))
+        for epoch, perm in mapping_whole.items():
+            np.testing.assert_array_equal(perm, mapping_split[epoch])
+
+    def test_schedule_driven_table_is_single_shot(self):
+        leveler = _build_leveler(("rotation", {"period": 4, "step": 1}))
+        tables = list(leveler.span_tables(16))
+        assert len(tables) == 1
+        assert tables[0].offsets is not None
+
+    def test_feedback_driven_span_table_refuses(self):
+        leveler = _build_leveler(("wear_swap", {"interval": 2}))
+        with pytest.raises(NotImplementedError):
+            leveler.span_table(10)
+
+    def test_feedback_driven_tables_chunk_at_observe_boundaries(self):
+        leveler = _build_leveler(("wear_swap", {"interval": 3}))
+        tables = list(leveler.span_tables(10))
+        assert [t.num_spans for t in tables] == [1, 1, 1, 1]
+        assert [next(t.iter_spans()) for t in tables] == [
+            (0, 3), (3, 3), (6, 3), (9, 1)]
+
+
+class TestSpanValidation:
+    """The debug window-contract check behind ``set_span_validation``."""
+
+    def test_toggle_returns_previous_setting(self):
+        initial = span_validation_enabled()
+        try:
+            assert set_span_validation(True) == initial
+            assert span_validation_enabled()
+            assert set_span_validation(False) is True
+            assert not span_validation_enabled()
+        finally:
+            set_span_validation(initial)
+
+    def test_shipped_levelers_pass_validation(self):
+        previous = set_span_validation(True)
+        try:
+            for spec in (("none", {}), ("rotation", {"period": 3, "step": 2}),
+                         ("start_gap", {"interval": 2}),
+                         ("wear_swap", {"interval": 4})):
+                leveler = _build_leveler(spec)
+                for start, stop in ((0, 17), (5, 11), (3, 3), (0, 1)):
+                    list(leveler.spans(17, start=start, stop=stop))
+        finally:
+            set_span_validation(previous)
+
+    def test_tiling_check_accepts_exact_cover(self):
+        _check_span_tiling(np.asarray([2, 5, 9]), np.asarray([3, 4, 1]),
+                           2, 10, "unit")
+
+    @pytest.mark.parametrize("starts,lengths,start,stop", [
+        ([0, 4], [3, 4], 0, 8),          # gap: epoch 3 uncovered
+        ([0, 2], [3, 6], 0, 8),          # overlap at epoch 2
+        ([1, 4], [3, 4], 0, 8),          # first span misses window start
+        ([0, 4], [4, 3], 0, 8),          # last span misses window stop
+        ([0], [0], 0, 8),                # non-positive length
+        ([], [], 0, 8),                  # no spans for a non-empty window
+        ([0], [1], 5, 5),                # spans emitted for an empty window
+    ])
+    def test_tiling_check_rejects_broken_tables(self, starts, lengths,
+                                                start, stop):
+        with pytest.raises(AssertionError):
+            _check_span_tiling(np.asarray(starts, dtype=np.int64),
+                               np.asarray(lengths, dtype=np.int64),
+                               start, stop, "unit")
+
+
+# --------------------------------------------------------------------------- #
+# Byte-identity regressions
+# --------------------------------------------------------------------------- #
+
+#: Leveler schedules pinned by the golden battery (the bench suite's set).
+GOLDEN_LEVELERS = (
+    ("rotation", {"period": 8, "step": 1}),
+    ("start_gap", {"interval": 2}),
+    ("wear_swap", {"interval": 5, "swap_fraction": 0.25}),
+)
+
+#: sha256 of the sorted-key JSON payload of each leveled packed run, captured
+#: on the pre-refactor per-span loop engine.  The batched composition must
+#: reproduce these byte-for-byte.
+GOLDEN_8KB_SHAS = {
+    ("none", "rotation"):
+        "cf02205a6949c7ea738fba2ee44779a80c697e51e90bdbaa0ea85f5c682c8d87",
+    ("inversion", "rotation"):
+        "3b8af059df3339a67971462c7d9d39973497fbfe07baad12063e637124816a02",
+    ("none", "start_gap"):
+        "bd75c44920a365c9df630e4f3eab29ec8fbfb569143f21499fcc1470e1acf2a8",
+    ("inversion", "start_gap"):
+        "c76d7a13f2e0365a4416c3b8e57f5c5536b62abdebe306bd459fcfef96721c32",
+    ("none", "wear_swap"):
+        "8dc69c71584626113edca1a11e3de4fde893745718198ab62519ac9cb8a467a4",
+    ("inversion", "wear_swap"):
+        "a3712b6f344d5d7d90b4659d1240d4cc15d7d6880c183dd37d191c06f9fd7258",
+}
+
+#: Pre-refactor SHA of a 300-span rotation schedule (period 8, step 1): more
+#: than 255 spans, so any uint8-shaped narrowing in the fused composition's
+#: span indexing or coefficient handling would change the payload.
+GOLDEN_300SPAN_SHA = \
+    "b16239ce36e41360083e4dd4ca2c7ac74a5ec79d69f8dad474b8f10126bd2774"
+
+
+def _golden_8kb_case() -> BenchCase:
+    return BenchCase(name="golden_8kb", description="golden leveling case",
+                     memory_kb=8, word_bits=8, num_blocks=12,
+                     fifo_depth_tiles=4, num_inferences=12,
+                     policies=("none", "inversion"))
+
+
+def _golden_300span_case() -> BenchCase:
+    return BenchCase(name="golden_300span", description="300-span schedule",
+                     memory_kb=4, word_bits=8, num_blocks=6,
+                     fifo_depth_tiles=4, num_inferences=300,
+                     policies=("none",))
+
+
+def _leveled_payload_sha(case: BenchCase, policy_name: str,
+                         leveler_name: str, options: dict) -> str:
+    stream = case.build_stream(seed=0)
+    leveler = make_leveler(leveler_name, stream.geometry,
+                           case.fifo_depth_tiles, **options)
+    result = AgingSimulator(stream, _policy_for(case, policy_name, 0),
+                            num_inferences=case.num_inferences, seed=0,
+                            leveler=leveler).run()
+    payload = json.dumps(result.to_payload(), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class TestGoldenPayloads:
+    """The batched path must reproduce the pre-refactor loop byte-for-byte."""
+
+    @pytest.mark.parametrize("policy_name", ["none", "inversion"])
+    @pytest.mark.parametrize("leveler_name,options",
+                             GOLDEN_LEVELERS, ids=lambda v: str(v))
+    def test_golden_8kb(self, policy_name, leveler_name, options):
+        sha = _leveled_payload_sha(_golden_8kb_case(), policy_name,
+                                   leveler_name, options)
+        assert sha == GOLDEN_8KB_SHAS[(policy_name, leveler_name)]
+
+    def test_golden_300_span_schedule(self):
+        """Overflow-shaped case: the schedule emits >255 constant spans."""
+        case = _golden_300span_case()
+        leveler = make_leveler("rotation",
+                               MemoryGeometry(capacity_bytes=case.memory_kb * KB,
+                                              word_bits=case.word_bits),
+                               case.fifo_depth_tiles, period=8, step=1)
+        table = leveler.span_table(case.num_inferences)
+        assert table.num_spans > 255
+        sha = _leveled_payload_sha(case, "none", "rotation",
+                                   {"period": 8, "step": 1})
+        assert sha == GOLDEN_300SPAN_SHA
+
+
+class TestBatchedMatchesLoop:
+    """Live cross-check: fused composition vs the retained per-span loop."""
+
+    @staticmethod
+    def _force_loop(monkeypatch):
+        monkeypatch.setattr(PackedSpanKernel, "supports_batch",
+                            property(lambda self: False))
+
+    def _run(self, case, policy_name, leveler_name, options):
+        stream = case.build_stream(seed=0)
+        leveler = make_leveler(leveler_name, stream.geometry,
+                               case.fifo_depth_tiles, **options)
+        return AgingSimulator(stream, _policy_for(case, policy_name, 0),
+                              num_inferences=case.num_inferences, seed=0,
+                              leveler=leveler).run()
+
+    @pytest.mark.parametrize("policy_name",
+                             ["none", "inversion", "barrel_shifter"])
+    @pytest.mark.parametrize("leveler_name,options",
+                             GOLDEN_LEVELERS, ids=lambda v: str(v))
+    def test_bitwise_equal_results(self, monkeypatch, policy_name,
+                                   leveler_name, options):
+        case = _golden_8kb_case()
+        batched = self._run(case, policy_name, leveler_name, options)
+        self._force_loop(monkeypatch)
+        loop = self._run(case, policy_name, leveler_name, options)
+        assert np.array_equal(batched.duty_cycles, loop.duty_cycles)
+
+    def test_300_span_schedule_bitwise_equal(self, monkeypatch):
+        case = _golden_300span_case()
+        batched = self._run(case, "inversion", "rotation",
+                            {"period": 8, "step": 1})
+        self._force_loop(monkeypatch)
+        loop = self._run(case, "inversion", "rotation",
+                         {"period": 8, "step": 1})
+        assert np.array_equal(batched.duty_cycles, loop.duty_cycles)
+
+    def test_permutation_matvec_fallback_is_bitwise_equal(self, monkeypatch):
+        """The numpy gather fallback must match the scipy csr_matvecs path."""
+        if span_compose._CSR_MATVECS is None:
+            pytest.skip("scipy csr_matvecs unavailable; fallback already "
+                        "exercised by the other tests")
+        case = _golden_8kb_case()
+        scipy_result = self._run(case, "inversion", "wear_swap",
+                                 {"interval": 2, "swap_fraction": 0.25})
+        monkeypatch.setattr(span_compose, "_CSR_MATVECS", None)
+        numpy_result = self._run(case, "inversion", "wear_swap",
+                                 {"interval": 2, "swap_fraction": 0.25})
+        assert np.array_equal(scipy_result.duty_cycles,
+                              numpy_result.duty_cycles)
