@@ -131,8 +131,13 @@ class BenchCase:
     policies: Tuple[str, ...] = BENCH_POLICIES
     max_weights_per_layer: Optional[int] = 1_000_000
 
-    def build_stream(self, seed: int = 0):
-        """Materialise the case's weight stream."""
+    def build_stream(self, seed: int = 0, store=None):
+        """Materialise the case's weight stream.
+
+        The stream store is *disabled* by default (``store=None``) so the
+        recorded ``stream_build_seconds`` stays an honest cold build; pass a
+        :class:`~repro.streamstore.StreamStore` (or ``"auto"``) to opt in.
+        """
         if self.network is None:
             geometry = MemoryGeometry(capacity_bytes=self.memory_kb * KB,
                                       word_bits=self.word_bits)
@@ -147,7 +152,30 @@ class BenchCase:
         scale = ExperimentScale(num_inferences=self.num_inferences,
                                 max_weights_per_layer=self.max_weights_per_layer)
         return build_workload_stream(self.network, BaselineAccelerator(config=config),
-                                     self.data_format, scale, seed=seed)
+                                     self.data_format, scale, seed=seed,
+                                     store=store)
+
+    def store_identity(self, seed: int = 0) -> Dict[str, object]:
+        """The stream-defining parameters this case's store key hashes."""
+        if self.network is None:
+            return {
+                "synthetic": True,
+                "memory_kb": self.memory_kb,
+                "word_bits": self.word_bits,
+                "num_blocks": self.num_blocks,
+                "fifo_depth_tiles": self.fifo_depth_tiles,
+                "probability_of_one": 0.35,
+                "seed": int(seed),
+            }
+        return {
+            "network": self.network,
+            "data_format": self.data_format,
+            "memory_kb": self.memory_kb,
+            "word_bits": self.word_bits,
+            "fifo_depth_tiles": self.fifo_depth_tiles,
+            "max_weights_per_layer": self.max_weights_per_layer,
+            "seed": int(seed),
+        }
 
     def describe(self) -> Dict[str, object]:
         """JSON-safe description of the configuration."""
@@ -221,12 +249,60 @@ def _policy_for(case: BenchCase, name: str, seed: int) -> MitigationPolicy:
     return make_policy(name, case.word_bits, seed=seed)
 
 
-def bench_case(case: BenchCase, repeats: int = 3, seed: int = 0) -> Dict[str, object]:
+def _bench_stream_store(case: BenchCase, stream, cold_seconds: float,
+                        seed: int, repeats: int,
+                        store=None) -> Dict[str, object]:
+    """Measure the stream store's warm-load path against the cold build.
+
+    Persists the case's freshly-built packed tensor, times the memory-mapped
+    reload, and pins bitwise identity by comparing the payload SHA-256 of the
+    built and the loaded tensor.  With no ``store`` the measurement runs in
+    an ephemeral directory, so benching never pollutes (or is flattered by)
+    the user's real store.
+    """
+    import tempfile
+
+    from repro.streamstore import (StreamStore, packed_content_sha256,
+                                   stream_store_key)
+
+    packed = stream.packed_bits()
+    built_sha = packed_content_sha256(packed)
+    created = None
+    if store is None:
+        created = tempfile.TemporaryDirectory(prefix="dnn-life-bench-streams-")
+        store = StreamStore(created.name)
+    try:
+        kind = "synthetic" if case.network is None else "workload"
+        key = stream_store_key(kind, case.store_identity(seed))
+        store.put(key, packed, describe=stream.describe())
+        warm_seconds, loaded = _best_of(repeats, store.load_stream, key)
+        hit = loaded is not None
+        loaded_sha = (packed_content_sha256(loaded.packed_bits())
+                      if hit else None)
+        return {
+            "key": key,
+            "cold_build_seconds": cold_seconds,
+            "warm_load_seconds": warm_seconds,
+            "hit": hit,
+            "speedup": (cold_seconds / warm_seconds if warm_seconds else None),
+            "bit_identical": bool(hit and loaded_sha == built_sha),
+            "payload_sha256": built_sha,
+            "entry_nbytes": int(store.payload_path(key).stat().st_size),
+        }
+    finally:
+        if created is not None:
+            created.cleanup()
+
+
+def bench_case(case: BenchCase, repeats: int = 3, seed: int = 0,
+               stream_store=None) -> Dict[str, object]:
     """Time both fast engines across the case's policy suite.
 
     The packed tensor build is timed separately and charged to the packed
     engine's total: it is the one-time cost every policy evaluation after the
-    first gets for free.
+    first gets for free.  The ``stream_store`` entry of the result records
+    the store's cold-build vs warm-mmap-load trade for this case (measured
+    against ``stream_store`` or an ephemeral one).
     """
     build_start = time.perf_counter()
     stream = case.build_stream(seed=seed)
@@ -270,6 +346,9 @@ def bench_case(case: BenchCase, repeats: int = 3, seed: int = 0) -> Dict[str, ob
         "packed_tensor_bytes": packed.nbytes,
         "stream_build_seconds": stream_build_seconds,
         "packed_build_seconds": packed_build_seconds,
+        "stream_store": _bench_stream_store(
+            case, stream, cold_seconds=stream_build_seconds + packed_build_seconds,
+            seed=seed, repeats=repeats, store=stream_store),
         "policies": policies,
         "blockwise_total_seconds": blockwise_total,
         "packed_total_seconds": packed_total,
@@ -781,8 +860,15 @@ def run_aging_bench(cases: Optional[Sequence[BenchCase]] = None, repeats: int = 
                     leveling: bool = True, scenario: bool = True,
                     dvfs: bool = True, fleet: bool = True) -> Dict[str, object]:
     """Run the benchmark suite and return the ``BENCH_aging.json`` payload."""
+    import tempfile
+
+    from repro.streamstore import StreamStore
+
     cases = list(cases) if cases is not None else default_bench_cases()
-    results = [bench_case(case, repeats=repeats, seed=seed) for case in cases]
+    with tempfile.TemporaryDirectory(prefix="dnn-life-bench-streams-") as root:
+        store = StreamStore(root)
+        results = [bench_case(case, repeats=repeats, seed=seed,
+                              stream_store=store) for case in cases]
     speedups = [entry["speedup"] for entry in results if entry["speedup"]]
     payload: Dict[str, object] = {
         "schema": BENCH_SCHEMA,
@@ -841,6 +927,23 @@ def render_bench_report(payload: Dict[str, object]) -> str:
     lines = [table.render()]
     lines.append(f"minimum case speedup: {payload['min_speedup']:.1f}x, "
                  f"geometric mean: {payload['geomean_speedup']:.1f}x")
+    store_lines = []
+    for entry in payload["cases"]:
+        store_entry = entry.get("stream_store")
+        if store_entry is None:
+            continue
+        speedup = store_entry.get("speedup")
+        identity = ("bit-identical" if store_entry.get("bit_identical")
+                    else "MISMATCH")
+        store_lines.append(
+            f"  {entry['case']['name']}: cold build "
+            f"{store_entry['cold_build_seconds']:.4f}s -> warm mmap load "
+            f"{store_entry['warm_load_seconds'] * 1000:.2f}ms "
+            f"({speedup:.0f}x, {identity})" if speedup is not None else
+            f"  {entry['case']['name']}: warm load unavailable")
+    if store_lines:
+        lines.append("stream store (cold build vs memory-mapped reload):")
+        lines.extend(store_lines)
     leveling = payload.get("leveling")
     if leveling is not None:
         leveling_table = AsciiTable(

@@ -21,6 +21,13 @@ writes the machine-readable result to a JSON file.  Completed runs are
 cached on disk (``~/.cache/dnn-life`` or ``$DNN_LIFE_CACHE_DIR``) keyed by
 (experiment, parameters, code version), so repeated invocations are served
 from the cache; disable with ``--no-cache`` or redirect with ``--cache-dir``.
+
+Packed weight streams are additionally persisted in the content-addressed
+*stream store* (``<cache dir>/streams`` or ``$DNN_LIFE_STREAM_STORE``) and
+memory-mapped back on later runs — ``--stream-store PATH`` redirects it,
+``--no-stream-store`` disables it, ``dnn-life cache --streams`` inspects it,
+and ``dnn-life sweep --backend serial|process|dask`` picks the executor the
+batches fan out on.
 """
 
 from __future__ import annotations
@@ -33,14 +40,17 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.orchestration import (
     REGISTRY,
+    SWEEP_BACKENDS,
     ExperimentSpec,
     ResultCache,
     SweepRunner,
     load_all_experiments,
+    make_executor,
     render_experiment,
     run_experiment,
     split_grid_values,
 )
+from repro.streamstore import STREAM_STORE_ENV, active_stream_store
 from repro.utils.serialization import save_json, to_jsonable
 from repro.utils.tables import AsciiTable
 
@@ -101,6 +111,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "or ~/.cache/dnn-life)")
     parser.add_argument("--no-cache", action="store_true",
                         help="neither read nor write the result cache")
+    parser.add_argument("--stream-store", type=str, default=None,
+                        metavar="PATH",
+                        help="packed-stream store directory (default: "
+                             "<cache dir>/streams, $DNN_LIFE_STREAM_STORE "
+                             "overrides); exported to worker processes")
+    parser.add_argument("--no-stream-store", action="store_true",
+                        help="neither read nor write the packed-stream store")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     list_parser = subparsers.add_parser(
@@ -132,15 +149,34 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--workers", type=int, default=None,
                               help="worker processes (default: CPU-based, "
                                    "$DNN_LIFE_MAX_WORKERS overrides; 1 = serial)")
+    sweep_parser.add_argument("--backend", type=str, default=None,
+                              choices=SWEEP_BACKENDS,
+                              help="executor backend: 'process' (default, "
+                                   "single-host pool), 'serial' (inline), or "
+                                   "'dask' (dask.distributed cluster, "
+                                   "requires dask)")
+    sweep_parser.add_argument("--dask-scheduler", type=str, default=None,
+                              metavar="ADDRESS",
+                              help="dask scheduler address for --backend dask "
+                                   "(default: a transient local cluster)")
     sweep_parser.add_argument("--base-seed", type=int, default=0,
                               help="base seed for deterministic per-job seeding")
     sweep_parser.add_argument("--full", action="store_true",
                               help="apply the paper-scale configuration to every job")
 
     cache_parser = subparsers.add_parser(
-        "cache", help="inspect or clear the on-disk result cache")
+        "cache", help="inspect or clear the on-disk result cache and the "
+                      "packed-stream store")
     cache_parser.add_argument("--clear", action="store_true",
-                              help="delete every cached entry")
+                              help="delete every cached entry (with --streams: "
+                                   "every stream-store entry)")
+    cache_parser.add_argument("--streams", action="store_true",
+                              help="operate on the packed-stream store instead "
+                                   "of the result cache")
+    cache_parser.add_argument("--gc-days", type=float, default=None,
+                              metavar="DAYS",
+                              help="with --streams: delete entries not used "
+                                   "for DAYS days")
 
     bench_parser = subparsers.add_parser(
         "bench", help="time the aging engines (blockwise vs packed) and write "
@@ -290,7 +326,9 @@ def _cmd_experiment(args: argparse.Namespace, cache: Optional[ResultCache]) -> A
 
 def _cmd_sweep(args: argparse.Namespace, cache: Optional[ResultCache]) -> Any:
     grid = _parse_grid(args)
-    runner = SweepRunner(cache=cache, max_workers=args.workers)
+    runner = SweepRunner(cache=cache, max_workers=args.workers,
+                         backend=args.backend,
+                         dask_scheduler=args.dask_scheduler)
     report = runner.run(args.experiment, grid, base_seed=args.base_seed, full=args.full)
 
     failed = f", {report.num_failed} failed" if report.num_failed else ""
@@ -320,6 +358,11 @@ def _cmd_sweep(args: argparse.Namespace, cache: Optional[ResultCache]) -> Any:
             result.seconds,
         ])
     print(table.render())
+    if report.stream_store is not None:
+        store = report.stream_store
+        print(f"stream store at {store['root']}: {store['hits']} hit(s), "
+              f"{store['puts']} cold build(s) persisted "
+              f"[backend {report.backend}]")
     for result in report.results:
         if result.failed:
             print(f"job {result.job.index} failed: {result.error}", file=sys.stderr)
@@ -376,6 +419,16 @@ def _cmd_bench(args: argparse.Namespace) -> Tuple[Any, int]:
         print("dnn-life bench: scenario explicit-engine cross-check FAILED",
               file=sys.stderr)
         exit_code = 1
+    for entry in payload.get("cases", []):
+        store_entry = entry.get("stream_store")
+        if store_entry is None:
+            continue
+        if not store_entry["hit"] or not store_entry["bit_identical"]:
+            print(f"dnn-life bench: stream-store reload check FAILED for case "
+                  f"'{entry['case']['name']}' (hit={store_entry['hit']}, "
+                  f"bit_identical={store_entry['bit_identical']})",
+                  file=sys.stderr)
+            exit_code = 1
     if args.min_speedup is not None and payload["min_speedup"] is not None \
             and payload["min_speedup"] < args.min_speedup:
         print(f"dnn-life bench: minimum case speedup {payload['min_speedup']:.2f}x "
@@ -407,6 +460,8 @@ def _cmd_lint(args: argparse.Namespace) -> Tuple[Any, int]:
 
 
 def _cmd_cache(args: argparse.Namespace, cache: Optional[ResultCache]) -> Any:
+    if args.streams:
+        return _cmd_cache_streams(args)
     if cache is None:
         print("cache disabled (--no-cache)")
         return {"enabled": False}
@@ -418,6 +473,52 @@ def _cmd_cache(args: argparse.Namespace, cache: Optional[ResultCache]) -> Any:
     print(f"cache at {stats['root']}: {stats['entries']} entries, "
           f"{stats['bytes'] / 1024:.1f} KiB")
     return stats
+
+
+def _cmd_cache_streams(args: argparse.Namespace) -> Any:
+    """The ``cache --streams`` view of the packed-stream store."""
+    import time
+
+    store = active_stream_store()
+    if store is None:
+        print("stream store disabled (--no-stream-store / "
+              f"${STREAM_STORE_ENV})")
+        return {"enabled": False}
+    if args.clear:
+        removed = store.clear()
+        print(f"removed {removed} stream entr(ies) from {store.root}")
+        return {"cleared": removed, "root": str(store.root)}
+    if args.gc_days is not None:
+        removed = store.gc(args.gc_days * 86400.0)
+        print(f"gc removed {removed} stream entr(ies) unused for "
+              f"{args.gc_days:g}+ days from {store.root}")
+        return {"gc_removed": removed, "unused_days": args.gc_days,
+                "root": str(store.root)}
+    entries = store.entries()
+    table = AsciiTable(
+        ["key", "network", "geometry", "blocks", "MiB", "unused"],
+        title=(f"stream store at {store.root}: {len(entries)} entr(ies), "
+               f"{sum(entry['nbytes'] for entry in entries) / 2**20:.1f} MiB"),
+    )
+    now = time.time()  # dnn-lint: disable=DL002 - display-only entry ages
+    for entry in entries:
+        geometry = entry.get("geometry") or {}
+        describe = entry.get("describe") or {}
+        capacity = geometry.get("capacity_bytes")
+        geometry_text = (f"{capacity / 1024:.0f}KB/"
+                         f"{geometry.get('word_bits', '?')}b"
+                         if capacity else "?")
+        unused_hours = max(now - (entry.get("last_used_unix") or now), 0) / 3600
+        table.add_row([
+            entry["key"][:12],
+            describe.get("network", "-"),
+            geometry_text,
+            entry.get("num_blocks", "?"),
+            entry["nbytes"] / 2**20,
+            f"{unused_hours:.1f}h",
+        ])
+    print(table.render())
+    return {"root": str(store.root), "entries": entries}
 
 
 def _validate_user_input(args: argparse.Namespace) -> None:
@@ -437,6 +538,11 @@ def _validate_user_input(args: argparse.Namespace) -> None:
         spec.resolve(dict(args.assignments), full=args.full)
     elif args.command == "sweep":
         _parse_grid(args)
+        if args.backend is not None:
+            # probes backend availability: selecting 'dask' without
+            # dask.distributed installed is a one-line usage error
+            make_executor(args.backend, max_workers=args.workers,
+                          dask_scheduler=args.dask_scheduler)
     elif args.command in REGISTRY or args.command in _COMMAND_ALIASES:
         spec, params, full = _subcommand_invocation(args)
         spec.resolve(params, full=full)
@@ -459,6 +565,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    # The stream-store choice is exported through the environment (not
+    # threaded as a parameter) so sweep worker processes inherit it.
+    if args.no_stream_store:
+        os.environ[STREAM_STORE_ENV] = "0"
+    elif args.stream_store:
+        os.environ[STREAM_STORE_ENV] = args.stream_store
     try:
         _validate_user_input(args)
     except (KeyError, ValueError, TypeError) as error:

@@ -10,6 +10,14 @@ tensor — instead of rebuilding it per job.  The cache lives per process, so
 every worker of a :class:`~repro.orchestration.sweep.SweepRunner` pool warms
 its own copy once and serves all subsequent jobs with stream affinity from
 memory.
+
+Behind the LRU sits the cross-process *stream store*
+(:mod:`repro.streamstore`): on an LRU miss the packed tensor is
+memory-mapped from disk when a previous process already built the same
+stream, and cold builds are persisted for the next process.  The LRU and
+the store are independent layers — ``DNN_LIFE_STREAM_CACHE=0`` disables
+only the in-memory LRU, ``DNN_LIFE_STREAM_STORE=0`` only the on-disk
+store; ``reuse=False`` bypasses both.
 """
 
 from __future__ import annotations
@@ -17,7 +25,7 @@ from __future__ import annotations
 import os
 from collections import OrderedDict
 from dataclasses import asdict
-from typing import Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Union
 
 import numpy as np
 
@@ -28,6 +36,8 @@ from repro.core.simulation import AgingSimulator
 from repro.experiments.common import ExperimentScale, reduce_network
 from repro.nn.models import build_model
 from repro.nn.weights import attach_synthetic_weights
+from repro.streamstore import (StoredWeightStream, StreamStore,
+                               resolve_stream_store, stream_store_key)
 from repro.utils.serialization import canonical_json
 from repro.utils.tables import format_histogram
 
@@ -37,8 +47,12 @@ STREAM_CACHE_SIZE_ENV = "DNN_LIFE_STREAM_CACHE"
 #: Default number of (network, format, geometry, scale, seed) streams kept.
 _DEFAULT_STREAM_CACHE_SIZE = 4
 
+#: A workload stream as served by :func:`build_workload_stream`: freshly
+#: built, or memory-mapped back from the on-disk stream store.
+WorkloadStream = Union[CachedWeightStream, "StoredWeightStream"]
+
 #: Process-local LRU of workload streams, keyed by the workload signature.
-_STREAM_CACHE: "OrderedDict[str, CachedWeightStream]" = OrderedDict()
+_STREAM_CACHE: "OrderedDict[str, WorkloadStream]" = OrderedDict()
 
 
 def _stream_cache_size() -> int:
@@ -56,17 +70,24 @@ def clear_stream_cache() -> int:
     return held
 
 
-def _workload_signature(network_name: str, accelerator, data_format: str,
-                        scale: ExperimentScale, seed: int) -> str:
-    """Canonical cache key of one workload stream."""
-    return canonical_json({
+def _workload_identity(network_name: str, accelerator, data_format: str,
+                       scale: ExperimentScale, seed: int) -> Dict[str, Any]:
+    """The stream-defining parameters of one workload, as a plain mapping."""
+    return {
         "network": network_name,
         "data_format": data_format,
         "accelerator_type": type(accelerator).__name__,
         "accelerator_config": asdict(accelerator.config),
         "max_weights_per_layer": scale.max_weights_per_layer,
         "seed": int(seed),
-    })
+    }
+
+
+def _workload_signature(network_name: str, accelerator, data_format: str,
+                        scale: ExperimentScale, seed: int) -> str:
+    """Canonical cache key of one workload stream."""
+    return canonical_json(_workload_identity(
+        network_name, accelerator, data_format, scale, seed))
 
 
 def evaluate_policies_on_stream(stream, policies: Iterable[MitigationPolicy],
@@ -98,7 +119,9 @@ def evaluate_policies_on_stream(stream, policies: Iterable[MitigationPolicy],
 
 def build_workload_stream(network_name: str, accelerator, data_format: str,
                           scale: ExperimentScale, seed: int = 0,
-                          reuse: bool = True) -> CachedWeightStream:
+                          reuse: bool = True,
+                          store: Union[str, StreamStore, None] = "auto"
+                          ) -> WorkloadStream:
     """Build (or fetch) the cached weight stream for one workload.
 
     With ``reuse`` (the default) the stream is served from the process-local
@@ -107,24 +130,55 @@ def build_workload_stream(network_name: str, accelerator, data_format: str,
     sweep — quantize and bit-unpack the network exactly once per process.
     Set ``DNN_LIFE_STREAM_CACHE=0`` to disable, or a higher value to keep
     more workloads resident.
+
+    On an LRU miss the cross-process stream store is consulted: an entry
+    written by any earlier process (or an earlier sweep batch whose LRU was
+    disabled) is memory-mapped instead of rebuilt, and a cold build is
+    persisted for the next consumer.  ``store="auto"`` resolves
+    ``DNN_LIFE_STREAM_STORE``; a :class:`StreamStore` pins one explicitly;
+    ``None`` skips the store.  ``reuse=False`` bypasses both layers and
+    always builds fresh (and never persists).
     """
     capacity = _stream_cache_size() if reuse else 0
-    key = None
+    identity = _workload_identity(network_name, accelerator, data_format,
+                                  scale, seed)
+    key = canonical_json(identity)
     if capacity:
-        key = _workload_signature(network_name, accelerator, data_format, scale, seed)
         cached = _STREAM_CACHE.get(key)
         if cached is not None:
             _STREAM_CACHE.move_to_end(key)
             return cached
+
+    resolved_store: Optional[StreamStore] = None
+    store_key: Optional[str] = None
+    if reuse and store is not None:
+        resolved_store = (resolve_stream_store(None) if store == "auto"
+                          else store if isinstance(store, StreamStore)
+                          else resolve_stream_store(store))
+        if resolved_store is not None:
+            store_key = stream_store_key("workload", identity)
+            stored = resolved_store.load_stream(store_key)
+            if stored is not None:
+                if capacity:
+                    _insert_cached(key, stored, capacity)
+                return stored
+
     network = attach_synthetic_weights(build_model(network_name), seed=seed)
     network = reduce_network(network, scale.max_weights_per_layer, seed=seed)
     scheduler = accelerator.build_scheduler(network, data_format)
-    stream = CachedWeightStream(scheduler)
+    stream = CachedWeightStream(scheduler, store=resolved_store,
+                                store_key=store_key)
     if capacity:
-        _STREAM_CACHE[key] = stream
-        while len(_STREAM_CACHE) > capacity:
-            _STREAM_CACHE.popitem(last=False)
+        _insert_cached(key, stream, capacity)
     return stream
+
+
+def _insert_cached(key: str, stream: WorkloadStream, capacity: int) -> None:
+    """LRU insert with eviction down to ``capacity`` entries."""
+    _STREAM_CACHE[key] = stream
+    _STREAM_CACHE.move_to_end(key)
+    while len(_STREAM_CACHE) > capacity:
+        _STREAM_CACHE.popitem(last=False)
 
 
 def render_policy_histograms(results: Dict[str, Dict[str, object]], title: str) -> str:

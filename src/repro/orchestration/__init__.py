@@ -10,7 +10,8 @@ orchestration layer:
   keyed by (experiment, parameters, code version), so repeated invocations
   and sweeps reuse prior results instead of re-simulating.
 * :mod:`repro.orchestration.sweep` — grid expansion with deterministic
-  per-job seeding and multiprocessing fan-out.
+  per-job seeding and a pluggable executor backend (process pool, serial,
+  optional dask.distributed) over stream-affinity batches.
 * :mod:`repro.orchestration.runner` — the shared cached execution path.
 
 Example
@@ -34,11 +35,17 @@ from repro.orchestration.registry import (
 )
 from repro.orchestration.runner import ExperimentRun, render_experiment, run_experiment
 from repro.orchestration.sweep import (
+    SWEEP_BACKENDS,
+    BatchOutcome,
+    DaskSweepExecutor,
+    ProcessPoolSweepExecutor,
+    SerialSweepExecutor,
     SweepJob,
     SweepJobResult,
     SweepReport,
     SweepRunner,
     expand_grid,
+    make_executor,
     split_grid_values,
 )
 
@@ -56,10 +63,16 @@ __all__ = [
     "ExperimentRun",
     "run_experiment",
     "render_experiment",
+    "SWEEP_BACKENDS",
+    "BatchOutcome",
+    "DaskSweepExecutor",
+    "ProcessPoolSweepExecutor",
+    "SerialSweepExecutor",
     "SweepJob",
     "SweepJobResult",
     "SweepReport",
     "SweepRunner",
     "expand_grid",
+    "make_executor",
     "split_grid_values",
 ]

@@ -1,14 +1,30 @@
-"""Parameter-grid sweeps with multiprocessing fan-out.
+"""Parameter-grid sweeps with a pluggable executor backend.
 
 :class:`SweepRunner` expands a parameter grid (e.g. network × quantization
 format × mitigation policy × memory geometry) into jobs, gives every job a
 deterministic seed derived through :func:`repro.utils.rng.deterministic_hash_seed`,
-serves previously-computed jobs from the result cache and fans the remaining
-ones out across worker processes via :class:`concurrent.futures.ProcessPoolExecutor`.
+serves previously-computed jobs from the result cache and hands the rest —
+grouped into stream-affinity batches — to a *sweep executor*.
+
+The executor protocol is one method::
+
+    submit_batches(experiment, batches) -> Iterator[BatchOutcome]
+
+where each batch is ``[(job_index, params), ...]`` and outcomes may arrive
+in any order.  Three backends implement it:
+
+* :class:`ProcessPoolSweepExecutor` (default) — the original
+  :class:`concurrent.futures.ProcessPoolExecutor` single-host fan-out;
+* :class:`SerialSweepExecutor` — everything inline in the calling process
+  (debugging, coverage, deterministic smoke tests);
+* :class:`DaskSweepExecutor` — ``dask.distributed`` cluster fan-out behind a
+  guarded import (selecting it without dask installed is a one-line usage
+  error, and remote workers fetch shared packed streams from the
+  content-addressed stream store rather than shipping tensors).
 
 Because every job runs through :func:`repro.orchestration.runner.run_experiment`,
 a sweep job's payload is byte-identical to the payload of a single
-``dnn-life run`` with the same parameters.
+``dnn-life run`` with the same parameters — on every backend.
 """
 
 from __future__ import annotations
@@ -18,18 +34,24 @@ import os
 import time
 from dataclasses import dataclass, field
 from itertools import product
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (Any, Dict, Iterable, Iterator, List, Mapping, Optional,
+                    Sequence, Tuple, Union)
 
 from repro.orchestration.cache import ResultCache, cache_key
 from repro.orchestration.registry import ExperimentRegistry, load_all_experiments
 from repro.utils.rng import deterministic_hash_seed
 from repro.utils.serialization import canonical_json
 
-__all__ = ["expand_grid", "split_grid_values", "SweepJob", "SweepJobResult",
-           "SweepReport", "SweepRunner"]
+__all__ = ["expand_grid", "split_grid_values", "make_executor", "BatchOutcome",
+           "DaskSweepExecutor", "ProcessPoolSweepExecutor",
+           "SerialSweepExecutor", "SweepJob", "SweepJobResult", "SweepReport",
+           "SweepRunner", "SWEEP_BACKENDS"]
 
 #: Environment variable overriding the default worker count.
 MAX_WORKERS_ENV = "DNN_LIFE_MAX_WORKERS"
+
+#: The selectable sweep executor backends.
+SWEEP_BACKENDS = ("process", "serial", "dask")
 
 #: Characters a ``--grid`` value list may open with to declare an alternate
 #: axis separator (sed-style), so values containing commas — multi-phase
@@ -130,6 +152,10 @@ class SweepReport:
     grid: Dict[str, List[Any]]
     results: List[SweepJobResult] = field(default_factory=list)
     seconds: float = 0.0
+    backend: str = "process"
+    #: Stream-store counter totals aggregated across the parent process and
+    #: every worker batch (``None`` when the store is disabled everywhere).
+    stream_store: Optional[Dict[str, Any]] = None
 
     @property
     def num_jobs(self) -> int:
@@ -172,6 +198,8 @@ class SweepReport:
             "num_failed": self.num_failed,
             "worker_pids": self.worker_pids,
             "seconds": self.seconds,
+            "backend": self.backend,
+            "stream_store": self.stream_store,
             "jobs": [result.describe() for result in self.results],
         }
 
@@ -183,19 +211,6 @@ def _default_max_workers(num_jobs: int) -> int:
         return max(int(override), 1)
     cpus = os.cpu_count() or 1
     return max(1, min(num_jobs, max(cpus, 2), 8))
-
-
-def _execute_job(experiment: str, params: Dict[str, Any]) -> Tuple[Any, float, int]:
-    """Worker entry point: run one job, return (payload, seconds, pid).
-
-    Runs in a forked/spawned process; the cache is *not* consulted here —
-    the parent filters hits before dispatch and persists new payloads, which
-    keeps cache accounting in one process.
-    """
-    from repro.orchestration.runner import run_experiment
-
-    run = run_experiment(experiment, params, cache=None)
-    return run.payload, run.seconds, os.getpid()
 
 
 def _execute_job_batch(experiment: str,
@@ -222,27 +237,233 @@ def _execute_job_batch(experiment: str,
     return outcomes
 
 
+#: One batch as handed to an executor: ``[(job index, resolved params), ...]``.
+JobBatch = List[Tuple[int, Dict[str, Any]]]
+
+#: Per-job outcome tuple: ``(index, payload, seconds, pid, error)``.
+JobOutcome = Tuple[int, Any, float, int, Optional[str]]
+
+
+@dataclass
+class BatchOutcome:
+    """Result of one dispatched batch, as yielded by an executor.
+
+    ``outcomes`` carries per-job results when the batch ran (individual jobs
+    may still have failed — their ``error`` slot is set); ``error`` is set
+    instead when the whole batch was lost (dead worker, serialization
+    failure).  ``stream_store`` is the batch's stream-store counter delta,
+    measured inside the process that ran it.
+    """
+
+    batch: JobBatch
+    outcomes: Optional[List[JobOutcome]] = None
+    error: Optional[str] = None
+    stream_store: Optional[Dict[str, Any]] = None
+
+
+def _execute_job_batch_tracked(experiment: str, batch: JobBatch
+                               ) -> Tuple[List[JobOutcome],
+                                          Optional[Dict[str, Any]]]:
+    """Run a batch and sample the stream-store counter delta around it.
+
+    In a fresh worker process the "before" snapshot is all zeros, so the
+    delta equals the worker's absolute counters; inline (serial backend) it
+    isolates this batch's traffic from earlier batches in the same process.
+    """
+    from repro.streamstore import stream_store_stats, stream_store_stats_delta
+
+    before = stream_store_stats()
+    outcomes = _execute_job_batch(experiment, batch)
+    delta = stream_store_stats_delta(before, stream_store_stats())
+    return outcomes, delta
+
+
+class SerialSweepExecutor:
+    """Run every batch inline in the calling process.
+
+    The debugging/coverage backend: no fork, no pickling, deterministic
+    ordering — and the same per-job isolation semantics as the process
+    backend, because it reuses the identical batch entry point.
+    """
+
+    name = "serial"
+
+    def submit_batches(self, experiment: str, batches: Iterable[JobBatch]
+                       ) -> Iterator[BatchOutcome]:
+        """Yield each batch's outcome, in submission order."""
+        for batch in batches:
+            try:
+                outcomes, stats = _execute_job_batch_tracked(experiment, batch)
+            except Exception as error:  # pragma: no cover - defensive
+                yield BatchOutcome(batch=batch,
+                                   error=f"{type(error).__name__}: {error}")
+                continue
+            yield BatchOutcome(batch=batch, outcomes=outcomes,
+                               stream_store=stats)
+
+
+class ProcessPoolSweepExecutor:
+    """Fan batches out across a single-host process pool (the default)."""
+
+    name = "process"
+
+    def __init__(self, max_workers: Optional[int] = None):
+        self.max_workers = max_workers
+
+    def submit_batches(self, experiment: str, batches: Iterable[JobBatch]
+                       ) -> Iterator[BatchOutcome]:
+        """Yield batch outcomes as workers complete them (any order)."""
+        batches = list(batches)
+        if not batches:
+            return
+        max_workers = (self.max_workers if self.max_workers
+                       else _default_max_workers(len(batches)))
+        max_workers = min(max_workers, len(batches))
+        with concurrent.futures.ProcessPoolExecutor(
+                max_workers=max_workers) as pool:
+            futures = {
+                pool.submit(_execute_job_batch_tracked, experiment, batch): batch
+                for batch in batches
+            }
+            for future in concurrent.futures.as_completed(futures):
+                batch = futures[future]
+                try:
+                    outcomes, stats = future.result()
+                except Exception as error:  # a dead worker fails its batch only
+                    yield BatchOutcome(batch=batch,
+                                       error=f"{type(error).__name__}: {error}")
+                    continue
+                yield BatchOutcome(batch=batch, outcomes=outcomes,
+                                   stream_store=stats)
+
+
+class DaskSweepExecutor:
+    """Fan batches out across a ``dask.distributed`` cluster.
+
+    The import is constructor-guarded: selecting this backend without dask
+    installed raises a :class:`ValueError` the CLI maps to a one-line usage
+    error, and the rest of the library never imports dask.  Workers run the
+    same batch entry point as the process backend; packed streams are not
+    shipped over the wire — each worker resolves them via its own stream
+    store (``DNN_LIFE_STREAM_STORE`` must point at storage shared with the
+    cluster, which is what the content-addressed keys are for).
+    """
+
+    name = "dask"
+
+    def __init__(self, max_workers: Optional[int] = None,
+                 scheduler_address: Optional[str] = None):
+        try:
+            import dask.distributed  # noqa: F401 - availability probe only
+        except ImportError:
+            raise ValueError(
+                "the 'dask' sweep backend requires the dask.distributed "
+                "package, which is not installed")
+        self.max_workers = max_workers
+        self.scheduler_address = scheduler_address
+
+    def _client(self):
+        from dask.distributed import Client
+
+        if self.scheduler_address:
+            return Client(self.scheduler_address)
+        return Client(n_workers=self.max_workers or _default_max_workers(1),
+                      threads_per_worker=1)
+
+    def submit_batches(self, experiment: str, batches: Iterable[JobBatch]
+                       ) -> Iterator[BatchOutcome]:
+        """Yield batch outcomes as the cluster completes them (any order)."""
+        from dask.distributed import as_completed
+
+        batches = list(batches)
+        if not batches:
+            return
+        client = self._client()
+        try:
+            futures = {
+                client.submit(_execute_job_batch_tracked, experiment, batch,
+                              pure=False): batch
+                for batch in batches
+            }
+            for future in as_completed(list(futures)):
+                batch = futures[future]
+                try:
+                    outcomes, stats = future.result()
+                except Exception as error:  # a lost worker fails its batch only
+                    yield BatchOutcome(batch=batch,
+                                       error=f"{type(error).__name__}: {error}")
+                    continue
+                yield BatchOutcome(batch=batch, outcomes=outcomes,
+                                   stream_store=stats)
+        finally:
+            client.close()
+
+
+def make_executor(backend: str = "process", max_workers: Optional[int] = None,
+                  dask_scheduler: Optional[str] = None):
+    """Instantiate a sweep executor by backend name.
+
+    Unknown names and unavailable backends raise :class:`ValueError`, which
+    the CLI surfaces as a one-line exit-2 usage error.
+    """
+    if backend == "process":
+        return ProcessPoolSweepExecutor(max_workers=max_workers)
+    if backend == "serial":
+        return SerialSweepExecutor()
+    if backend == "dask":
+        return DaskSweepExecutor(max_workers=max_workers,
+                                 scheduler_address=dask_scheduler)
+    known = ", ".join(SWEEP_BACKENDS)
+    raise ValueError(f"unknown sweep backend '{backend}'; known backends: {known}")
+
+
+def _merge_store_stats(total: Optional[Dict[str, Any]],
+                       delta: Optional[Dict[str, Any]]
+                       ) -> Optional[Dict[str, Any]]:
+    """Accumulate per-batch stream-store counter deltas into a total."""
+    if delta is None:
+        return total
+    if total is None:
+        return dict(delta)
+    merged = dict(total)
+    merged["root"] = delta["root"]
+    for counter in ("hits", "misses", "puts", "corrupt"):
+        merged[counter] = int(merged.get(counter, 0)) + int(delta.get(counter, 0))
+    return merged
+
+
 class SweepRunner:
-    """Expand a parameter grid and run it across worker processes.
+    """Expand a parameter grid and run it through a sweep executor.
 
     Parameters
     ----------
     cache:
         Result cache shared by all jobs; ``None`` disables caching.
     max_workers:
-        Worker processes for the fan-out. ``None`` picks a default from the
-        CPU count (overridable with ``DNN_LIFE_MAX_WORKERS``); ``1`` runs
-        every job serially in the calling process.
+        Parallelism of the fan-out (worker processes, dask workers, and the
+        affinity-batch splitting target). ``None`` picks a default from the
+        CPU count (overridable with ``DNN_LIFE_MAX_WORKERS``); ``1`` with
+        the default backend runs every job serially in the calling process.
     registry:
         Experiment registry (defaults to the global one).
+    backend:
+        Executor backend: one of :data:`SWEEP_BACKENDS` (default
+        ``"process"``), or any object implementing ``submit_batches``.
+    dask_scheduler:
+        Scheduler address for the ``dask`` backend (``None`` spins up a
+        local cluster).
     """
 
     def __init__(self, cache: Optional[ResultCache] = None,
                  max_workers: Optional[int] = None,
-                 registry: Optional[ExperimentRegistry] = None):
+                 registry: Optional[ExperimentRegistry] = None,
+                 backend: Union[str, Any, None] = None,
+                 dask_scheduler: Optional[str] = None):
         self.cache = cache
         self.max_workers = max_workers
         self.registry = registry
+        self.backend = backend
+        self.dask_scheduler = dask_scheduler
 
     # -- job construction --------------------------------------------------- #
     def build_jobs(self, experiment: str, grid: Mapping[str, Sequence[Any]],
@@ -294,46 +515,58 @@ class SweepRunner:
 
         max_workers = (self.max_workers if self.max_workers is not None
                        else _default_max_workers(len(pending)))
+        executor = self._resolve_executor(max_workers, len(pending))
+        store_totals: Optional[Dict[str, Any]] = None
         if pending:
-            if max_workers <= 1 or len(pending) == 1:
-                for job in pending:
-                    try:
-                        results[job.index] = self._record(
-                            job, *_execute_job(job.experiment, job.params))
-                    except Exception as error:  # job failure must not kill the sweep
-                        results[job.index] = self._failure(job, error)
-            else:
-                batches = self._affinity_batches(experiment, pending, max_workers)
-                with concurrent.futures.ProcessPoolExecutor(max_workers=max_workers) as pool:
-                    futures = {
-                        pool.submit(_execute_job_batch, experiment,
-                                    [(job.index, job.params) for job in batch]): batch
-                        for batch in batches
-                    }
-                    jobs_by_index = {job.index: job for job in pending}
-                    for future in concurrent.futures.as_completed(futures):
-                        batch = futures[future]
-                        try:
-                            outcomes = future.result()
-                        except Exception as error:  # a dead worker fails its batch only
-                            for job in batch:
-                                results[job.index] = self._failure(job, error)
-                            continue
-                        for index, payload, seconds, pid, error in outcomes:
-                            job = jobs_by_index[index]
-                            if error is None:
-                                results[index] = self._record(job, payload, seconds, pid)
-                            else:
-                                results[index] = SweepJobResult(job, None, False, 0.0,
-                                                                pid, error=error)
+            batches = self._affinity_batches(experiment, pending, max_workers)
+            payload_batches: List[JobBatch] = [
+                [(job.index, job.params) for job in batch] for batch in batches]
+            jobs_by_index = {job.index: job for job in pending}
+            for outcome in executor.submit_batches(experiment, payload_batches):
+                if outcome.error is not None:
+                    for index, _params in outcome.batch:
+                        results[index] = self._failure(jobs_by_index[index],
+                                                       outcome.error)
+                else:
+                    for index, payload, seconds, pid, error in (
+                            outcome.outcomes or []):
+                        job = jobs_by_index[index]
+                        if error is None:
+                            results[index] = self._record(job, payload,
+                                                          seconds, pid)
+                        else:
+                            results[index] = SweepJobResult(job, None, False,
+                                                            0.0, pid,
+                                                            error=error)
+                store_totals = _merge_store_stats(store_totals,
+                                                  outcome.stream_store)
 
         report = SweepReport(
             experiment=experiment,
             grid={name: list(values) for name, values in grid.items()},
             results=[results[index] for index in sorted(results)],
             seconds=time.perf_counter() - start,
+            backend=getattr(executor, "name", "custom"),
+            stream_store=store_totals,
         )
         return report
+
+    def _resolve_executor(self, max_workers: int, num_pending: int) -> Any:
+        """The executor instance for this run.
+
+        The default backend keeps the historical shortcut: one worker (or a
+        single pending batch-of-one) runs inline instead of paying process
+        startup.  Named backends are instantiated fresh per run; an executor
+        *instance* is used as-is.
+        """
+        backend = self.backend
+        if backend is not None and not isinstance(backend, str):
+            return backend
+        name = backend or "process"
+        if name == "process" and (max_workers <= 1 or num_pending == 1):
+            name = "serial"
+        return make_executor(name, max_workers=max_workers,
+                             dask_scheduler=self.dask_scheduler)
 
     def _affinity_batches(self, experiment: str, pending: List[SweepJob],
                           max_workers: int) -> List[List[SweepJob]]:
@@ -375,7 +608,8 @@ class SweepRunner:
         return SweepJobResult(job, payload, False, seconds, pid)
 
     @staticmethod
-    def _failure(job: SweepJob, error: Exception) -> SweepJobResult:
+    def _failure(job: SweepJob, error: Union[Exception, str]) -> SweepJobResult:
         """Result record for a job that raised (nothing cached)."""
-        return SweepJobResult(job, None, False, 0.0, os.getpid(),
-                              error=f"{type(error).__name__}: {error}")
+        message = (error if isinstance(error, str)
+                   else f"{type(error).__name__}: {error}")
+        return SweepJobResult(job, None, False, 0.0, os.getpid(), error=message)

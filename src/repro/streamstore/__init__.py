@@ -1,0 +1,25 @@
+"""Content-addressed memory-mapped store for packed weight streams."""
+
+from repro.streamstore.store import (STORE_SCHEMA, STREAM_STORE_ENV,
+                                     StreamStore, active_stream_store,
+                                     default_stream_store_dir,
+                                     packed_content_sha256,
+                                     resolve_stream_store, stream_code_version,
+                                     stream_store_key, stream_store_stats,
+                                     stream_store_stats_delta)
+from repro.streamstore.stream import StoredWeightStream
+
+__all__ = [
+    "STORE_SCHEMA",
+    "STREAM_STORE_ENV",
+    "StoredWeightStream",
+    "StreamStore",
+    "active_stream_store",
+    "default_stream_store_dir",
+    "packed_content_sha256",
+    "resolve_stream_store",
+    "stream_code_version",
+    "stream_store_key",
+    "stream_store_stats",
+    "stream_store_stats_delta",
+]

@@ -27,8 +27,28 @@ def _isolated_result_cache(tmp_path, monkeypatch):
 
     Keeps CLI invocations inside tests from reading/writing the developer's
     ``~/.cache/dnn-life`` and from leaking cached results between tests.
+    The stream store lives under the cache dir by default, so it is isolated
+    by the same variable.
     """
     monkeypatch.setenv("DNN_LIFE_CACHE_DIR", str(tmp_path / "dnn-life-cache"))
+
+
+@pytest.fixture(autouse=True)
+def _restore_stream_store_env():
+    """Undo ``DNN_LIFE_STREAM_STORE`` mutations after each test.
+
+    ``dnn-life --stream-store/--no-stream-store`` exports the variable into
+    ``os.environ`` on purpose (worker processes must inherit it), which would
+    otherwise leak between tests that invoke the CLI.
+    """
+    import os
+
+    saved = os.environ.get("DNN_LIFE_STREAM_STORE")
+    yield
+    if saved is None:
+        os.environ.pop("DNN_LIFE_STREAM_STORE", None)
+    else:
+        os.environ["DNN_LIFE_STREAM_STORE"] = saved
 
 
 @pytest.fixture

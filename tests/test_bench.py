@@ -113,6 +113,34 @@ class TestBenchHarness:
         assert acceptance.memory_kb == 512
         assert acceptance.word_bits == 64
 
+    def test_stream_store_entry(self, smoke_payload):
+        entry = smoke_payload["cases"][0]["stream_store"]
+        assert entry["hit"] is True
+        assert entry["bit_identical"] is True
+        assert entry["cold_build_seconds"] > 0
+        assert entry["warm_load_seconds"] > 0
+        assert entry["speedup"] == pytest.approx(
+            entry["cold_build_seconds"] / entry["warm_load_seconds"])
+        assert len(entry["key"]) == 64 and len(entry["payload_sha256"]) == 64
+        assert entry["entry_nbytes"] > 0
+
+    def test_stream_store_render_line(self, smoke_payload):
+        text = render_bench_report(smoke_payload)
+        assert "stream store (cold build vs memory-mapped reload)" in text
+        assert "bit-identical" in text and "MISMATCH" not in text
+
+    def test_stream_store_measured_in_ephemeral_dir(self, tmp_path, monkeypatch):
+        """The bench must not touch (or be flattered by) the user's store."""
+        from repro.bench.aging_bench import bench_case
+
+        monkeypatch.setenv("DNN_LIFE_STREAM_STORE", str(tmp_path / "real"))
+        case = BenchCase(name="tiny_synthetic", description="test",
+                         memory_kb=2, word_bits=16, num_blocks=5,
+                         num_inferences=2, policies=("none",))
+        entry = bench_case(case, repeats=1)
+        assert entry["stream_store"]["hit"] is True
+        assert not (tmp_path / "real").exists()
+
     def test_leveling_entry(self, smoke_payload):
         """The BENCH_aging.json payload carries the wear-leveling entry."""
         leveling = smoke_payload["leveling"]

@@ -195,3 +195,86 @@ class TestFriendlyValidation:
         assert main(["sweep", "fleet",
                      "--grid", "mix=bogus:int8:none:3"]) == 2
         assert "mix" in self._error_line(capsys)
+
+
+class TestStreamStoreCli:
+    """The ``--stream-store`` controls and the ``cache --streams`` view."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_stream_cache(self):
+        # the process-local LRU would otherwise serve streams built by
+        # earlier tests, hiding all store traffic
+        from repro.experiments.aging_runner import clear_stream_cache
+
+        clear_stream_cache()
+        yield
+        clear_stream_cache()
+
+    SWEEP = ["sweep", "aging", "--grid", "network=custom_mnist",
+             "--grid", "weight_memory_kb=8", "--grid", "num_inferences=2",
+             "--grid", "policy=none,inversion", "--grid", "seed=0",
+             "--workers", "1", "--backend", "serial"]
+
+    def test_sweep_reports_cold_build_then_reload(self, tmp_path, capsys,
+                                                  monkeypatch):
+        monkeypatch.setenv("DNN_LIFE_STREAM_CACHE", "0")  # all traffic via store
+        argv = ["--stream-store", str(tmp_path / "streams"),
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv + self.SWEEP) == 0
+        out = capsys.readouterr().out
+        assert "1 cold build(s) persisted" in out
+        assert "[backend serial]" in out
+        # warm rerun, result cache bypassed: the store serves the stream
+        assert main(argv + ["--no-cache"] + self.SWEEP) == 0
+        out = capsys.readouterr().out
+        assert "0 cold build(s) persisted" in out
+        assert "2 hit(s)" in out
+
+    def test_cache_streams_lists_entries(self, tmp_path, capsys):
+        argv = ["--stream-store", str(tmp_path / "streams"),
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv + self.SWEEP) == 0
+        capsys.readouterr()
+        assert main(argv + ["cache", "--streams"]) == 0
+        out = capsys.readouterr().out
+        assert "1 entr(ies)" in out
+        assert "custom_mnist" in out
+        assert "8KB/8b" in out
+
+    def test_cache_streams_clear_and_gc(self, tmp_path, capsys):
+        argv = ["--stream-store", str(tmp_path / "streams"),
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv + self.SWEEP) == 0
+        capsys.readouterr()
+        assert main(argv + ["cache", "--streams", "--gc-days", "7"]) == 0
+        assert "gc removed 0 stream entr(ies)" in capsys.readouterr().out
+        assert main(argv + ["cache", "--streams", "--clear"]) == 0
+        assert "removed 1 stream entr(ies)" in capsys.readouterr().out
+        assert main(argv + ["cache", "--streams"]) == 0
+        assert "0 entr(ies)" in capsys.readouterr().out
+
+    def test_no_stream_store_disables(self, capsys):
+        assert main(["--no-stream-store", "cache", "--streams"]) == 0
+        assert "stream store disabled" in capsys.readouterr().out
+
+    def test_no_stream_store_sweep_omits_accounting(self, tmp_path, capsys):
+        argv = ["--no-stream-store", "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv + self.SWEEP) == 0
+        assert "stream store at" not in capsys.readouterr().out
+
+    def test_dask_backend_unavailable_is_usage_error(self, capsys):
+        try:
+            import dask.distributed  # noqa: F401
+            pytest.skip("dask.distributed is installed here")
+        except ImportError:
+            pass
+        code = main(["sweep", "aging", "--grid", "policy=none",
+                     "--backend", "dask"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "dask.distributed" in err
+        assert "Traceback" not in err
+
+    def test_unknown_backend_rejected_by_parser(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "aging", "--backend", "threads"])

@@ -352,6 +352,108 @@ class TestSweepRunner:
 
 
 # --------------------------------------------------------------------------- #
+# Executor backends and stream-store accounting
+# --------------------------------------------------------------------------- #
+class TestSweepBackends:
+    #: One network, four policies: with two workers this makes two affinity
+    #: batches that share a single workload stream.
+    GRID = {"network": ["custom_mnist"], "weight_memory_kb": [8],
+            "num_inferences": [2], "seed": [0],
+            "policy": ["none", "inversion", "barrel_shifter", "dnn_life"]}
+
+    def test_make_executor_unknown_backend(self):
+        from repro.orchestration import make_executor
+
+        with pytest.raises(ValueError, match="unknown sweep backend"):
+            make_executor("threads")
+
+    def test_make_executor_dask_requires_dependency(self):
+        from repro.orchestration import make_executor
+
+        try:
+            import dask.distributed  # noqa: F401
+            pytest.skip("dask.distributed is installed here")
+        except ImportError:
+            pass
+        with pytest.raises(ValueError, match="dask.distributed"):
+            make_executor("dask")
+
+    def test_named_backends_construct(self):
+        from repro.orchestration import (
+            ProcessPoolSweepExecutor,
+            SerialSweepExecutor,
+            make_executor,
+        )
+
+        assert isinstance(make_executor("serial"), SerialSweepExecutor)
+        assert isinstance(make_executor("process", max_workers=2),
+                          ProcessPoolSweepExecutor)
+
+    def test_single_worker_shortcut_reports_serial(self, tmp_path):
+        report = SweepRunner(max_workers=1).run("fig2", FIG2_GRID)
+        assert report.backend == "serial"
+        assert report.summary()["backend"] == "serial"
+
+    def test_explicit_serial_backend(self):
+        report = SweepRunner(max_workers=2, backend="serial").run(
+            "fig2", {"num_points": [4, 5]})
+        assert report.backend == "serial"
+        assert report.num_computed == 2
+
+    def test_custom_executor_instance(self):
+        from repro.orchestration import SerialSweepExecutor
+
+        report = SweepRunner(backend=SerialSweepExecutor()).run(
+            "fig2", {"num_points": [4]})
+        assert report.backend == "serial" and report.num_computed == 1
+
+    def test_store_disabled_reports_no_accounting(self, monkeypatch):
+        monkeypatch.setenv("DNN_LIFE_STREAM_STORE", "0")
+        report = SweepRunner(max_workers=1).run("fig2", {"num_points": [4]})
+        assert report.stream_store is None
+
+    def test_one_cold_build_across_batches_with_lru_disabled(
+            self, monkeypatch, tmp_path):
+        """Regression: with ``DNN_LIFE_STREAM_CACHE=0`` every affinity batch
+        used to rebuild the stream; the store must absorb all but the first."""
+        from repro.experiments.aging_runner import clear_stream_cache
+
+        monkeypatch.setenv("DNN_LIFE_STREAM_CACHE", "0")
+        monkeypatch.setenv("DNN_LIFE_STREAM_STORE", str(tmp_path / "streams"))
+        clear_stream_cache()
+        runner = SweepRunner(max_workers=2, backend="serial")
+        assert len(runner._affinity_batches(
+            "aging", runner.build_jobs("aging", self.GRID), max_workers=2)) == 2
+        report = runner.run("aging", self.GRID)
+        assert report.num_failed == 0 and report.num_jobs == 4
+        assert report.stream_store is not None
+        assert report.stream_store["puts"] == 1  # exactly one cold build
+        assert report.stream_store["hits"] >= 1  # second batch loads it
+
+    @pytest.mark.slow
+    def test_process_and_serial_backends_identical_payloads(
+            self, monkeypatch, tmp_path):
+        from repro.experiments.aging_runner import clear_stream_cache
+
+        monkeypatch.setenv("DNN_LIFE_STREAM_CACHE", "0")
+        monkeypatch.setenv("DNN_LIFE_STREAM_STORE", str(tmp_path / "streams"))
+        clear_stream_cache()
+        serial = SweepRunner(max_workers=2, backend="serial").run(
+            "aging", self.GRID)
+        assert serial.stream_store["puts"] == 1
+        clear_stream_cache()
+        process = SweepRunner(max_workers=2, backend="process").run(
+            "aging", self.GRID)
+        assert process.backend == "process"
+        assert process.num_failed == 0
+        assert [r.payload for r in process.results] \
+            == [r.payload for r in serial.results]
+        # the workers found the serial run's entry: zero further cold builds
+        assert process.stream_store["puts"] == 0
+        assert process.stream_store["hits"] >= 2
+
+
+# --------------------------------------------------------------------------- #
 # Result transport (pickling / payload round-trip)
 # --------------------------------------------------------------------------- #
 class TestAgingResultTransport:
