@@ -13,12 +13,14 @@ from repro.bench.aging_bench import (
     FLEET_BENCH_MIX,
     LEVELING_OVERHEAD_LIMIT,
     WEAR_SWAP_OVERHEAD_LIMIT,
+    WORKLOAD_BENCH_MODELS,
     BenchCase,
     SyntheticWeightStream,
     bench_dvfs,
     bench_fleet,
     bench_leveling,
     bench_scenario,
+    bench_workloads,
     check_leveling_overheads,
     default_bench_cases,
     default_leveling_case,
@@ -35,12 +37,14 @@ __all__ = [
     "FLEET_BENCH_MIX",
     "LEVELING_OVERHEAD_LIMIT",
     "WEAR_SWAP_OVERHEAD_LIMIT",
+    "WORKLOAD_BENCH_MODELS",
     "BenchCase",
     "SyntheticWeightStream",
     "bench_dvfs",
     "bench_fleet",
     "bench_leveling",
     "bench_scenario",
+    "bench_workloads",
     "check_leveling_overheads",
     "default_bench_cases",
     "default_leveling_case",

@@ -855,10 +855,74 @@ def bench_fleet(repeats: int = 3, seed: int = 0, devices: int = 1000,
     return payload
 
 
+#: Model mix of the workload-generator bench: the same two-model 8-bit
+#: deployment the ``workload`` experiment defaults to.
+WORKLOAD_BENCH_MODELS = ("0.6*lenet5:int8:dnn_life|"
+                         "0.4*custom_mnist:int8:inversion")
+
+
+def bench_workloads(repeats: int = 3, seed: int = 0, histories: int = 256,
+                    fleet_histories: int = 12,
+                    devices: int = 256) -> Dict[str, object]:
+    """Time the stochastic workload generator and its fleet hand-off.
+
+    Two measurements: the pure compiler rate (histories sampled and
+    compiled into a weighted :class:`~repro.fleet.spec.FleetSpec` per
+    second — bookkeeping only, no simulation) with an in-process
+    byte-identity check on the canonical payload, and the end-to-end rate
+    of a fleet Monte Carlo whose population came out of the generator
+    rather than a hand-written mix.  The fleet leg uses few histories:
+    generated timelines are near-unique, so cohort sharing — the fleet
+    engine's whole advantage — tracks the number of *unique* scenarios.
+    """
+    from repro.fleet import FleetSimulator
+    from repro.utils.serialization import canonical_json
+    from repro.workloads import TrafficModel, compile_fleet_spec, parse_model_mix
+
+    models, weights = parse_model_mix(WORKLOAD_BENCH_MODELS)
+    model = TrafficModel(models=models, model_weights=weights,
+                         burst_probability=0.25, diurnal_amplitude=0.6,
+                         night_corner=(0.7, 0.2), ota_interval_days=2.0,
+                         idle_threshold=2, horizon_days=7, seed=seed)
+
+    def compile_batch():
+        return compile_fleet_spec(model, histories=histories, devices=devices)
+
+    compile_seconds, spec = _best_of(repeats, compile_batch)
+    byte_identical = (canonical_json(spec.to_payload())
+                      == canonical_json(compile_batch().to_payload()))
+
+    fleet_spec = compile_fleet_spec(model, histories=fleet_histories,
+                                    devices=devices, usage_sigma=0.3,
+                                    thermal_sigma_c=5.0, seed_groups=2)
+    factory = _scenario_bench_factory(memory_kb=4, seed=seed,
+                                      max_weights_per_layer=10_000)
+    simulator = FleetSimulator(fleet_spec, stream_factory=factory)
+    simulator.run()  # warm the stream cache; time only the simulation
+    fleet_seconds, result = _best_of(repeats, simulator.run)
+
+    return {
+        "models": WORKLOAD_BENCH_MODELS,
+        "histories": histories,
+        "compile_seconds": compile_seconds,
+        "histories_per_second": (histories / compile_seconds
+                                 if compile_seconds else None),
+        "byte_identical": byte_identical,
+        "fleet_histories": fleet_histories,
+        "devices": devices,
+        "unique_scenarios": len(fleet_spec.scenarios),
+        "num_cohorts": len(result.cohorts),
+        "fleet_seconds": fleet_seconds,
+        "devices_per_second": (devices / fleet_seconds
+                               if fleet_seconds else None),
+    }
+
+
 def run_aging_bench(cases: Optional[Sequence[BenchCase]] = None, repeats: int = 3,
                     seed: int = 0, verify: bool = True,
                     leveling: bool = True, scenario: bool = True,
-                    dvfs: bool = True, fleet: bool = True) -> Dict[str, object]:
+                    dvfs: bool = True, fleet: bool = True,
+                    workloads: bool = True) -> Dict[str, object]:
     """Run the benchmark suite and return the ``BENCH_aging.json`` payload."""
     import tempfile
 
@@ -895,6 +959,8 @@ def run_aging_bench(cases: Optional[Sequence[BenchCase]] = None, repeats: int = 
         payload["dvfs"] = bench_dvfs(repeats=repeats, seed=seed)
     if fleet:
         payload["fleet"] = bench_fleet(repeats=repeats, seed=seed, verify=verify)
+    if workloads:
+        payload["workloads"] = bench_workloads(repeats=repeats, seed=seed)
     if verify:
         payload["verification"] = verify_against_explicit(seed=seed)
     return payload
@@ -1007,6 +1073,18 @@ def render_bench_report(payload: Dict[str, object]) -> str:
             lines.append(
                 f"fleet per-device-loop cross-check: {status} "
                 f"({fleet_verification['subsample_devices']} devices)")
+    workloads = payload.get("workloads")
+    if workloads is not None:
+        identity = ("byte-identical recompile" if workloads["byte_identical"]
+                    else "RECOMPILE MISMATCH")
+        lines.append(
+            f"workload generator ({workloads['histories']} histories): "
+            f"{workloads['histories_per_second']:.0f} histories compiled/s "
+            f"({identity}); fleet-from-generator "
+            f"({workloads['fleet_histories']} histories -> "
+            f"{workloads['unique_scenarios']} scenarios, "
+            f"{workloads['devices']} devices): "
+            f"{workloads['devices_per_second']:.0f} devices/s")
     verification = payload.get("verification")
     if verification is not None:
         status = "OK" if verification["explicit_match"] else "FAILED"

@@ -210,6 +210,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument("--skip-fleet", action="store_true",
                               help="skip the fleet-scale population entry "
                                    "(implied by --case)")
+    bench_parser.add_argument("--skip-workloads", action="store_true",
+                              help="skip the workload-generator entry "
+                                   "(implied by --case)")
 
     lint_parser = subparsers.add_parser(
         "lint", help="run the repo's determinism/aliasing static analysis "
@@ -390,9 +393,11 @@ def _cmd_bench(args: argparse.Namespace) -> Tuple[Any, int]:
     scenario = not args.skip_scenario and not args.cases
     dvfs = not args.skip_dvfs and not args.cases
     fleet = not args.skip_fleet and not args.cases
+    workloads = not args.skip_workloads and not args.cases
     payload = run_aging_bench(cases, repeats=max(args.repeats, 1), seed=args.seed,
                               verify=not args.skip_verify, leveling=leveling,
-                              scenario=scenario, dvfs=dvfs, fleet=fleet)
+                              scenario=scenario, dvfs=dvfs, fleet=fleet,
+                              workloads=workloads)
     print(render_bench_report(payload))
     output = args.output if args.output is not None else DEFAULT_OUTPUT
     if output != "-":
@@ -485,14 +490,30 @@ def _cmd_cache_streams(args: argparse.Namespace) -> Any:
               f"${STREAM_STORE_ENV})")
         return {"enabled": False}
     if args.clear:
+        before_files = store.orphan_files_reclaimed
+        before_bytes = store.orphan_bytes_reclaimed
         removed = store.clear()
+        orphan_files = store.orphan_files_reclaimed - before_files
+        orphan_bytes = store.orphan_bytes_reclaimed - before_bytes
         print(f"removed {removed} stream entr(ies) from {store.root}")
-        return {"cleared": removed, "root": str(store.root)}
+        if orphan_files:
+            print(f"reclaimed {orphan_files} orphaned file(s) "
+                  f"({orphan_bytes / 2**20:.1f} MiB)")
+        return {"cleared": removed, "orphan_files": orphan_files,
+                "orphan_bytes": orphan_bytes, "root": str(store.root)}
     if args.gc_days is not None:
+        before_files = store.orphan_files_reclaimed
+        before_bytes = store.orphan_bytes_reclaimed
         removed = store.gc(args.gc_days * 86400.0)
+        orphan_files = store.orphan_files_reclaimed - before_files
+        orphan_bytes = store.orphan_bytes_reclaimed - before_bytes
         print(f"gc removed {removed} stream entr(ies) unused for "
               f"{args.gc_days:g}+ days from {store.root}")
+        if orphan_files:
+            print(f"reclaimed {orphan_files} orphaned file(s) "
+                  f"({orphan_bytes / 2**20:.1f} MiB)")
         return {"gc_removed": removed, "unused_days": args.gc_days,
+                "orphan_files": orphan_files, "orphan_bytes": orphan_bytes,
                 "root": str(store.root)}
     entries = store.entries()
     table = AsciiTable(
@@ -518,7 +539,12 @@ def _cmd_cache_streams(args: argparse.Namespace) -> Any:
             f"{unused_hours:.1f}h",
         ])
     print(table.render())
-    return {"root": str(store.root), "entries": entries}
+    orphan_bytes = store.orphan_bytes()
+    if orphan_bytes:
+        print(f"orphaned: {orphan_bytes / 2**20:.1f} MiB not referenced by "
+              f"any manifest (reclaimed by --clear / --gc-days)")
+    return {"root": str(store.root), "entries": entries,
+            "orphan_bytes": orphan_bytes}
 
 
 def _validate_user_input(args: argparse.Namespace) -> None:

@@ -1,0 +1,378 @@
+"""Stochastic-workload experiment — generated traffic through the stack.
+
+Where ``dnn-life scenario`` and ``dnn-life fleet`` evaluate hand-written
+phase specs, ``dnn-life workload`` *samples* them: a seeded
+:class:`~repro.workloads.traffic.TrafficModel` (Poisson/bursty rates,
+diurnal day/night modulation, a weighted model mix, OTA model swaps, idle
+gaps) is compiled into either one lifetime timeline (``--mode scenario``)
+or a weighted fleet population from N sampled usage histories
+(``--mode fleet``), then handed to the existing engines::
+
+    dnn-life workload --mode scenario --horizon-days 14 \
+        --models "0.7*lenet5:int8:dnn_life|0.3*custom_mnist:int8:inversion" \
+        --ota-days 3 --burst-probability 0.3
+
+    dnn-life workload --histories 1000 --devices 1000 --seed 7
+
+    dnn-life sweep workload --grid rate_per_day=16,64,256 \
+        --grid diurnal_amplitude=0,0.6
+
+Everything downstream is deterministic in ``(config, seed)``: the same
+invocation produces byte-identical compiled specs — and hence payloads —
+in any process.  Sweep jobs agreeing on the geometry/seed affinity keys
+share the per-process stream cache, so same-network histories across a
+grid pay each packed stream build once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.experiments.common import check_non_negative, check_swap_fraction
+from repro.experiments.fleet import run_fleet_point, render_fleet_point
+from repro.experiments.scenario import run_scenario_point, render_scenario_point
+from repro.fleet.spec import format_mix_spec
+from repro.leveling import LEVELER_CHOICES
+from repro.orchestration.registry import ParamSpec, register_experiment
+from repro.utils.tables import AsciiTable
+from repro.utils.validation import check_temperature_celsius
+from repro.workloads import (
+    TrafficModel,
+    compile_fleet_spec,
+    compile_timeline,
+    parse_model_mix,
+    parse_optional_corner,
+    sample_timeline,
+)
+
+#: Default mix: a deployment alternating between a retrained classifier and
+#: a smaller fallback model, both 8-bit (one shared word width).
+DEFAULT_MODELS = "0.6*lenet5:int8:dnn_life|0.4*custom_mnist:int8:inversion"
+
+#: Default night corner: DVFS throttling while the device idles cool.
+DEFAULT_NIGHT_CORNER = "0.7V:0.2GHz"
+
+
+def _check_models(models: str) -> None:
+    """Schema validator: parse the mix and check the shared word width."""
+    mix_models, mix_weights = parse_model_mix(models)
+    TrafficModel(models=mix_models, model_weights=mix_weights)
+
+
+def _check_probability(value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"must be within [0, 1], got {value}")
+
+
+def _check_amplitude(value: float) -> None:
+    if not 0.0 <= value < 1.0:
+        raise ValueError(f"must be within [0, 1), got {value}")
+
+
+def _check_burst_factor(value: float) -> None:
+    if not value >= 1.0:
+        raise ValueError(f"must be >= 1, got {value}")
+
+
+def _check_corner(value: str) -> None:
+    """Schema validator: empty (reference corner) or a ``V:F`` point."""
+    parse_optional_corner(value, value)
+
+
+def _traffic_model(models: str, rate_per_day: float, burst_probability: float,
+                   burst_factor: float, diurnal_amplitude: float,
+                   day_temperature_c: float, night_temperature_c: float,
+                   day_corner: str, night_corner: str, ota_days: float,
+                   idle_threshold: int, horizon_days: int,
+                   seed: int) -> TrafficModel:
+    """Build the validated traffic model from the experiment parameters."""
+    mix_models, mix_weights = parse_model_mix(models)
+    return TrafficModel(
+        models=mix_models,
+        model_weights=mix_weights,
+        rate_per_day=rate_per_day,
+        burst_probability=burst_probability,
+        burst_factor=burst_factor,
+        diurnal_amplitude=diurnal_amplitude,
+        day_temperature_c=day_temperature_c,
+        night_temperature_c=night_temperature_c,
+        day_corner=parse_optional_corner(day_corner, "day corner"),
+        night_corner=parse_optional_corner(night_corner, "night corner"),
+        ota_interval_days=ota_days,
+        idle_threshold=idle_threshold,
+        horizon_days=horizon_days,
+        seed=seed,
+    )
+
+
+def run_workload(mode: str = "fleet",
+                 histories: int = 16,
+                 devices: int = 0,
+                 models: str = DEFAULT_MODELS,
+                 rate_per_day: float = 48.0,
+                 burst_probability: float = 0.25,
+                 burst_factor: float = 3.0,
+                 diurnal_amplitude: float = 0.6,
+                 day_temperature_c: float = 85.0,
+                 night_temperature_c: float = 45.0,
+                 day_corner: str = "",
+                 night_corner: str = DEFAULT_NIGHT_CORNER,
+                 ota_days: float = 2.0,
+                 idle_threshold: int = 2,
+                 horizon_days: int = 7,
+                 usage_sigma: float = 0.3,
+                 thermal_sigma_c: float = 5.0,
+                 seed_groups: int = 1,
+                 weight_memory_kb: int = 8,
+                 fifo_depth_tiles: int = 1,
+                 leveling: str = "none",
+                 leveling_period: int = 2,
+                 rotation_step: int = 1,
+                 swap_fraction: float = 0.5,
+                 years: float = 7.0,
+                 reference_temperature_c: float = 85.0,
+                 max_degradation_percent: float = 15.0,
+                 quick: bool = True,
+                 seed: int = 0) -> Dict[str, object]:
+    """Sample a traffic model, compile it, and run the compiled spec.
+
+    Parameters
+    ----------
+    mode:
+        ``scenario`` runs history 0 as one multi-phase timeline;
+        ``fleet`` batch-compiles ``histories`` sampled histories into a
+        weighted scenario mix and runs the fleet Monte Carlo on it.
+    histories / devices:
+        Number of sampled usage histories (fleet mode) and the population
+        size; ``devices`` of 0 defaults to one device per history.
+    models:
+        Weighted model mix ``[WEIGHT*]NETWORK:FORMAT:POLICY|...`` — the
+        triples the OTA schedule swaps between (one shared word width).
+    rate_per_day / burst_probability / burst_factor:
+        Mean inference epochs per day and the bursty modulation of the
+        Poisson process (a burst slot's rate is multiplied by the factor).
+    diurnal_amplitude / day_temperature_c / night_temperature_c:
+        Day/night rate skew and the two half-day thermal corners.
+    day_corner / night_corner:
+        Optional DVFS points (``V:F``) pinned on day/night phases; empty
+        means the reference corner.
+    ota_days:
+        Mean days between OTA model swaps (0 disables updates).
+    idle_threshold:
+        Slots sampling at most this many epochs become idle (retention)
+        phases.
+    horizon_days:
+        Days of usage sampled per history (2 slots per day).
+    usage_sigma / thermal_sigma_c / seed_groups:
+        Fleet-mode device spread and policy-seed cohorts, as in ``fleet``.
+    weight_memory_kb ... max_degradation_percent:
+        Geometry, wear leveling and lifetime knobs shared with the
+        ``scenario``/``fleet`` experiments.
+    quick / seed:
+        Scale cap and the traffic model's sampling seed (also the engines'
+        policy/stream seed).
+    """
+    model = _traffic_model(models, rate_per_day, burst_probability,
+                           burst_factor, diurnal_amplitude, day_temperature_c,
+                           night_temperature_c, day_corner, night_corner,
+                           ota_days, idle_threshold, horizon_days, seed)
+    slots = sample_timeline(model, history=0)
+    timeline = compile_timeline(model, slots, years=years,
+                                reference_temperature_c=reference_temperature_c)
+    engine_params = dict(weight_memory_kb=weight_memory_kb,
+                         fifo_depth_tiles=fifo_depth_tiles,
+                         leveling=leveling, leveling_period=leveling_period,
+                         rotation_step=rotation_step,
+                         swap_fraction=swap_fraction, years=years,
+                         reference_temperature_c=reference_temperature_c,
+                         max_degradation_percent=max_degradation_percent,
+                         quick=quick, seed=seed)
+    if mode == "scenario":
+        compiled: Dict[str, object] = {
+            "mode": mode,
+            "histories": 1,
+            "unique_scenarios": 1,
+            "spec": timeline.to_spec(),
+        }
+        result = run_scenario_point(spec=timeline.to_spec(), **engine_params)
+    else:
+        fleet_spec = compile_fleet_spec(
+            model, histories=histories, devices=devices, years=years,
+            reference_temperature_c=reference_temperature_c,
+            usage_sigma=usage_sigma, thermal_sigma_c=thermal_sigma_c,
+            seed_groups=seed_groups)
+        mix = format_mix_spec(fleet_spec.scenarios,
+                              fleet_spec.scenario_weights)
+        compiled = {
+            "mode": mode,
+            "histories": int(histories),
+            "unique_scenarios": len(fleet_spec.scenarios),
+            "mix_spec": mix,
+        }
+        result = run_fleet_point(devices=fleet_spec.num_devices, mix=mix,
+                                 corners="0.9V:1GHz",
+                                 usage_sigma=usage_sigma,
+                                 thermal_sigma_c=thermal_sigma_c,
+                                 seed_groups=seed_groups, **engine_params)
+    return {
+        "workload": {
+            "mode": mode,
+            "histories": int(histories),
+            "devices": int(devices),
+            "models": models,
+            "rate_per_day": float(rate_per_day),
+            "burst_probability": float(burst_probability),
+            "burst_factor": float(burst_factor),
+            "diurnal_amplitude": float(diurnal_amplitude),
+            "ota_days": float(ota_days),
+            "idle_threshold": int(idle_threshold),
+            "horizon_days": int(horizon_days),
+            "quick": bool(quick),
+            "seed": int(seed),
+        },
+        "traffic_model": model.to_payload(),
+        "timeline": {
+            "history": 0,
+            "spec": timeline.to_spec(),
+            "num_phases": len(timeline.phases),
+            "total_epochs": timeline.total_epochs,
+            "active_epochs": timeline.active_epochs,
+            "slots": [slot.describe() for slot in slots],
+        },
+        "compiled": compiled,
+        "result": result,
+    }
+
+
+def _render_timeline(payload: Dict[str, object]) -> str:
+    """The sampled-history table: one row per day/night slot."""
+    timeline = payload["timeline"]
+    table = AsciiTable(
+        ["day", "half", "model", "epochs", "kind", "temp", "corner"],
+        title=(f"=== sampled timeline (history 0): "
+               f"{timeline['num_phases']} phases, "
+               f"{timeline['active_epochs']} active epochs ==="),
+    )
+    for slot in timeline["slots"]:
+        corner = slot["corner"]
+        corner_text = ("ref" if corner is None
+                       else f"{corner[0]:g}V:{corner[1]:g}GHz")
+        epochs_text = (f"{slot['epochs']}!" if slot["burst"]
+                       else str(slot["epochs"]))
+        table.add_row([
+            slot["day"], slot["half"],
+            f"{slot['network']}/{slot['policy']}",
+            epochs_text, slot["kind"],
+            f"{slot['temperature_c']:g}C", corner_text,
+        ])
+    return table.render()
+
+
+def render_workload(payload: Dict[str, object],
+                    params: Dict[str, object]) -> str:
+    """Timeline table + compiled-mix summary + the delegated engine report."""
+    compiled = payload["compiled"]
+    if compiled["mode"] == "scenario":
+        summary = (f"compiled 1 history into a {payload['timeline']['num_phases']}"
+                   f"-phase scenario")
+        delegate = render_scenario_point(payload["result"], params)
+    else:
+        summary = (f"compiled {compiled['histories']} sampled histories into "
+                   f"{compiled['unique_scenarios']} unique scenario(s) "
+                   f"(weighted fleet mix)")
+        delegate = render_fleet_point(payload["result"], params)
+    return "\n\n".join([_render_timeline(payload), summary, delegate])
+
+
+register_experiment(
+    name="workload",
+    runner=run_workload,
+    description="Stochastic workload generator: seeded traffic models "
+                "(Poisson/bursty rates, diurnal corners, model mixes, OTA "
+                "swaps, idle gaps) compiled into scenario timelines and "
+                "fleet mixes, then simulated end-to-end",
+    artifact="generated-traffic axis (extension)",
+    params=(
+        ParamSpec("mode", str, "fleet", choices=("fleet", "scenario"),
+                  help="run a fleet from N histories, or history 0 as one "
+                       "scenario"),
+        ParamSpec("histories", int, 16, positive=True,
+                  help="sampled usage histories batch-compiled into the "
+                       "fleet mix"),
+        ParamSpec("devices", int, 0, validator=check_non_negative,
+                  help="fleet population size (0 = one device per history)"),
+        ParamSpec("models", str, DEFAULT_MODELS, validator=_check_models,
+                  help="weighted model mix [WEIGHT*]NETWORK:FORMAT:POLICY|... "
+                       "(one shared word width)"),
+        ParamSpec("rate_per_day", float, 48.0, positive=True,
+                  flag="--rate", help="mean inference epochs per day"),
+        ParamSpec("burst_probability", float, 0.25,
+                  validator=_check_probability,
+                  help="probability a half-day slot is a burst"),
+        ParamSpec("burst_factor", float, 3.0, validator=_check_burst_factor,
+                  help="rate multiplier of burst slots (>= 1)"),
+        ParamSpec("diurnal_amplitude", float, 0.6, validator=_check_amplitude,
+                  help="day/night rate skew in [0, 1)"),
+        ParamSpec("day_temperature_c", float, 85.0, flag="--day-temp",
+                  validator=check_temperature_celsius,
+                  help="daytime phase temperature (C)"),
+        ParamSpec("night_temperature_c", float, 45.0, flag="--night-temp",
+                  validator=check_temperature_celsius,
+                  help="nighttime phase temperature (C)"),
+        ParamSpec("day_corner", str, "", validator=_check_corner,
+                  help="DVFS point V:F pinned on day phases (empty = "
+                       "reference corner)"),
+        ParamSpec("night_corner", str, DEFAULT_NIGHT_CORNER,
+                  validator=_check_corner,
+                  help="DVFS point V:F pinned on night phases (empty = "
+                       "reference corner)"),
+        ParamSpec("ota_days", float, 2.0, validator=check_non_negative,
+                  help="mean days between OTA model swaps (0 = never)"),
+        ParamSpec("idle_threshold", int, 2, validator=check_non_negative,
+                  help="slots sampling <= this many epochs become idle "
+                       "phases"),
+        ParamSpec("horizon_days", int, 7, positive=True,
+                  help="days of usage sampled per history (2 slots/day)"),
+        ParamSpec("usage_sigma", float, 0.3, flag="--usage-sigma",
+                  validator=check_non_negative,
+                  help="lognormal sigma of the mean-1 usage intensity "
+                       "(fleet mode)"),
+        ParamSpec("thermal_sigma_c", float, 5.0, flag="--thermal-sigma",
+                  validator=check_non_negative,
+                  help="normal sigma (C) of the per-device thermal offset "
+                       "(fleet mode)"),
+        ParamSpec("seed_groups", int, 1, positive=True,
+                  help="distinct policy/stream seeds across the population"),
+        ParamSpec("weight_memory_kb", int, 8, flag="--memory-kb",
+                  positive=True, help="weight-memory capacity in KB"),
+        ParamSpec("fifo_depth_tiles", int, 1, positive=True,
+                  help="FIFO tiles (1 = monolithic)"),
+        ParamSpec("leveling", str, "none", choices=LEVELER_CHOICES,
+                  help="wear-leveling policy"),
+        ParamSpec("leveling_period", int, 2, positive=True,
+                  help="epochs per leveling step"),
+        ParamSpec("rotation_step", int, 1, validator=check_non_negative,
+                  help="rows rotated per inference"),
+        ParamSpec("swap_fraction", float, 0.5, validator=check_swap_fraction,
+                  help="fraction of rows the wear-guided swap exchanges"),
+        ParamSpec("years", float, 7.0, positive=True,
+                  help="wall-clock span the sampled horizon represents"),
+        ParamSpec("reference_temperature_c", float, 85.0,
+                  flag="--reference-temp",
+                  validator=check_temperature_celsius,
+                  help="Arrhenius reference corner in Celsius"),
+        ParamSpec("max_degradation_percent", float, 15.0,
+                  flag="--max-degradation", positive=True,
+                  help="SNM-loss threshold of the failure model"),
+        ParamSpec("quick", bool, True, help="cap per-layer weight counts"),
+        ParamSpec("seed", int, 0,
+                  help="traffic-model sampling seed (also the policy/stream "
+                       "seed)"),
+    ),
+    full_config={"histories": 1000, "devices": 1000},
+    renderer=render_workload,
+    tags=("sweep", "aging", "scenario", "fleet", "workload"),
+    # Jobs agreeing on these parameters share the per-process stream cache:
+    # same-network histories across the grid reuse each packed stream.
+    affinity=("weight_memory_kb", "fifo_depth_tiles", "quick", "seed"),
+)

@@ -15,6 +15,7 @@ from repro.fleet.spec import (
     format_mix_spec,
     parse_corner_spec,
     parse_mix_spec,
+    parse_weighted_entries,
 )
 from repro.fleet.simulator import (
     DEFAULT_QUANTILES,
@@ -34,4 +35,5 @@ __all__ = [
     "format_mix_spec",
     "parse_corner_spec",
     "parse_mix_spec",
+    "parse_weighted_entries",
 ]

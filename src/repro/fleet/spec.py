@@ -56,6 +56,7 @@ __all__ = [
     "FleetSample",
     "parse_mix_spec",
     "parse_corner_spec",
+    "parse_weighted_entries",
     "format_mix_spec",
     "format_corner_spec",
 ]
@@ -70,13 +71,15 @@ WEIGHT_SUM_TOLERANCE = 1e-6
 MAX_THERMAL_OFFSET_C = 40.0
 
 
-def _parse_weighted_entries(text: str, separator: str,
-                            what: str) -> Tuple[Tuple[str, ...], Tuple[float, ...]]:
+def parse_weighted_entries(text: str, separator: str,
+                           what: str) -> Tuple[Tuple[str, ...], Tuple[float, ...]]:
     """Split ``[WEIGHT*]ENTRY`` items and resolve their weights.
 
     Entries either all carry a ``WEIGHT*`` prefix (weights must sum to 1) or
     none do (uniform); a mixture is rejected.  Returns the bare entries and
-    the exactly-normalised weights.
+    the exactly-normalised weights.  Shared grammar of the fleet mixes here
+    and the workload-generator model mixes
+    (:func:`repro.workloads.parse_model_mix`).
     """
     items = [item.strip() for item in text.split(separator) if item.strip()]
     if not items:
@@ -120,7 +123,7 @@ def parse_mix_spec(text: str) -> Tuple[Tuple[str, ...], Tuple[float, ...]]:
     if not isinstance(text, str) or not text.strip():
         raise ValueError("scenario mix is empty; expected '[WEIGHT*]SPEC' "
                          "entries joined by '|'")
-    specs, weights = _parse_weighted_entries(text, "|", "scenario mix")
+    specs, weights = parse_weighted_entries(text, "|", "scenario mix")
     for spec in specs:
         LifetimeScenario.from_spec(spec)
     return specs, weights
@@ -132,21 +135,27 @@ def parse_corner_spec(text: str) -> Tuple[Tuple[Tuple[float, float], ...],
     if not isinstance(text, str) or not text.strip():
         raise ValueError("corner mix is empty; expected '[WEIGHT*]V:F' "
                          "entries joined by ','")
-    entries, weights = _parse_weighted_entries(text, ",", "corner mix")
+    entries, weights = parse_weighted_entries(text, ",", "corner mix")
     corners = tuple(parse_point_suffix(entry, entry) for entry in entries)
     return corners, weights
 
 
 def format_mix_spec(scenarios: Sequence[str], weights: Sequence[float]) -> str:
-    """The canonical mix string (inverse of :func:`parse_mix_spec`)."""
-    return "|".join(f"{weight:g}*{spec}"
+    """The canonical mix string (inverse of :func:`parse_mix_spec`).
+
+    Weights are written with ``repr`` — the shortest exact float spelling —
+    so machine-generated mixes (e.g. 1/6 from six sampled histories)
+    re-parse to the same values instead of drifting past the sum tolerance
+    under 6-significant-digit truncation.
+    """
+    return "|".join(f"{weight!r}*{spec}"
                     for spec, weight in zip(scenarios, weights))
 
 
 def format_corner_spec(corners: Sequence[Tuple[float, float]],
                        weights: Sequence[float]) -> str:
     """The canonical corner string (inverse of :func:`parse_corner_spec`)."""
-    return ",".join(f"{weight:g}*{voltage:g}V:{frequency:g}GHz"
+    return ",".join(f"{weight!r}*{voltage:g}V:{frequency:g}GHz"
                     for (voltage, frequency), weight in zip(corners, weights))
 
 

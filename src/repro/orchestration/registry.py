@@ -298,6 +298,7 @@ _EXPERIMENT_MODULES = (
     "repro.experiments.fleet",
     "repro.experiments.scenario",
     "repro.experiments.workloads",
+    "repro.experiments.workload",
 )
 
 

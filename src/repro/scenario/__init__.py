@@ -48,6 +48,7 @@ from repro.scenario.phases import (
     DEFAULT_PHASE_TEMPERATURE_C,
     LifetimeScenario,
     Phase,
+    merge_adjacent_phases,
     parse_scenario_spec,
 )
 
@@ -60,6 +61,7 @@ __all__ = [
     "RetentionModel",
     "ScenarioAgingSimulator",
     "ScenarioResult",
+    "merge_adjacent_phases",
     "parse_scenario_spec",
     "reference_operating_point",
     "scenario_stream_factory",

@@ -55,6 +55,7 @@ __all__ = [
     "FORMAT_ALIASES",
     "Phase",
     "LifetimeScenario",
+    "merge_adjacent_phases",
     "parse_scenario_spec",
 ]
 
@@ -308,6 +309,31 @@ def _parse_phase_token(token: str) -> Phase:
         if message.startswith(prefix):  # _parse_duration already names the token
             raise
         raise ValueError(prefix + message) from None
+
+
+def merge_adjacent_phases(phases: Tuple[Phase, ...]) -> Tuple[Phase, ...]:
+    """Coalesce runs of configuration-identical phases by summing durations.
+
+    Two phases merge when every field but ``duration`` agrees — kind,
+    network/format/policy (and options), temperature and pinned operating
+    point.  Timeline compilers (e.g. the stochastic workload generator,
+    which emits one slot per day/night half) use this to keep phase counts
+    proportional to the number of *configuration changes* rather than the
+    sampling resolution; the merged timeline is semantically identical
+    because every scenario quantity is linear in a phase's duration.
+    """
+    from dataclasses import replace as _replace
+
+    merged: List[Phase] = []
+    for phase in phases:
+        if merged:
+            last = merged[-1]
+            if (_replace(last, duration=phase.duration) == phase):
+                merged[-1] = _replace(last,
+                                      duration=last.duration + phase.duration)
+                continue
+        merged.append(phase)
+    return tuple(merged)
 
 
 def parse_scenario_spec(spec: str) -> Tuple[Phase, ...]:

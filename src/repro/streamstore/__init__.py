@@ -1,6 +1,7 @@
 """Content-addressed memory-mapped store for packed weight streams."""
 
-from repro.streamstore.store import (STORE_SCHEMA, STREAM_STORE_ENV,
+from repro.streamstore.store import (ORPHAN_AGE_GUARD_SECONDS, STORE_SCHEMA,
+                                     STREAM_STORE_ENV,
                                      StreamStore, active_stream_store,
                                      default_stream_store_dir,
                                      packed_content_sha256,
@@ -10,6 +11,7 @@ from repro.streamstore.store import (STORE_SCHEMA, STREAM_STORE_ENV,
 from repro.streamstore.stream import StoredWeightStream
 
 __all__ = [
+    "ORPHAN_AGE_GUARD_SECONDS",
     "STORE_SCHEMA",
     "STREAM_STORE_ENV",
     "StoredWeightStream",

@@ -54,6 +54,7 @@ from repro.memory.geometry import MemoryGeometry
 from repro.utils.serialization import canonical_json
 
 __all__ = [
+    "ORPHAN_AGE_GUARD_SECONDS",
     "STORE_SCHEMA",
     "STREAM_STORE_ENV",
     "StreamStore",
@@ -88,6 +89,12 @@ _SEGMENT_ORDER = ("bits", "valid_mask", "regions", "valid_words")
 
 #: Chunk size (bytes) for streaming payload bytes to disk / into a digest.
 _CHUNK_BYTES = 1 << 24
+
+#: Orphaned files (payloads with no manifest, crashed writers' ``*.tmp``)
+#: younger than this are left alone by the sweeps: an in-flight writer's
+#: payload exists manifest-less for a moment, and deleting its temp file
+#: out from under it would turn an atomic write into an I/O error.
+ORPHAN_AGE_GUARD_SECONDS = 3600.0
 
 #: Source files (relative to the ``repro`` package root) that determine the
 #: *content* of a packed stream.  Only edits to these invalidate store
@@ -212,6 +219,8 @@ class StreamStore:
         self.misses = 0
         self.puts = 0
         self.corrupt = 0
+        self.orphan_files_reclaimed = 0
+        self.orphan_bytes_reclaimed = 0
 
     # -- layout -------------------------------------------------------------- #
     def manifest_path(self, key: str) -> Path:
@@ -346,15 +355,18 @@ class StreamStore:
             packed._valid_mask = segments["valid_mask"]
         except (OSError, ValueError, KeyError, TypeError):
             # Truncated payloads, mangled JSON, schema drift: all read as a
-            # miss so the caller rebuilds.  The manifest is dropped (its
-            # presence is what marks an entry valid), so the rebuild's
-            # put() repairs the entry instead of short-circuiting on it.
+            # miss so the caller rebuilds.  The manifest is dropped first
+            # (its presence is what marks an entry valid), then the payload
+            # — otherwise the self-heal strands a manifest-less .bin that no
+            # maintenance pass would ever reclaim.  The rebuild's put()
+            # repairs the entry instead of short-circuiting on it.
             self.corrupt += 1
             self.misses += 1
-            try:
-                manifest_path.unlink()
-            except OSError:
-                pass
+            for stale in (manifest_path, self.payload_path(key)):
+                try:
+                    stale.unlink()
+                except OSError:
+                    pass
             return None
         self.hits += 1
         try:
@@ -384,6 +396,66 @@ class StreamStore:
         if not self.root.is_dir():
             return iter(())
         return self.root.glob("??/*.json")
+
+    def _orphan_paths(self) -> Iterator[Path]:
+        """Files under the root no live manifest accounts for.
+
+        Two species: crashed writers' ``*.bin.tmp``/``*.json.tmp`` leftovers
+        (the manifest glob above never matches them — ``*.json`` is not
+        ``*.json.tmp``), and ``.bin`` payloads whose manifest is gone (e.g.
+        stranded by the pre-fix corrupt self-heal, or by a crash between the
+        two unlinks of :meth:`_remove_entry`).
+        """
+        if not self.root.is_dir():
+            return
+        for path in self.root.glob("??/*"):
+            if path.name.endswith(".tmp"):
+                yield path
+            elif path.suffix == ".bin" and not path.with_suffix(".json").is_file():
+                yield path
+
+    def sweep_orphans(self, now: Optional[float] = None,
+                      age_guard: float = ORPHAN_AGE_GUARD_SECONDS
+                      ) -> Dict[str, int]:
+        """Reclaim orphaned payloads and temp files older than ``age_guard``.
+
+        Files younger than the guard are presumed in-flight (a writer's
+        payload legitimately precedes its manifest) and kept.  Races with
+        concurrent sweeps or writers are tolerated: a path that vanishes
+        between listing, ``stat`` and ``unlink`` is simply skipped.  Returns
+        the reclaimed ``{"files", "bytes"}`` and accumulates them on the
+        ``orphan_files_reclaimed``/``orphan_bytes_reclaimed`` counters.
+        """
+        reference = time.time() if now is None else now  # dnn-lint: disable=DL002
+        cutoff = reference - float(age_guard)
+        files = 0
+        nbytes = 0
+        for path in list(self._orphan_paths()):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            if stat.st_mtime >= cutoff:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            files += 1
+            nbytes += stat.st_size
+        self.orphan_files_reclaimed += files
+        self.orphan_bytes_reclaimed += nbytes
+        return {"files": files, "bytes": nbytes}
+
+    def orphan_bytes(self) -> int:
+        """Current orphaned footprint in bytes (no age filter — pure audit)."""
+        total = 0
+        for path in self._orphan_paths():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
 
     def entries(self) -> List[Dict[str, Any]]:
         """Per-entry records (key, geometry, size, timestamps), newest first."""
@@ -415,6 +487,7 @@ class StreamStore:
             "root": str(self.root),
             "entries": len(entries),
             "bytes": sum(record["nbytes"] for record in entries),
+            "orphan_bytes": self.orphan_bytes(),
             "hits": self.hits,
             "misses": self.misses,
             "puts": self.puts,
@@ -427,12 +500,19 @@ class StreamStore:
         manifest_path.unlink(missing_ok=True)
         payload_path.unlink(missing_ok=True)
 
-    def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+    def clear(self, now: Optional[float] = None) -> int:
+        """Delete every entry; returns the number removed.
+
+        Also sweeps aged orphans (manifest-less payloads, crashed writers'
+        temp files) so a cleared store's footprint actually reaches zero;
+        the sweep's yield lands on the orphan counters, not in the return
+        value.  ``now`` pins the sweep's age-guard reference for tests.
+        """
         removed = 0
         for manifest_path in list(self._manifest_paths()):
             self._remove_entry(manifest_path)
             removed += 1
+        self.sweep_orphans(now=now)
         return removed
 
     def gc(self, unused_seconds: float,
@@ -440,8 +520,10 @@ class StreamStore:
         """Delete entries not used (loaded or written) for ``unused_seconds``.
 
         Every successful load touches the manifest mtime, so "unused" means
-        genuinely cold, not merely old.  ``now`` pins the reference time for
-        deterministic tests; the default reads the wall clock.
+        genuinely cold, not merely old.  Aged orphans are swept alongside
+        (counted on the orphan counters, not in the return value).  ``now``
+        pins the reference time for deterministic tests; the default reads
+        the wall clock.
         """
         reference = time.time() if now is None else now  # dnn-lint: disable=DL002
         cutoff = reference - float(unused_seconds)
@@ -454,6 +536,7 @@ class StreamStore:
             if mtime < cutoff:
                 self._remove_entry(manifest_path)
                 removed += 1
+        self.sweep_orphans(now=reference)
         return removed
 
 

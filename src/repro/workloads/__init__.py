@@ -1,0 +1,42 @@
+"""Stochastic workload generation: traffic models compiled into scenarios.
+
+Scenario phases and fleet mixes were hand-written spec strings until this
+package; real deployments are bursty, diurnal and multi-model.  A
+:class:`~repro.workloads.traffic.TrafficModel` describes the usage
+*distribution* (Poisson/bursty inference rates, day/night modulation,
+weighted model mixes, OTA-update schedules, idle gaps) with seeded PCG64
+sampling and exact payload round trips;
+:mod:`repro.workloads.compiler` turns sampled histories into
+:class:`~repro.scenario.phases.LifetimeScenario` timelines and weighted
+:class:`~repro.fleet.spec.FleetSpec` populations — so sweeps can ask
+"across 1 000 sampled usage histories, what is the lifetime
+distribution?" without writing a single phase token by hand.
+"""
+
+from repro.workloads.compiler import (
+    compile_fleet_spec,
+    compile_history,
+    compile_timeline,
+)
+from repro.workloads.traffic import (
+    ModelTriple,
+    TimelineSlot,
+    TrafficModel,
+    format_model_mix,
+    parse_model_mix,
+    parse_optional_corner,
+    sample_timeline,
+)
+
+__all__ = [
+    "ModelTriple",
+    "TimelineSlot",
+    "TrafficModel",
+    "compile_fleet_spec",
+    "compile_history",
+    "compile_timeline",
+    "format_model_mix",
+    "parse_model_mix",
+    "parse_optional_corner",
+    "sample_timeline",
+]

@@ -1,0 +1,142 @@
+"""Compile sampled traffic timelines into scenario and fleet specs.
+
+The sampler (:func:`repro.workloads.traffic.sample_timeline`) produces raw
+day/night slots; this module turns them into the existing simulation
+inputs:
+
+* :func:`compile_timeline` — one slot list into a valid
+  :class:`~repro.scenario.phases.LifetimeScenario` through the ``Phase``
+  machinery: active slots become inference phases at their slot's
+  temperature/corner, idle slots become retention phases of the slot's
+  nominal epoch budget (so their wall-clock share stays honest), adjacent
+  configuration-identical phases merge, and leading idles are dropped (a
+  scenario's retained content is undefined before the first write).
+* :func:`compile_history` — sample + compile in one step.
+* :func:`compile_fleet_spec` — the batch compiler: N sampled histories
+  deduplicated into a weighted :class:`~repro.fleet.spec.FleetSpec`
+  scenario mix (weights = history multiplicity / N, first-seen order), the
+  direct input to :class:`~repro.fleet.simulator.FleetSimulator`.
+
+Everything downstream of the sampler is pure bookkeeping, so the
+determinism contract carries through: the same ``(model, histories)``
+produces byte-identical spec strings — and hence byte-identical
+``FleetSpec`` payloads — in every process.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.aging.stress import DEFAULT_REFERENCE_TEMPERATURE_C
+from repro.fleet.spec import FleetSpec
+from repro.scenario.phases import (
+    LifetimeScenario,
+    Phase,
+    merge_adjacent_phases,
+)
+from repro.workloads.traffic import TimelineSlot, TrafficModel, sample_timeline
+
+__all__ = [
+    "compile_fleet_spec",
+    "compile_history",
+    "compile_timeline",
+]
+
+
+def _slot_phase(slot: TimelineSlot) -> Phase:
+    """One sampled slot as a scenario phase."""
+    voltage, frequency = (slot.corner if slot.corner is not None
+                          else (None, None))
+    if slot.idle:
+        return Phase.idle(slot.nominal_epochs,
+                          temperature_c=slot.temperature_c,
+                          voltage_v=voltage, frequency_ghz=frequency)
+    network, data_format, policy = slot.model
+    return Phase.active(network, data_format, policy, slot.epochs,
+                        temperature_c=slot.temperature_c,
+                        voltage_v=voltage, frequency_ghz=frequency)
+
+
+def compile_timeline(model: TrafficModel, slots: Sequence[TimelineSlot],
+                     years: float = 7.0,
+                     reference_temperature_c: float =
+                     DEFAULT_REFERENCE_TEMPERATURE_C,
+                     name: str = "") -> LifetimeScenario:
+    """Compile sampled slots into a valid :class:`LifetimeScenario`.
+
+    The sampled horizon is the deployment's *representative usage pattern*:
+    like hand-written specs, phase durations set relative wall-clock shares
+    and ``years`` the absolute span.  Leading idle slots are dropped (the
+    scenario grammar rejects idle-first timelines); if every slot sampled
+    idle — possible for tiny rates with a high idle threshold — the
+    timeline degenerates to a single one-epoch inference of the first
+    slot's model, the smallest valid scenario of that deployment.
+    """
+    phases = merge_adjacent_phases(
+        tuple(_slot_phase(slot) for slot in slots))
+    while phases and phases[0].is_idle:
+        phases = phases[1:]
+    if not phases:
+        first = slots[0]
+        network, data_format, policy = first.model
+        voltage, frequency = (first.corner if first.corner is not None
+                              else (None, None))
+        phases = (Phase.active(network, data_format, policy, 1,
+                               temperature_c=first.temperature_c,
+                               voltage_v=voltage, frequency_ghz=frequency),)
+    return LifetimeScenario(phases=phases, years=years,
+                            reference_temperature_c=reference_temperature_c,
+                            name=name)
+
+
+def compile_history(model: TrafficModel, history: int = 0,
+                    years: float = 7.0,
+                    reference_temperature_c: float =
+                    DEFAULT_REFERENCE_TEMPERATURE_C) -> LifetimeScenario:
+    """Sample history ``history`` of ``model`` and compile it."""
+    return compile_timeline(model, sample_timeline(model, history=history),
+                            years=years,
+                            reference_temperature_c=reference_temperature_c,
+                            name=f"workload[{history}]")
+
+
+def compile_fleet_spec(model: TrafficModel, histories: int,
+                       devices: int = 0,
+                       years: float = 7.0,
+                       reference_temperature_c: float =
+                       DEFAULT_REFERENCE_TEMPERATURE_C,
+                       usage_sigma: float = 0.0,
+                       thermal_sigma_c: float = 0.0,
+                       seed_groups: int = 1) -> FleetSpec:
+    """Batch-compile N sampled histories into a weighted fleet population.
+
+    Histories are sampled at indices ``0..histories-1``, compiled to their
+    canonical spec strings and deduplicated in first-seen order; each unique
+    spec's weight is its multiplicity over ``histories``.  ``devices``
+    defaults to ``histories`` (one device per sampled history); the fleet's
+    sampling seed is the traffic model's, so the whole population is pinned
+    by one integer.  Devices ship at the reference corner — per-phase DVFS
+    comes from the generator's day/night corners, already baked into the
+    compiled specs.
+    """
+    if not int(histories) > 0:
+        raise ValueError(f"histories must be > 0, got {histories}")
+    counts: Dict[str, int] = {}
+    for history in range(int(histories)):
+        spec_text = compile_history(
+            model, history, years=years,
+            reference_temperature_c=reference_temperature_c).to_spec()
+        counts[spec_text] = counts.get(spec_text, 0) + 1
+    specs: List[str] = list(counts)
+    weights = tuple(count / int(histories) for count in counts.values())
+    return FleetSpec(
+        num_devices=int(devices) if devices else int(histories),
+        scenarios=tuple(specs),
+        scenario_weights=weights,
+        years=years,
+        reference_temperature_c=reference_temperature_c,
+        usage_sigma=usage_sigma,
+        thermal_sigma_c=thermal_sigma_c,
+        seed_groups=seed_groups,
+        seed=model.seed,
+    )

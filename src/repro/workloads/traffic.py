@@ -1,0 +1,373 @@
+"""Stochastic traffic models: seeded generators of device usage histories.
+
+A :class:`TrafficModel` is the serializable description of how a deployed
+accelerator is *used* — not a timeline itself, but the distribution
+timelines are drawn from.  It composes five generator families:
+
+* **Poisson/bursty inference rates** — each half-day slot draws its
+  inference-epoch count from a Poisson process at the slot's rate; with
+  ``burst_probability > 0`` a slot may be a burst, multiplying its rate by
+  ``burst_factor`` (a two-state modulated Poisson process).
+* **Diurnal day/night modulation** — ``diurnal_amplitude`` skews the rate
+  between the day half (``x (1 + a)``) and the night half (``x (1 - a)``),
+  each with its own temperature and optional DVFS corner (night throttling).
+* **Weighted model/format mixes** — the device runs one
+  ``(network, data_format, policy)`` triple at a time, drawn from a
+  weighted mix sharing one word width (the weight-memory geometry is
+  device-wide).
+* **OTA-update schedules** — model swaps arrive as a memoryless process
+  with mean inter-arrival ``ota_interval_days``; each arrival redraws the
+  active triple from the mix.
+* **Idle-gap insertion** — slots drawing at most ``idle_threshold`` epochs
+  become retention (idle) phases instead of vanishingly small active ones.
+
+Sampling is deterministic the way :class:`~repro.fleet.spec.FleetSpec`
+pins it: a PCG64 stream seeded from ``np.random.SeedSequence([seed,
+history])`` with a *fixed draw order* (initial model, OTA schedule, then
+per-slot burst/Poisson draws) and state-free degenerate knobs — a
+single-entry mix, ``burst_probability`` of exactly 0 or 1 and
+``ota_interval_days == 0`` consume no generator state, so enabling one
+generator never shifts the draws of another.  The same ``(model,
+history)`` pair therefore yields byte-identical timelines in any process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.fleet.spec import parse_weighted_entries
+from repro.quantization.formats import get_format
+from repro.scenario.operating_point import parse_point_suffix
+from repro.scenario.phases import DEFAULT_PHASE_TEMPERATURE_C, Phase
+from repro.utils.validation import (
+    check_positive,
+    check_positive_int,
+    check_temperature_celsius,
+)
+
+__all__ = [
+    "ModelTriple",
+    "TimelineSlot",
+    "TrafficModel",
+    "format_model_mix",
+    "parse_model_mix",
+    "parse_optional_corner",
+    "sample_timeline",
+]
+
+#: One deployable model: ``(network, data_format, policy)`` with the format
+#: name already alias-resolved (``int8`` -> ``int8_symmetric``).
+ModelTriple = Tuple[str, str, str]
+
+#: Hours of wall clock one timeline slot represents (a day/night half).
+SLOT_HOURS = 12.0
+
+
+def parse_model_mix(text: str) -> Tuple[Tuple[ModelTriple, ...],
+                                        Tuple[float, ...]]:
+    """Parse a ``[WEIGHT*]NETWORK:FORMAT:POLICY|...`` model mix.
+
+    Reuses the fleet mix grammar (:func:`~repro.fleet.spec.parse_weighted_entries`)
+    for the weights and the phase mini-language's registries for the names;
+    format aliases are resolved, so the returned triples are canonical and
+    :func:`format_model_mix` is an exact inverse on them.
+    """
+    if not isinstance(text, str) or not text.strip():
+        raise ValueError("model mix is empty; expected "
+                         "'[WEIGHT*]NETWORK:FORMAT:POLICY' entries joined by '|'")
+    entries, weights = parse_weighted_entries(text, "|", "model mix")
+    models: List[ModelTriple] = []
+    for entry in entries:
+        fields = [part.strip() for part in entry.split(":")]
+        if len(fields) != 3:
+            raise ValueError(f"model mix entry '{entry}': expected "
+                             "'NETWORK:FORMAT:POLICY'")
+        # Phase.active validates against the registries and resolves the
+        # format aliases; the 1-epoch probe phase is discarded.
+        probe = Phase.active(fields[0], fields[1], fields[2], 1)
+        models.append((probe.network, probe.data_format, probe.policy))
+    return tuple(models), weights
+
+
+def format_model_mix(models: Sequence[ModelTriple],
+                     weights: Sequence[float]) -> str:
+    """The canonical mix string (inverse of :func:`parse_model_mix`).
+
+    Weights use ``repr`` — the shortest exact float spelling — matching
+    :func:`~repro.fleet.spec.format_mix_spec`.
+    """
+    return "|".join(f"{weight!r}*{network}:{data_format}:{policy}"
+                    for (network, data_format, policy), weight
+                    in zip(models, weights))
+
+
+@dataclass(frozen=True)
+class TimelineSlot:
+    """One sampled day/night half of a usage history.
+
+    ``epochs`` is the Poisson draw of inference epochs; ``idle`` marks slots
+    at or below the model's idle threshold, which compile to retention
+    phases of ``nominal_epochs`` duration (the slot's expected epoch budget,
+    keeping its wall-clock share honest).  ``model`` is the triple active
+    during the slot (it changes at OTA arrivals), ``corner`` the slot's
+    pinned DVFS point or ``None`` for the reference corner.
+    """
+
+    day: int
+    daytime: bool
+    burst: bool
+    epochs: int
+    nominal_epochs: int
+    idle: bool
+    model: ModelTriple
+    temperature_c: float
+    corner: Optional[Tuple[float, float]]
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-safe description (rendered as the CLI timeline table)."""
+        return {
+            "day": self.day,
+            "half": "day" if self.daytime else "night",
+            "burst": self.burst,
+            "epochs": self.epochs,
+            "nominal_epochs": self.nominal_epochs,
+            "kind": "idle" if self.idle else "active",
+            "network": self.model[0],
+            "data_format": self.model[1],
+            "policy": self.model[2],
+            "temperature_c": self.temperature_c,
+            "corner": None if self.corner is None else list(self.corner),
+        }
+
+
+def _optional_corner(value: object, what: str) -> Optional[Tuple[float, float]]:
+    """Normalise a corner field: ``None`` stays, pairs become float tuples."""
+    if value is None:
+        return None
+    voltage, frequency = value  # type: ignore[misc]
+    voltage, frequency = float(voltage), float(frequency)
+    check_positive(voltage, f"{what} voltage")
+    check_positive(frequency, f"{what} frequency")
+    return (voltage, frequency)
+
+
+@dataclass(frozen=True)
+class TrafficModel:
+    """The seeded, serializable traffic distribution of one deployment.
+
+    ``rate_per_day`` is the mean inference epochs per 24 h before burst and
+    diurnal modulation; ``horizon_days`` the length of the sampled history
+    (the compiled scenario stretches it over its ``years`` span, exactly as
+    hand-written phase specs do).  See the module docstring for the five
+    generator families and the determinism contract.
+    """
+
+    models: Tuple[ModelTriple, ...]
+    model_weights: Tuple[float, ...] = ()
+    rate_per_day: float = 48.0
+    burst_probability: float = 0.0
+    burst_factor: float = 3.0
+    diurnal_amplitude: float = 0.0
+    day_temperature_c: float = DEFAULT_PHASE_TEMPERATURE_C
+    night_temperature_c: float = 45.0
+    day_corner: Optional[Tuple[float, float]] = None
+    night_corner: Optional[Tuple[float, float]] = None
+    ota_interval_days: float = 0.0
+    idle_threshold: int = 0
+    horizon_days: int = 7
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        models = tuple((str(network), str(data_format), str(policy))
+                       for network, data_format, policy in self.models)
+        if not models:
+            raise ValueError("a traffic model requires at least one "
+                             "(network, format, policy) entry")
+        word_bits = {}
+        for network, data_format, policy in models:
+            probe = Phase.active(network, data_format, policy, 1)
+            word_bits.setdefault(get_format(probe.data_format).word_bits,
+                                 f"{network}:{data_format}")
+        if len(word_bits) > 1:
+            described = "; ".join(f"{bits}-bit words from {label}"
+                                  for bits, label in sorted(word_bits.items()))
+            raise ValueError(
+                f"all model-mix entries must share one word width (the "
+                f"weight-memory geometry is device-wide), got {described}")
+        object.__setattr__(self, "models", models)
+        uniform = (1.0 / len(models),) * len(models)
+        weights = tuple(float(weight)
+                        for weight in (self.model_weights or uniform))
+        if len(weights) != len(models):
+            raise ValueError(f"model mix: {len(weights)} weights for "
+                             f"{len(models)} entries")
+        for weight in weights:
+            if not weight > 0:
+                raise ValueError(f"model mix: weights must be > 0, got {weight}")
+        if abs(sum(weights) - 1.0) > 1e-6:
+            raise ValueError(f"model mix: weights must sum to 1, "
+                             f"got {sum(weights):g}")
+        object.__setattr__(self, "model_weights", weights)
+        check_positive(self.rate_per_day, "rate_per_day")
+        if not 0.0 <= self.burst_probability <= 1.0:
+            raise ValueError(f"burst_probability must be within [0, 1], "
+                             f"got {self.burst_probability}")
+        if not self.burst_factor >= 1.0:
+            raise ValueError(f"burst_factor must be >= 1, "
+                             f"got {self.burst_factor}")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ValueError(f"diurnal_amplitude must be within [0, 1), "
+                             f"got {self.diurnal_amplitude}")
+        check_temperature_celsius(self.day_temperature_c, "day_temperature_c")
+        check_temperature_celsius(self.night_temperature_c,
+                                  "night_temperature_c")
+        object.__setattr__(self, "day_corner",
+                           _optional_corner(self.day_corner, "day corner"))
+        object.__setattr__(self, "night_corner",
+                           _optional_corner(self.night_corner, "night corner"))
+        if not self.ota_interval_days >= 0:
+            raise ValueError(f"ota_interval_days must be >= 0, "
+                             f"got {self.ota_interval_days}")
+        if not int(self.idle_threshold) >= 0:
+            raise ValueError(f"idle_threshold must be >= 0, "
+                             f"got {self.idle_threshold}")
+        object.__setattr__(self, "idle_threshold", int(self.idle_threshold))
+        check_positive_int(self.horizon_days, "horizon_days")
+
+    # ------------------------------------------------------------------ #
+    # Views
+    # ------------------------------------------------------------------ #
+    def mix_spec(self) -> str:
+        """The canonical ``[WEIGHT*]NETWORK:FORMAT:POLICY|...`` mix string."""
+        return format_model_mix(self.models, self.model_weights)
+
+    def slot_rate(self, daytime: bool, burst: bool) -> float:
+        """Mean inference epochs of one half-day slot."""
+        half = 0.5 * self.rate_per_day
+        diurnal = 1.0 + (self.diurnal_amplitude if daytime
+                         else -self.diurnal_amplitude)
+        return half * diurnal * (self.burst_factor if burst else 1.0)
+
+    # ------------------------------------------------------------------ #
+    # Serialization (exact round trip, like FleetSpec)
+    # ------------------------------------------------------------------ #
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-safe representation; :meth:`from_payload` round-trips to an
+        ``==``-equal model."""
+        return {
+            "models": [list(triple) for triple in self.models],
+            "model_weights": list(self.model_weights),
+            "rate_per_day": self.rate_per_day,
+            "burst_probability": self.burst_probability,
+            "burst_factor": self.burst_factor,
+            "diurnal_amplitude": self.diurnal_amplitude,
+            "day_temperature_c": self.day_temperature_c,
+            "night_temperature_c": self.night_temperature_c,
+            "day_corner": (None if self.day_corner is None
+                           else list(self.day_corner)),
+            "night_corner": (None if self.night_corner is None
+                             else list(self.night_corner)),
+            "ota_interval_days": self.ota_interval_days,
+            "idle_threshold": self.idle_threshold,
+            "horizon_days": self.horizon_days,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, object]) -> "TrafficModel":
+        """Rebuild a model from :meth:`to_payload` output."""
+        def corner(value: object) -> Optional[Tuple[float, float]]:
+            return None if value is None else (float(value[0]),  # type: ignore[index]
+                                               float(value[1]))  # type: ignore[index]
+
+        return cls(
+            models=tuple((str(entry[0]), str(entry[1]), str(entry[2]))
+                         for entry in payload["models"]),  # type: ignore[index]
+            model_weights=tuple(float(weight)
+                                for weight in payload["model_weights"]),  # type: ignore[union-attr]
+            rate_per_day=float(payload["rate_per_day"]),  # type: ignore[arg-type]
+            burst_probability=float(payload["burst_probability"]),  # type: ignore[arg-type]
+            burst_factor=float(payload["burst_factor"]),  # type: ignore[arg-type]
+            diurnal_amplitude=float(payload["diurnal_amplitude"]),  # type: ignore[arg-type]
+            day_temperature_c=float(payload["day_temperature_c"]),  # type: ignore[arg-type]
+            night_temperature_c=float(payload["night_temperature_c"]),  # type: ignore[arg-type]
+            day_corner=corner(payload["day_corner"]),
+            night_corner=corner(payload["night_corner"]),
+            ota_interval_days=float(payload["ota_interval_days"]),  # type: ignore[arg-type]
+            idle_threshold=int(payload["idle_threshold"]),  # type: ignore[arg-type]
+            horizon_days=int(payload["horizon_days"]),  # type: ignore[arg-type]
+            seed=int(payload["seed"]),  # type: ignore[arg-type]
+        )
+
+
+def _draw_model_index(rng: np.random.Generator,
+                      model: TrafficModel) -> int:
+    """Weighted model draw; a single-entry mix consumes no generator state."""
+    if len(model.models) == 1:
+        return 0
+    weights = np.asarray(model.model_weights, dtype=np.float64)
+    return int(rng.choice(len(model.models), p=weights / weights.sum()))
+
+
+def sample_timeline(model: TrafficModel,
+                    history: int = 0) -> List[TimelineSlot]:
+    """Sample one usage history: ``2 * horizon_days`` day/night slots.
+
+    Deterministic in ``(model, history)``: the generator is a fresh PCG64
+    stream from ``np.random.SeedSequence([model.seed, history])`` and the
+    draw order is fixed — (1) the initial model, (2) the OTA arrival times
+    and their replacement models, (3) per slot, the burst coin (only when
+    ``0 < burst_probability < 1``) then the Poisson epoch count.  Degenerate
+    knobs consume no state (see the module docstring), so e.g. switching
+    bursts off never shifts the OTA schedule.
+    """
+    rng = np.random.default_rng(
+        np.random.SeedSequence([int(model.seed), int(history)]))
+    current = _draw_model_index(rng, model)
+    ota_events: List[Tuple[float, int]] = []
+    if model.ota_interval_days > 0:
+        arrival = 0.0
+        while True:
+            arrival += float(rng.exponential(model.ota_interval_days))
+            if arrival >= model.horizon_days:
+                break
+            ota_events.append((arrival, _draw_model_index(rng, model)))
+    slots: List[TimelineSlot] = []
+    next_event = 0
+    for day in range(model.horizon_days):
+        for daytime in (True, False):
+            start_days = day + (0.0 if daytime else SLOT_HOURS / 24.0)
+            while (next_event < len(ota_events)
+                   and ota_events[next_event][0] <= start_days):
+                current = ota_events[next_event][1]
+                next_event += 1
+            if 0.0 < model.burst_probability < 1.0:
+                burst = bool(rng.random() < model.burst_probability)
+            else:
+                burst = model.burst_probability >= 1.0
+            rate = model.slot_rate(daytime, burst)
+            epochs = int(rng.poisson(rate))
+            nominal = max(1, int(round(model.slot_rate(daytime, False))))
+            slots.append(TimelineSlot(
+                day=day,
+                daytime=daytime,
+                burst=burst,
+                epochs=epochs,
+                nominal_epochs=nominal,
+                idle=epochs <= model.idle_threshold,
+                model=model.models[current],
+                temperature_c=(model.day_temperature_c if daytime
+                               else model.night_temperature_c),
+                corner=model.day_corner if daytime else model.night_corner,
+            ))
+    return slots
+
+
+def parse_optional_corner(text: str, what: str) -> Optional[Tuple[float, float]]:
+    """Parse a CLI corner field: empty means "reference corner" (``None``)."""
+    if not text or not text.strip():
+        return None
+    return parse_point_suffix(text.strip(), what)

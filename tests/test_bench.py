@@ -10,6 +10,7 @@ from repro.bench import (
     BenchCase,
     SyntheticWeightStream,
     bench_fleet,
+    bench_workloads,
     default_bench_cases,
     render_bench_report,
     run_aging_bench,
@@ -359,3 +360,35 @@ class TestDvfsBench:
 
     def test_payload_with_fleet_is_json_safe(self, smoke_payload):
         json.dumps(smoke_payload["fleet"])
+
+    def test_workloads_entry(self, smoke_payload):
+        entry = smoke_payload["workloads"]
+        assert entry["histories"] > 0
+        assert entry["histories_per_second"] > 0
+        assert entry["byte_identical"] is True
+        assert entry["unique_scenarios"] >= 1
+        assert entry["devices_per_second"] > 0
+
+    def test_workloads_small_run(self):
+        payload = bench_workloads(repeats=1, histories=16, fleet_histories=4,
+                                  devices=8)
+        assert payload["histories"] == 16
+        assert payload["devices"] == 8
+        assert payload["byte_identical"] is True
+
+    def test_workloads_render(self, smoke_payload):
+        text = render_bench_report(smoke_payload)
+        assert "workload generator" in text
+        assert "byte-identical recompile" in text
+
+    def test_skip_workloads_flag(self, tmp_path, capsys):
+        output = tmp_path / "bench.json"
+        assert main(["bench", "--output", str(output), "--repeats", "1",
+                     "--skip-verify", "--skip-leveling", "--skip-scenario",
+                     "--skip-dvfs", "--skip-fleet", "--skip-workloads",
+                     "--case", "smoke_mnist_8bit"]) == 0
+        payload = json.loads(output.read_text())
+        assert "workloads" not in payload
+
+    def test_payload_with_workloads_is_json_safe(self, smoke_payload):
+        json.dumps(smoke_payload["workloads"])

@@ -121,6 +121,41 @@ class TestFleetCommand:
         assert "2 jobs" in capsys.readouterr().out
 
 
+class TestWorkloadCommand:
+    SMALL = ["--histories", "3", "--devices", "4", "--horizon-days", "2",
+             "--memory-kb", "4", "--fifo-depth-tiles", "4"]
+
+    def test_workload_fleet_verb(self, capsys):
+        assert main(["workload"] + self.SMALL) == 0
+        out = capsys.readouterr().out
+        assert "sampled timeline" in out
+        assert "sampled histories" in out
+        assert "population survival" in out
+
+    def test_workload_scenario_mode(self, capsys):
+        assert main(["workload", "--mode", "scenario"] + self.SMALL) == 0
+        out = capsys.readouterr().out
+        assert "sampled timeline" in out
+        assert "memory lifetime" in out
+
+    def test_workload_json_output(self, tmp_path, capsys):
+        path = tmp_path / "workload.json"
+        assert main(["--json", str(path), "workload"] + self.SMALL) == 0
+        payload = json.loads(path.read_text())
+        assert payload["workload"]["histories"] == 3
+        assert payload["compiled"]["mix_spec"]
+        assert len(payload["timeline"]["slots"]) == 4
+        assert payload["result"]["workload"]["devices"] == 4
+
+    def test_workload_sweep(self, capsys):
+        assert main(["sweep", "workload", "--grid", "rate_per_day=8,16",
+                     "--grid", "histories=2", "--grid", "horizon_days=2",
+                     "--grid", "weight_memory_kb=4",
+                     "--grid", "fifo_depth_tiles=4",
+                     "--workers", "1"]) == 0
+        assert "2 jobs" in capsys.readouterr().out
+
+
 class TestFriendlyValidation:
     """Invalid durations / phase tokens exit 2 with one-line errors."""
 
@@ -196,6 +231,23 @@ class TestFriendlyValidation:
                      "--grid", "mix=bogus:int8:none:3"]) == 2
         assert "mix" in self._error_line(capsys)
 
+    def test_workload_rejects_unknown_network_in_models(self, capsys):
+        assert main(["workload", "--models", "bogus:int8:none"]) == 2
+        assert "unknown network 'bogus'" in self._error_line(capsys)
+
+    def test_workload_rejects_out_of_range_amplitude(self, capsys):
+        assert main(["workload", "--diurnal-amplitude", "1.5"]) == 2
+        assert "[0, 1)" in self._error_line(capsys)
+
+    def test_workload_rejects_bad_corner(self, capsys):
+        assert main(["workload", "--night-corner", "fast"]) == 2
+        assert "operating point" in self._error_line(capsys)
+
+    def test_workload_rejects_mixed_word_widths(self, capsys):
+        assert main(["workload", "--models",
+                     "lenet5:int8:none|lenet5:float32:none"]) == 2
+        assert "word width" in self._error_line(capsys)
+
 
 class TestStreamStoreCli:
     """The ``--stream-store`` controls and the ``cache --streams`` view."""
@@ -252,6 +304,33 @@ class TestStreamStoreCli:
         assert "removed 1 stream entr(ies)" in capsys.readouterr().out
         assert main(argv + ["cache", "--streams"]) == 0
         assert "0 entr(ies)" in capsys.readouterr().out
+
+    def test_cache_streams_reports_reclaimed_orphans(self, tmp_path, capsys):
+        import os
+        import time
+
+        from repro.streamstore import ORPHAN_AGE_GUARD_SECONDS
+
+        argv = ["--stream-store", str(tmp_path / "streams"),
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv + self.SWEEP) == 0
+        capsys.readouterr()
+        # strand the payload (the pre-fix leak) and age it past the guard
+        bucket = next((tmp_path / "streams").glob("??"))
+        manifest = next(bucket.glob("*.json"))
+        payload = manifest.with_suffix(".bin")
+        manifest.unlink()
+        stamp = time.time() - 2 * ORPHAN_AGE_GUARD_SECONDS
+        os.utime(payload, times=(stamp, stamp))
+        # the table view surfaces the orphaned footprint...
+        assert main(argv + ["cache", "--streams"]) == 0
+        assert "orphaned:" in capsys.readouterr().out
+        # ...and --clear reports what it reclaimed
+        assert main(argv + ["cache", "--streams", "--clear"]) == 0
+        out = capsys.readouterr().out
+        assert "removed 0 stream entr(ies)" in out
+        assert "reclaimed 1 orphaned file(s)" in out
+        assert not payload.exists()
 
     def test_no_stream_store_disables(self, capsys):
         assert main(["--no-stream-store", "cache", "--streams"]) == 0

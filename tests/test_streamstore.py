@@ -20,6 +20,7 @@ from repro.experiments.aging_runner import build_workload_stream, clear_stream_c
 from repro.experiments.common import ExperimentScale
 from repro.memory.geometry import MemoryGeometry
 from repro.streamstore import (
+    ORPHAN_AGE_GUARD_SECONDS,
     STORE_SCHEMA,
     STREAM_STORE_ENV,
     StoredWeightStream,
@@ -336,6 +337,120 @@ class TestMaintenance:
         assert store.get(key) is not None  # load touches the manifest
         assert store.manifest_path(key).stat().st_mtime > reference - 500
         assert store.gc(unused_seconds=100, now=reference) == 0
+
+
+# --------------------------------------------------------------------------- #
+# Orphan reclamation (manifest-less payloads, crashed writers' temp files)
+# --------------------------------------------------------------------------- #
+def _race_gc(root, barrier):
+    """Child-process body of the gc race (module-level: spawn-picklable)."""
+    from repro.streamstore import StreamStore
+
+    store = StreamStore(root)
+    barrier.wait(timeout=60)  # maximise overlap of the two sweeps
+    store.gc(unused_seconds=0.0, now=2_000_000.0)
+
+
+class TestOrphanReclamation:
+    REFERENCE = 1_000_000.0
+
+    def _put_one(self, store, case="orphan"):
+        stream = synthetic_stream()
+        packed = stream.packed_bits()
+        key = stream_store_key("synthetic", {"case": case})
+        store.put(key, packed)
+        return key, packed
+
+    def _age(self, path, seconds_before_reference):
+        stamp = self.REFERENCE - seconds_before_reference
+        os.utime(path, times=(stamp, stamp))
+
+    def test_corrupt_self_heal_drops_the_payload_too(self, store):
+        # Regression: the self-heal used to unlink only the manifest,
+        # stranding a payload no maintenance pass would ever reclaim.
+        key, _packed = self._put_one(store)
+        payload_path = store.payload_path(key)
+        payload_path.write_bytes(payload_path.read_bytes()[:100])
+        assert store.get(key) is None
+        assert not store.manifest_path(key).exists()
+        assert not payload_path.exists()
+        assert store.stats()["orphan_bytes"] == 0
+
+    def test_stats_reports_orphaned_footprint(self, store):
+        key, _packed = self._put_one(store)
+        nbytes = store.payload_path(key).stat().st_size
+        store.manifest_path(key).unlink()  # strand the payload
+        stats = store.stats()
+        assert stats["entries"] == 0 and stats["bytes"] == 0
+        assert stats["orphan_bytes"] == nbytes
+
+    def test_clear_ends_with_zero_bytes_under_the_root(self, store):
+        # The acceptance battery: a live entry, a stranded payload, and
+        # crashed-writer temp files must all be gone after clear().
+        live_key, _ = self._put_one(store, case="live")
+        stranded_key, _ = self._put_one(store, case="stranded")
+        store.manifest_path(stranded_key).unlink()
+        bucket = store.manifest_path(live_key).parent
+        (bucket / "dead.bin.tmp").write_bytes(b"x" * 512)
+        (bucket / "dead.json.tmp").write_text("{}")
+        for path in store._orphan_paths():
+            self._age(path, 2 * ORPHAN_AGE_GUARD_SECONDS)
+        assert store.clear(now=self.REFERENCE) == 1  # only the live entry
+        leftovers = [path for path in store.root.rglob("*")
+                     if path.is_file() and path.name != "manifest.json"]
+        assert leftovers == []
+        assert store.stats()["bytes"] == 0
+        assert store.stats()["orphan_bytes"] == 0
+
+    def test_gc_collects_aged_tmp_but_spares_inflight_writers(self, store):
+        key, _packed = self._put_one(store)
+        bucket = store.manifest_path(key).parent
+        old_tmp = bucket / "old.bin.tmp"
+        fresh_tmp = bucket / "fresh.bin.tmp"
+        old_tmp.write_bytes(b"x" * 256)
+        fresh_tmp.write_bytes(b"y" * 256)
+        self._age(store.manifest_path(key), 5.0)  # keep the live entry warm
+        self._age(old_tmp, 2 * ORPHAN_AGE_GUARD_SECONDS)
+        self._age(fresh_tmp, 10.0)  # inside the age guard: in-flight writer
+        assert store.gc(unused_seconds=100, now=self.REFERENCE) == 0
+        assert not old_tmp.exists()
+        assert fresh_tmp.exists()
+        assert key in store
+
+    def test_sweep_counters_accumulate(self, store):
+        bucket = store.root / "ab"
+        bucket.mkdir(parents=True)
+        for index in range(3):
+            path = bucket / f"junk{index}.bin.tmp"
+            path.write_bytes(b"z" * 100)
+            self._age(path, 2 * ORPHAN_AGE_GUARD_SECONDS)
+        swept = store.sweep_orphans(now=self.REFERENCE)
+        assert swept == {"files": 3, "bytes": 300}
+        assert store.orphan_files_reclaimed == 3
+        assert store.orphan_bytes_reclaimed == 300
+        assert store.sweep_orphans(now=self.REFERENCE) \
+            == {"files": 0, "bytes": 0}
+
+    @pytest.mark.slow
+    def test_two_process_gc_race_tolerates_concurrent_deletion(self, tmp_path):
+        root = tmp_path / "gc-race"
+        store = StreamStore(root)
+        self._put_one(store)
+        bucket = next(iter(store._manifest_paths())).parent
+        for index in range(64):
+            path = bucket / f"orphan{index}.bin.tmp"
+            path.write_bytes(b"r" * 64)
+            os.utime(path, times=(self.REFERENCE, self.REFERENCE))
+        context = multiprocessing.get_context("spawn")
+        barrier = context.Barrier(2)
+        workers = [context.Process(target=_race_gc, args=(str(root), barrier))
+                   for _ in range(2)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=120)
+            assert worker.exitcode == 0  # neither sweep tripped on the other
+        assert not list(root.glob("??/*.tmp"))
 
 
 # --------------------------------------------------------------------------- #

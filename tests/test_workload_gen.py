@@ -1,0 +1,370 @@
+"""Tests for the stochastic workload generator (``repro.workloads``).
+
+Covers the traffic-model mini-language (mix parse/format round trips,
+payload round trips), the determinism contract (same ``(model, history)``
+=> identical timelines, in-process and across processes), the compiler
+(valid scenarios, merged adjacency, idle insertion, OTA swaps, the
+degenerate all-idle fallback) and the batch compiler's weighted
+``FleetSpec`` output, plus the registered ``workload`` experiment end to
+end through the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.fleet import FleetSpec
+from repro.scenario import LifetimeScenario, Phase, merge_adjacent_phases
+from repro.workloads import (
+    TrafficModel,
+    compile_fleet_spec,
+    compile_history,
+    compile_timeline,
+    format_model_mix,
+    parse_model_mix,
+    parse_optional_corner,
+    sample_timeline,
+)
+
+TWO_MODELS = (("lenet5", "int8_symmetric", "dnn_life"),
+              ("custom_mnist", "int8_symmetric", "inversion"))
+
+
+def small_model(**overrides) -> TrafficModel:
+    settings = dict(models=TWO_MODELS, model_weights=(0.6, 0.4),
+                    rate_per_day=24.0, burst_probability=0.25,
+                    diurnal_amplitude=0.6, night_corner=(0.7, 0.2),
+                    ota_interval_days=2.0, idle_threshold=2,
+                    horizon_days=5, seed=7)
+    settings.update(overrides)
+    return TrafficModel(**settings)
+
+
+# --------------------------------------------------------------------- #
+# Mix mini-language
+# --------------------------------------------------------------------- #
+class TestModelMix:
+    def test_parse_resolves_aliases(self):
+        models, weights = parse_model_mix(
+            "0.75*lenet5:int8:none|0.25*custom_mnist:int8:dnn_life")
+        assert models == (("lenet5", "int8_symmetric", "none"),
+                          ("custom_mnist", "int8_symmetric", "dnn_life"))
+        assert weights == (0.75, 0.25)
+
+    def test_unweighted_mix_is_uniform(self):
+        _, weights = parse_model_mix("lenet5:int8:none|custom_mnist:int8:none")
+        assert weights == (0.5, 0.5)
+
+    @pytest.mark.parametrize("text,fragment", [
+        ("", "empty"),
+        ("lenet5:int8", "NETWORK:FORMAT:POLICY"),
+        ("bogus:int8:none", "unknown network"),
+        ("lenet5:int9:none", "unknown data format"),
+        ("lenet5:int8:rotate", "unknown policy"),
+        ("0.9*lenet5:int8:none|0.2*custom_mnist:int8:none", "sum to 1"),
+    ])
+    def test_one_line_errors(self, text, fragment):
+        with pytest.raises(ValueError) as excinfo:
+            parse_model_mix(text)
+        message = str(excinfo.value)
+        assert fragment in message
+        assert "\n" not in message
+
+    def test_optional_corner(self):
+        assert parse_optional_corner("", "x") is None
+        assert parse_optional_corner("  ", "x") is None
+        assert parse_optional_corner("0.8V:0.5GHz", "x") == (0.8, 0.5)
+
+
+@st.composite
+def model_mixes(draw):
+    """Weighted mixes over the 8-bit formats with exactly-representable
+    (sixteenths) weights, so ``parse(format(x)) == x`` holds exactly."""
+    count = draw(st.integers(min_value=1, max_value=3))
+    networks = draw(st.lists(
+        st.sampled_from(["lenet5", "custom_mnist", "alexnet"]),
+        min_size=count, max_size=count))
+    formats = draw(st.lists(
+        st.sampled_from(["int8_symmetric", "int8_asymmetric"]),
+        min_size=count, max_size=count))
+    policies = draw(st.lists(
+        st.sampled_from(["none", "inversion", "dnn_life"]),
+        min_size=count, max_size=count))
+    models = tuple(zip(networks, formats, policies))
+    cuts = draw(st.lists(st.integers(min_value=1, max_value=15),
+                         min_size=count - 1, max_size=count - 1,
+                         unique=True))
+    bounds = [0] + sorted(cuts) + [16]
+    weights = tuple((bounds[i + 1] - bounds[i]) / 16 for i in range(count))
+    return models, weights
+
+
+class TestMixRoundTrip:
+    @given(mix=model_mixes())
+    @settings(max_examples=40, deadline=None)
+    def test_format_parse_round_trip(self, mix):
+        models, weights = mix
+        assert parse_model_mix(format_model_mix(models, weights)) \
+            == (models, weights)
+
+    @given(mix=model_mixes(), seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_payload_round_trip(self, mix, seed):
+        models, weights = mix
+        model = TrafficModel(models=models, model_weights=weights,
+                             burst_probability=0.5, diurnal_amplitude=0.25,
+                             night_corner=(0.7, 0.2), ota_interval_days=1.5,
+                             idle_threshold=1, horizon_days=3, seed=seed)
+        assert TrafficModel.from_payload(model.to_payload()) == model
+        assert (TrafficModel.from_payload(
+            json.loads(json.dumps(model.to_payload()))) == model)
+
+
+# --------------------------------------------------------------------- #
+# Schema validation
+# --------------------------------------------------------------------- #
+class TestTrafficModelValidation:
+    @pytest.mark.parametrize("overrides,fragment", [
+        (dict(models=()), "at least one"),
+        (dict(models=(("lenet5", "int8_symmetric", "none"),
+                      ("lenet5", "float32", "none")),
+              model_weights=()), "one word width"),
+        (dict(model_weights=(0.6, 0.3)), "sum to 1"),
+        (dict(model_weights=(1.2, -0.2)), "> 0"),
+        (dict(rate_per_day=0.0), "rate_per_day"),
+        (dict(burst_probability=1.5), "burst_probability"),
+        (dict(burst_factor=0.5), "burst_factor"),
+        (dict(diurnal_amplitude=1.0), "diurnal_amplitude"),
+        (dict(ota_interval_days=-1.0), "ota_interval_days"),
+        (dict(idle_threshold=-1), "idle_threshold"),
+        (dict(horizon_days=0), "horizon_days"),
+    ])
+    def test_one_line_errors(self, overrides, fragment):
+        with pytest.raises(ValueError) as excinfo:
+            small_model(**overrides)
+        message = str(excinfo.value)
+        assert fragment in message
+        assert "\n" not in message
+
+
+# --------------------------------------------------------------------- #
+# Sampling determinism
+# --------------------------------------------------------------------- #
+class TestSampling:
+    def test_slot_count_and_halves(self):
+        slots = sample_timeline(small_model(), history=0)
+        model = small_model()
+        assert len(slots) == 2 * model.horizon_days
+        assert [slot.daytime for slot in slots[:2]] == [True, False]
+        day_temps = {slot.temperature_c for slot in slots if slot.daytime}
+        night = [slot for slot in slots if not slot.daytime]
+        assert day_temps == {model.day_temperature_c}
+        assert {slot.temperature_c for slot in night} \
+            == {model.night_temperature_c}
+        assert {slot.corner for slot in night} == {(0.7, 0.2)}
+
+    def test_same_history_same_slots(self):
+        assert sample_timeline(small_model(), history=3) \
+            == sample_timeline(small_model(), history=3)
+
+    def test_histories_and_seeds_differ(self):
+        base = sample_timeline(small_model(), history=0)
+        assert sample_timeline(small_model(), history=1) != base
+        assert sample_timeline(small_model(seed=8), history=0) != base
+
+    def test_degenerate_knobs_consume_no_state(self):
+        # Turning bursts fully on/off must not shift the Poisson draws the
+        # way a skipped coin flip would; compare against an explicit replay.
+        quiet = small_model(burst_probability=0.0, ota_interval_days=0.0,
+                            models=TWO_MODELS[:1], model_weights=())
+        loud = replace(quiet, burst_probability=1.0)
+        quiet_slots = sample_timeline(quiet, history=0)
+        loud_slots = sample_timeline(loud, history=0)
+        assert all(not slot.burst for slot in quiet_slots)
+        assert all(slot.burst for slot in loud_slots)
+        rng = np.random.default_rng(np.random.SeedSequence([7, 0]))
+        for slot in quiet_slots:
+            assert slot.epochs == int(rng.poisson(
+                quiet.slot_rate(slot.daytime, False)))
+
+    def test_ota_swaps_models(self):
+        slots = sample_timeline(small_model(ota_interval_days=0.5,
+                                            horizon_days=10), history=0)
+        assert len({slot.model for slot in slots}) > 1
+
+    def test_no_ota_keeps_one_model(self):
+        slots = sample_timeline(small_model(ota_interval_days=0.0), history=0)
+        assert len({slot.model for slot in slots}) == 1
+
+    def test_idle_threshold_marks_slots(self):
+        model = small_model(rate_per_day=4.0, diurnal_amplitude=0.9,
+                            idle_threshold=1, horizon_days=20)
+        slots = sample_timeline(model, history=0)
+        assert any(slot.idle for slot in slots)
+        assert all(slot.idle == (slot.epochs <= 1) for slot in slots)
+
+
+# --------------------------------------------------------------------- #
+# Compiler
+# --------------------------------------------------------------------- #
+class TestCompiler:
+    def test_compiled_scenario_is_valid_and_merged(self):
+        model = small_model()
+        scenario = compile_history(model, history=0)
+        assert isinstance(scenario, LifetimeScenario)
+        assert not scenario.phases[0].is_idle
+        assert all(phase.duration > 0 for phase in scenario.phases)
+        # adjacency: no two neighbours share the full configuration
+        assert merge_adjacent_phases(scenario.phases) == scenario.phases
+        # the spec string round-trips through the phase mini-language
+        rebuilt = LifetimeScenario.from_spec(scenario.to_spec())
+        assert rebuilt.phases == scenario.phases
+
+    def test_leading_idles_dropped(self):
+        slots = sample_timeline(small_model(), history=0)
+        idle_head = [replace(slots[0], idle=True, epochs=0)] + slots
+        scenario = compile_timeline(small_model(), idle_head)
+        assert not scenario.phases[0].is_idle
+
+    def test_all_idle_falls_back_to_one_epoch(self):
+        slots = [replace(slot, idle=True)
+                 for slot in sample_timeline(small_model(), history=0)]
+        scenario = compile_timeline(small_model(), slots)
+        assert len(scenario.phases) == 1
+        assert scenario.phases[0].duration == 1
+        assert scenario.phases[0].network == slots[0].model[0]
+
+    def test_idle_slots_compile_to_idle_phases(self):
+        model = small_model(rate_per_day=4.0, diurnal_amplitude=0.9,
+                            idle_threshold=1, horizon_days=20)
+        scenario = compile_history(model, history=0)
+        assert any(phase.is_idle for phase in scenario.phases)
+
+    def test_years_and_reference_pass_through(self):
+        scenario = compile_history(small_model(), years=3.5,
+                                   reference_temperature_c=70.0)
+        assert scenario.years == 3.5
+        assert scenario.reference_temperature_c == 70.0
+
+
+class TestFleetCompiler:
+    def test_weighted_spec(self):
+        spec = compile_fleet_spec(small_model(), histories=12, devices=24,
+                                  usage_sigma=0.3, thermal_sigma_c=5.0,
+                                  seed_groups=2)
+        assert isinstance(spec, FleetSpec)
+        assert spec.num_devices == 24
+        assert spec.seed == small_model().seed
+        assert len(spec.scenarios) == len(set(spec.scenarios))
+        assert sum(spec.scenario_weights) == pytest.approx(1.0, abs=1e-12)
+        # every weight is a multiple of 1/12
+        for weight in spec.scenario_weights:
+            assert (weight * 12) == pytest.approx(round(weight * 12))
+
+    def test_devices_default_to_histories(self):
+        assert compile_fleet_spec(small_model(), histories=5).num_devices == 5
+
+    def test_duplicate_histories_fold_into_weights(self):
+        model = small_model(burst_probability=0.0, ota_interval_days=0.0,
+                            diurnal_amplitude=0.0, rate_per_day=2.0,
+                            idle_threshold=10, horizon_days=1,
+                            models=TWO_MODELS[:1], model_weights=())
+        # every history is all-idle => identical fallback scenario
+        spec = compile_fleet_spec(model, histories=8)
+        assert len(spec.scenarios) == 1
+        assert spec.scenario_weights == (1.0,)
+
+    def test_rejects_no_histories(self):
+        with pytest.raises(ValueError, match="histories"):
+            compile_fleet_spec(small_model(), histories=0)
+
+    def test_spec_payload_round_trips(self):
+        spec = compile_fleet_spec(small_model(), histories=6)
+        assert FleetSpec.from_payload(spec.to_payload()) == spec
+
+
+# --------------------------------------------------------------------- #
+# Cross-process determinism (the fleet/ guarantee, extended upstream)
+# --------------------------------------------------------------------- #
+COMPILE_SUBPROCESS = """\
+import json, sys
+from repro.workloads import TrafficModel, compile_fleet_spec
+model = TrafficModel.from_payload(json.loads(sys.argv[1]))
+spec = compile_fleet_spec(model, histories=int(sys.argv[2]))
+print(json.dumps(spec.to_payload(), sort_keys=True))
+"""
+
+
+class TestCrossProcessDeterminism:
+    def test_compiled_fleet_spec_is_byte_identical(self):
+        model = small_model()
+        local = json.dumps(
+            compile_fleet_spec(model, histories=8).to_payload(),
+            sort_keys=True)
+        env = dict(os.environ)
+        src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+        remote = subprocess.run(
+            [sys.executable, "-c", COMPILE_SUBPROCESS,
+             json.dumps(model.to_payload()), "8"],
+            capture_output=True, text=True, env=env, check=True)
+        assert remote.stdout.strip() == local
+
+
+# --------------------------------------------------------------------- #
+# The registered experiment
+# --------------------------------------------------------------------- #
+class TestWorkloadExperiment:
+    @pytest.fixture(scope="class")
+    def fleet_payload(self):
+        from repro.experiments.workload import run_workload
+
+        return run_workload(mode="fleet", histories=4, devices=6,
+                            horizon_days=2, weight_memory_kb=4,
+                            fifo_depth_tiles=4, quick=True, seed=0)
+
+    def test_payload_shape(self, fleet_payload):
+        assert fleet_payload["compiled"]["histories"] == 4
+        assert len(fleet_payload["timeline"]["slots"]) == 4
+        assert fleet_payload["result"]["workload"]["devices"] == 6
+        model = TrafficModel.from_payload(fleet_payload["traffic_model"])
+        assert model.horizon_days == 2
+
+    def test_renderer_mentions_timeline_and_survival(self, fleet_payload):
+        from repro.experiments.workload import render_workload
+
+        text = render_workload(fleet_payload, {})
+        assert "sampled timeline" in text
+        assert "survival" in text
+
+    def test_scenario_mode_delegates(self):
+        from repro.experiments.workload import run_workload
+
+        payload = run_workload(mode="scenario", horizon_days=2,
+                               weight_memory_kb=4, fifo_depth_tiles=4,
+                               quick=True, seed=0)
+        assert payload["compiled"]["spec"] == payload["timeline"]["spec"]
+        assert payload["result"]["workload"]["spec"] \
+            == payload["timeline"]["spec"]
+        assert len(payload["result"]["phases"]) \
+            == payload["timeline"]["num_phases"]
+
+    def test_registered_and_sweepable(self):
+        from repro.orchestration.registry import load_all_experiments
+
+        spec = load_all_experiments().get("workload")
+        assert "sweep" in spec.tags
+        assert spec.affinity == ("weight_memory_kb", "fifo_depth_tiles",
+                                 "quick", "seed")
+        assert spec.full_config == {"histories": 1000, "devices": 1000}
